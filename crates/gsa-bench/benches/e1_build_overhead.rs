@@ -1,0 +1,60 @@
+//! Criterion version of experiment E1: collection rebuild with and
+//! without the alerting step (paper Section 8's "insignificant
+//! extension" claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsa_core::AlertingCore;
+use gsa_greenstone::{CollectionConfig, Server};
+use gsa_types::{ClientId, SimTime};
+use gsa_workload::{DocumentGenerator, GsWorld, ProfileMix, ProfilePopulation, WorldParams};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_build_overhead");
+    group.sample_size(20);
+    let world = GsWorld::generate(&WorldParams::small(1));
+
+    for &docs in &[100usize, 1_000] {
+        let mut gen = DocumentGenerator::new(2);
+        let batch = gen.documents("d", docs);
+
+        group.bench_with_input(BenchmarkId::new("build_only", docs), &batch, |b, batch| {
+            let mut server = Server::new("gs-0");
+            server
+                .add_collection(CollectionConfig::simple("c", "c"))
+                .expect("fresh");
+            b.iter(|| {
+                let report = server.rebuild(&"c".into(), batch.clone()).expect("rebuild");
+                black_box(report);
+            });
+        });
+
+        for &profiles in &[100usize, 1_000] {
+            let population =
+                ProfilePopulation::generate(3, &world, profiles, &ProfileMix::default());
+            group.bench_with_input(
+                BenchmarkId::new(format!("build_alerting_p{profiles}"), docs),
+                &batch,
+                |b, batch| {
+                    let mut core = AlertingCore::new("gs-0", "gds-1");
+                    core.add_collection(CollectionConfig::simple("c", "c"), SimTime::ZERO)
+                        .expect("fresh");
+                    for (i, (_, _, expr)) in population.profiles.iter().enumerate() {
+                        core.subscribe(ClientId::from_raw(i as u64), expr.clone())
+                            .expect("profile");
+                    }
+                    b.iter(|| {
+                        let out = core
+                            .rebuild(&"c".into(), batch.clone(), SimTime::ZERO)
+                            .expect("rebuild");
+                        black_box(out);
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Criterion scenarios for the paper's three figures:
+//!
+//! * **F1** (Figure 1) — distributed collection data access: fetching
+//!   `Hamilton.D` resolves data set *d* locally and pulls data set *e*
+//!   from `London.E` over the GS protocol.
+//! * **F2** (Figure 2) — federated alerting: one collection rebuild at
+//!   Hamilton floods the 7-node GDS tree and is filtered at London.
+//! * **F3** (Figure 3) — distributed-collection alerting: a rebuild of
+//!   `London.E` matches the auxiliary profile, is forwarded to Hamilton,
+//!   rewritten to `Hamilton.D` and re-broadcast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsa_core::System;
+use gsa_gds::figure2_tree;
+use gsa_greenstone::{CollectionConfig, SubCollectionRef};
+use gsa_types::{CollectionId, SimDuration, SimTime};
+use gsa_workload::DocumentGenerator;
+use std::hint::black_box;
+
+fn figure_world(seed: u64) -> System {
+    let mut system = System::new(seed);
+    system.add_gds_topology(&figure2_tree());
+    system.add_server("Hamilton", "gds-4");
+    system.add_server("London", "gds-2");
+    system.add_collection("London", CollectionConfig::simple("E", "e"));
+    system.add_collection(
+        "Hamilton",
+        CollectionConfig::simple("D", "d").with_subcollection(SubCollectionRef::new(
+            "e",
+            CollectionId::new("London", "E"),
+        )),
+    );
+    let mut gen = DocumentGenerator::new(seed);
+    system
+        .rebuild("Hamilton", "D", gen.documents("d", 20))
+        .expect("rebuild D");
+    system
+        .rebuild("London", "E", gen.documents("e", 20))
+        .expect("rebuild E");
+    system.run_until_quiet(SimTime::from_secs(30));
+    system
+}
+
+fn f1_distributed_fetch(c: &mut Criterion) {
+    c.bench_function("f1_distributed_fetch", |b| {
+        let mut system = figure_world(1);
+        b.iter(|| {
+            let result = system.fetch("Hamilton", "D", SimDuration::from_secs(30));
+            assert_eq!(result.docs.len(), 40);
+            black_box(result);
+        });
+    });
+}
+
+fn f2_federated_broadcast(c: &mut Criterion) {
+    c.bench_function("f2_federated_broadcast", |b| {
+        let mut system = figure_world(2);
+        let client = system.add_client("London");
+        system
+            .subscribe_text("London", client, r#"collection = "Hamilton.D""#)
+            .expect("profile");
+        let mut gen = DocumentGenerator::new(9);
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            system
+                .rebuild("Hamilton", "D", gen.documents(&format!("d{round}"), 5))
+                .expect("rebuild");
+            system.run_until_quiet(system.now() + SimDuration::from_secs(30));
+            let inbox = system.take_notifications("London", client);
+            assert!(!inbox.is_empty());
+            black_box(inbox);
+        });
+    });
+}
+
+fn f3_aux_forwarding(c: &mut Criterion) {
+    c.bench_function("f3_aux_forwarding", |b| {
+        let mut system = figure_world(3);
+        let client = system.add_client("Hamilton");
+        system
+            .subscribe_text("Hamilton", client, r#"collection = "Hamilton.D""#)
+            .expect("profile");
+        let mut gen = DocumentGenerator::new(9);
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            system
+                .rebuild("London", "E", gen.documents(&format!("e{round}"), 5))
+                .expect("rebuild");
+            system.run_until_quiet(system.now() + SimDuration::from_secs(30));
+            let inbox = system.take_notifications("Hamilton", client);
+            assert!(!inbox.is_empty());
+            assert_eq!(inbox[0].event.origin, CollectionId::new("Hamilton", "D"));
+            black_box(inbox);
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = f1_distributed_fetch, f2_federated_broadcast, f3_aux_forwarding
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Experiment E2 — scalability of GDS alerting (the paper's stated
+//! future work, Section 8: "we will thoroughly evaluate the scalability
+//! of the alerting using both the GDS and the GS network").
+//!
+//! Sweeps the number of Greenstone servers and the GDS fanout, measuring
+//! per-broadcast message cost, delivery latency and hop counts.
+//!
+//! Expectation: messages per broadcast grow linearly with servers
+//! (every server must be reached — this is flooding by design); latency
+//! grows with tree depth, so higher fanout trades bigger routing tables
+//! for lower latency.
+
+use gsa_bench::Table;
+use gsa_core::System;
+use gsa_greenstone::CollectionConfig;
+use gsa_types::{ClientId, SimDuration, SimTime};
+use gsa_workload::{DocumentGenerator, GsWorld, WorldParams};
+
+fn run(servers: usize, fanout: usize) -> (u64, u64, f64, u64) {
+    let world = GsWorld::generate(&WorldParams {
+        seed: 5,
+        servers,
+        ..WorldParams::default()
+    });
+    let (topo, assignment) = world.gds_tree(fanout);
+    let mut system = System::new(9);
+    system.add_gds_topology(&topo);
+    for (host, gds) in &assignment {
+        system.add_server(host.as_str(), gds.as_str());
+    }
+    // One public collection per server; every server subscribes to the
+    // publisher so delivery latency is observable everywhere.
+    for host in &world.hosts {
+        system.add_collection(host.as_str(), CollectionConfig::simple("c", "c"));
+    }
+    let publisher = world.hosts[0].as_str().to_string();
+    for (i, host) in world.hosts.iter().enumerate().skip(1) {
+        let client = ClientId::from_raw(i as u64);
+        system
+            .subscribe_text(host.as_str(), client, &format!(r#"host = "{publisher}""#))
+            .expect("profile");
+    }
+    system.run_until_quiet(SimTime::from_secs(10));
+    let sent_before = system.metrics().counter("net.sent");
+
+    let mut gen = DocumentGenerator::new(11);
+    let publish_at = system.now();
+    system
+        .rebuild(&publisher, "c", gen.documents("d", 5))
+        .expect("rebuild");
+    system.run_until_quiet(publish_at + SimDuration::from_secs(60));
+
+    let sent = system.metrics().counter("net.sent") - sent_before;
+    let notified = system.metrics().counter("alert.notifications");
+    // Delivery latency: collect notification times.
+    let mut latencies = Vec::new();
+    for (i, host) in world.hosts.iter().enumerate().skip(1) {
+        for n in system.take_notifications(host.as_str(), ClientId::from_raw(i as u64)) {
+            latencies.push((n.at - publish_at).as_micros());
+        }
+    }
+    let mean_latency_ms = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / 1000.0
+    };
+    let max_latency_ms = latencies.iter().copied().max().unwrap_or(0) / 1000;
+    assert_eq!(
+        notified as usize,
+        servers - 1,
+        "every other server must be notified exactly once"
+    );
+    (sent, notified, mean_latency_ms, max_latency_ms)
+}
+
+fn main() {
+    println!("E2: GDS broadcast scalability (one collection rebuild, all servers subscribed)");
+    println!();
+    let mut table = Table::new(vec![
+        "servers",
+        "fanout",
+        "msgs/broadcast",
+        "notified",
+        "mean-latency-ms",
+        "max-latency-ms",
+    ]);
+    for &servers in &[10usize, 20, 40, 80, 160] {
+        for &fanout in &[2usize, 4, 8] {
+            let (sent, notified, mean_ms, max_ms) = run(servers, fanout);
+            table.row(vec![
+                servers.to_string(),
+                fanout.to_string(),
+                sent.to_string(),
+                notified.to_string(),
+                format!("{mean_ms:.2}"),
+                max_ms.to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+    println!("(messages grow ~linearly in servers — flooding reaches everyone by design;");
+    println!(" higher fanout shortens the tree and with it the delivery latency)");
+}

@@ -1,0 +1,79 @@
+//! Experiment E7 — profile storage cost and orphan profiles (paper
+//! Section 2: profile flooding "only scales to a small number of
+//! profiles and leads to the mentioned problems of orphan profiles").
+//!
+//! Sweeps the number of servers with a fixed per-server profile count,
+//! comparing total stored profiles (hybrid: one copy per profile plus
+//! one auxiliary profile per remote sub-collection; flooding: one copy
+//! per reachable server), and counts orphans left behind by
+//! cancellations during partitions.
+
+use gsa_bench::{run_scheme, RunConfig, Scheme, Table};
+use gsa_types::SimDuration;
+use gsa_workload::{ChurnEvent, GsWorld, ProfileMix, ProfilePopulation, RebuildSchedule, WorldParams};
+
+fn main() {
+    println!("E7: profile storage and orphan profiles, hybrid vs profile flooding");
+    println!();
+    let mut table = Table::new(vec![
+        "servers",
+        "profiles",
+        "hybrid-stored",
+        "flood-stored",
+        "flood/hybrid",
+        "flood-orphans",
+    ]);
+    for &servers in &[10usize, 20, 40, 80] {
+        let world = GsWorld::generate(&WorldParams {
+            seed: 51,
+            servers,
+            p_solitary: 0.3, // bigger islands => more replication
+            max_island: 8,
+            ..WorldParams::default()
+        });
+        let profiles = servers * 3;
+        let population =
+            ProfilePopulation::generate(52, &world, profiles, &ProfileMix::equality_only());
+        let horizon = SimDuration::from_secs(60);
+        let schedule = RebuildSchedule::generate(53, &world, 10, horizon, 2);
+        // Cancel a third of the profiles, some during partitions.
+        let churn = ChurnEvent::schedule(54, &world, 4, profiles / 3, population.len(), horizon);
+
+        let hybrid = run_scheme(
+            Scheme::Hybrid,
+            &world,
+            &population,
+            &schedule,
+            &churn,
+            &RunConfig {
+                seed: 55,
+                ..RunConfig::default()
+            },
+        );
+        let flood = run_scheme(
+            Scheme::ProfileFlood,
+            &world,
+            &population,
+            &schedule,
+            &churn,
+            &RunConfig {
+                seed: 55,
+                ..RunConfig::default()
+            },
+        );
+        table.row(vec![
+            servers.to_string(),
+            profiles.to_string(),
+            hybrid.stored_profiles.to_string(),
+            flood.stored_profiles.to_string(),
+            format!(
+                "{:.1}x",
+                flood.stored_profiles as f64 / hybrid.stored_profiles.max(1) as f64
+            ),
+            flood.orphan_profiles.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("(hybrid storage = live profiles at their own servers + one auxiliary profile");
+    println!(" per remote sub-collection; flooding replicates every profile across its island)");
+}

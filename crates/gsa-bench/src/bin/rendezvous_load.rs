@@ -1,0 +1,98 @@
+//! Experiment E6 — "a rendezvous node may become a bottleneck in the
+//! network" (paper Section 2).
+//!
+//! Runs the same skewed workload (popular collections attract most
+//! profiles and most events, as real DL interest does) through the
+//! hybrid service and rendezvous routing, comparing per-node receive
+//! load: maximum, mean, and Gini coefficient, plus rendezvous-table
+//! concentration.
+
+use gsa_bench::{run_scheme, RunConfig, Scheme, Table};
+use gsa_baselines::RendezvousSystem;
+use gsa_profile::parse_profile;
+use gsa_types::{ClientId, SimDuration, SimTime};
+use gsa_workload::{GsWorld, ProfileMix, ProfilePopulation, RebuildSchedule, WorldParams};
+
+fn main() {
+    let world = GsWorld::generate(&WorldParams {
+        seed: 61,
+        servers: 24,
+        ..WorldParams::default()
+    });
+    // A skewed population: everyone watches the same hot collection.
+    let hot = world.public_collections()[0].clone();
+    let population = {
+        let mut p = ProfilePopulation::generate(62, &world, 60, &ProfileMix::equality_only());
+        for (i, (_, topic, expr)) in p.profiles.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *topic = hot.clone();
+                *expr = parse_profile(&format!(r#"collection = "{hot}""#)).expect("profile");
+            }
+        }
+        p
+    };
+    let horizon = SimDuration::from_secs(60);
+    // Events concentrate on the hot collection too.
+    let mut schedule = RebuildSchedule::generate(63, &world, 40, horizon, 3);
+    for (i, r) in schedule.rebuilds.iter_mut().enumerate() {
+        if i % 2 == 0 {
+            r.collection = hot.clone();
+        }
+    }
+
+    println!("E6: rendezvous bottleneck vs hybrid load distribution");
+    println!("    ({} servers, 60 profiles, 40 rebuilds, half on one hot collection)", world.host_count());
+    println!();
+    let mut table = Table::new(vec![
+        "scheme",
+        "max-node-recv",
+        "mean-node-recv",
+        "max/mean",
+        "gini",
+    ]);
+    for scheme in [Scheme::Hybrid, Scheme::Rendezvous] {
+        let outcome = run_scheme(
+            scheme,
+            &world,
+            &population,
+            &schedule,
+            &[],
+            &RunConfig {
+                seed: 64,
+                ..RunConfig::default()
+            },
+        );
+        let (max, mean, gini) = outcome.load.unwrap_or((0, 0.0, 0.0));
+        table.row(vec![
+            scheme.name().to_string(),
+            max.to_string(),
+            format!("{mean:.1}"),
+            format!("{:.2}", max as f64 / mean.max(1e-9)),
+            format!("{gini:.3}"),
+        ]);
+    }
+    println!("{table}");
+
+    // Rendezvous-table concentration for the same subscriptions.
+    let mut rv = RendezvousSystem::new(65);
+    for host in &world.hosts {
+        rv.add_server(host.as_str());
+    }
+    for (i, (host, topic, expr)) in population.profiles.iter().enumerate() {
+        rv.subscribe(
+            host.as_str(),
+            ClientId::from_raw(i as u64),
+            &topic.to_string(),
+            expr.clone(),
+        );
+    }
+    rv.run_until_quiet(SimTime::from_secs(30));
+    let per_host = rv.stored_profiles_per_host();
+    let max = per_host.values().copied().max().unwrap_or(0);
+    let total: usize = per_host.values().sum();
+    println!(
+        "rendezvous profile tables: {total} profiles total, {max} on the hottest node \
+         ({:.0}% concentration); the hybrid stores every profile at its subscriber's server.",
+        100.0 * max as f64 / total.max(1) as f64
+    );
+}

@@ -1,0 +1,615 @@
+//! Per-scheme experiment runners.
+//!
+//! [`run_scheme`] plays one generated workload (world + profiles +
+//! rebuild schedule + churn) through one alerting scheme and returns the
+//! raw deliveries plus the transport and storage metrics the experiment
+//! tables report.
+
+use gsa_baselines::{GsFloodSystem, ProfileFloodSystem, RendezvousSystem};
+use gsa_core::System;
+use gsa_types::{
+    ClientId, CollectionId, Event, EventId, EventKind, HostName, ProfileId, SimDuration, SimTime,
+};
+use gsa_store::SourceDocument;
+use gsa_workload::{ChurnEvent, DocumentGenerator, GsWorld, ProfilePopulation, RebuildSchedule};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which alerting scheme to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// The paper's hybrid service (GDS flooding + auxiliary profiles).
+    Hybrid,
+    /// Event flooding over the GS reference graph, with duplicate
+    /// suppression.
+    GsFlood,
+    /// Event flooding without duplicate suppression (cycle cost).
+    GsFloodNoDedup,
+    /// Profile flooding/replication.
+    ProfileFlood,
+    /// Rendezvous-node routing.
+    Rendezvous,
+}
+
+impl Scheme {
+    /// All schemes in table order.
+    pub const ALL: [Scheme; 5] = [
+        Scheme::Hybrid,
+        Scheme::GsFlood,
+        Scheme::GsFloodNoDedup,
+        Scheme::ProfileFlood,
+        Scheme::Rendezvous,
+    ];
+
+    /// The scheme's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Hybrid => "hybrid(GDS)",
+            Scheme::GsFlood => "gs-flood",
+            Scheme::GsFloodNoDedup => "gs-flood-nodedup",
+            Scheme::ProfileFlood => "profile-flood",
+            Scheme::Rendezvous => "rendezvous",
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Run parameters shared by all schemes.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Simulator seed.
+    pub seed: u64,
+    /// GDS tree fanout (hybrid only).
+    pub fanout: usize,
+    /// Extra simulated time after the last scheduled action, so retries
+    /// and in-flight deliveries drain.
+    pub drain: SimDuration,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            seed: 1,
+            fanout: 3,
+            drain: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// The raw outcome of one run.
+#[derive(Debug, Clone, Default)]
+pub struct RunOutcome {
+    /// One entry per delivered notification: (profile index, rebuild
+    /// index, announced origin).
+    pub deliveries: Vec<(usize, usize, CollectionId)>,
+    /// Messages sent on the wire.
+    pub messages: u64,
+    /// Bytes sent on the wire.
+    pub bytes: u64,
+    /// Profiles stored across all servers at the end (including
+    /// replicas/auxiliaries).
+    pub stored_profiles: usize,
+    /// Stored profiles whose owner has cancelled them.
+    pub orphan_profiles: usize,
+    /// Per-node receive-load imbalance `(max, mean, gini)`.
+    pub load: Option<(u64, f64, f64)>,
+    /// Cancellation times actually applied (profile index → time), for
+    /// the oracle.
+    pub cancels: HashMap<usize, SimTime>,
+    /// Partition intervals actually applied, for the oracle.
+    pub partitions: HashMap<HostName, Vec<(SimTime, SimTime)>>,
+}
+
+/// Deterministic per-rebuild document batches, shared by every scheme and
+/// by the oracle. Document ids are `r{k}-{i}`, which is how deliveries
+/// are mapped back to rebuilds.
+pub fn rebuild_docs(k: usize, n: usize) -> Vec<SourceDocument> {
+    DocumentGenerator::new(1_000 + k as u64).documents(&format!("r{k}"), n)
+}
+
+/// Parses the rebuild index back out of an announced document id.
+pub fn rebuild_index_of(doc_id: &str) -> Option<usize> {
+    doc_id
+        .strip_prefix('r')?
+        .split('-')
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// The event a baseline publishes for rebuild `k` (baselines have no
+/// build process of their own).
+pub fn rebuild_event(k: usize, collection: &CollectionId, docs: &[SourceDocument], at: SimTime) -> Event {
+    Event::new(
+        EventId::new(collection.host().clone(), k as u64),
+        collection.clone(),
+        EventKind::CollectionRebuilt,
+        at,
+    )
+    .with_docs(docs.iter().map(|d| d.summary(200)).collect())
+}
+
+/// One timed action of the merged schedule.
+enum Action<'a> {
+    Rebuild(usize, &'a gsa_workload::schedule::Rebuild),
+    Churn(&'a ChurnEvent),
+}
+
+fn merged_actions<'a>(
+    schedule: &'a RebuildSchedule,
+    churn: &'a [ChurnEvent],
+) -> Vec<(SimTime, Action<'a>)> {
+    let mut actions: Vec<(SimTime, Action<'a>)> = Vec::new();
+    for (k, r) in schedule.rebuilds.iter().enumerate() {
+        actions.push((r.at, Action::Rebuild(k, r)));
+    }
+    for c in churn {
+        actions.push((c.at(), Action::Churn(c)));
+    }
+    actions.sort_by_key(|(at, _)| *at);
+    actions
+}
+
+/// Plays the workload through `scheme`.
+pub fn run_scheme(
+    scheme: Scheme,
+    world: &GsWorld,
+    population: &ProfilePopulation,
+    schedule: &RebuildSchedule,
+    churn: &[ChurnEvent],
+    cfg: &RunConfig,
+) -> RunOutcome {
+    match scheme {
+        Scheme::Hybrid => run_hybrid(world, population, schedule, churn, cfg),
+        Scheme::GsFlood => run_gsflood(world, population, schedule, churn, cfg, true),
+        Scheme::GsFloodNoDedup => run_gsflood(world, population, schedule, churn, cfg, false),
+        Scheme::ProfileFlood => run_profileflood(world, population, schedule, churn, cfg),
+        Scheme::Rendezvous => run_rendezvous(world, population, schedule, churn, cfg),
+    }
+}
+
+/// Tracks partition intervals as they are applied.
+#[derive(Default)]
+struct PartitionTracker {
+    open: HashMap<HostName, SimTime>,
+    intervals: HashMap<HostName, Vec<(SimTime, SimTime)>>,
+}
+
+impl PartitionTracker {
+    fn partition(&mut self, host: &HostName, at: SimTime) {
+        self.open.entry(host.clone()).or_insert(at);
+    }
+
+    fn heal_all(&mut self, at: SimTime) {
+        for (host, start) in self.open.drain() {
+            self.intervals.entry(host).or_default().push((start, at));
+        }
+    }
+
+    fn finish(mut self, at: SimTime) -> HashMap<HostName, Vec<(SimTime, SimTime)>> {
+        self.heal_all(at);
+        self.intervals
+    }
+}
+
+fn run_hybrid(
+    world: &GsWorld,
+    population: &ProfilePopulation,
+    schedule: &RebuildSchedule,
+    churn: &[ChurnEvent],
+    cfg: &RunConfig,
+) -> RunOutcome {
+    let (topo, assignment) = world.gds_tree(cfg.fanout);
+    let mut system = System::new(cfg.seed);
+    system.add_gds_topology(&topo);
+    for (host, gds) in &assignment {
+        system.add_server(host.as_str(), gds.as_str());
+    }
+    for (host, configs) in &world.collections {
+        for config in configs {
+            system.add_collection(host.as_str(), config.clone());
+        }
+    }
+    system.run_until_quiet(SimTime::from_secs(5));
+
+    // Subscribe: client id == profile index.
+    let mut handles: Vec<(HostName, ProfileId)> = Vec::new();
+    for (idx, (host, _topic, expr)) in population.profiles.iter().enumerate() {
+        let pid = system
+            .subscribe(host.as_str(), ClientId::from_raw(idx as u64), expr.clone())
+            .expect("profile indexes");
+        handles.push((host.clone(), pid));
+    }
+
+    let mut cancels = HashMap::new();
+    let mut tracker = PartitionTracker::default();
+    for (at, action) in merged_actions(schedule, churn) {
+        system.run_until(at);
+        match action {
+            Action::Rebuild(k, r) => {
+                let docs = rebuild_docs(k, r.docs);
+                system
+                    .rebuild(r.collection.host().as_str(), r.collection.name().as_str(), docs)
+                    .expect("collection exists");
+            }
+            Action::Churn(ChurnEvent::Partition { host, group, .. }) => {
+                system.set_partition(host.as_str(), *group);
+                tracker.partition(host, at);
+            }
+            Action::Churn(ChurnEvent::Heal { .. }) => {
+                system.heal_network();
+                tracker.heal_all(at);
+            }
+            Action::Churn(ChurnEvent::Cancel { index, .. }) => {
+                if let Some((host, pid)) = handles.get(*index) {
+                    if system.unsubscribe(host.as_str(), *pid) {
+                        cancels.insert(*index, at);
+                    }
+                }
+            }
+        }
+    }
+    let end = system.now() + cfg.drain;
+    system.run_until_quiet(end);
+
+    let mut deliveries = Vec::new();
+    for (idx, (host, _)) in handles.iter().enumerate() {
+        for n in system.take_notifications(host.as_str(), ClientId::from_raw(idx as u64)) {
+            let k = n
+                .event
+                .docs
+                .iter()
+                .filter_map(|d| rebuild_index_of(d.doc.as_str()))
+                .max();
+            if let Some(k) = k {
+                deliveries.push((idx, k, n.event.origin.clone()));
+            }
+        }
+    }
+
+    let mut stored = 0;
+    for host in &world.hosts {
+        stored += system.inspect_core(host.as_str(), |core| {
+            core.subscriptions().len() + core.aux_store().len()
+        });
+    }
+
+    RunOutcome {
+        deliveries,
+        messages: system.metrics().counter("net.sent"),
+        bytes: system.metrics().counter("net.bytes"),
+        stored_profiles: stored,
+        orphan_profiles: 0,
+        load: system.metrics().receive_load_imbalance(),
+        cancels,
+        partitions: tracker.finish(end),
+    }
+}
+
+fn run_gsflood(
+    world: &GsWorld,
+    population: &ProfilePopulation,
+    schedule: &RebuildSchedule,
+    churn: &[ChurnEvent],
+    cfg: &RunConfig,
+    dedup: bool,
+) -> RunOutcome {
+    let mut sys = GsFloodSystem::new(cfg.seed, dedup);
+    for host in &world.hosts {
+        sys.add_server(host.as_str(), world.neighbors(host));
+    }
+    let mut handles = Vec::new();
+    for (idx, (host, _topic, expr)) in population.profiles.iter().enumerate() {
+        let gpid = sys.subscribe(host.as_str(), ClientId::from_raw(idx as u64), expr.clone());
+        handles.push(gpid);
+    }
+    let mut cancels = HashMap::new();
+    let mut tracker = PartitionTracker::default();
+    for (at, action) in merged_actions(schedule, churn) {
+        sys.sim_mut().run_until(at);
+        match action {
+            Action::Rebuild(k, r) => {
+                let docs = rebuild_docs(k, r.docs);
+                let event = rebuild_event(k, &r.collection, &docs, at);
+                sys.publish(r.collection.host().as_str(), event);
+            }
+            Action::Churn(ChurnEvent::Partition { host, group, .. }) => {
+                sys.set_partition(host.as_str(), *group);
+                tracker.partition(host, at);
+            }
+            Action::Churn(ChurnEvent::Heal { .. }) => {
+                sys.sim_mut().heal_network();
+                tracker.heal_all(at);
+            }
+            Action::Churn(ChurnEvent::Cancel { index, .. }) => {
+                if let Some(gpid) = handles.get(*index) {
+                    if sys.unsubscribe(gpid) {
+                        cancels.insert(*index, at);
+                    }
+                }
+            }
+        }
+    }
+    let end = sys.sim_mut().now() + cfg.drain;
+    sys.run_until_quiet(end);
+
+    let deliveries = sys
+        .take_deliveries()
+        .into_iter()
+        .map(|d| {
+            let k = d.event_id.seq() as usize;
+            (d.client.as_u64() as usize, k, schedule.rebuilds[k].collection.clone())
+        })
+        .collect();
+    RunOutcome {
+        deliveries,
+        messages: sys.metrics().counter("net.sent"),
+        bytes: sys.metrics().counter("net.bytes"),
+        stored_profiles: population.len() - cancels.len(),
+        orphan_profiles: 0,
+        load: sys.metrics().receive_load_imbalance(),
+        cancels,
+        partitions: tracker.finish(end),
+    }
+}
+
+fn run_profileflood(
+    world: &GsWorld,
+    population: &ProfilePopulation,
+    schedule: &RebuildSchedule,
+    churn: &[ChurnEvent],
+    cfg: &RunConfig,
+) -> RunOutcome {
+    let mut sys = ProfileFloodSystem::new(cfg.seed);
+    for host in &world.hosts {
+        sys.add_server(host.as_str(), world.neighbors(host));
+    }
+    let mut handles = Vec::new();
+    for (idx, (host, _topic, expr)) in population.profiles.iter().enumerate() {
+        handles.push(sys.subscribe(host.as_str(), ClientId::from_raw(idx as u64), expr.clone()));
+    }
+    let mut cancels = HashMap::new();
+    let mut tracker = PartitionTracker::default();
+    for (at, action) in merged_actions(schedule, churn) {
+        sys.sim_mut().run_until(at);
+        match action {
+            Action::Rebuild(k, r) => {
+                let docs = rebuild_docs(k, r.docs);
+                let event = rebuild_event(k, &r.collection, &docs, at);
+                sys.publish(r.collection.host().as_str(), event);
+            }
+            Action::Churn(ChurnEvent::Partition { host, group, .. }) => {
+                sys.set_partition(host.as_str(), *group);
+                tracker.partition(host, at);
+            }
+            Action::Churn(ChurnEvent::Heal { .. }) => {
+                sys.heal_network();
+                tracker.heal_all(at);
+            }
+            Action::Churn(ChurnEvent::Cancel { index, .. }) => {
+                if let Some(gpid) = handles.get(*index) {
+                    if sys.unsubscribe(gpid) {
+                        cancels.insert(*index, at);
+                    }
+                }
+            }
+        }
+    }
+    let end = sys.sim_mut().now() + cfg.drain;
+    sys.run_until_quiet(end);
+    let deliveries = sys
+        .take_deliveries()
+        .into_iter()
+        .map(|d| {
+            let k = d.event_id.seq() as usize;
+            (d.client.as_u64() as usize, k, schedule.rebuilds[k].collection.clone())
+        })
+        .collect();
+    let stored = sys.stored_profiles();
+    let orphans = sys.orphan_profiles();
+    RunOutcome {
+        deliveries,
+        messages: sys.metrics().counter("net.sent"),
+        bytes: sys.metrics().counter("net.bytes"),
+        stored_profiles: stored,
+        orphan_profiles: orphans,
+        load: sys.metrics().receive_load_imbalance(),
+        cancels,
+        partitions: tracker.finish(end),
+    }
+}
+
+fn run_rendezvous(
+    world: &GsWorld,
+    population: &ProfilePopulation,
+    schedule: &RebuildSchedule,
+    churn: &[ChurnEvent],
+    cfg: &RunConfig,
+) -> RunOutcome {
+    let mut sys = RendezvousSystem::new(cfg.seed);
+    for host in &world.hosts {
+        sys.add_server(host.as_str());
+    }
+    let mut handles = Vec::new();
+    for (idx, (host, topic, expr)) in population.profiles.iter().enumerate() {
+        let gpid = sys.subscribe(
+            host.as_str(),
+            ClientId::from_raw(idx as u64),
+            &topic.to_string(),
+            expr.clone(),
+        );
+        handles.push((gpid, topic.to_string()));
+    }
+    let mut cancels = HashMap::new();
+    let mut tracker = PartitionTracker::default();
+    for (at, action) in merged_actions(schedule, churn) {
+        sys.sim_mut().run_until(at);
+        match action {
+            Action::Rebuild(k, r) => {
+                let docs = rebuild_docs(k, r.docs);
+                let event = rebuild_event(k, &r.collection, &docs, at);
+                sys.publish(r.collection.host().as_str(), event);
+            }
+            Action::Churn(ChurnEvent::Partition { host, group, .. }) => {
+                sys.set_partition(host.as_str(), *group);
+                tracker.partition(host, at);
+            }
+            Action::Churn(ChurnEvent::Heal { .. }) => {
+                sys.heal_network();
+                tracker.heal_all(at);
+            }
+            Action::Churn(ChurnEvent::Cancel { index, .. }) => {
+                if let Some((gpid, topic)) = handles.get(*index) {
+                    if sys.unsubscribe(gpid, topic) {
+                        cancels.insert(*index, at);
+                    }
+                }
+            }
+        }
+    }
+    let end = sys.sim_mut().now() + cfg.drain;
+    sys.run_until_quiet(end);
+    let deliveries = sys
+        .take_deliveries()
+        .into_iter()
+        .map(|d| {
+            let k = d.event_id.seq() as usize;
+            (d.client.as_u64() as usize, k, schedule.rebuilds[k].collection.clone())
+        })
+        .collect();
+    let stored: usize = sys.stored_profiles_per_host().values().sum();
+    RunOutcome {
+        deliveries,
+        messages: sys.metrics().counter("net.sent"),
+        bytes: sys.metrics().counter("net.bytes"),
+        stored_profiles: stored,
+        orphan_profiles: 0,
+        load: sys.metrics().receive_load_imbalance(),
+        cancels,
+        partitions: tracker.finish(end),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Oracle;
+    use gsa_workload::{ProfileMix, WorldParams};
+
+    fn workload() -> (GsWorld, ProfilePopulation, RebuildSchedule) {
+        let world = GsWorld::generate(&WorldParams::small(21));
+        let pop = ProfilePopulation::generate(22, &world, 16, &ProfileMix::default());
+        let schedule = RebuildSchedule::generate(23, &world, 10, SimDuration::from_secs(30), 3);
+        (world, pop, schedule)
+    }
+
+    #[test]
+    fn rebuild_docs_round_trip_index() {
+        let docs = rebuild_docs(7, 3);
+        assert_eq!(docs.len(), 3);
+        for d in &docs {
+            assert_eq!(rebuild_index_of(d.id.as_str()), Some(7));
+        }
+        assert_eq!(rebuild_index_of("nonsense"), None);
+        assert_eq!(rebuild_index_of("r12-0"), Some(12));
+    }
+
+    #[test]
+    fn hybrid_is_clean_without_churn() {
+        let (world, pop, schedule) = workload();
+        let outcome = run_scheme(
+            Scheme::Hybrid,
+            &world,
+            &pop,
+            &schedule,
+            &[],
+            &RunConfig::default(),
+        );
+        let oracle = Oracle::build(
+            &world,
+            &pop,
+            &schedule,
+            &outcome.cancels,
+            &outcome.partitions,
+            SimDuration::from_secs(5),
+        );
+        let q = oracle.classify(&outcome.deliveries);
+        assert_eq!(q.false_positives, 0, "hybrid produced FPs: {q}");
+        assert_eq!(q.false_negatives, 0, "hybrid produced FNs: {q}");
+        assert_eq!(q.duplicates, 0, "hybrid produced duplicates: {q}");
+    }
+
+    #[test]
+    fn gsflood_misses_cross_island_traffic() {
+        let (world, pop, schedule) = workload();
+        let outcome = run_scheme(
+            Scheme::GsFlood,
+            &world,
+            &pop,
+            &schedule,
+            &[],
+            &RunConfig::default(),
+        );
+        let oracle = Oracle::build(
+            &world,
+            &pop,
+            &schedule,
+            &outcome.cancels,
+            &outcome.partitions,
+            SimDuration::from_secs(5),
+        );
+        let q = oracle.classify(&outcome.deliveries);
+        assert!(
+            q.false_negatives > 0,
+            "fragmented world must cause flooding misses: {q}"
+        );
+    }
+
+    #[test]
+    fn profileflood_orphans_after_partitioned_cancel() {
+        let (world, pop, schedule) = workload();
+        // Cancel profile 0 while its host is partitioned.
+        let host0 = pop.profiles[0].0.clone();
+        let churn = vec![
+            ChurnEvent::Partition {
+                at: SimTime::from_secs(1),
+                host: host0,
+                group: 1,
+            },
+            ChurnEvent::Cancel {
+                at: SimTime::from_secs(2),
+                index: 0,
+            },
+            ChurnEvent::Heal {
+                at: SimTime::from_secs(3),
+            },
+        ];
+        let outcome = run_scheme(
+            Scheme::ProfileFlood,
+            &world,
+            &pop,
+            &schedule,
+            &churn,
+            &RunConfig::default(),
+        );
+        // Profile 0's owner is connected to at least... possibly solitary.
+        // Orphans occur when replicas exist; just assert accounting sanity.
+        assert!(outcome.stored_profiles >= pop.len() - 1 - 1);
+        assert!(outcome.cancels.contains_key(&0));
+    }
+
+    #[test]
+    fn all_schemes_run_and_produce_metrics() {
+        let (world, pop, schedule) = workload();
+        for scheme in Scheme::ALL {
+            let outcome = run_scheme(scheme, &world, &pop, &schedule, &[], &RunConfig::default());
+            assert!(outcome.messages > 0, "{scheme} sent nothing");
+            assert!(outcome.bytes > 0, "{scheme} byte accounting missing");
+        }
+    }
+}

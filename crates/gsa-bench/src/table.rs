@@ -1,0 +1,96 @@
+//! Plain-text result tables.
+
+use std::fmt;
+
+/// A simple column-aligned table printer for experiment binaries.
+///
+/// # Examples
+///
+/// ```
+/// use gsa_bench::Table;
+/// let mut t = Table::new(vec!["scheme", "fn", "fp"]);
+/// t.row(vec!["hybrid".into(), "0".into(), "0".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("hybrid"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        Table {
+            headers: headers.into_iter().map(str::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows
+    /// are truncated to the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_padding() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxxx".into()]);
+        t.row(vec!["y".into(), "z".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a     "));
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+}

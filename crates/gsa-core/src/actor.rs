@@ -1,0 +1,226 @@
+//! Simulation actors: adapters from the sans-IO state machines to
+//! `gsa-simnet`.
+
+use crate::core::{AlertingCore, CoreEffects};
+use crate::message::SysMessage;
+use gsa_gds::{GdsEffects, GdsNode};
+use gsa_simnet::{Actor, Ctx, NodeId, TimerId};
+use gsa_types::{HostName, SimDuration};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A shared host-name → node-id directory, the simulation's stand-in for
+/// IP routing. Populated by [`System`](crate::System) as nodes are added.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    inner: Arc<RwLock<DirectoryInner>>,
+}
+
+#[derive(Debug, Default)]
+struct DirectoryInner {
+    by_name: HashMap<HostName, NodeId>,
+    by_node: HashMap<NodeId, HostName>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Registers a host name for a node.
+    pub fn insert(&self, name: HostName, node: NodeId) {
+        let mut inner = self.inner.write();
+        inner.by_name.insert(name.clone(), node);
+        inner.by_node.insert(node, name);
+    }
+
+    /// Resolves a host name to its node.
+    pub fn lookup(&self, name: &HostName) -> Option<NodeId> {
+        self.inner.read().by_name.get(name).copied()
+    }
+
+    /// Reverse lookup: the host name of a node.
+    pub fn name_of(&self, node: NodeId) -> Option<HostName> {
+        self.inner.read().by_node.get(&node).cloned()
+    }
+
+    /// Number of registered names.
+    pub fn len(&self) -> usize {
+        self.inner.read().by_name.len()
+    }
+
+    /// Returns `true` when no names are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Timer tag for the periodic maintenance tick.
+const TICK_TAG: u64 = 1;
+
+/// The simulation actor wrapping an [`AlertingCore`].
+#[derive(Debug)]
+pub struct AlertingActor {
+    core: AlertingCore,
+    directory: Directory,
+    tick: SimDuration,
+    /// Locally-initiated distributed fetches that completed (drained by
+    /// the [`System`](crate::System) driver).
+    pub completed_fetches: Vec<(gsa_greenstone::RequestId, gsa_greenstone::server::FetchResult)>,
+    /// Locally-initiated distributed searches that completed.
+    pub completed_searches: Vec<(gsa_greenstone::RequestId, gsa_greenstone::server::SearchResult)>,
+    /// Naming-service answers that arrived.
+    pub resolved: Vec<(gsa_gds::ResolveToken, Option<HostName>)>,
+}
+
+impl AlertingActor {
+    /// Wraps a core; `tick` is the maintenance-timer period (retries,
+    /// request timeouts).
+    pub fn new(core: AlertingCore, directory: Directory, tick: SimDuration) -> Self {
+        AlertingActor {
+            core,
+            directory,
+            tick,
+            completed_fetches: Vec::new(),
+            completed_searches: Vec::new(),
+            resolved: Vec::new(),
+        }
+    }
+
+    /// The wrapped core.
+    pub fn core(&self) -> &AlertingCore {
+        &self.core
+    }
+
+    /// Mutable access to the wrapped core. Use
+    /// [`AlertingActor::apply`] to transmit the effects of any call made
+    /// through this.
+    pub fn core_mut(&mut self) -> &mut AlertingCore {
+        &mut self.core
+    }
+
+    /// Transmits a [`CoreEffects`]' outbound messages through the
+    /// simulator context, stores request completions, and records metrics
+    /// counters.
+    pub fn apply(&mut self, effects: CoreEffects, ctx: &mut Ctx<'_, SysMessage>) {
+        if !effects.notifications.is_empty() {
+            ctx.count("alert.notifications", effects.notifications.len() as u64);
+        }
+        if !effects.published.is_empty() {
+            ctx.count("alert.events_published", effects.published.len() as u64);
+        }
+        self.completed_fetches.extend(effects.fetches);
+        self.completed_searches.extend(effects.searches);
+        self.resolved.extend(effects.resolved);
+        for (to, msg) in effects.outbound {
+            match self.directory.lookup(&to) {
+                Some(node) => ctx.send(node, msg),
+                None => ctx.count("alert.unknown_host", 1),
+            }
+        }
+    }
+}
+
+impl Actor<SysMessage> for AlertingActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SysMessage>) {
+        let effects = self.core.startup(ctx.now());
+        self.apply(effects, ctx);
+        ctx.set_timer(self.tick, TICK_TAG);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SysMessage>, from: NodeId, msg: SysMessage) {
+        let from_host = self
+            .directory
+            .name_of(from)
+            .unwrap_or_else(|| HostName::new(format!("unknown-{from}")));
+        let effects = self.core.handle_message(&from_host, msg, ctx.now());
+        self.apply(effects, ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SysMessage>, _timer: TimerId, tag: u64) {
+        if tag == TICK_TAG {
+            let effects = self.core.on_tick(ctx.now());
+            self.apply(effects, ctx);
+            ctx.set_timer(self.tick, TICK_TAG);
+        }
+    }
+}
+
+/// The simulation actor wrapping a [`GdsNode`].
+#[derive(Debug)]
+pub struct GdsActor {
+    node: GdsNode,
+    directory: Directory,
+}
+
+impl GdsActor {
+    /// Wraps a directory-server node.
+    pub fn new(node: GdsNode, directory: Directory) -> Self {
+        GdsActor { node, directory }
+    }
+
+    /// The wrapped node.
+    pub fn node(&self) -> &GdsNode {
+        &self.node
+    }
+
+    /// Mutable access to the wrapped node (topology changes).
+    pub fn node_mut(&mut self) -> &mut GdsNode {
+        &mut self.node
+    }
+
+    fn apply(&self, effects: GdsEffects, ctx: &mut Ctx<'_, SysMessage>) {
+        if !effects.undeliverable.is_empty() {
+            ctx.count("gds.undeliverable", effects.undeliverable.len() as u64);
+        }
+        for out in effects.outbound {
+            match self.directory.lookup(&out.to) {
+                Some(node) => ctx.send(node, SysMessage::Gds(out.msg)),
+                None => ctx.count("gds.unknown_host", 1),
+            }
+        }
+    }
+}
+
+impl Actor<SysMessage> for GdsActor {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, SysMessage>, from: NodeId, msg: SysMessage) {
+        let SysMessage::Gds(msg) = msg else {
+            ctx.count("gds.non_gds_message", 1);
+            return;
+        };
+        let from_host = self
+            .directory
+            .name_of(from)
+            .unwrap_or_else(|| HostName::new(format!("unknown-{from}")));
+        ctx.count("gds.messages", 1);
+        let effects = self.node.handle_message(&from_host, msg);
+        self.apply(effects, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directory_round_trips() {
+        let d = Directory::new();
+        assert!(d.is_empty());
+        d.insert("Hamilton".into(), NodeId::from_raw(3));
+        assert_eq!(d.lookup(&"Hamilton".into()), Some(NodeId::from_raw(3)));
+        assert_eq!(d.name_of(NodeId::from_raw(3)), Some(HostName::new("Hamilton")));
+        assert_eq!(d.lookup(&"X".into()), None);
+        assert_eq!(d.name_of(NodeId::from_raw(9)), None);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn directory_is_shared_between_clones() {
+        let d = Directory::new();
+        let d2 = d.clone();
+        d.insert("A".into(), NodeId::from_raw(0));
+        assert_eq!(d2.lookup(&"A".into()), Some(NodeId::from_raw(0)));
+    }
+}

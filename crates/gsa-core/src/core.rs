@@ -1,0 +1,1223 @@
+//! [`AlertingCore`]: one Greenstone host's alerting state machine.
+//!
+//! The core owns the host's Greenstone [`Server`], its [`GdsClient`], the
+//! local [`SubscriptionManager`], the [`AuxStore`] of auxiliary profiles
+//! planted here, and the [`PendingOps`] retry log. It is sans-IO:
+//! everything it wants transmitted comes back in a [`CoreEffects`].
+
+use crate::aux::{forward_event_payload, AuxStore, PendingOps};
+use crate::message::{AuxPayload, SysMessage};
+use crate::subs::{Notification, SubscriptionManager};
+use gsa_gds::{GdsClient, GdsMessage, ResolveToken};
+use gsa_greenstone::server::{FetchResult, SearchResult};
+use gsa_greenstone::{
+    BuildReport, CollectionConfig, GsError, GsMessage, RequestId, Server, SubCollectionRef,
+};
+use gsa_profile::{DnfError, ProfileExpr};
+use gsa_store::{Query, SourceDocument};
+use gsa_types::{
+    ClientId, CollectionId, CollectionName, Event, EventId, EventKind, HostName, ProfileId,
+    SimDuration, SimTime,
+};
+use gsa_wire::codec::event_from_xml;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// Tunables of the alerting core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// How often unacknowledged operations are retransmitted.
+    pub retry_interval: SimDuration,
+    /// How long a distributed fetch/search may wait on sub-collections
+    /// before completing with partial results.
+    pub request_timeout: SimDuration,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            retry_interval: SimDuration::from_secs(2),
+            request_timeout: SimDuration::from_secs(5),
+        }
+    }
+}
+
+/// Everything an [`AlertingCore`] wants done after one input.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CoreEffects {
+    /// Messages to transmit, by destination host.
+    pub outbound: Vec<(HostName, SysMessage)>,
+    /// Notifications produced for local clients (also queued in their
+    /// mailboxes).
+    pub notifications: Vec<Notification>,
+    /// Completed locally-initiated fetches.
+    pub fetches: Vec<(RequestId, FetchResult)>,
+    /// Completed locally-initiated searches.
+    pub searches: Vec<(RequestId, SearchResult)>,
+    /// Naming-service answers that arrived.
+    pub resolved: Vec<(ResolveToken, Option<HostName>)>,
+    /// Events this host published to the GDS during this step (shared).
+    pub published: Vec<Arc<Event>>,
+}
+
+impl CoreEffects {
+    /// Merges another effect set into this one, preserving order.
+    pub fn extend(&mut self, other: CoreEffects) {
+        self.outbound.extend(other.outbound);
+        self.notifications.extend(other.notifications);
+        self.fetches.extend(other.fetches);
+        self.searches.extend(other.searches);
+        self.resolved.extend(other.resolved);
+        self.published.extend(other.published);
+    }
+
+    fn send(&mut self, to: HostName, msg: impl Into<SysMessage>) {
+        self.outbound.push((to, msg.into()));
+    }
+}
+
+/// The per-host alerting service state machine.
+pub struct AlertingCore {
+    host: HostName,
+    server: Server,
+    gds: GdsClient,
+    subs: SubscriptionManager,
+    aux_store: AuxStore,
+    pending: PendingOps,
+    config: CoreConfig,
+    event_seq: u64,
+    /// (original event id, local super-collection) pairs already
+    /// rewritten — makes retried ForwardEvents idempotent.
+    rewritten: HashSet<(EventId, CollectionName)>,
+    /// Locally-initiated GS requests and when they started.
+    request_started: HashMap<RequestId, SimTime>,
+}
+
+impl fmt::Debug for AlertingCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AlertingCore")
+            .field("host", &self.host)
+            .field("profiles", &self.subs.len())
+            .field("aux", &self.aux_store.len())
+            .field("pending_ops", &self.pending.len())
+            .finish()
+    }
+}
+
+impl AlertingCore {
+    /// Creates the core for `host`, registered at the GDS node
+    /// `gds_server`.
+    pub fn new(host: impl Into<HostName>, gds_server: impl Into<HostName>) -> Self {
+        Self::with_config(host, gds_server, CoreConfig::default())
+    }
+
+    /// Creates a core with explicit tunables.
+    pub fn with_config(
+        host: impl Into<HostName>,
+        gds_server: impl Into<HostName>,
+        config: CoreConfig,
+    ) -> Self {
+        let host = host.into();
+        AlertingCore {
+            server: Server::new(host.clone()),
+            gds: GdsClient::new(host.clone(), gds_server),
+            subs: SubscriptionManager::new(),
+            aux_store: AuxStore::new(),
+            pending: PendingOps::new(),
+            config,
+            event_seq: 0,
+            rewritten: HashSet::new(),
+            request_started: HashMap::new(),
+            host,
+        }
+    }
+
+    /// This host's name.
+    pub fn host(&self) -> &HostName {
+        &self.host
+    }
+
+    /// The underlying Greenstone server (read-only).
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+
+    /// The local subscription manager.
+    pub fn subscriptions(&self) -> &SubscriptionManager {
+        &self.subs
+    }
+
+    /// The auxiliary profiles planted at this host.
+    pub fn aux_store(&self) -> &AuxStore {
+        &self.aux_store
+    }
+
+    /// The not-yet-acknowledged operations this host has sent.
+    pub fn pending_ops(&self) -> &PendingOps {
+        &self.pending
+    }
+
+    /// The configured tunables.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Startup effects: register with the GDS and plant auxiliary profiles
+    /// for every remote sub-collection already configured.
+    pub fn startup(&mut self, now: SimTime) -> CoreEffects {
+        let mut effects = CoreEffects::default();
+        let reg = self.gds.register();
+        effects.send(reg.to, reg.msg);
+        let plants: Vec<(CollectionName, SubCollectionRef)> = self
+            .server
+            .collections()
+            .flat_map(|c| {
+                let parent = c.config().name.clone();
+                c.config()
+                    .subcollections
+                    .iter()
+                    .cloned()
+                    .map(move |s| (parent.clone(), s))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (parent, sub) in plants {
+            self.plant_aux(&parent, &sub, now, &mut effects);
+        }
+        effects
+    }
+
+    /// Adds a collection; auxiliary profiles for its remote
+    /// sub-collections are planted immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns the config back when a collection of that name exists.
+    pub fn add_collection(
+        &mut self,
+        config: CollectionConfig,
+        now: SimTime,
+    ) -> Result<CoreEffects, CollectionConfig> {
+        let plants: Vec<(CollectionName, SubCollectionRef)> = config
+            .subcollections
+            .iter()
+            .cloned()
+            .map(|s| (config.name.clone(), s))
+            .collect();
+        self.server.add_collection(config)?;
+        let mut effects = CoreEffects::default();
+        for (parent, sub) in plants {
+            self.plant_aux(&parent, &sub, now, &mut effects);
+        }
+        Ok(effects)
+    }
+
+    /// Adds a sub-collection reference to an existing collection,
+    /// planting the auxiliary profile when the target is remote.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsError::UnknownCollection`] when `parent` does not exist
+    /// on this server.
+    pub fn add_subcollection(
+        &mut self,
+        parent: &CollectionName,
+        sub: SubCollectionRef,
+        now: SimTime,
+    ) -> Result<CoreEffects, GsError> {
+        let collection = self
+            .server
+            .collection_mut(parent)
+            .ok_or_else(|| GsError::UnknownCollection(parent.clone()))?;
+        collection.config_mut().subcollections.push(sub.clone());
+        let mut effects = CoreEffects::default();
+        self.plant_aux(parent, &sub, now, &mut effects);
+        Ok(effects)
+    }
+
+    /// Removes a sub-collection reference ("a collection is
+    /// restructured"), sending the auxiliary-profile deletion when the
+    /// target was remote. The deletion is queued and retried until
+    /// acknowledged, per Section 7.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsError::UnknownCollection`] when `parent` or the alias
+    /// does not exist.
+    pub fn remove_subcollection(
+        &mut self,
+        parent: &CollectionName,
+        alias: &CollectionName,
+        now: SimTime,
+    ) -> Result<CoreEffects, GsError> {
+        let collection = self
+            .server
+            .collection_mut(parent)
+            .ok_or_else(|| GsError::UnknownCollection(parent.clone()))?;
+        let removed = collection
+            .config_mut()
+            .remove_subcollection(alias)
+            .ok_or_else(|| GsError::UnknownCollection(alias.clone()))?;
+        let mut effects = CoreEffects::default();
+        if removed.target.host() != &self.host {
+            let super_collection = CollectionId::new(self.host.clone(), parent.clone());
+            // A still-unacknowledged plant for this pair must not
+            // resurrect the profile after the delete.
+            let pair_super = super_collection.clone();
+            let pair_sub = removed.target.name().clone();
+            let pair_host = removed.target.host().clone();
+            self.pending.cancel_matching(move |p| {
+                p.to == pair_host
+                    && matches!(
+                        &p.payload,
+                        AuxPayload::Plant {
+                            super_collection: s,
+                            sub_name: n,
+                            ..
+                        } if *s == pair_super && *n == pair_sub
+                    )
+            });
+            let op = self.pending.next_op();
+            let payload = AuxPayload::Delete {
+                op,
+                super_collection,
+                sub_name: removed.target.name().clone(),
+            };
+            self.pending
+                .enqueue(removed.target.host().clone(), payload.clone(), now);
+            effects.send(removed.target.host().clone(), payload.into_message());
+        }
+        Ok(effects)
+    }
+
+    fn plant_aux(
+        &mut self,
+        parent: &CollectionName,
+        sub: &SubCollectionRef,
+        now: SimTime,
+        effects: &mut CoreEffects,
+    ) {
+        if sub.target.host() == &self.host {
+            return; // local sub-collections need no auxiliary profile
+        }
+        // An identical plant may already be queued (collection added
+        // before the server's startup re-planting pass): don't duplicate.
+        let super_collection = CollectionId::new(self.host.clone(), parent.clone());
+        let already_queued = self.pending.iter().any(|p| {
+            &p.to == sub.target.host()
+                && matches!(
+                    &p.payload,
+                    AuxPayload::Plant {
+                        super_collection: s,
+                        sub_name: n,
+                        ..
+                    } if *s == super_collection && n == sub.target.name()
+                )
+        });
+        if already_queued {
+            return;
+        }
+        let op = self.pending.next_op();
+        let payload = AuxPayload::Plant {
+            op,
+            super_collection: CollectionId::new(self.host.clone(), parent.clone()),
+            sub_name: sub.target.name().clone(),
+        };
+        self.pending
+            .enqueue(sub.target.host().clone(), payload.clone(), now);
+        effects.send(sub.target.host().clone(), payload.into_message());
+    }
+
+    /// Registers a client profile (stored locally, filtered locally).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnfError`] when the expression is too large to index.
+    pub fn subscribe(
+        &mut self,
+        client: ClientId,
+        expr: ProfileExpr,
+    ) -> Result<ProfileId, DnfError> {
+        self.subs.subscribe(client, expr)
+    }
+
+    /// Cancels a profile — local and immediate.
+    pub fn unsubscribe(&mut self, profile: ProfileId) -> bool {
+        self.subs.unsubscribe(profile)
+    }
+
+    /// Drains a client's notification mailbox.
+    pub fn take_notifications(&mut self, client: ClientId) -> Vec<Notification> {
+        self.subs.take_notifications(client)
+    }
+
+    fn fresh_event_id(&mut self) -> EventId {
+        let id = EventId::new(self.host.clone(), self.event_seq);
+        self.event_seq += 1;
+        id
+    }
+
+    /// Rebuilds a collection from a full document set and announces the
+    /// outcome (Section 4.2: "When a collection is rebuilt, event
+    /// messages are created by the collection's server").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsError::UnknownCollection`] when the collection does not
+    /// exist on this server.
+    pub fn rebuild(
+        &mut self,
+        name: &CollectionName,
+        docs: Vec<SourceDocument>,
+        now: SimTime,
+    ) -> Result<(BuildReport, CoreEffects), GsError> {
+        let report = self.server.rebuild(name, docs)?;
+        let effects = self.announce(name, &report, EventKind::CollectionRebuilt, now);
+        Ok((report, effects))
+    }
+
+    /// Incrementally imports documents and announces them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsError::UnknownCollection`] when the collection does not
+    /// exist on this server.
+    pub fn import(
+        &mut self,
+        name: &CollectionName,
+        docs: Vec<SourceDocument>,
+        now: SimTime,
+    ) -> Result<(BuildReport, CoreEffects), GsError> {
+        let report = self.server.import(name, docs)?;
+        let kind = if report.added.is_empty() && !report.updated.is_empty() {
+            EventKind::DocumentsUpdated
+        } else {
+            EventKind::DocumentsAdded
+        };
+        let effects = self.announce(name, &report, kind, now);
+        Ok((report, effects))
+    }
+
+    /// Deletes a collection entirely, announcing a
+    /// [`EventKind::CollectionDeleted`] event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsError::UnknownCollection`] when the collection does not
+    /// exist on this server.
+    pub fn delete_collection(
+        &mut self,
+        name: &CollectionName,
+        now: SimTime,
+    ) -> Result<CoreEffects, GsError> {
+        let collection = self
+            .server
+            .remove_collection(name)
+            .ok_or_else(|| GsError::UnknownCollection(name.clone()))?;
+        drop(collection);
+        let event = Event::new(
+            self.fresh_event_id(),
+            CollectionId::new(self.host.clone(), name.clone()),
+            EventKind::CollectionDeleted,
+            now,
+        );
+        let mut effects = CoreEffects::default();
+        let mut visited = HashSet::new();
+        self.process_local_event(event, now, &mut effects, &mut visited, true);
+        Ok(effects)
+    }
+
+    fn announce(
+        &mut self,
+        name: &CollectionName,
+        report: &BuildReport,
+        kind: EventKind,
+        now: SimTime,
+    ) -> CoreEffects {
+        let mut effects = CoreEffects::default();
+        if report.is_empty() {
+            return effects;
+        }
+        let collection = self.server.collection(name).expect("just built");
+        let mut announced: Vec<gsa_types::DocId> = Vec::new();
+        announced.extend(report.added.iter().cloned());
+        announced.extend(report.updated.iter().cloned());
+        let mut docs = collection.summaries(&announced);
+        // Removed documents are announced by id only (their content is
+        // gone).
+        for id in &report.removed {
+            docs.push(gsa_types::DocSummary::new(id.clone()));
+        }
+        let is_public = collection.config().visibility.is_public();
+        let event = Event::new(
+            self.fresh_event_id(),
+            CollectionId::new(self.host.clone(), name.clone()),
+            kind,
+            now,
+        )
+        .with_docs(docs);
+        let mut visited = HashSet::new();
+        self.process_local_event(event, now, &mut effects, &mut visited, is_public);
+        effects
+    }
+
+    /// The full local event pipeline of Section 4.2:
+    ///
+    /// 1. filter against local client profiles (our own clients hear about
+    ///    our own collections without a network round-trip),
+    /// 2. broadcast over the GDS (public collections only — a private
+    ///    collection is not visible in its own right),
+    /// 3. forward to every super-collection host whose auxiliary profile
+    ///    observes this collection,
+    /// 4. re-issue under every *local* parent collection (virtual/private
+    ///    chains on the same host), recursively, cycle-guarded.
+    fn process_local_event(
+        &mut self,
+        event: Event,
+        now: SimTime,
+        effects: &mut CoreEffects,
+        visited: &mut HashSet<CollectionName>,
+        broadcast: bool,
+    ) {
+        let name = event.origin.name().clone();
+        if !visited.insert(name.clone()) {
+            return;
+        }
+        let event = Arc::new(event);
+
+        // 1. Local filtering.
+        effects
+            .notifications
+            .extend(self.subs.filter_event(&event, now));
+
+        // 2. GDS broadcast.
+        if broadcast {
+            let (_, out) = self.gds.publish_event(&event);
+            effects.send(out.to, out.msg);
+            effects.published.push(Arc::clone(&event));
+        }
+
+        // 3. Auxiliary-profile forwarding over the GS network.
+        let matching: Vec<_> = self
+            .aux_store
+            .matching(&name)
+            .into_iter()
+            .cloned()
+            .collect();
+        for profile in matching {
+            let op = self.pending.next_op();
+            let payload = forward_event_payload(op, &profile, &event);
+            self.pending
+                .enqueue(profile.super_collection.host().clone(), payload.clone(), now);
+            effects.send(
+                profile.super_collection.host().clone(),
+                payload.into_message(),
+            );
+        }
+
+        // 4. Local parent chains.
+        let parents: Vec<(CollectionName, bool)> = self
+            .server
+            .collections()
+            .filter(|c| {
+                c.config()
+                    .subcollections
+                    .iter()
+                    .any(|s| s.target == event.origin)
+            })
+            .map(|c| (c.config().name.clone(), c.config().visibility.is_public()))
+            .collect();
+        for (parent, parent_public) in parents {
+            if visited.contains(&parent) {
+                continue;
+            }
+            // Cycle guard across hosts: never re-issue under a collection
+            // the event already passed through.
+            let parent_id = CollectionId::new(self.host.clone(), parent.clone());
+            if event.provenance.contains(&parent_id) {
+                continue;
+            }
+            let new_id = self.fresh_event_id();
+            let rewritten = event.rewritten(
+                new_id,
+                CollectionId::new(self.host.clone(), parent.clone()),
+                now,
+            );
+            self.process_local_event(rewritten, now, effects, visited, parent_public);
+        }
+    }
+
+    /// Initiates a distributed fetch (tracked for timeout expiry).
+    pub fn start_fetch(&mut self, name: &CollectionName, now: SimTime) -> (RequestId, CoreEffects) {
+        let (rid, eff) = self.server.start_fetch(name);
+        if self.server.is_pending(rid) {
+            self.request_started.insert(rid, now);
+        }
+        (rid, self.convert_server_effects(eff))
+    }
+
+    /// Initiates a distributed search (tracked for timeout expiry).
+    pub fn start_search(
+        &mut self,
+        name: &CollectionName,
+        index: &str,
+        query: &Query,
+        now: SimTime,
+    ) -> (RequestId, CoreEffects) {
+        let (rid, eff) = self.server.start_search(name, index, query);
+        if self.server.is_pending(rid) {
+            self.request_started.insert(rid, now);
+        }
+        (rid, self.convert_server_effects(eff))
+    }
+
+    /// Issues a naming-service resolution through the GDS.
+    pub fn resolve(&mut self, name: impl Into<HostName>) -> (ResolveToken, CoreEffects) {
+        let (token, out) = self.gds.resolve(name);
+        let mut effects = CoreEffects::default();
+        effects.send(out.to, out.msg);
+        (token, effects)
+    }
+
+    fn convert_server_effects(
+        &mut self,
+        eff: gsa_greenstone::ServerEffects,
+    ) -> CoreEffects {
+        let mut out = CoreEffects::default();
+        for o in eff.outbound {
+            out.send(o.to, o.msg);
+        }
+        for (rid, _) in &eff.fetches {
+            self.request_started.remove(rid);
+        }
+        out.fetches = eff.fetches;
+        for (rid, _) in &eff.searches {
+            self.request_started.remove(rid);
+        }
+        out.searches = eff.searches;
+        out
+    }
+
+    /// Handles one inbound network message.
+    pub fn handle_message(
+        &mut self,
+        from: &HostName,
+        msg: SysMessage,
+        now: SimTime,
+    ) -> CoreEffects {
+        match msg {
+            SysMessage::Gds(m) => self.handle_gds(m, now),
+            SysMessage::Gs(GsMessage::Alerting(el)) => match AuxPayload::from_xml(&el) {
+                Ok(payload) => self.handle_aux(from, payload, now),
+                Err(_) => CoreEffects::default(),
+            },
+            SysMessage::Gs(m) => {
+                let eff = self.server.handle_message(from, m);
+                self.convert_server_effects(eff)
+            }
+        }
+    }
+
+    fn handle_gds(&mut self, msg: GdsMessage, now: SimTime) -> CoreEffects {
+        let mut effects = CoreEffects::default();
+        if let GdsMessage::ResolveResponse { token, result, .. } = &msg {
+            effects.resolved.push((*token, result.clone()));
+            return effects;
+        }
+        if let Some((_origin, payload)) = self.gds.accept(&msg) {
+            if let Ok(event) = event_from_xml(&payload) {
+                let event = Arc::new(event);
+                effects
+                    .notifications
+                    .extend(self.subs.filter_event(&event, now));
+            }
+        }
+        effects
+    }
+
+    fn handle_aux(&mut self, from: &HostName, payload: AuxPayload, now: SimTime) -> CoreEffects {
+        let mut effects = CoreEffects::default();
+        match payload {
+            AuxPayload::Plant {
+                op,
+                super_collection,
+                sub_name,
+            } => {
+                self.aux_store.plant(sub_name, super_collection);
+                effects.send(from.clone(), AuxPayload::Ack { op }.into_message());
+            }
+            AuxPayload::Delete {
+                op,
+                super_collection,
+                sub_name,
+            } => {
+                self.aux_store.delete(&sub_name, &super_collection);
+                effects.send(from.clone(), AuxPayload::Ack { op }.into_message());
+            }
+            AuxPayload::ForwardEvent {
+                op,
+                super_name,
+                event,
+            } => {
+                effects.send(from.clone(), AuxPayload::Ack { op }.into_message());
+                // Cycle guard (research problem 2): a chain of rewrites
+                // may come back to a collection it already passed
+                // through — on this host or any other — because the
+                // collection graph may be cyclic. Every rewrite appends
+                // to the provenance chain, so "already in provenance"
+                // exactly detects the loop.
+                let super_id = CollectionId::new(self.host.clone(), super_name.clone());
+                if event.origin == super_id || event.provenance.contains(&super_id) {
+                    return effects;
+                }
+                if self
+                    .rewritten
+                    .insert((event.root.clone(), super_name.clone()))
+                {
+                    if let Some(collection) = self.server.collection(&super_name) {
+                        // The relationship may have been dropped while the
+                        // forwarded event was in flight (a dangling
+                        // auxiliary profile, Section 7): the restructuring
+                        // wins, the stale event is ignored (but
+                        // acknowledged, so the sender stops retrying).
+                        let still_included = collection
+                            .config()
+                            .subcollections
+                            .iter()
+                            .any(|s| s.target == event.origin);
+                        if !still_included {
+                            return effects;
+                        }
+                        let is_public = collection.config().visibility.is_public();
+                        let new_id = self.fresh_event_id();
+                        let rewritten = event.rewritten(
+                            new_id,
+                            CollectionId::new(self.host.clone(), super_name),
+                            now,
+                        );
+                        let mut visited = HashSet::new();
+                        self.process_local_event(
+                            rewritten,
+                            now,
+                            &mut effects,
+                            &mut visited,
+                            is_public,
+                        );
+                    }
+                }
+            }
+            AuxPayload::Ack { op } => {
+                self.pending.ack(op);
+            }
+        }
+        effects
+    }
+
+    /// Periodic maintenance: retransmit unacknowledged operations and
+    /// expire timed-out distributed requests with partial results.
+    pub fn on_tick(&mut self, now: SimTime) -> CoreEffects {
+        let mut effects = CoreEffects::default();
+        for (to, payload) in self.pending.due_for_retry(now, self.config.retry_interval) {
+            effects.send(to, payload.into_message());
+        }
+        let timeout = self.config.request_timeout;
+        let expired: Vec<RequestId> = self
+            .request_started
+            .iter()
+            .filter(|(rid, started)| {
+                now.since(**started) >= timeout && self.server.is_pending(**rid)
+            })
+            .map(|(rid, _)| *rid)
+            .collect();
+        for rid in expired {
+            self.request_started.remove(&rid);
+            let eff = self.server.expire_request(rid);
+            effects.extend(self.convert_server_effects(eff));
+        }
+        self.request_started
+            .retain(|rid, _| self.server.is_pending(*rid));
+        effects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsa_profile::parse_profile;
+
+    fn doc(id: &str, text: &str) -> SourceDocument {
+        SourceDocument::new(id, text)
+    }
+
+    /// Hamilton.D ⊃ London.E, as in Figure 3.
+    fn hamilton_london() -> (AlertingCore, AlertingCore, CoreEffects) {
+        let mut hamilton = AlertingCore::new("Hamilton", "gds-4");
+        let mut london = AlertingCore::new("London", "gds-2");
+        london
+            .add_collection(CollectionConfig::simple("E", "e"), SimTime::ZERO)
+            .unwrap();
+        let eff = hamilton
+            .add_collection(
+                CollectionConfig::simple("D", "d").with_subcollection(SubCollectionRef::new(
+                    "e",
+                    CollectionId::new("London", "E"),
+                )),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        (hamilton, london, eff)
+    }
+
+    /// Routes GS-protocol messages between the two cores until quiet; GDS
+    /// messages are collected and returned (there is no directory here).
+    fn pump(
+        hamilton: &mut AlertingCore,
+        london: &mut AlertingCore,
+        initial: CoreEffects,
+        now: SimTime,
+    ) -> (CoreEffects, Vec<(HostName, SysMessage)>) {
+        pump_from(hamilton, london, initial, "Hamilton", now)
+    }
+
+    fn pump_from(
+        hamilton: &mut AlertingCore,
+        london: &mut AlertingCore,
+        initial: CoreEffects,
+        initial_from: &str,
+        now: SimTime,
+    ) -> (CoreEffects, Vec<(HostName, SysMessage)>) {
+        let mut gds_traffic = Vec::new();
+        let mut collected = CoreEffects::default();
+        let mut queue: Vec<(HostName, HostName, SysMessage)> = Vec::new();
+        let absorb = |eff: CoreEffects,
+                          from: &HostName,
+                          queue: &mut Vec<(HostName, HostName, SysMessage)>,
+                          gds_traffic: &mut Vec<(HostName, SysMessage)>,
+                          collected: &mut CoreEffects| {
+            for (to, msg) in eff.outbound {
+                match &msg {
+                    SysMessage::Gds(_) => gds_traffic.push((to, msg)),
+                    SysMessage::Gs(_) => queue.push((from.clone(), to, msg)),
+                }
+            }
+            collected.notifications.extend(eff.notifications);
+            collected.published.extend(eff.published);
+            collected.fetches.extend(eff.fetches);
+            collected.searches.extend(eff.searches);
+        };
+        let initial_from = HostName::new(initial_from);
+        absorb(
+            initial,
+            &initial_from,
+            &mut queue,
+            &mut gds_traffic,
+            &mut collected,
+        );
+        let mut steps = 0;
+        while let Some((from, to, msg)) = queue.pop() {
+            steps += 1;
+            assert!(steps < 1000, "pump did not terminate");
+            let target = if to.as_str() == "Hamilton" {
+                &mut *hamilton
+            } else {
+                &mut *london
+            };
+            let eff = target.handle_message(&from, msg, now);
+            absorb(eff, &to, &mut queue, &mut gds_traffic, &mut collected);
+        }
+        (collected, gds_traffic)
+    }
+
+    #[test]
+    fn startup_registers_and_plants() {
+        let (mut hamilton, _, _) = hamilton_london();
+        let eff = hamilton.startup(SimTime::ZERO);
+        // Registration to GDS + (re)plant of the aux profile.
+        let gds_regs = eff
+            .outbound
+            .iter()
+            .filter(|(_, m)| matches!(m, SysMessage::Gds(GdsMessage::Register { .. })))
+            .count();
+        assert_eq!(gds_regs, 1);
+        let plants = eff
+            .outbound
+            .iter()
+            .filter(|(to, m)| {
+                to.as_str() == "London" && matches!(m, SysMessage::Gs(GsMessage::Alerting(_)))
+            })
+            .count();
+        // The plant from add_collection is still pending, so startup does
+        // not queue a duplicate — the retry machinery owns delivery.
+        assert_eq!(plants, 0);
+        assert_eq!(hamilton.pending_ops().len(), 1);
+    }
+
+    #[test]
+    fn aux_profile_is_planted_and_acked() {
+        let (mut hamilton, mut london, eff) = hamilton_london();
+        assert_eq!(hamilton.pending_ops().len(), 1);
+        pump(&mut hamilton, &mut london, eff, SimTime::ZERO);
+        assert_eq!(london.aux_store().len(), 1);
+        assert_eq!(hamilton.pending_ops().len(), 0, "plant must be acked");
+    }
+
+    #[test]
+    fn figure3_event_flow_rewrites_origin() {
+        let (mut hamilton, mut london, eff) = hamilton_london();
+        pump(&mut hamilton, &mut london, eff, SimTime::ZERO);
+
+        // A Hamilton client watches Hamilton.D; a London client watches
+        // London.E.
+        let c_h = ClientId::from_raw(1);
+        hamilton
+            .subscribe(c_h, parse_profile(r#"collection = "Hamilton.D""#).unwrap())
+            .unwrap();
+        let c_l = ClientId::from_raw(2);
+        london
+            .subscribe(c_l, parse_profile(r#"collection = "London.E""#).unwrap())
+            .unwrap();
+
+        // London.E is rebuilt.
+        let now = SimTime::from_millis(10);
+        let (_, eff) = london
+            .rebuild(&"E".into(), vec![doc("e1", "euro docs")], now)
+            .unwrap();
+        let (collected, gds) = pump_from(&mut hamilton, &mut london, eff, "London", now);
+
+        // London's own client was notified locally about London.E.
+        let local: Vec<_> = collected
+            .notifications
+            .iter()
+            .filter(|n| n.client == c_l)
+            .collect();
+        assert_eq!(local.len(), 1);
+        assert_eq!(local[0].event.origin, CollectionId::new("London", "E"));
+
+        // Hamilton rewrote the event: its client sees Hamilton.D as the
+        // origin, with London.E in the provenance.
+        let rewritten: Vec<_> = collected
+            .notifications
+            .iter()
+            .filter(|n| n.client == c_h)
+            .collect();
+        assert_eq!(rewritten.len(), 1);
+        assert_eq!(rewritten[0].event.origin, CollectionId::new("Hamilton", "D"));
+        assert_eq!(
+            rewritten[0].event.provenance,
+            vec![CollectionId::new("London", "E")]
+        );
+
+        // Both events (original and rewritten) were handed to the GDS.
+        let publishes = gds
+            .iter()
+            .filter(|(_, m)| matches!(m, SysMessage::Gds(GdsMessage::Publish { .. })))
+            .count();
+        assert_eq!(publishes, 2);
+
+        // The forwarded event was acknowledged: nothing pending.
+        assert!(london.pending_ops().is_empty());
+    }
+
+    #[test]
+    fn forward_event_is_idempotent_under_retry() {
+        let (mut hamilton, mut london, eff) = hamilton_london();
+        pump(&mut hamilton, &mut london, eff, SimTime::ZERO);
+        let c_h = ClientId::from_raw(1);
+        hamilton
+            .subscribe(c_h, parse_profile(r#"collection = "Hamilton.D""#).unwrap())
+            .unwrap();
+
+        let now = SimTime::from_millis(10);
+        let (_, eff) = london
+            .rebuild(&"E".into(), vec![doc("e1", "euro docs")], now)
+            .unwrap();
+        // Capture the forwarded event before delivering it.
+        let forward: Vec<(HostName, SysMessage)> = eff
+            .outbound
+            .iter()
+            .filter(|(to, m)| to.as_str() == "Hamilton" && matches!(m, SysMessage::Gs(_)))
+            .cloned()
+            .collect();
+        assert_eq!(forward.len(), 1);
+        pump_from(&mut hamilton, &mut london, eff, "London", now);
+        assert_eq!(hamilton.take_notifications(c_h).len(), 1);
+
+        // Deliver the same ForwardEvent again (a retry after a lost ack).
+        let (to, msg) = forward[0].clone();
+        let eff = hamilton.handle_message(&HostName::new("London"), msg, now);
+        drop(to);
+        // Only the ack comes back; no duplicate notification or publish.
+        assert!(eff.notifications.is_empty());
+        assert!(eff.published.is_empty());
+        assert_eq!(eff.outbound.len(), 1);
+    }
+
+    #[test]
+    fn remove_subcollection_deletes_aux_profile() {
+        let (mut hamilton, mut london, eff) = hamilton_london();
+        pump(&mut hamilton, &mut london, eff, SimTime::ZERO);
+        assert_eq!(london.aux_store().len(), 1);
+        let eff = hamilton
+            .remove_subcollection(&"D".into(), &"e".into(), SimTime::from_millis(5))
+            .unwrap();
+        pump(&mut hamilton, &mut london, eff, SimTime::from_millis(5));
+        assert!(london.aux_store().is_empty());
+        assert!(hamilton.pending_ops().is_empty());
+    }
+
+    #[test]
+    fn unacked_plant_is_cancelled_by_delete() {
+        let (mut hamilton, _, _) = hamilton_london();
+        // Plant was never delivered (1 pending). Removing the
+        // sub-collection must cancel it and queue only the delete.
+        assert_eq!(hamilton.pending_ops().len(), 1);
+        hamilton
+            .remove_subcollection(&"D".into(), &"e".into(), SimTime::from_millis(1))
+            .unwrap();
+        assert_eq!(hamilton.pending_ops().len(), 1);
+        let op = hamilton.pending_ops().iter().next().unwrap();
+        assert!(matches!(op.payload, AuxPayload::Delete { .. }));
+    }
+
+    #[test]
+    fn retry_until_acked() {
+        let (mut hamilton, mut london, eff) = hamilton_london();
+        // Drop the initial plant (simulating a partition).
+        drop(eff);
+        assert_eq!(hamilton.pending_ops().len(), 1);
+
+        // Before the retry interval: nothing.
+        let eff = hamilton.on_tick(SimTime::from_millis(100));
+        assert!(eff.outbound.is_empty());
+        // After: retransmission.
+        let eff = hamilton.on_tick(SimTime::from_secs(3));
+        assert_eq!(eff.outbound.len(), 1);
+        // Deliver it now ("the partition healed").
+        pump(&mut hamilton, &mut london, eff, SimTime::from_secs(3));
+        assert_eq!(london.aux_store().len(), 1);
+        assert!(hamilton.pending_ops().is_empty());
+        // No further retries.
+        let eff = hamilton.on_tick(SimTime::from_secs(10));
+        assert!(eff.outbound.is_empty());
+    }
+
+    #[test]
+    fn local_parent_chain_rewrites_on_same_host() {
+        // F (public) ⊃ G (private), both on London; G rebuilds.
+        let mut london = AlertingCore::new("London", "gds-2");
+        london
+            .add_collection(
+                CollectionConfig::simple("F", "f").with_subcollection(SubCollectionRef::new(
+                    "g",
+                    CollectionId::new("London", "G"),
+                )),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        london
+            .add_collection(CollectionConfig::simple("G", "g").private(), SimTime::ZERO)
+            .unwrap();
+        let client = ClientId::from_raw(1);
+        london
+            .subscribe(client, parse_profile(r#"collection = "London.F""#).unwrap())
+            .unwrap();
+
+        let (_, eff) = london
+            .rebuild(&"G".into(), vec![doc("g1", "hidden")], SimTime::from_millis(1))
+            .unwrap();
+        // The private G itself must not be broadcast; the rewritten F
+        // event must.
+        assert_eq!(eff.published.len(), 1);
+        assert_eq!(
+            eff.published[0].origin,
+            CollectionId::new("London", "F")
+        );
+        // The local client subscribed to F was notified.
+        let inbox = london.take_notifications(client);
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].event.origin, CollectionId::new("London", "F"));
+        assert_eq!(
+            inbox[0].event.provenance,
+            vec![CollectionId::new("London", "G")]
+        );
+    }
+
+    #[test]
+    fn virtual_collection_chains_to_remote_super() {
+        // Paris.Z ⊃ London.F (virtual) ⊃ London.G (private). G rebuilds;
+        // Paris must end up broadcasting a Paris.Z event.
+        let mut paris = AlertingCore::new("Paris", "gds-9");
+        let mut london = AlertingCore::new("London", "gds-2");
+        london
+            .add_collection(
+                CollectionConfig::simple("F", "virtual").with_subcollection(
+                    SubCollectionRef::new("g", CollectionId::new("London", "G")),
+                ),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        london
+            .add_collection(CollectionConfig::simple("G", "g").private(), SimTime::ZERO)
+            .unwrap();
+        let eff = paris
+            .add_collection(
+                CollectionConfig::simple("Z", "z").with_subcollection(SubCollectionRef::new(
+                    "f",
+                    CollectionId::new("London", "F"),
+                )),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        // Hand-deliver the plant to London.
+        let mut plant_delivered = false;
+        for (to, msg) in eff.outbound {
+            if to.as_str() == "London" {
+                let e = london.handle_message(&HostName::new("Paris"), msg, SimTime::ZERO);
+                // Ack back to Paris.
+                for (_, m) in e.outbound {
+                    paris.handle_message(&HostName::new("London"), m, SimTime::ZERO);
+                }
+                plant_delivered = true;
+            }
+        }
+        assert!(plant_delivered);
+
+        let (_, eff) = london
+            .rebuild(&"G".into(), vec![doc("g1", "x")], SimTime::from_millis(2))
+            .unwrap();
+        // London publishes F (public) but not G (private); it also
+        // forwards to Paris because the aux profile observes F.
+        assert_eq!(eff.published.len(), 1);
+        let forwards: Vec<_> = eff
+            .outbound
+            .iter()
+            .filter(|(to, m)| to.as_str() == "Paris" && matches!(m, SysMessage::Gs(_)))
+            .collect();
+        assert_eq!(forwards.len(), 1);
+        let (_, msg) = forwards[0].clone();
+        let eff = paris.handle_message(&HostName::new("London"), msg, SimTime::from_millis(3));
+        assert_eq!(eff.published.len(), 1);
+        assert_eq!(eff.published[0].origin, CollectionId::new("Paris", "Z"));
+        assert_eq!(
+            eff.published[0].provenance,
+            vec![
+                CollectionId::new("London", "G"),
+                CollectionId::new("London", "F"),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_build_announces_nothing() {
+        let mut core = AlertingCore::new("A", "gds-1");
+        core.add_collection(CollectionConfig::simple("C", "c"), SimTime::ZERO)
+            .unwrap();
+        let (report, eff) = core.rebuild(&"C".into(), vec![], SimTime::ZERO).unwrap();
+        assert!(report.is_empty());
+        assert!(eff.published.is_empty());
+        assert!(eff.outbound.is_empty());
+    }
+
+    #[test]
+    fn import_kinds() {
+        let mut core = AlertingCore::new("A", "gds-1");
+        core.add_collection(CollectionConfig::simple("C", "c"), SimTime::ZERO)
+            .unwrap();
+        let (_, eff) = core
+            .import(&"C".into(), vec![doc("x", "1")], SimTime::ZERO)
+            .unwrap();
+        assert_eq!(eff.published[0].kind, EventKind::DocumentsAdded);
+        let (_, eff) = core
+            .import(&"C".into(), vec![doc("x", "2")], SimTime::ZERO)
+            .unwrap();
+        assert_eq!(eff.published[0].kind, EventKind::DocumentsUpdated);
+    }
+
+    #[test]
+    fn delete_collection_announces() {
+        let mut core = AlertingCore::new("A", "gds-1");
+        core.add_collection(CollectionConfig::simple("C", "c"), SimTime::ZERO)
+            .unwrap();
+        let client = ClientId::from_raw(1);
+        core.subscribe(client, parse_profile(r#"collection = "A.C""#).unwrap())
+            .unwrap();
+        let eff = core.delete_collection(&"C".into(), SimTime::ZERO).unwrap();
+        assert_eq!(eff.published[0].kind, EventKind::CollectionDeleted);
+        assert_eq!(core.take_notifications(client).len(), 1);
+        assert!(core.delete_collection(&"C".into(), SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn gds_delivered_event_is_filtered_locally() {
+        let mut core = AlertingCore::new("A", "gds-1");
+        let client = ClientId::from_raw(1);
+        core.subscribe(client, parse_profile(r#"host = "B""#).unwrap())
+            .unwrap();
+        let event = Event::new(
+            EventId::new("B", 1),
+            CollectionId::new("B", "C"),
+            EventKind::CollectionRebuilt,
+            SimTime::ZERO,
+        );
+        let deliver = GdsMessage::Deliver {
+            id: gsa_types::MessageId::from_raw(1),
+            origin: "B".into(),
+            payload: gsa_wire::codec::event_to_xml(&event),
+        };
+        let eff = core.handle_message(
+            &HostName::new("gds-1"),
+            SysMessage::Gds(deliver.clone()),
+            SimTime::ZERO,
+        );
+        assert_eq!(eff.notifications.len(), 1);
+        // Duplicate delivery is suppressed by the client-side dedup.
+        let eff = core.handle_message(&HostName::new("gds-1"), SysMessage::Gds(deliver), SimTime::ZERO);
+        assert!(eff.notifications.is_empty());
+    }
+
+    #[test]
+    fn fetch_timeout_expires_with_partial_results() {
+        let (mut hamilton, _, _) = hamilton_london();
+        hamilton
+            .import(&"D".into(), vec![doc("d1", "x")], SimTime::ZERO)
+            .unwrap();
+        let (rid, eff) = hamilton.start_fetch(&"D".into(), SimTime::ZERO);
+        assert!(eff.fetches.is_empty());
+        drop(eff); // messages to London lost
+        // Before the timeout nothing happens.
+        let eff = hamilton.on_tick(SimTime::from_secs(1));
+        assert!(eff.fetches.is_empty());
+        // After the timeout the request completes partially.
+        let eff = hamilton.on_tick(SimTime::from_secs(6));
+        assert_eq!(eff.fetches.len(), 1);
+        assert_eq!(eff.fetches[0].0, rid);
+        assert_eq!(eff.fetches[0].1.docs.len(), 1);
+        assert!(eff.fetches[0].1.errors.contains(&GsError::Timeout));
+    }
+
+    #[test]
+    fn resolve_effects() {
+        let mut core = AlertingCore::new("A", "gds-1");
+        let (token, eff) = core.resolve("B");
+        assert_eq!(eff.outbound.len(), 1);
+        let resp = GdsMessage::ResolveResponse {
+            token,
+            name: "B".into(),
+            result: Some("gds-2".into()),
+        };
+        let eff = core.handle_message(&HostName::new("gds-1"), SysMessage::Gds(resp), SimTime::ZERO);
+        assert_eq!(eff.resolved, vec![(token, Some(HostName::new("gds-2")))]);
+    }
+
+    #[test]
+    fn malformed_alerting_payload_is_ignored() {
+        let mut core = AlertingCore::new("A", "gds-1");
+        let eff = core.handle_message(
+            &HostName::new("B"),
+            SysMessage::Gs(GsMessage::Alerting(gsa_wire::XmlElement::new("garbage"))),
+            SimTime::ZERO,
+        );
+        assert_eq!(eff, CoreEffects::default());
+    }
+}

@@ -1,0 +1,265 @@
+//! The unified on-the-wire message type and the alerting payloads that
+//! ride the GS protocol.
+
+use gsa_gds::GdsMessage;
+use gsa_greenstone::GsMessage;
+use gsa_types::{CollectionId, CollectionName, Event};
+use gsa_wire::codec::{collection_from_text, event_from_xml, event_to_xml};
+use gsa_wire::{WireError, XmlElement};
+use std::fmt;
+
+/// Every message a node in the full system can receive: either GS
+/// protocol (server ↔ server, receptionist ↔ server) or GDS protocol
+/// (server ↔ directory, directory ↔ directory).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SysMessage {
+    /// A Greenstone-protocol message.
+    Gs(GsMessage),
+    /// A directory-service message.
+    Gds(GdsMessage),
+}
+
+impl SysMessage {
+    /// The serialized size in bytes (for the simulator's byte accounting).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            SysMessage::Gs(m) => m.wire_size(),
+            SysMessage::Gds(m) => m.wire_size(),
+        }
+    }
+}
+
+impl fmt::Display for SysMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SysMessage::Gs(m) => write!(f, "gs:{m}"),
+            SysMessage::Gds(m) => write!(f, "gds:{m}"),
+        }
+    }
+}
+
+impl From<GsMessage> for SysMessage {
+    fn from(m: GsMessage) -> Self {
+        SysMessage::Gs(m)
+    }
+}
+
+impl From<GdsMessage> for SysMessage {
+    fn from(m: GdsMessage) -> Self {
+        SysMessage::Gds(m)
+    }
+}
+
+/// The alerting-layer payloads carried inside [`GsMessage::Alerting`]
+/// (Section 4.2). `op` numbers make every operation retryable and
+/// idempotent: the receiver acknowledges with the same `op`, and the
+/// sender retries until acknowledged (Section 7 reconciliation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuxPayload {
+    /// Plant an auxiliary profile: "the sub-collection you host under
+    /// `sub_name` is part of my collection `super_collection`".
+    Plant {
+        /// Retry/ack correlation, unique per sending host.
+        op: u64,
+        /// The super-collection (on the sending host).
+        super_collection: CollectionId,
+        /// The sub-collection's local name on the receiving host.
+        sub_name: CollectionName,
+    },
+    /// Remove a previously planted auxiliary profile (the sub-collection
+    /// was removed from the super-collection).
+    Delete {
+        /// Retry/ack correlation.
+        op: u64,
+        /// The super-collection the profile pointed at.
+        super_collection: CollectionId,
+        /// The sub-collection's local name on the receiving host.
+        sub_name: CollectionName,
+    },
+    /// An event matched by an auxiliary profile, forwarded from the
+    /// sub-collection's host to the super-collection's host.
+    ForwardEvent {
+        /// Retry/ack correlation.
+        op: u64,
+        /// The super-collection's local name on the receiving host.
+        super_name: CollectionName,
+        /// The matched event (still with its original origin).
+        event: Event,
+    },
+    /// Acknowledges the operation with the same `op` number.
+    Ack {
+        /// The acknowledged operation.
+        op: u64,
+    },
+}
+
+impl AuxPayload {
+    /// The retry/ack correlation number.
+    pub fn op(&self) -> u64 {
+        match self {
+            AuxPayload::Plant { op, .. }
+            | AuxPayload::Delete { op, .. }
+            | AuxPayload::ForwardEvent { op, .. }
+            | AuxPayload::Ack { op } => *op,
+        }
+    }
+
+    /// Encodes the payload as an XML element.
+    pub fn to_xml(&self) -> XmlElement {
+        match self {
+            AuxPayload::Plant {
+                op,
+                super_collection,
+                sub_name,
+            } => XmlElement::new("aux-plant")
+                .with_attr("op", op.to_string())
+                .with_attr("super", super_collection.to_string())
+                .with_attr("sub-name", sub_name.as_str()),
+            AuxPayload::Delete {
+                op,
+                super_collection,
+                sub_name,
+            } => XmlElement::new("aux-delete")
+                .with_attr("op", op.to_string())
+                .with_attr("super", super_collection.to_string())
+                .with_attr("sub-name", sub_name.as_str()),
+            AuxPayload::ForwardEvent {
+                op,
+                super_name,
+                event,
+            } => XmlElement::new("aux-event")
+                .with_attr("op", op.to_string())
+                .with_attr("super-name", super_name.as_str())
+                .with_child(event_to_xml(event)),
+            AuxPayload::Ack { op } => XmlElement::new("aux-ack").with_attr("op", op.to_string()),
+        }
+    }
+
+    /// Decodes a payload from the element produced by
+    /// [`AuxPayload::to_xml`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on unknown tags or missing/invalid parts.
+    pub fn from_xml(el: &XmlElement) -> Result<AuxPayload, WireError> {
+        let op = el
+            .attr("op")
+            .and_then(|o| o.parse::<u64>().ok())
+            .ok_or_else(|| WireError::malformed("missing op"))?;
+        let super_collection = || -> Result<CollectionId, WireError> {
+            collection_from_text(
+                el.attr("super")
+                    .ok_or_else(|| WireError::malformed("missing super"))?,
+            )
+        };
+        let sub_name = || -> Result<CollectionName, WireError> {
+            el.attr("sub-name")
+                .map(CollectionName::new)
+                .ok_or_else(|| WireError::malformed("missing sub-name"))
+        };
+        match el.name() {
+            "aux-plant" => Ok(AuxPayload::Plant {
+                op,
+                super_collection: super_collection()?,
+                sub_name: sub_name()?,
+            }),
+            "aux-delete" => Ok(AuxPayload::Delete {
+                op,
+                super_collection: super_collection()?,
+                sub_name: sub_name()?,
+            }),
+            "aux-event" => {
+                let event_el = el
+                    .child("event")
+                    .ok_or_else(|| WireError::malformed("aux-event without event"))?;
+                Ok(AuxPayload::ForwardEvent {
+                    op,
+                    super_name: el
+                        .attr("super-name")
+                        .map(CollectionName::new)
+                        .ok_or_else(|| WireError::malformed("missing super-name"))?,
+                    event: event_from_xml(event_el)?,
+                })
+            }
+            "aux-ack" => Ok(AuxPayload::Ack { op }),
+            other => Err(WireError::malformed(format!(
+                "unknown alerting payload <{other}>"
+            ))),
+        }
+    }
+
+    /// Wraps the payload in a GS protocol message.
+    pub fn into_message(self) -> SysMessage {
+        SysMessage::Gs(GsMessage::Alerting(self.to_xml()))
+    }
+}
+
+impl fmt::Display for AuxPayload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.to_xml().name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsa_types::{EventId, EventKind, SimTime};
+
+    fn round_trip(p: AuxPayload) {
+        let text = p.to_xml().to_document_string();
+        let parsed = gsa_wire::parse_document(&text).unwrap();
+        assert_eq!(AuxPayload::from_xml(&parsed).unwrap(), p);
+    }
+
+    #[test]
+    fn all_payloads_round_trip() {
+        round_trip(AuxPayload::Plant {
+            op: 1,
+            super_collection: CollectionId::new("Hamilton", "D"),
+            sub_name: "E".into(),
+        });
+        round_trip(AuxPayload::Delete {
+            op: 2,
+            super_collection: CollectionId::new("Hamilton", "D"),
+            sub_name: "E".into(),
+        });
+        round_trip(AuxPayload::ForwardEvent {
+            op: 3,
+            super_name: "D".into(),
+            event: Event::new(
+                EventId::new("London", 4),
+                CollectionId::new("London", "E"),
+                EventKind::CollectionRebuilt,
+                SimTime::from_millis(8),
+            ),
+        });
+        round_trip(AuxPayload::Ack { op: 4 });
+    }
+
+    #[test]
+    fn op_accessor() {
+        assert_eq!(AuxPayload::Ack { op: 9 }.op(), 9);
+    }
+
+    #[test]
+    fn unknown_payload_errors() {
+        assert!(AuxPayload::from_xml(&XmlElement::new("aux-bogus").with_attr("op", "1")).is_err());
+        assert!(AuxPayload::from_xml(&XmlElement::new("aux-ack")).is_err());
+        assert!(AuxPayload::from_xml(&XmlElement::new("aux-plant").with_attr("op", "1")).is_err());
+        assert!(
+            AuxPayload::from_xml(&XmlElement::new("aux-event").with_attr("op", "1")).is_err()
+        );
+    }
+
+    #[test]
+    fn sys_message_conversions_and_size() {
+        let m: SysMessage = GsMessage::Alerting(XmlElement::new("aux-ack").with_attr("op", "1")).into();
+        assert!(m.wire_size() > 0);
+        assert!(m.to_string().starts_with("gs:"));
+        let m: SysMessage = GdsMessage::Register {
+            gs_host: "h".into(),
+        }
+        .into();
+        assert!(m.to_string().starts_with("gds:"));
+    }
+}

@@ -1,0 +1,265 @@
+//! The per-server subscription manager.
+//!
+//! Profiles live only on the server the client registered them with
+//! (research problems 3 and 4: one access point per user, and no profile
+//! on a server that might become unreachable). Cancellation is therefore
+//! always a local operation, which is what rules out dangling *user*
+//! profiles by construction.
+
+use gsa_filter::FilterEngine;
+use gsa_profile::{DnfError, Profile, ProfileExpr};
+use gsa_types::{ClientId, DocId, Event, ProfileId, SimTime};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A notification queued for a client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Notification {
+    /// The matching profile.
+    pub profile: ProfileId,
+    /// The owning client.
+    pub client: ClientId,
+    /// The matched event (shared — one rebuild can notify many
+    /// profiles, so notifications hold the event by reference count).
+    pub event: Arc<Event>,
+    /// The documents within the event that satisfied the profile (empty
+    /// for event-level matches on docless events).
+    pub matched_docs: Vec<DocId>,
+    /// When the notification was produced (local server time).
+    pub at: SimTime,
+}
+
+impl fmt::Display for Notification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} for {}: {} ({} docs)",
+            self.at,
+            self.profile,
+            self.client,
+            self.event,
+            self.matched_docs.len()
+        )
+    }
+}
+
+/// Stores one server's client profiles and filters events against them
+/// with the equality-preferred engine.
+#[derive(Debug, Default)]
+pub struct SubscriptionManager {
+    engine: FilterEngine,
+    profiles: HashMap<ProfileId, Profile>,
+    next_profile: u64,
+    mailboxes: HashMap<ClientId, Vec<Notification>>,
+}
+
+impl SubscriptionManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        SubscriptionManager::default()
+    }
+
+    /// Number of stored profiles.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Returns `true` when no profiles are stored.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Registers a profile for `client`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnfError`] when the expression is too large to index.
+    pub fn subscribe(
+        &mut self,
+        client: ClientId,
+        expr: ProfileExpr,
+    ) -> Result<ProfileId, DnfError> {
+        let id = ProfileId::from_raw(self.next_profile);
+        self.engine.insert(id, &expr)?;
+        self.next_profile += 1;
+        self.profiles.insert(id, Profile::new(id, client, expr));
+        Ok(id)
+    }
+
+    /// Cancels a profile. Local and immediate (research problem 4).
+    /// Returns `true` when it existed.
+    pub fn unsubscribe(&mut self, profile: ProfileId) -> bool {
+        self.engine.remove(profile);
+        self.profiles.remove(&profile).is_some()
+    }
+
+    /// Cancels all profiles of a client, returning how many were removed.
+    pub fn unsubscribe_client(&mut self, client: ClientId) -> usize {
+        let ids: Vec<ProfileId> = self
+            .profiles
+            .values()
+            .filter(|p| p.owner() == client)
+            .map(Profile::id)
+            .collect();
+        for id in &ids {
+            self.unsubscribe(*id);
+        }
+        ids.len()
+    }
+
+    /// Borrows a profile.
+    pub fn profile(&self, id: ProfileId) -> Option<&Profile> {
+        self.profiles.get(&id)
+    }
+
+    /// Iterates over all profiles (arbitrary order).
+    pub fn profiles(&self) -> impl Iterator<Item = &Profile> {
+        self.profiles.values()
+    }
+
+    /// Filters an event against every stored profile, queueing a
+    /// notification per matching profile. Returns the notifications
+    /// produced.
+    pub fn filter_event(&mut self, event: &Arc<Event>, now: SimTime) -> Vec<Notification> {
+        let matched = self.engine.matches(event);
+        let mut out = Vec::with_capacity(matched.len());
+        for id in matched {
+            let profile = &self.profiles[&id];
+            let matched_docs: Vec<DocId> = profile
+                .expr()
+                .matching_docs(event)
+                .into_iter()
+                .cloned()
+                .collect();
+            let notification = Notification {
+                profile: id,
+                client: profile.owner(),
+                event: Arc::clone(event),
+                matched_docs,
+                at: now,
+            };
+            self.mailboxes
+                .entry(profile.owner())
+                .or_default()
+                .push(notification.clone());
+            out.push(notification);
+        }
+        out
+    }
+
+    /// Drains a client's mailbox.
+    pub fn take_notifications(&mut self, client: ClientId) -> Vec<Notification> {
+        self.mailboxes.remove(&client).unwrap_or_default()
+    }
+
+    /// Peeks at a client's mailbox without draining it.
+    pub fn peek_notifications(&self, client: ClientId) -> &[Notification] {
+        self.mailboxes
+            .get(&client)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Total queued notifications across all mailboxes.
+    pub fn queued_notifications(&self) -> usize {
+        self.mailboxes.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsa_profile::parse_profile;
+    use gsa_types::{CollectionId, DocSummary, EventId, EventKind};
+
+    fn event(host: &str, doc: &str) -> Arc<Event> {
+        Arc::new(Event::new(
+            EventId::new(host, 1),
+            CollectionId::new(host, "C"),
+            EventKind::DocumentsAdded,
+            SimTime::from_millis(5),
+        )
+        .with_docs(vec![DocSummary::new(doc)]))
+    }
+
+    fn client(raw: u64) -> ClientId {
+        ClientId::from_raw(raw)
+    }
+
+    #[test]
+    fn subscribe_filter_notify() {
+        let mut subs = SubscriptionManager::new();
+        let p = subs
+            .subscribe(client(1), parse_profile(r#"host = "London""#).unwrap())
+            .unwrap();
+        let notifications = subs.filter_event(&event("London", "d1"), SimTime::ZERO);
+        assert_eq!(notifications.len(), 1);
+        assert_eq!(notifications[0].profile, p);
+        assert_eq!(notifications[0].client, client(1));
+        assert_eq!(notifications[0].matched_docs, vec![DocId::new("d1")]);
+        let inbox = subs.take_notifications(client(1));
+        assert_eq!(inbox.len(), 1);
+        assert!(subs.take_notifications(client(1)).is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_is_immediate() {
+        let mut subs = SubscriptionManager::new();
+        let p = subs
+            .subscribe(client(1), parse_profile(r#"host = "London""#).unwrap())
+            .unwrap();
+        assert!(subs.unsubscribe(p));
+        assert!(!subs.unsubscribe(p));
+        assert!(subs.filter_event(&event("London", "d"), SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_client_removes_all() {
+        let mut subs = SubscriptionManager::new();
+        subs.subscribe(client(1), parse_profile(r#"host = "A""#).unwrap()).unwrap();
+        subs.subscribe(client(1), parse_profile(r#"host = "B""#).unwrap()).unwrap();
+        subs.subscribe(client(2), parse_profile(r#"host = "A""#).unwrap()).unwrap();
+        assert_eq!(subs.unsubscribe_client(client(1)), 2);
+        assert_eq!(subs.len(), 1);
+    }
+
+    #[test]
+    fn distinct_clients_distinct_mailboxes() {
+        let mut subs = SubscriptionManager::new();
+        subs.subscribe(client(1), parse_profile(r#"host = "X""#).unwrap()).unwrap();
+        subs.subscribe(client(2), parse_profile(r#"host = "X""#).unwrap()).unwrap();
+        subs.filter_event(&event("X", "d"), SimTime::ZERO);
+        assert_eq!(subs.peek_notifications(client(1)).len(), 1);
+        assert_eq!(subs.peek_notifications(client(2)).len(), 1);
+        assert_eq!(subs.queued_notifications(), 2);
+    }
+
+    #[test]
+    fn profile_ids_are_unique_across_removals() {
+        let mut subs = SubscriptionManager::new();
+        let p1 = subs.subscribe(client(1), parse_profile(r#"host = "A""#).unwrap()).unwrap();
+        subs.unsubscribe(p1);
+        let p2 = subs.subscribe(client(1), parse_profile(r#"host = "A""#).unwrap()).unwrap();
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn notification_display() {
+        let mut subs = SubscriptionManager::new();
+        subs.subscribe(client(3), parse_profile(r#"host = "X""#).unwrap()).unwrap();
+        let n = subs.filter_event(&event("X", "d"), SimTime::from_millis(7));
+        let s = n[0].to_string();
+        assert!(s.contains("client-3"));
+        assert!(s.contains("X.C"));
+    }
+
+    #[test]
+    fn profiles_accessor() {
+        let mut subs = SubscriptionManager::new();
+        let p = subs.subscribe(client(1), parse_profile(r#"host = "A""#).unwrap()).unwrap();
+        assert!(subs.profile(p).is_some());
+        assert_eq!(subs.profiles().count(), 1);
+        assert!(!subs.is_empty());
+    }
+}

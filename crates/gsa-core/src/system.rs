@@ -1,0 +1,625 @@
+//! [`System`]: a whole-deployment facade over the simulator.
+//!
+//! Assembles a GDS tree, Greenstone servers and clients into one
+//! deterministic simulation and exposes the driver operations the
+//! examples, integration tests and benchmarks use.
+
+use crate::actor::{AlertingActor, Directory, GdsActor};
+use crate::core::{AlertingCore, CoreConfig};
+use crate::message::SysMessage;
+use crate::subs::Notification;
+use gsa_gds::{GdsNode, GdsTopology};
+use gsa_greenstone::server::{FetchResult, SearchResult};
+use gsa_greenstone::{BuildReport, CollectionConfig, GsError, SubCollectionRef};
+use gsa_profile::{parse_profile, DnfError, ParseProfileError, ProfileExpr};
+use gsa_simnet::{LinkConfig, Metrics, NodeId, Sim};
+use gsa_store::{Query, SourceDocument};
+use gsa_types::{
+    ClientId, CollectionName, HostName, ProfileId, SimDuration, SimTime,
+};
+use std::fmt;
+
+/// A whole simulated deployment: GDS tree + Greenstone servers + clients.
+///
+/// All driver methods address nodes by host name and panic on unknown
+/// names — a deployment-script bug, not a runtime condition.
+pub struct System {
+    sim: Sim<SysMessage>,
+    directory: Directory,
+    tick: SimDuration,
+    next_client: u64,
+}
+
+impl fmt::Debug for System {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("System")
+            .field("nodes", &self.sim.node_count())
+            .field("now", &self.sim.now())
+            .finish()
+    }
+}
+
+impl System {
+    /// Creates an empty deployment with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sim = Sim::new(seed);
+        sim.set_wire_size_fn(SysMessage::wire_size);
+        System {
+            sim,
+            directory: Directory::new(),
+            tick: SimDuration::from_millis(500),
+            next_client: 0,
+        }
+    }
+
+    /// Sets the default link characteristics (latency/jitter/loss).
+    pub fn set_default_link(&mut self, cfg: LinkConfig) {
+        self.sim.set_default_link(cfg);
+    }
+
+    /// The underlying simulator (topology control, scheduling).
+    pub fn sim(&self) -> &Sim<SysMessage> {
+        &self.sim
+    }
+
+    /// Mutable access to the underlying simulator.
+    pub fn sim_mut(&mut self) -> &mut Sim<SysMessage> {
+        &mut self.sim
+    }
+
+    /// The host-name directory.
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// Adds every node of a GDS topology.
+    pub fn add_gds_topology(&mut self, topo: &GdsTopology) {
+        for node in topo.build() {
+            self.add_gds_node(node);
+        }
+    }
+
+    /// Adds one GDS directory server.
+    pub fn add_gds_node(&mut self, node: GdsNode) -> NodeId {
+        let name = node.name().clone();
+        let id = self
+            .sim
+            .add_node(name.as_str(), GdsActor::new(node, self.directory.clone()));
+        self.directory.insert(name, id);
+        id
+    }
+
+    /// Adds a Greenstone server registered at the named GDS node.
+    pub fn add_server(&mut self, host: &str, gds_server: &str) -> NodeId {
+        self.add_server_with_config(host, gds_server, CoreConfig::default())
+    }
+
+    /// Adds a Greenstone server with explicit alerting tunables.
+    pub fn add_server_with_config(
+        &mut self,
+        host: &str,
+        gds_server: &str,
+        config: CoreConfig,
+    ) -> NodeId {
+        let core = AlertingCore::with_config(host, gds_server, config);
+        let actor = AlertingActor::new(core, self.directory.clone(), self.tick);
+        let id = self.sim.add_node(host, actor);
+        self.directory.insert(HostName::new(host), id);
+        id
+    }
+
+    /// Allocates a new client identity (clients are passive in the
+    /// simulation: they own profiles and mailboxes at a server).
+    pub fn add_client(&mut self, _host: &str) -> ClientId {
+        let id = ClientId::from_raw(self.next_client);
+        self.next_client += 1;
+        id
+    }
+
+    fn node(&self, host: &str) -> NodeId {
+        self.directory
+            .lookup(&HostName::new(host))
+            .unwrap_or_else(|| panic!("unknown host {host:?}"))
+    }
+
+    /// Runs `f` against a server's core, transmitting the effects.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `host` is unknown or not a Greenstone server.
+    pub fn with_core<R>(
+        &mut self,
+        host: &str,
+        f: impl FnOnce(&mut AlertingCore, SimTime) -> (R, crate::core::CoreEffects),
+    ) -> R {
+        let node = self.node(host);
+        self.sim
+            .with_actor::<AlertingActor, R>(node, |actor, ctx| {
+                let (r, effects) = f(actor.core_mut(), ctx.now());
+                actor.apply(effects, ctx);
+                r
+            })
+            .unwrap_or_else(|| panic!("{host:?} is not a Greenstone server"))
+    }
+
+    /// Read-only access to a server's core.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `host` is unknown or not a Greenstone server.
+    pub fn inspect_core<R>(&mut self, host: &str, f: impl FnOnce(&AlertingCore) -> R) -> R {
+        let node = self.node(host);
+        self.sim
+            .actor::<AlertingActor, R>(node, |actor| f(actor.core()))
+            .unwrap_or_else(|| panic!("{host:?} is not a Greenstone server"))
+    }
+
+    /// Adds a collection to a server (auxiliary profiles for remote
+    /// sub-collections are planted immediately).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the collection name is already taken on that host.
+    pub fn add_collection(&mut self, host: &str, config: CollectionConfig) {
+        self.with_core(host, |core, now| {
+            let effects = core
+                .add_collection(config, now)
+                .unwrap_or_else(|c| panic!("duplicate collection {:?}", c.name));
+            ((), effects)
+        });
+    }
+
+    /// Adds a sub-collection reference to an existing collection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsError::UnknownCollection`] when the parent is missing.
+    pub fn add_subcollection(
+        &mut self,
+        host: &str,
+        parent: &str,
+        sub: SubCollectionRef,
+    ) -> Result<(), GsError> {
+        self.with_core(host, |core, now| {
+            match core.add_subcollection(&CollectionName::new(parent), sub, now) {
+                Ok(effects) => (Ok(()), effects),
+                Err(e) => (Err(e), Default::default()),
+            }
+        })
+    }
+
+    /// Removes a sub-collection reference (collection restructuring).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsError::UnknownCollection`] when the parent or alias is
+    /// missing.
+    pub fn remove_subcollection(
+        &mut self,
+        host: &str,
+        parent: &str,
+        alias: &str,
+    ) -> Result<(), GsError> {
+        self.with_core(host, |core, now| {
+            match core.remove_subcollection(
+                &CollectionName::new(parent),
+                &CollectionName::new(alias),
+                now,
+            ) {
+                Ok(effects) => (Ok(()), effects),
+                Err(e) => (Err(e), Default::default()),
+            }
+        })
+    }
+
+    /// Registers a profile for `client` at `host`'s server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnfError`] when the expression is too large to index.
+    pub fn subscribe(
+        &mut self,
+        host: &str,
+        client: ClientId,
+        expr: ProfileExpr,
+    ) -> Result<ProfileId, DnfError> {
+        self.with_core(host, |core, _| {
+            (core.subscribe(client, expr), Default::default())
+        })
+    }
+
+    /// Registers a profile given in the textual profile syntax.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error message, or the indexing error, as a
+    /// [`SubscribeError`].
+    pub fn subscribe_text(
+        &mut self,
+        host: &str,
+        client: ClientId,
+        profile: &str,
+    ) -> Result<ProfileId, SubscribeError> {
+        let expr = parse_profile(profile)?;
+        Ok(self.subscribe(host, client, expr)?)
+    }
+
+    /// Cancels a profile — local and immediate.
+    pub fn unsubscribe(&mut self, host: &str, profile: ProfileId) -> bool {
+        self.with_core(host, |core, _| (core.unsubscribe(profile), Default::default()))
+    }
+
+    /// Rebuilds a collection from a full document set, triggering the
+    /// alerting pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsError::UnknownCollection`] when the collection is
+    /// missing on that host.
+    pub fn rebuild(
+        &mut self,
+        host: &str,
+        collection: &str,
+        docs: Vec<SourceDocument>,
+    ) -> Result<BuildReport, GsError> {
+        self.with_core(host, |core, now| {
+            match core.rebuild(&CollectionName::new(collection), docs, now) {
+                Ok((report, effects)) => (Ok(report), effects),
+                Err(e) => (Err(e), Default::default()),
+            }
+        })
+    }
+
+    /// Incrementally imports documents into a collection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsError::UnknownCollection`] when the collection is
+    /// missing on that host.
+    pub fn import(
+        &mut self,
+        host: &str,
+        collection: &str,
+        docs: Vec<SourceDocument>,
+    ) -> Result<BuildReport, GsError> {
+        self.with_core(host, |core, now| {
+            match core.import(&CollectionName::new(collection), docs, now) {
+                Ok((report, effects)) => (Ok(report), effects),
+                Err(e) => (Err(e), Default::default()),
+            }
+        })
+    }
+
+    /// Deletes a collection, announcing the deletion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsError::UnknownCollection`] when missing.
+    pub fn delete_collection(&mut self, host: &str, collection: &str) -> Result<(), GsError> {
+        self.with_core(host, |core, now| {
+            match core.delete_collection(&CollectionName::new(collection), now) {
+                Ok(effects) => (Ok(()), effects),
+                Err(e) => (Err(e), Default::default()),
+            }
+        })
+    }
+
+    /// Drains a client's notification mailbox at `host`.
+    pub fn take_notifications(&mut self, host: &str, client: ClientId) -> Vec<Notification> {
+        self.with_core(host, |core, _| {
+            (core.take_notifications(client), Default::default())
+        })
+    }
+
+    /// Starts a distributed fetch and runs the simulation until it
+    /// completes (or `within` elapses; the request itself also times out
+    /// per the server's config, yielding partial results).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the request produced no result within `within` —
+    /// meaning even the timeout machinery did not run; raise `within`.
+    pub fn fetch(&mut self, host: &str, collection: &str, within: SimDuration) -> FetchResult {
+        let rid = self.with_core(host, |core, now| {
+            let (rid, effects) = core.start_fetch(&CollectionName::new(collection), now);
+            (rid, effects)
+        });
+        let deadline = self.sim.now() + within;
+        self.sim.run_until_quiet(deadline);
+        let node = self.node(host);
+        self.sim
+            .actor::<AlertingActor, Option<FetchResult>>(node, |actor| {
+                actor
+                    .completed_fetches
+                    .iter()
+                    .find(|(r, _)| *r == rid)
+                    .map(|(_, res)| res.clone())
+            })
+            .flatten()
+            .expect("fetch did not complete within the window; raise `within`")
+    }
+
+    /// Starts a distributed search and runs the simulation until it
+    /// completes, as [`System::fetch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when no result was produced within `within`.
+    pub fn search(
+        &mut self,
+        host: &str,
+        collection: &str,
+        index: &str,
+        query: &Query,
+        within: SimDuration,
+    ) -> SearchResult {
+        let rid = self.with_core(host, |core, now| {
+            core.start_search(&CollectionName::new(collection), index, query, now)
+        });
+        let deadline = self.sim.now() + within;
+        self.sim.run_until_quiet(deadline);
+        let node = self.node(host);
+        self.sim
+            .actor::<AlertingActor, Option<SearchResult>>(node, |actor| {
+                actor
+                    .completed_searches
+                    .iter()
+                    .find(|(r, _)| *r == rid)
+                    .map(|(_, res)| res.clone())
+            })
+            .flatten()
+            .expect("search did not complete within the window; raise `within`")
+    }
+
+    /// Resolves a Greenstone host name through the GDS naming service,
+    /// running the simulation until the answer arrives or `within`
+    /// elapses. Returns `None` when the name is unknown network-wide (or
+    /// the answer never arrived).
+    pub fn resolve(&mut self, host: &str, name: &str, within: SimDuration) -> Option<HostName> {
+        let token = self.with_core(host, |core, _| core.resolve(name));
+        let deadline = self.sim.now() + within;
+        self.sim.run_until_quiet(deadline);
+        let node = self.node(host);
+        self.sim
+            .actor::<AlertingActor, Option<HostName>>(node, |actor| {
+                actor
+                    .resolved
+                    .iter()
+                    .find(|(t, _)| *t == token)
+                    .and_then(|(_, r)| r.clone())
+            })
+            .flatten()
+    }
+
+    // --- simulation control -------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Runs until the queue is quiet or `deadline` passes.
+    pub fn run_until_quiet(&mut self, deadline: SimTime) -> usize {
+        self.sim.run_until_quiet(deadline)
+    }
+
+    /// Runs everything scheduled up to `t`, then advances the clock to
+    /// `t`.
+    pub fn run_until(&mut self, t: SimTime) -> usize {
+        self.sim.run_until(t)
+    }
+
+    /// Runs for `d` of simulated time.
+    pub fn run_for(&mut self, d: SimDuration) -> usize {
+        self.sim.run_for(d)
+    }
+
+    /// Assigns a host to a partition group (group 0 is the default).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `host` is unknown.
+    pub fn set_partition(&mut self, host: &str, group: u32) {
+        let node = self.node(host);
+        self.sim.set_partition(node, group);
+    }
+
+    /// Heals all partitions and downed links.
+    pub fn heal_network(&mut self) {
+        self.sim.heal_network();
+    }
+
+    /// Marks a host up or down.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `host` is unknown.
+    pub fn set_host_up(&mut self, host: &str, up: bool) {
+        let node = self.node(host);
+        self.sim.set_node_up(node, up);
+    }
+
+    /// The accumulated metrics.
+    pub fn metrics(&self) -> &Metrics {
+        self.sim.metrics()
+    }
+
+    /// Mutable metrics (quantile queries).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        self.sim.metrics_mut()
+    }
+}
+
+/// Error from [`System::subscribe_text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubscribeError {
+    /// The profile text did not parse.
+    Parse(ParseProfileError),
+    /// The profile was too large to index.
+    Dnf(DnfError),
+}
+
+impl fmt::Display for SubscribeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubscribeError::Parse(e) => write!(f, "{e}"),
+            SubscribeError::Dnf(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubscribeError {}
+
+impl From<ParseProfileError> for SubscribeError {
+    fn from(e: ParseProfileError) -> Self {
+        SubscribeError::Parse(e)
+    }
+}
+
+impl From<DnfError> for SubscribeError {
+    fn from(e: DnfError) -> Self {
+        SubscribeError::Dnf(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsa_gds::figure2_tree;
+    use gsa_types::CollectionId;
+
+    fn doc(id: &str, text: &str) -> SourceDocument {
+        SourceDocument::new(id, text)
+    }
+
+    /// The full Figure 2/3 world: 7 GDS nodes, servers Hamilton (gds-4)
+    /// and London (gds-2), Hamilton.D ⊃ London.E.
+    fn figure_world() -> System {
+        let mut system = System::new(42);
+        system.add_gds_topology(&figure2_tree());
+        system.add_server("Hamilton", "gds-4");
+        system.add_server("London", "gds-2");
+        system.add_collection("London", CollectionConfig::simple("E", "e"));
+        system.add_collection(
+            "Hamilton",
+            CollectionConfig::simple("D", "d").with_subcollection(SubCollectionRef::new(
+                "e",
+                CollectionId::new("London", "E"),
+            )),
+        );
+        system.run_until_quiet(SimTime::from_secs(5));
+        system
+    }
+
+    #[test]
+    fn federated_alerting_end_to_end() {
+        let mut system = figure_world();
+        let client = system.add_client("London");
+        system
+            .subscribe_text("London", client, r#"host = "Hamilton""#)
+            .unwrap();
+        system.rebuild("Hamilton", "D", vec![doc("d1", "hello world")]).unwrap();
+        system.run_until_quiet(SimTime::from_secs(30));
+        let inbox = system.take_notifications("London", client);
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].event.origin, CollectionId::new("Hamilton", "D"));
+        // Exactly once.
+        assert!(system.take_notifications("London", client).is_empty());
+    }
+
+    #[test]
+    fn distributed_alerting_end_to_end() {
+        let mut system = figure_world();
+        let client = system.add_client("Hamilton");
+        system
+            .subscribe_text("Hamilton", client, r#"collection = "Hamilton.D""#)
+            .unwrap();
+        system.rebuild("London", "E", vec![doc("e1", "euro docs")]).unwrap();
+        system.run_until_quiet(SimTime::from_secs(30));
+        let inbox = system.take_notifications("Hamilton", client);
+        assert_eq!(inbox.len(), 1);
+        assert_eq!(inbox[0].event.origin, CollectionId::new("Hamilton", "D"));
+        assert_eq!(
+            inbox[0].event.provenance,
+            vec![CollectionId::new("London", "E")]
+        );
+    }
+
+    #[test]
+    fn distributed_fetch_through_system() {
+        let mut system = figure_world();
+        system.rebuild("Hamilton", "D", vec![doc("d1", "alpha")]).unwrap();
+        system.rebuild("London", "E", vec![doc("e1", "beta")]).unwrap();
+        system.run_until_quiet(SimTime::from_secs(60));
+        let result = system.fetch("Hamilton", "D", SimDuration::from_secs(30));
+        assert!(result.fatal.is_none());
+        let mut ids: Vec<&str> = result.docs.iter().map(|d| d.doc.id.as_str()).collect();
+        ids.sort();
+        assert_eq!(ids, vec!["d1", "e1"]);
+    }
+
+    #[test]
+    fn fetch_times_out_partially_when_partitioned() {
+        let mut system = figure_world();
+        system.rebuild("Hamilton", "D", vec![doc("d1", "alpha")]).unwrap();
+        system.rebuild("London", "E", vec![doc("e1", "beta")]).unwrap();
+        system.run_until_quiet(SimTime::from_secs(60));
+        system.set_partition("London", 1);
+        let result = system.fetch("Hamilton", "D", SimDuration::from_secs(30));
+        assert_eq!(result.docs.len(), 1);
+        assert!(result.errors.contains(&GsError::Timeout));
+    }
+
+    #[test]
+    fn naming_service_through_system() {
+        let mut system = figure_world();
+        let resolved = system.resolve("Hamilton", "London", SimDuration::from_secs(10));
+        assert_eq!(resolved, Some(HostName::new("gds-2")));
+        let unknown = system.resolve("Hamilton", "Nowhere", SimDuration::from_secs(10));
+        assert_eq!(unknown, None);
+    }
+
+    #[test]
+    fn unsubscribe_stops_notifications() {
+        let mut system = figure_world();
+        let client = system.add_client("London");
+        let profile = system
+            .subscribe_text("London", client, r#"host = "Hamilton""#)
+            .unwrap();
+        assert!(system.unsubscribe("London", profile));
+        system.rebuild("Hamilton", "D", vec![doc("d1", "x")]).unwrap();
+        system.run_until_quiet(SimTime::from_secs(30));
+        assert!(system.take_notifications("London", client).is_empty());
+    }
+
+    #[test]
+    fn subscribe_text_parse_error() {
+        let mut system = figure_world();
+        let client = system.add_client("London");
+        let err = system.subscribe_text("London", client, "@@@").unwrap_err();
+        assert!(matches!(err, SubscribeError::Parse(_)));
+        assert!(err.to_string().contains("invalid profile"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown host")]
+    fn unknown_host_panics() {
+        let mut system = System::new(1);
+        system.take_notifications("Ghost", ClientId::from_raw(0));
+    }
+
+    #[test]
+    fn metrics_account_bytes_and_messages() {
+        let mut system = figure_world();
+        let client = system.add_client("London");
+        system
+            .subscribe_text("London", client, r#"host = "Hamilton""#)
+            .unwrap();
+        system.rebuild("Hamilton", "D", vec![doc("d1", "x")]).unwrap();
+        system.run_until_quiet(SimTime::from_secs(30));
+        assert!(system.metrics().counter("net.sent") > 0);
+        assert!(system.metrics().counter("net.bytes") > 0);
+        assert_eq!(system.metrics().counter("alert.notifications"), 1);
+        assert!(system.metrics().counter("alert.events_published") >= 1);
+    }
+}

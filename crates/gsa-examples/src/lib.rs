@@ -1,0 +1,15 @@
+//! Carrier package for the runnable examples living in the repository's
+//! top-level `examples/` directory.
+//!
+//! Run them with, e.g.:
+//!
+//! ```text
+//! cargo run -p gsa-examples --example quickstart
+//! cargo run -p gsa-examples --example distributed_collections
+//! cargo run -p gsa-examples --example federated_alerting
+//! cargo run -p gsa-examples --example distributed_alerting
+//! cargo run -p gsa-examples --example partition_healing
+//! cargo run -p gsa-examples --example live_gds
+//! ```
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,288 @@
+//! The client library a Greenstone server embeds to use the GDS.
+
+use crate::message::{GdsMessage, ResolveToken};
+use crate::node::GdsOutbound;
+use gsa_types::{Event, HostName, MessageId};
+use gsa_wire::XmlElement;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A Greenstone server's handle on the directory service.
+///
+/// The client remembers which `(origin, id)` pairs it has already accepted
+/// so redundant deliveries — possible after tree reconfigurations — are
+/// suppressed, and allocates locally-unique message ids for publishing.
+pub struct GdsClient {
+    host: HostName,
+    gds_server: HostName,
+    next_id: u64,
+    next_token: u64,
+    seen: HashSet<(HostName, u64)>,
+}
+
+impl fmt::Debug for GdsClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GdsClient")
+            .field("host", &self.host)
+            .field("gds_server", &self.gds_server)
+            .field("seen", &self.seen.len())
+            .finish()
+    }
+}
+
+impl GdsClient {
+    /// Creates a client for the Greenstone server `host`, registered at
+    /// the GDS node `gds_server`.
+    pub fn new(host: impl Into<HostName>, gds_server: impl Into<HostName>) -> Self {
+        GdsClient {
+            host: host.into(),
+            gds_server: gds_server.into(),
+            next_id: 0,
+            next_token: 0,
+            seen: HashSet::new(),
+        }
+    }
+
+    /// This server's host name.
+    pub fn host(&self) -> &HostName {
+        &self.host
+    }
+
+    /// The GDS node this server registers with.
+    pub fn gds_server(&self) -> &HostName {
+        &self.gds_server
+    }
+
+    /// The registration message to send on startup.
+    pub fn register(&self) -> GdsOutbound {
+        GdsOutbound {
+            to: self.gds_server.clone(),
+            msg: GdsMessage::Register {
+                gs_host: self.host.clone(),
+            },
+        }
+    }
+
+    /// The deregistration message to send on shutdown.
+    pub fn unregister(&self) -> GdsOutbound {
+        GdsOutbound {
+            to: self.gds_server.clone(),
+            msg: GdsMessage::Unregister {
+                gs_host: self.host.clone(),
+            },
+        }
+    }
+
+    fn fresh_id(&mut self) -> MessageId {
+        let id = MessageId::from_raw(self.next_id);
+        self.next_id += 1;
+        // Never re-deliver our own broadcast back to ourselves.
+        self.seen.insert((self.host.clone(), id.as_u64()));
+        id
+    }
+
+    /// Builds a broadcast of an arbitrary payload.
+    pub fn publish(&mut self, payload: XmlElement) -> (MessageId, GdsOutbound) {
+        let id = self.fresh_id();
+        (
+            id,
+            GdsOutbound {
+                to: self.gds_server.clone(),
+                msg: GdsMessage::Publish { id, payload },
+            },
+        )
+    }
+
+    /// Builds a broadcast of an alerting event (the Section 4.2 federated
+    /// path).
+    pub fn publish_event(&mut self, event: &Event) -> (MessageId, GdsOutbound) {
+        let id = self.fresh_id();
+        (
+            id,
+            GdsOutbound {
+                to: self.gds_server.clone(),
+                msg: GdsMessage::publish_event(id, event),
+            },
+        )
+    }
+
+    /// Builds a multicast (point-to-point when `targets.len() == 1`).
+    pub fn publish_to(
+        &mut self,
+        targets: Vec<HostName>,
+        payload: XmlElement,
+    ) -> (MessageId, GdsOutbound) {
+        let id = self.fresh_id();
+        (
+            id,
+            GdsOutbound {
+                to: self.gds_server.clone(),
+                msg: GdsMessage::PublishTargeted {
+                    id,
+                    targets,
+                    payload,
+                },
+            },
+        )
+    }
+
+    /// Builds a naming-service query.
+    pub fn resolve(&mut self, name: impl Into<HostName>) -> (ResolveToken, GdsOutbound) {
+        let token = ResolveToken(self.next_token);
+        self.next_token += 1;
+        (
+            token,
+            GdsOutbound {
+                to: self.gds_server.clone(),
+                msg: GdsMessage::Resolve {
+                    token,
+                    name: name.into(),
+                    reply_to: self.host.clone(),
+                },
+            },
+        )
+    }
+
+    /// Accepts an inbound `Deliver`, returning its origin and payload the
+    /// first time this `(origin, id)` is seen; duplicates and other
+    /// message kinds return `None`.
+    pub fn accept(&mut self, msg: &GdsMessage) -> Option<(HostName, XmlElement)> {
+        match msg {
+            GdsMessage::Deliver {
+                id,
+                origin,
+                payload,
+            } => {
+                if self.seen.insert((origin.clone(), id.as_u64())) {
+                    Some((origin.clone(), payload.clone()))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Number of distinct messages remembered for duplicate suppression.
+    pub fn seen_count(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsa_types::{CollectionId, EventId, EventKind, SimTime};
+
+    fn client() -> GdsClient {
+        GdsClient::new("Hamilton", "gds-4")
+    }
+
+    #[test]
+    fn register_targets_own_gds_node() {
+        let c = client();
+        let out = c.register();
+        assert_eq!(out.to, HostName::new("gds-4"));
+        assert_eq!(
+            out.msg,
+            GdsMessage::Register {
+                gs_host: "Hamilton".into()
+            }
+        );
+        assert_eq!(
+            c.unregister().msg,
+            GdsMessage::Unregister {
+                gs_host: "Hamilton".into()
+            }
+        );
+    }
+
+    #[test]
+    fn publish_allocates_distinct_ids() {
+        let mut c = client();
+        let (id1, _) = c.publish(XmlElement::new("a"));
+        let (id2, _) = c.publish(XmlElement::new("b"));
+        assert_ne!(id1, id2);
+    }
+
+    #[test]
+    fn accept_deduplicates() {
+        let mut c = client();
+        let deliver = GdsMessage::Deliver {
+            id: MessageId::from_raw(5),
+            origin: "London".into(),
+            payload: XmlElement::new("event"),
+        };
+        assert!(c.accept(&deliver).is_some());
+        assert!(c.accept(&deliver).is_none());
+        assert_eq!(c.seen_count(), 1);
+    }
+
+    #[test]
+    fn accept_ignores_own_broadcast_echo() {
+        let mut c = client();
+        let (id, _) = c.publish(XmlElement::new("event"));
+        let echo = GdsMessage::Deliver {
+            id,
+            origin: "Hamilton".into(),
+            payload: XmlElement::new("event"),
+        };
+        assert!(c.accept(&echo).is_none());
+    }
+
+    #[test]
+    fn accept_ignores_non_deliver() {
+        let mut c = client();
+        assert!(c
+            .accept(&GdsMessage::Register {
+                gs_host: "x".into()
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn publish_event_encodes_event() {
+        let mut c = client();
+        let event = Event::new(
+            EventId::new("Hamilton", 1),
+            CollectionId::new("Hamilton", "D"),
+            EventKind::CollectionRebuilt,
+            SimTime::ZERO,
+        );
+        let (id, out) = c.publish_event(&event);
+        match out.msg {
+            GdsMessage::Publish { id: mid, payload } => {
+                assert_eq!(mid, id);
+                assert_eq!(payload.name(), "event");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resolve_tokens_are_distinct() {
+        let mut c = client();
+        let (t1, out) = c.resolve("London");
+        let (t2, _) = c.resolve("Paris");
+        assert_ne!(t1, t2);
+        match out.msg {
+            GdsMessage::Resolve { reply_to, name, .. } => {
+                assert_eq!(reply_to, HostName::new("Hamilton"));
+                assert_eq!(name, HostName::new("London"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn publish_to_builds_multicast() {
+        let mut c = client();
+        let (_, out) = c.publish_to(vec!["London".into()], XmlElement::new("x"));
+        match out.msg {
+            GdsMessage::PublishTargeted { targets, .. } => {
+                assert_eq!(targets, vec![HostName::new("London")]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! The Greenstone Directory Service (GDS).
+//!
+//! The paper's first contribution (Section 4.1): instead of building a
+//! broker overlay out of the fragmented, dynamic, cyclic network of DL
+//! servers, a *maintenance network* of auxiliary directory servers is
+//! added, organized as a tree of strata (stratum 1 = primary). Every
+//! Greenstone server registers with exactly one GDS node. The GDS then
+//! offers (Section 6):
+//!
+//! * **broadcast** — a message handed to any GDS node is "distributed
+//!   upwards within the tree and downwards to all tree leaves", reaching
+//!   every registered Greenstone server with best-effort delivery;
+//! * **multicast / point-to-point** — targeted delivery routed along the
+//!   tree using aggregated subtree registries;
+//! * **a naming service** similar to DNS — resolving a Greenstone server
+//!   name to the GDS node responsible for it, so servers address each
+//!   other "without having to be aware of the identity of the recipient".
+//!
+//! [`GdsNode`] is the sans-IO state machine of one directory server;
+//! [`GdsClient`] is the thin library a Greenstone server embeds to
+//! publish, subscribe and deduplicate; [`topology`] builds trees (balanced
+//! or the exact 7-node arrangement of Figure 2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod message;
+pub mod node;
+pub mod topology;
+
+pub use client::GdsClient;
+pub use message::{GdsMessage, ResolveToken};
+pub use node::{GdsEffects, GdsNode, GdsOutbound};
+pub use topology::{figure2_tree, balanced_tree, GdsNodeSpec, GdsTopology};

@@ -1,0 +1,431 @@
+//! GDS protocol messages and their XML encoding.
+
+use gsa_types::{HostName, MessageId};
+use gsa_wire::codec::{event_from_xml, event_to_xml};
+use gsa_wire::{WireError, XmlElement};
+use gsa_types::Event;
+use std::fmt;
+
+/// Correlates a naming-service resolution with its answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResolveToken(pub u64);
+
+impl fmt::Display for ResolveToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "resolve-{}", self.0)
+    }
+}
+
+/// The messages of the GDS protocol.
+///
+/// Duplicate suppression keys on `(origin, id)`: message ids are only
+/// unique per publishing Greenstone server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GdsMessage {
+    /// A Greenstone server registers with its GDS node.
+    Register {
+        /// The registering Greenstone server.
+        gs_host: HostName,
+    },
+    /// A Greenstone server deregisters.
+    Unregister {
+        /// The deregistering Greenstone server.
+        gs_host: HostName,
+    },
+    /// Registration propagated up the tree so ancestors learn their
+    /// subtree membership.
+    RegisterUp {
+        /// The Greenstone server now reachable through `via`.
+        gs_host: HostName,
+        /// The child GDS node through which it is reachable.
+        via: HostName,
+    },
+    /// Deregistration propagated up the tree.
+    UnregisterUp {
+        /// The Greenstone server no longer reachable.
+        gs_host: HostName,
+    },
+    /// A Greenstone server asks its GDS node to broadcast a payload to
+    /// every registered server.
+    Publish {
+        /// Publisher-chosen id, unique per publisher.
+        id: MessageId,
+        /// The payload (an encoded alerting event).
+        payload: XmlElement,
+    },
+    /// A Greenstone server asks its GDS node to deliver a payload to a
+    /// specific set of servers (multicast; a single target is
+    /// point-to-point).
+    PublishTargeted {
+        /// Publisher-chosen id.
+        id: MessageId,
+        /// The Greenstone servers to reach.
+        targets: Vec<HostName>,
+        /// The payload.
+        payload: XmlElement,
+    },
+    /// Tree flooding between GDS nodes.
+    Broadcast {
+        /// Publisher-chosen id.
+        id: MessageId,
+        /// The publishing Greenstone server.
+        origin: HostName,
+        /// The payload.
+        payload: XmlElement,
+    },
+    /// Targeted routing between GDS nodes.
+    Route {
+        /// Publisher-chosen id.
+        id: MessageId,
+        /// The publishing Greenstone server.
+        origin: HostName,
+        /// Targets still to reach.
+        targets: Vec<HostName>,
+        /// The payload.
+        payload: XmlElement,
+    },
+    /// Final delivery from a GDS node to a Greenstone server.
+    Deliver {
+        /// Publisher-chosen id (dedup key together with `origin`).
+        id: MessageId,
+        /// The publishing Greenstone server.
+        origin: HostName,
+        /// The payload.
+        payload: XmlElement,
+    },
+    /// Naming-service query: which GDS node serves `name`?
+    Resolve {
+        /// Correlation token.
+        token: ResolveToken,
+        /// The Greenstone server name to resolve.
+        name: HostName,
+        /// Who asked (the answer is sent back here).
+        reply_to: HostName,
+    },
+    /// Naming-service answer.
+    ResolveResponse {
+        /// Correlation token.
+        token: ResolveToken,
+        /// The name that was queried.
+        name: HostName,
+        /// The GDS node responsible, or `None` when unknown network-wide.
+        result: Option<HostName>,
+    },
+}
+
+impl GdsMessage {
+    /// Convenience: a `Publish` whose payload is an encoded alerting
+    /// event.
+    pub fn publish_event(id: MessageId, event: &Event) -> Self {
+        GdsMessage::Publish {
+            id,
+            payload: event_to_xml(event),
+        }
+    }
+
+    /// Decodes an alerting event out of a `Deliver` payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when this is not a `Deliver` or the payload is
+    /// not a valid event element.
+    pub fn deliver_event(&self) -> Result<Event, WireError> {
+        match self {
+            GdsMessage::Deliver { payload, .. } => event_from_xml(payload),
+            _ => Err(WireError::malformed("not a Deliver message")),
+        }
+    }
+
+    /// Encodes the message as an XML element.
+    pub fn to_xml(&self) -> XmlElement {
+        match self {
+            GdsMessage::Register { gs_host } => {
+                XmlElement::new("gds:register").with_attr("host", gs_host.as_str())
+            }
+            GdsMessage::Unregister { gs_host } => {
+                XmlElement::new("gds:unregister").with_attr("host", gs_host.as_str())
+            }
+            GdsMessage::RegisterUp { gs_host, via } => XmlElement::new("gds:register-up")
+                .with_attr("host", gs_host.as_str())
+                .with_attr("via", via.as_str()),
+            GdsMessage::UnregisterUp { gs_host } => {
+                XmlElement::new("gds:unregister-up").with_attr("host", gs_host.as_str())
+            }
+            GdsMessage::Publish { id, payload } => XmlElement::new("gds:publish")
+                .with_attr("id", id.as_u64().to_string())
+                .with_child(payload.clone()),
+            GdsMessage::PublishTargeted {
+                id,
+                targets,
+                payload,
+            } => {
+                let mut el = XmlElement::new("gds:publish-targeted")
+                    .with_attr("id", id.as_u64().to_string());
+                for t in targets {
+                    el.push_child(XmlElement::new("target").with_text(t.as_str()));
+                }
+                el.push_child(payload.clone());
+                el
+            }
+            GdsMessage::Broadcast {
+                id,
+                origin,
+                payload,
+            } => XmlElement::new("gds:broadcast")
+                .with_attr("id", id.as_u64().to_string())
+                .with_attr("origin", origin.as_str())
+                .with_child(payload.clone()),
+            GdsMessage::Route {
+                id,
+                origin,
+                targets,
+                payload,
+            } => {
+                let mut el = XmlElement::new("gds:route")
+                    .with_attr("id", id.as_u64().to_string())
+                    .with_attr("origin", origin.as_str());
+                for t in targets {
+                    el.push_child(XmlElement::new("target").with_text(t.as_str()));
+                }
+                el.push_child(payload.clone());
+                el
+            }
+            GdsMessage::Deliver {
+                id,
+                origin,
+                payload,
+            } => XmlElement::new("gds:deliver")
+                .with_attr("id", id.as_u64().to_string())
+                .with_attr("origin", origin.as_str())
+                .with_child(payload.clone()),
+            GdsMessage::Resolve {
+                token,
+                name,
+                reply_to,
+            } => XmlElement::new("gds:resolve")
+                .with_attr("token", token.0.to_string())
+                .with_attr("name", name.as_str())
+                .with_attr("reply-to", reply_to.as_str()),
+            GdsMessage::ResolveResponse {
+                token,
+                name,
+                result,
+            } => {
+                let mut el = XmlElement::new("gds:resolve-response")
+                    .with_attr("token", token.0.to_string())
+                    .with_attr("name", name.as_str());
+                if let Some(r) = result {
+                    el.set_attr("result", r.as_str());
+                }
+                el
+            }
+        }
+    }
+
+    /// Decodes a message from the element produced by
+    /// [`GdsMessage::to_xml`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on unknown tags or missing/invalid parts.
+    pub fn from_xml(el: &XmlElement) -> Result<GdsMessage, WireError> {
+        let host = |attr: &str| -> Result<HostName, WireError> {
+            el.attr(attr)
+                .filter(|s| !s.is_empty())
+                .map(HostName::new)
+                .ok_or_else(|| WireError::malformed(format!("missing {attr}")))
+        };
+        let id = || -> Result<MessageId, WireError> {
+            el.attr("id")
+                .and_then(|i| i.parse::<u64>().ok())
+                .map(MessageId::from_raw)
+                .ok_or_else(|| WireError::malformed("missing id"))
+        };
+        let token = || -> Result<ResolveToken, WireError> {
+            el.attr("token")
+                .and_then(|t| t.parse::<u64>().ok())
+                .map(ResolveToken)
+                .ok_or_else(|| WireError::malformed("missing token"))
+        };
+        let payload = || -> Result<XmlElement, WireError> {
+            el.elements()
+                .find(|e| e.name() != "target")
+                .cloned()
+                .ok_or_else(|| WireError::malformed("missing payload"))
+        };
+        let targets = || -> Vec<HostName> {
+            el.children_named("target")
+                .map(|t| HostName::new(t.text()))
+                .collect()
+        };
+        match el.name() {
+            "gds:register" => Ok(GdsMessage::Register { gs_host: host("host")? }),
+            "gds:unregister" => Ok(GdsMessage::Unregister { gs_host: host("host")? }),
+            "gds:register-up" => Ok(GdsMessage::RegisterUp {
+                gs_host: host("host")?,
+                via: host("via")?,
+            }),
+            "gds:unregister-up" => Ok(GdsMessage::UnregisterUp { gs_host: host("host")? }),
+            "gds:publish" => Ok(GdsMessage::Publish {
+                id: id()?,
+                payload: payload()?,
+            }),
+            "gds:publish-targeted" => Ok(GdsMessage::PublishTargeted {
+                id: id()?,
+                targets: targets(),
+                payload: payload()?,
+            }),
+            "gds:broadcast" => Ok(GdsMessage::Broadcast {
+                id: id()?,
+                origin: host("origin")?,
+                payload: payload()?,
+            }),
+            "gds:route" => Ok(GdsMessage::Route {
+                id: id()?,
+                origin: host("origin")?,
+                targets: targets(),
+                payload: payload()?,
+            }),
+            "gds:deliver" => Ok(GdsMessage::Deliver {
+                id: id()?,
+                origin: host("origin")?,
+                payload: payload()?,
+            }),
+            "gds:resolve" => Ok(GdsMessage::Resolve {
+                token: token()?,
+                name: host("name")?,
+                reply_to: host("reply-to")?,
+            }),
+            "gds:resolve-response" => Ok(GdsMessage::ResolveResponse {
+                token: token()?,
+                name: host("name")?,
+                result: el.attr("result").map(HostName::new),
+            }),
+            other => Err(WireError::malformed(format!("unknown GDS message <{other}>"))),
+        }
+    }
+
+    /// The serialized size in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.to_xml().wire_size()
+    }
+}
+
+impl fmt::Display for GdsMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.to_xml().name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsa_types::{CollectionId, EventId, EventKind, SimTime};
+
+    fn round_trip(msg: GdsMessage) {
+        let text = msg.to_xml().to_document_string();
+        let parsed = gsa_wire::parse_document(&text).unwrap();
+        assert_eq!(GdsMessage::from_xml(&parsed).unwrap(), msg);
+    }
+
+    #[test]
+    fn registration_messages_round_trip() {
+        round_trip(GdsMessage::Register { gs_host: "Hamilton".into() });
+        round_trip(GdsMessage::Unregister { gs_host: "Hamilton".into() });
+        round_trip(GdsMessage::RegisterUp {
+            gs_host: "Hamilton".into(),
+            via: "gds-4".into(),
+        });
+        round_trip(GdsMessage::UnregisterUp { gs_host: "Hamilton".into() });
+    }
+
+    #[test]
+    fn publish_and_deliver_round_trip() {
+        let payload = XmlElement::new("event").with_attr("kind", "collection-rebuilt");
+        round_trip(GdsMessage::Publish {
+            id: MessageId::from_raw(1),
+            payload: payload.clone(),
+        });
+        round_trip(GdsMessage::Broadcast {
+            id: MessageId::from_raw(1),
+            origin: "Hamilton".into(),
+            payload: payload.clone(),
+        });
+        round_trip(GdsMessage::Deliver {
+            id: MessageId::from_raw(1),
+            origin: "Hamilton".into(),
+            payload,
+        });
+    }
+
+    #[test]
+    fn targeted_messages_round_trip() {
+        let payload = XmlElement::new("x");
+        round_trip(GdsMessage::PublishTargeted {
+            id: MessageId::from_raw(2),
+            targets: vec!["London".into(), "Paris".into()],
+            payload: payload.clone(),
+        });
+        round_trip(GdsMessage::Route {
+            id: MessageId::from_raw(2),
+            origin: "Hamilton".into(),
+            targets: vec!["London".into()],
+            payload,
+        });
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        round_trip(GdsMessage::Resolve {
+            token: ResolveToken(9),
+            name: "London".into(),
+            reply_to: "Hamilton".into(),
+        });
+        round_trip(GdsMessage::ResolveResponse {
+            token: ResolveToken(9),
+            name: "London".into(),
+            result: Some("gds-2".into()),
+        });
+        round_trip(GdsMessage::ResolveResponse {
+            token: ResolveToken(9),
+            name: "Nowhere".into(),
+            result: None,
+        });
+    }
+
+    #[test]
+    fn event_payload_round_trips_through_deliver() {
+        let event = Event::new(
+            EventId::new("Hamilton", 1),
+            CollectionId::new("Hamilton", "D"),
+            EventKind::CollectionRebuilt,
+            SimTime::from_millis(1),
+        );
+        let publish = GdsMessage::publish_event(MessageId::from_raw(3), &event);
+        let GdsMessage::Publish { payload, .. } = publish else {
+            panic!("expected publish");
+        };
+        let deliver = GdsMessage::Deliver {
+            id: MessageId::from_raw(3),
+            origin: "Hamilton".into(),
+            payload,
+        };
+        assert_eq!(deliver.deliver_event().unwrap(), event);
+    }
+
+    #[test]
+    fn deliver_event_on_wrong_variant_errors() {
+        assert!(GdsMessage::Register { gs_host: "x".into() }.deliver_event().is_err());
+    }
+
+    #[test]
+    fn unknown_tag_errors() {
+        assert!(GdsMessage::from_xml(&XmlElement::new("gds:nope")).is_err());
+    }
+
+    #[test]
+    fn publish_without_payload_errors() {
+        let el = XmlElement::new("gds:publish").with_attr("id", "1");
+        assert!(GdsMessage::from_xml(&el).is_err());
+    }
+}

@@ -1,0 +1,633 @@
+//! The GDS directory-server state machine.
+
+use crate::message::GdsMessage;
+use gsa_types::HostName;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::fmt;
+
+/// A message to be sent to another network participant (GDS node or
+/// Greenstone server — both are addressed by host name).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GdsOutbound {
+    /// Destination.
+    pub to: HostName,
+    /// The message.
+    pub msg: GdsMessage,
+}
+
+/// What a [`GdsNode`] wants done after handling one input.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GdsEffects {
+    /// Messages to transmit.
+    pub outbound: Vec<GdsOutbound>,
+    /// Multicast targets that could not be resolved anywhere in the tree.
+    pub undeliverable: Vec<HostName>,
+}
+
+impl GdsEffects {
+    fn send(&mut self, to: HostName, msg: GdsMessage) {
+        self.outbound.push(GdsOutbound { to, msg });
+    }
+}
+
+/// One auxiliary directory server in the GDS tree.
+///
+/// The node knows its parent, its children, the Greenstone servers
+/// registered directly with it (`local`), and — via registration
+/// propagation — which child subtree every Greenstone server below it
+/// lives in. A stratum-1 node (no parent) therefore knows the entire
+/// network, exactly as Section 4.1 describes.
+pub struct GdsNode {
+    name: HostName,
+    stratum: u8,
+    parent: Option<HostName>,
+    children: BTreeSet<HostName>,
+    local: BTreeSet<HostName>,
+    /// Greenstone server -> next hop (self for local, else a child).
+    subtree: BTreeMap<HostName, HostName>,
+    /// Duplicate-suppression memory: (origin, message id).
+    seen: HashSet<(HostName, u64)>,
+}
+
+impl fmt::Debug for GdsNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GdsNode")
+            .field("name", &self.name)
+            .field("stratum", &self.stratum)
+            .field("parent", &self.parent)
+            .field("children", &self.children.len())
+            .field("local", &self.local.len())
+            .field("subtree", &self.subtree.len())
+            .finish()
+    }
+}
+
+impl GdsNode {
+    /// Creates a node on the given stratum. Stratum 1 nodes have no
+    /// parent.
+    pub fn new(name: impl Into<HostName>, stratum: u8, parent: Option<HostName>) -> Self {
+        GdsNode {
+            name: name.into(),
+            stratum,
+            parent,
+            children: BTreeSet::new(),
+            local: BTreeSet::new(),
+            subtree: BTreeMap::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// The node's network name.
+    pub fn name(&self) -> &HostName {
+        &self.name
+    }
+
+    /// The node's stratum (1 = primary).
+    pub fn stratum(&self) -> u8 {
+        self.stratum
+    }
+
+    /// The node's parent, if any.
+    pub fn parent(&self) -> Option<&HostName> {
+        self.parent.as_ref()
+    }
+
+    /// The node's children.
+    pub fn children(&self) -> impl Iterator<Item = &HostName> {
+        self.children.iter()
+    }
+
+    /// Declares `child` as a child of this node (topology construction).
+    pub fn add_child(&mut self, child: impl Into<HostName>) {
+        self.children.insert(child.into());
+    }
+
+    /// Removes a child (topology change); subtree entries routed through
+    /// it are dropped.
+    pub fn remove_child(&mut self, child: &HostName) {
+        self.children.remove(child);
+        self.subtree.retain(|_, via| via != child);
+    }
+
+    /// Changes the node's parent (reparenting after a failure). Use
+    /// [`GdsNode::reregistrations`] to rebuild the new parent's view.
+    pub fn set_parent(&mut self, parent: Option<HostName>) {
+        self.parent = parent;
+    }
+
+    /// The Greenstone servers registered directly here.
+    pub fn local_servers(&self) -> impl Iterator<Item = &HostName> {
+        self.local.iter()
+    }
+
+    /// Whether `gs_host` is known in this node's subtree.
+    pub fn knows(&self, gs_host: &HostName) -> bool {
+        self.subtree.contains_key(gs_host)
+    }
+
+    /// Number of Greenstone servers known in this node's subtree.
+    pub fn subtree_size(&self) -> usize {
+        self.subtree.len()
+    }
+
+    /// `RegisterUp` messages re-announcing this node's whole subtree to
+    /// its (new) parent.
+    pub fn reregistrations(&self) -> Vec<GdsOutbound> {
+        let Some(parent) = &self.parent else {
+            return Vec::new();
+        };
+        self.subtree
+            .keys()
+            .map(|gs| GdsOutbound {
+                to: parent.clone(),
+                msg: GdsMessage::RegisterUp {
+                    gs_host: gs.clone(),
+                    via: self.name.clone(),
+                },
+            })
+            .collect()
+    }
+
+    /// Handles one inbound message. `from` is the network sender.
+    pub fn handle_message(&mut self, from: &HostName, msg: GdsMessage) -> GdsEffects {
+        let mut effects = GdsEffects::default();
+        match msg {
+            GdsMessage::Register { gs_host } => {
+                self.local.insert(gs_host.clone());
+                self.subtree.insert(gs_host.clone(), self.name.clone());
+                if let Some(parent) = &self.parent {
+                    effects.send(
+                        parent.clone(),
+                        GdsMessage::RegisterUp {
+                            gs_host,
+                            via: self.name.clone(),
+                        },
+                    );
+                }
+            }
+            GdsMessage::Unregister { gs_host } => {
+                self.local.remove(&gs_host);
+                self.subtree.remove(&gs_host);
+                if let Some(parent) = &self.parent {
+                    effects.send(parent.clone(), GdsMessage::UnregisterUp { gs_host });
+                }
+            }
+            GdsMessage::RegisterUp { gs_host, via } => {
+                self.subtree.insert(gs_host.clone(), via);
+                if let Some(parent) = &self.parent {
+                    effects.send(
+                        parent.clone(),
+                        GdsMessage::RegisterUp {
+                            gs_host,
+                            via: self.name.clone(),
+                        },
+                    );
+                }
+            }
+            GdsMessage::UnregisterUp { gs_host } => {
+                self.subtree.remove(&gs_host);
+                if let Some(parent) = &self.parent {
+                    effects.send(parent.clone(), GdsMessage::UnregisterUp { gs_host });
+                }
+            }
+            GdsMessage::Publish { id, payload } => {
+                // `from` is the publishing Greenstone server.
+                let origin = from.clone();
+                if self.seen.insert((origin.clone(), id.as_u64())) {
+                    self.flood(&origin, id.as_u64(), payload, None, &mut effects);
+                }
+            }
+            GdsMessage::Broadcast {
+                id,
+                origin,
+                payload,
+            } => {
+                if self.seen.insert((origin.clone(), id.as_u64())) {
+                    self.flood(&origin, id.as_u64(), payload, Some(from), &mut effects);
+                }
+            }
+            GdsMessage::PublishTargeted {
+                id,
+                targets,
+                payload,
+            } => {
+                let origin = from.clone();
+                self.route(&origin, id.as_u64(), targets, payload, None, &mut effects);
+            }
+            GdsMessage::Route {
+                id,
+                origin,
+                targets,
+                payload,
+            } => {
+                self.route(&origin, id.as_u64(), targets, payload, Some(from), &mut effects);
+            }
+            GdsMessage::Resolve {
+                token,
+                name,
+                reply_to,
+            } => {
+                if self.local.contains(&name) {
+                    effects.send(
+                        reply_to.clone(),
+                        GdsMessage::ResolveResponse {
+                            token,
+                            name,
+                            result: Some(self.name.clone()),
+                        },
+                    );
+                } else if let Some(via) = self.subtree.get(&name).cloned() {
+                    effects.send(via, GdsMessage::Resolve { token, name, reply_to });
+                } else if let Some(parent) = self.parent.clone() {
+                    if &parent != from {
+                        effects.send(parent, GdsMessage::Resolve { token, name, reply_to });
+                    } else {
+                        effects.send(
+                            reply_to.clone(),
+                            GdsMessage::ResolveResponse {
+                                token,
+                                name,
+                                result: None,
+                            },
+                        );
+                    }
+                } else {
+                    effects.send(
+                        reply_to.clone(),
+                        GdsMessage::ResolveResponse {
+                            token,
+                            name,
+                            result: None,
+                        },
+                    );
+                }
+            }
+            // Final deliveries and resolve answers are addressed to
+            // Greenstone servers; a GDS node receiving one ignores it.
+            GdsMessage::Deliver { .. } | GdsMessage::ResolveResponse { .. } => {}
+        }
+        effects
+    }
+
+    /// Tree flooding: deliver to local Greenstone servers (except the
+    /// origin) and forward to every tree neighbour except the one the
+    /// message came from.
+    fn flood(
+        &self,
+        origin: &HostName,
+        id: u64,
+        payload: gsa_wire::XmlElement,
+        came_from: Option<&HostName>,
+        effects: &mut GdsEffects,
+    ) {
+        let mid = gsa_types::MessageId::from_raw(id);
+        for gs in &self.local {
+            if gs != origin {
+                effects.send(
+                    gs.clone(),
+                    GdsMessage::Deliver {
+                        id: mid,
+                        origin: origin.clone(),
+                        payload: payload.clone(),
+                    },
+                );
+            }
+        }
+        let forward = GdsMessage::Broadcast {
+            id: mid,
+            origin: origin.clone(),
+            payload,
+        };
+        if let Some(parent) = &self.parent {
+            if Some(parent) != came_from {
+                effects.send(parent.clone(), forward.clone());
+            }
+        }
+        for child in &self.children {
+            if Some(child) != came_from {
+                effects.send(child.clone(), forward.clone());
+            }
+        }
+    }
+
+    /// Targeted routing along the tree using the subtree registry.
+    fn route(
+        &self,
+        origin: &HostName,
+        id: u64,
+        targets: Vec<HostName>,
+        payload: gsa_wire::XmlElement,
+        came_from: Option<&HostName>,
+        effects: &mut GdsEffects,
+    ) {
+        let mid = gsa_types::MessageId::from_raw(id);
+        let mut per_child: BTreeMap<HostName, Vec<HostName>> = BTreeMap::new();
+        let mut upward: Vec<HostName> = Vec::new();
+        for target in targets {
+            if self.local.contains(&target) {
+                effects.send(
+                    target.clone(),
+                    GdsMessage::Deliver {
+                        id: mid,
+                        origin: origin.clone(),
+                        payload: payload.clone(),
+                    },
+                );
+            } else if let Some(via) = self.subtree.get(&target) {
+                per_child.entry(via.clone()).or_default().push(target);
+            } else {
+                upward.push(target);
+            }
+        }
+        for (child, targets) in per_child {
+            effects.send(
+                child,
+                GdsMessage::Route {
+                    id: mid,
+                    origin: origin.clone(),
+                    targets,
+                    payload: payload.clone(),
+                },
+            );
+        }
+        if !upward.is_empty() {
+            match (&self.parent, came_from) {
+                (Some(parent), came) if came != Some(parent) => {
+                    effects.send(
+                        parent.clone(),
+                        GdsMessage::Route {
+                            id: mid,
+                            origin: origin.clone(),
+                            targets: upward,
+                            payload,
+                        },
+                    );
+                }
+                _ => effects.undeliverable.extend(upward),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ResolveToken;
+    use gsa_types::MessageId;
+    use gsa_wire::XmlElement;
+    use std::collections::BTreeMap;
+
+    /// A tiny in-test router over a map of GDS nodes; Greenstone-server
+    /// deliveries are collected instead of routed.
+    fn pump(
+        nodes: &mut BTreeMap<HostName, GdsNode>,
+        first_to: &HostName,
+        first_from: &HostName,
+        msg: GdsMessage,
+    ) -> (Vec<(HostName, GdsMessage)>, Vec<HostName>) {
+        let mut gs_deliveries = Vec::new();
+        let mut undeliverable = Vec::new();
+        let mut queue = vec![(first_from.clone(), first_to.clone(), msg)];
+        let mut steps = 0;
+        while let Some((from, to, msg)) = queue.pop() {
+            steps += 1;
+            assert!(steps < 10_000, "routing did not terminate");
+            let Some(node) = nodes.get_mut(&to) else {
+                gs_deliveries.push((to, msg));
+                continue;
+            };
+            let effects = node.handle_message(&from, msg);
+            undeliverable.extend(effects.undeliverable);
+            for out in effects.outbound {
+                queue.push((to.clone(), out.to, out.msg));
+            }
+        }
+        (gs_deliveries, undeliverable)
+    }
+
+    /// Builds the Figure 2 tree: gds-1 (stratum 1); gds-2, gds-3, gds-4
+    /// (stratum 2, children of 1); gds-5, gds-6, gds-7 (stratum 3,
+    /// children of 2, 3, 3). Greenstone servers gs-a..gs-g registered one
+    /// per node.
+    fn figure2() -> BTreeMap<HostName, GdsNode> {
+        let mut nodes = BTreeMap::new();
+        let spec: &[(&str, u8, Option<&str>, &[&str])] = &[
+            ("gds-1", 1, None, &["gds-2", "gds-3", "gds-4"]),
+            ("gds-2", 2, Some("gds-1"), &["gds-5"]),
+            ("gds-3", 2, Some("gds-1"), &["gds-6", "gds-7"]),
+            ("gds-4", 2, Some("gds-1"), &[]),
+            ("gds-5", 3, Some("gds-2"), &[]),
+            ("gds-6", 3, Some("gds-3"), &[]),
+            ("gds-7", 3, Some("gds-3"), &[]),
+        ];
+        for (name, stratum, parent, children) in spec {
+            let mut node = GdsNode::new(*name, *stratum, parent.map(HostName::new));
+            for c in *children {
+                node.add_child(*c);
+            }
+            nodes.insert(HostName::new(*name), node);
+        }
+        // Register one Greenstone server per GDS node.
+        for i in 1..=7 {
+            let gds = HostName::new(format!("gds-{i}"));
+            let gs = HostName::new(format!("gs-{i}"));
+            let (deliveries, _) = pump(&mut nodes, &gds, &gs, GdsMessage::Register { gs_host: gs.clone() });
+            assert!(deliveries.is_empty());
+        }
+        nodes
+    }
+
+    #[test]
+    fn registration_propagates_to_root() {
+        let nodes = figure2();
+        let root = &nodes[&HostName::new("gds-1")];
+        assert_eq!(root.subtree_size(), 7);
+        assert!(root.knows(&"gs-7".into()));
+        // Intermediate node knows only its subtree.
+        let gds3 = &nodes[&HostName::new("gds-3")];
+        assert_eq!(gds3.subtree_size(), 3); // gs-3, gs-6, gs-7
+        assert!(!gds3.knows(&"gs-5".into()));
+    }
+
+    #[test]
+    fn broadcast_reaches_every_server_exactly_once() {
+        let mut nodes = figure2();
+        let payload = XmlElement::new("event");
+        let (deliveries, _) = pump(
+            &mut nodes,
+            &"gds-5".into(),
+            &"gs-5".into(),
+            GdsMessage::Publish {
+                id: MessageId::from_raw(1),
+                payload,
+            },
+        );
+        let mut recipients: Vec<String> = deliveries.iter().map(|(to, _)| to.to_string()).collect();
+        recipients.sort();
+        // Everyone except the origin gs-5.
+        assert_eq!(
+            recipients,
+            vec!["gs-1", "gs-2", "gs-3", "gs-4", "gs-6", "gs-7"]
+        );
+    }
+
+    #[test]
+    fn broadcast_is_deduplicated_on_replay() {
+        let mut nodes = figure2();
+        let payload = XmlElement::new("event");
+        let publish = GdsMessage::Publish {
+            id: MessageId::from_raw(1),
+            payload,
+        };
+        let (first, _) = pump(&mut nodes, &"gds-5".into(), &"gs-5".into(), publish.clone());
+        assert_eq!(first.len(), 6);
+        let (second, _) = pump(&mut nodes, &"gds-5".into(), &"gs-5".into(), publish);
+        assert!(second.is_empty(), "replayed publish must be suppressed");
+    }
+
+    #[test]
+    fn multicast_routes_only_to_targets() {
+        let mut nodes = figure2();
+        let (deliveries, undeliverable) = pump(
+            &mut nodes,
+            &"gds-5".into(),
+            &"gs-5".into(),
+            GdsMessage::PublishTargeted {
+                id: MessageId::from_raw(2),
+                targets: vec!["gs-7".into(), "gs-1".into()],
+                payload: XmlElement::new("x"),
+            },
+        );
+        let mut recipients: Vec<String> = deliveries.iter().map(|(to, _)| to.to_string()).collect();
+        recipients.sort();
+        assert_eq!(recipients, vec!["gs-1", "gs-7"]);
+        assert!(undeliverable.is_empty());
+    }
+
+    #[test]
+    fn multicast_to_unknown_target_reports_undeliverable() {
+        let mut nodes = figure2();
+        let (deliveries, undeliverable) = pump(
+            &mut nodes,
+            &"gds-5".into(),
+            &"gs-5".into(),
+            GdsMessage::PublishTargeted {
+                id: MessageId::from_raw(3),
+                targets: vec!["gs-ghost".into()],
+                payload: XmlElement::new("x"),
+            },
+        );
+        assert!(deliveries.is_empty());
+        assert_eq!(undeliverable, vec![HostName::new("gs-ghost")]);
+    }
+
+    #[test]
+    fn resolve_finds_responsible_node() {
+        let mut nodes = figure2();
+        let (deliveries, _) = pump(
+            &mut nodes,
+            &"gds-5".into(),
+            &"gs-5".into(),
+            GdsMessage::Resolve {
+                token: ResolveToken(1),
+                name: "gs-6".into(),
+                reply_to: "gs-5".into(),
+            },
+        );
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].0, HostName::new("gs-5"));
+        match &deliveries[0].1 {
+            GdsMessage::ResolveResponse { result, .. } => {
+                assert_eq!(result, &Some(HostName::new("gds-6")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resolve_unknown_name_answers_none() {
+        let mut nodes = figure2();
+        let (deliveries, _) = pump(
+            &mut nodes,
+            &"gds-5".into(),
+            &"gs-5".into(),
+            GdsMessage::Resolve {
+                token: ResolveToken(2),
+                name: "gs-ghost".into(),
+                reply_to: "gs-5".into(),
+            },
+        );
+        match &deliveries[0].1 {
+            GdsMessage::ResolveResponse { result, .. } => assert_eq!(result, &None),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unregister_removes_from_all_ancestors() {
+        let mut nodes = figure2();
+        pump(
+            &mut nodes,
+            &"gds-7".into(),
+            &"gs-7".into(),
+            GdsMessage::Unregister { gs_host: "gs-7".into() },
+        );
+        assert!(!nodes[&HostName::new("gds-7")].knows(&"gs-7".into()));
+        assert!(!nodes[&HostName::new("gds-3")].knows(&"gs-7".into()));
+        assert!(!nodes[&HostName::new("gds-1")].knows(&"gs-7".into()));
+        // Broadcast no longer reaches gs-7.
+        let (deliveries, _) = pump(
+            &mut nodes,
+            &"gds-5".into(),
+            &"gs-5".into(),
+            GdsMessage::Publish {
+                id: MessageId::from_raw(9),
+                payload: XmlElement::new("event"),
+            },
+        );
+        assert!(deliveries.iter().all(|(to, _)| to != &HostName::new("gs-7")));
+    }
+
+    #[test]
+    fn reparenting_reregisters_subtree() {
+        let mut nodes = figure2();
+        // Move gds-7 from gds-3 to gds-2.
+        nodes.get_mut(&HostName::new("gds-3")).unwrap().remove_child(&"gds-7".into());
+        // gds-3 must forget gs-7 (routed via gds-7) and tell ancestors.
+        assert!(!nodes[&HostName::new("gds-3")].knows(&"gs-7".into()));
+        nodes.get_mut(&HostName::new("gds-2")).unwrap().add_child("gds-7");
+        let node7 = nodes.get_mut(&HostName::new("gds-7")).unwrap();
+        node7.set_parent(Some("gds-2".into()));
+        let rereg = node7.reregistrations();
+        assert_eq!(rereg.len(), 1);
+        for out in rereg {
+            pump(&mut nodes, &out.to.clone(), &"gds-7".into(), out.msg);
+        }
+        assert!(nodes[&HostName::new("gds-2")].knows(&"gs-7".into()));
+        // Targeted routing still works along the new path.
+        let (deliveries, undeliverable) = pump(
+            &mut nodes,
+            &"gds-5".into(),
+            &"gs-5".into(),
+            GdsMessage::PublishTargeted {
+                id: MessageId::from_raw(11),
+                targets: vec!["gs-7".into()],
+                payload: XmlElement::new("x"),
+            },
+        );
+        assert!(undeliverable.is_empty());
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].0, HostName::new("gs-7"));
+    }
+
+    #[test]
+    fn node_accessors() {
+        let nodes = figure2();
+        let root = &nodes[&HostName::new("gds-1")];
+        assert_eq!(root.stratum(), 1);
+        assert!(root.parent().is_none());
+        assert_eq!(root.children().count(), 3);
+        assert_eq!(root.local_servers().count(), 1);
+        assert_eq!(root.name().as_str(), "gds-1");
+    }
+}

@@ -1,0 +1,208 @@
+//! GDS tree construction helpers.
+
+use crate::node::GdsNode;
+use gsa_types::HostName;
+use std::fmt;
+
+/// The blueprint of one GDS node within a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GdsNodeSpec {
+    /// Node name (e.g. `gds-3`).
+    pub name: HostName,
+    /// Stratum (1 = primary).
+    pub stratum: u8,
+    /// Parent node name, `None` for stratum 1.
+    pub parent: Option<HostName>,
+}
+
+/// A GDS tree blueprint: a list of node specs forming a rooted tree.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GdsTopology {
+    specs: Vec<GdsNodeSpec>,
+}
+
+impl GdsTopology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        GdsTopology::default()
+    }
+
+    /// Adds a node spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a node of the same name exists, or when the named
+    /// parent has not been added yet (add parents before children).
+    pub fn add(&mut self, name: impl Into<HostName>, stratum: u8, parent: Option<&str>) -> &mut Self {
+        let name = name.into();
+        assert!(
+            self.specs.iter().all(|s| s.name != name),
+            "duplicate GDS node {name}"
+        );
+        let parent = parent.map(HostName::new);
+        if let Some(p) = &parent {
+            assert!(
+                self.specs.iter().any(|s| &s.name == p),
+                "parent {p} must be added before child {name}"
+            );
+        }
+        self.specs.push(GdsNodeSpec {
+            name,
+            stratum,
+            parent,
+        });
+        self
+    }
+
+    /// The node specs in insertion order (parents before children).
+    pub fn specs(&self) -> &[GdsNodeSpec] {
+        &self.specs
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Returns `true` when no nodes were added.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Instantiates the [`GdsNode`] state machines, with child links
+    /// filled in.
+    pub fn build(&self) -> Vec<GdsNode> {
+        let mut nodes: Vec<GdsNode> = self
+            .specs
+            .iter()
+            .map(|s| GdsNode::new(s.name.clone(), s.stratum, s.parent.clone()))
+            .collect();
+        for spec in &self.specs {
+            if let Some(parent) = &spec.parent {
+                let p = nodes
+                    .iter_mut()
+                    .find(|n| n.name() == parent)
+                    .expect("parent exists by construction");
+                p.add_child(spec.name.clone());
+            }
+        }
+        nodes
+    }
+
+    /// The node names, in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &HostName> {
+        self.specs.iter().map(|s| &s.name)
+    }
+}
+
+impl fmt::Display for GdsTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GDS tree with {} nodes", self.specs.len())
+    }
+}
+
+/// The exact 7-node, 3-stratum tree of the paper's Figure 2:
+/// node 1 on stratum 1; nodes 2, 3, 4 on stratum 2; nodes 5 (under 2),
+/// 6 and 7 (under 3) on stratum 3.
+pub fn figure2_tree() -> GdsTopology {
+    let mut t = GdsTopology::new();
+    t.add("gds-1", 1, None)
+        .add("gds-2", 2, Some("gds-1"))
+        .add("gds-3", 2, Some("gds-1"))
+        .add("gds-4", 2, Some("gds-1"))
+        .add("gds-5", 3, Some("gds-2"))
+        .add("gds-6", 3, Some("gds-3"))
+        .add("gds-7", 3, Some("gds-3"));
+    t
+}
+
+/// A balanced tree with the given fanout and depth (depth 1 = just the
+/// primary). Node names are `gds-<n>` in breadth-first order.
+///
+/// # Panics
+///
+/// Panics when `fanout` is 0 or `depth` is 0.
+pub fn balanced_tree(fanout: usize, depth: u8) -> GdsTopology {
+    assert!(fanout > 0, "fanout must be positive");
+    assert!(depth > 0, "depth must be positive");
+    let mut t = GdsTopology::new();
+    t.add("gds-1", 1, None);
+    let mut frontier = vec![HostName::new("gds-1")];
+    let mut next_id = 2usize;
+    for stratum in 2..=depth {
+        let mut next_frontier = Vec::new();
+        for parent in &frontier {
+            for _ in 0..fanout {
+                let name = format!("gds-{next_id}");
+                next_id += 1;
+                t.add(name.clone(), stratum, Some(parent.as_str()));
+                next_frontier.push(HostName::new(name));
+            }
+        }
+        frontier = next_frontier;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_shape() {
+        let t = figure2_tree();
+        assert_eq!(t.len(), 7);
+        let nodes = t.build();
+        let root = nodes.iter().find(|n| n.name().as_str() == "gds-1").unwrap();
+        assert_eq!(root.children().count(), 3);
+        assert_eq!(root.stratum(), 1);
+        let gds3 = nodes.iter().find(|n| n.name().as_str() == "gds-3").unwrap();
+        assert_eq!(gds3.children().count(), 2);
+        assert_eq!(gds3.parent(), Some(&HostName::new("gds-1")));
+        let leaves = nodes.iter().filter(|n| n.children().count() == 0).count();
+        assert_eq!(leaves, 4); // gds-4, gds-5, gds-6, gds-7
+    }
+
+    #[test]
+    fn balanced_tree_counts() {
+        let t = balanced_tree(2, 3);
+        // 1 + 2 + 4 nodes.
+        assert_eq!(t.len(), 7);
+        let t = balanced_tree(3, 2);
+        assert_eq!(t.len(), 4);
+        let t = balanced_tree(5, 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn balanced_tree_strata() {
+        let t = balanced_tree(2, 3);
+        let max_stratum = t.specs().iter().map(|s| s.stratum).max().unwrap();
+        assert_eq!(max_stratum, 3);
+        let roots = t.specs().iter().filter(|s| s.parent.is_none()).count();
+        assert_eq!(roots, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "parent")]
+    fn child_before_parent_panics() {
+        let mut t = GdsTopology::new();
+        t.add("b", 2, Some("a"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_node_panics() {
+        let mut t = GdsTopology::new();
+        t.add("a", 1, None).add("a", 1, None);
+    }
+
+    #[test]
+    fn is_empty_and_names() {
+        let t = GdsTopology::new();
+        assert!(t.is_empty());
+        let t = figure2_tree();
+        assert_eq!(t.names().count(), 7);
+        assert!(t.to_string().contains("7 nodes"));
+    }
+}

@@ -1,0 +1,370 @@
+//! Attributes, micro-level values and predicates.
+
+use gsa_store::Query;
+use gsa_types::{DocSummary, Event};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The attribute side of a predicate: which part of an event (or of a
+/// document inside an event) the value is matched against.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ProfileAttr {
+    /// The host part of the event's originating collection.
+    Host,
+    /// The originating collection (`host.name` notation).
+    Collection,
+    /// The event kind (`collection-rebuilt`, `documents-added`, ...).
+    Kind,
+    /// A document's id.
+    DocId,
+    /// A document's text excerpt.
+    Text,
+    /// A document metadata key (e.g. `dc.Title`).
+    Meta(String),
+}
+
+impl ProfileAttr {
+    /// The textual name used by the profile syntax and wire format.
+    pub fn name(&self) -> &str {
+        match self {
+            ProfileAttr::Host => "host",
+            ProfileAttr::Collection => "collection",
+            ProfileAttr::Kind => "kind",
+            ProfileAttr::DocId => "doc",
+            ProfileAttr::Text => "text",
+            ProfileAttr::Meta(key) => key,
+        }
+    }
+
+    /// Parses an attribute name (anything unreserved is a metadata key).
+    pub fn parse(name: &str) -> ProfileAttr {
+        match name {
+            "host" => ProfileAttr::Host,
+            "collection" => ProfileAttr::Collection,
+            "kind" => ProfileAttr::Kind,
+            "doc" => ProfileAttr::DocId,
+            "text" => ProfileAttr::Text,
+            other => ProfileAttr::Meta(other.to_string()),
+        }
+    }
+
+    /// Whether this attribute reads from the per-document payload (rather
+    /// than the event envelope).
+    pub fn is_doc_attr(&self) -> bool {
+        matches!(
+            self,
+            ProfileAttr::DocId | ProfileAttr::Text | ProfileAttr::Meta(_)
+        )
+    }
+
+    /// The attribute's values in the given (event, document) context.
+    fn values<'a>(&self, event: &'a Event, doc: Option<&'a DocSummary>) -> Vec<&'a str> {
+        match self {
+            ProfileAttr::Host => vec![event.origin.host().as_str()],
+            ProfileAttr::Collection => Vec::new(), // handled via owned string below
+            ProfileAttr::Kind => vec![event.kind.as_str()],
+            ProfileAttr::DocId => doc.map(|d| vec![d.doc.as_str()]).unwrap_or_default(),
+            ProfileAttr::Text => doc.map(|d| vec![d.excerpt.as_str()]).unwrap_or_default(),
+            ProfileAttr::Meta(key) => doc
+                .map(|d| d.metadata.all(key).iter().map(String::as_str).collect())
+                .unwrap_or_default(),
+        }
+    }
+}
+
+impl fmt::Display for ProfileAttr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A wildcard pattern: literal segments separated by `*` (which matches
+/// any, possibly empty, substring). Matching is case-insensitive.
+///
+/// # Examples
+///
+/// ```
+/// use gsa_profile::Wildcard;
+/// let w = Wildcard::new("digital*lib*");
+/// assert!(w.matches("Digital Libraries"));
+/// assert!(!w.matches("library digital")); // order matters
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Wildcard {
+    pattern: String,
+}
+
+impl Wildcard {
+    /// Creates a pattern. `*` is the only metacharacter.
+    pub fn new(pattern: impl Into<String>) -> Self {
+        Wildcard {
+            pattern: pattern.into().to_lowercase(),
+        }
+    }
+
+    /// The (lowercased) pattern text.
+    pub fn as_str(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Tests `value` against the pattern (case-insensitive).
+    pub fn matches(&self, value: &str) -> bool {
+        let value = value.to_lowercase();
+        let mut segments = self.pattern.split('*');
+        let Some(first) = segments.next() else {
+            return value.is_empty();
+        };
+        if !value.starts_with(first) {
+            return false;
+        }
+        let mut rest = &value[first.len()..];
+        let mut pending: Vec<&str> = segments.collect();
+        let Some(last) = pending.pop() else {
+            // No '*' at all: exact match required.
+            return rest.is_empty();
+        };
+        for seg in pending {
+            if seg.is_empty() {
+                continue;
+            }
+            match rest.find(seg) {
+                Some(idx) => rest = &rest[idx + seg.len()..],
+                None => return false,
+            }
+        }
+        rest.ends_with(last)
+    }
+}
+
+impl fmt::Display for Wildcard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pattern)
+    }
+}
+
+/// The micro-level value of a predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// Exact (case-sensitive) equality — the case the equality-preferred
+    /// filter algorithm indexes in hash tables.
+    Equals(String),
+    /// Membership in an ID list.
+    OneOf(BTreeSet<String>),
+    /// A wildcard pattern.
+    Like(Wildcard),
+    /// A retrieval query evaluated with the collection's own search
+    /// semantics (tokenized Boolean/prefix matching).
+    Matches(Query),
+}
+
+impl AttrValue {
+    /// Tests one attribute value against this micro-level value.
+    pub fn accepts(&self, value: &str) -> bool {
+        match self {
+            AttrValue::Equals(expected) => value == expected,
+            AttrValue::OneOf(set) => set.contains(value),
+            AttrValue::Like(pattern) => pattern.matches(value),
+            AttrValue::Matches(query) => query.matches_text(value),
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Equals(v) => write!(f, "= \"{v}\""),
+            AttrValue::OneOf(vs) => {
+                write!(f, "in [")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "\"{v}\"")?;
+                }
+                write!(f, "]")
+            }
+            AttrValue::Like(w) => write!(f, "~ \"{w}\""),
+            AttrValue::Matches(q) => write!(f, "? ({q})"),
+        }
+    }
+}
+
+/// One attribute-value pair of the macro level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Predicate {
+    /// The attribute.
+    pub attr: ProfileAttr,
+    /// The micro-level value.
+    pub value: AttrValue,
+}
+
+impl Predicate {
+    /// Creates a predicate.
+    pub fn new(attr: ProfileAttr, value: AttrValue) -> Self {
+        Predicate { attr, value }
+    }
+
+    /// Equality shorthand.
+    pub fn equals(attr: ProfileAttr, value: impl Into<String>) -> Self {
+        Predicate::new(attr, AttrValue::Equals(value.into()))
+    }
+
+    /// Evaluates the predicate in an (event, document) context. A
+    /// multi-valued attribute (metadata) matches when *any* value is
+    /// accepted.
+    pub fn matches(&self, event: &Event, doc: Option<&DocSummary>) -> bool {
+        if self.attr == ProfileAttr::Collection {
+            // Needs an owned string (host.name); handled separately.
+            return self.value.accepts(&event.origin.to_string());
+        }
+        self.attr
+            .values(event, doc)
+            .iter()
+            .any(|v| self.value.accepts(v))
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.attr, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsa_types::{keys, CollectionId, EventId, EventKind, MetadataRecord, SimTime};
+
+    fn event() -> Event {
+        let md: MetadataRecord = [(keys::TITLE, "Digital Libraries"), (keys::SUBJECT, "alerting")]
+            .into_iter()
+            .collect();
+        Event::new(
+            EventId::new("London", 1),
+            CollectionId::new("London", "E"),
+            EventKind::DocumentsAdded,
+            SimTime::ZERO,
+        )
+        .with_docs(vec![DocSummary::new("HASH1")
+            .with_metadata(md)
+            .with_excerpt("new digital library content")])
+    }
+
+    fn doc(e: &Event) -> &DocSummary {
+        &e.docs[0]
+    }
+
+    #[test]
+    fn wildcard_basics() {
+        assert!(Wildcard::new("abc").matches("ABC"));
+        assert!(!Wildcard::new("abc").matches("abcd"));
+        assert!(Wildcard::new("abc*").matches("abcd"));
+        assert!(Wildcard::new("*bcd").matches("abcd"));
+        assert!(Wildcard::new("a*d").matches("abcd"));
+        assert!(Wildcard::new("*").matches(""));
+        assert!(Wildcard::new("*").matches("anything"));
+        assert!(!Wildcard::new("a*c*e").matches("ace-but-no"));
+        assert!(Wildcard::new("a*c*e").matches("abcde"));
+    }
+
+    #[test]
+    fn wildcard_ordering_matters() {
+        let w = Wildcard::new("*lib*dig*");
+        assert!(w.matches("library of digital things"));
+        assert!(!w.matches("digital library"));
+    }
+
+    #[test]
+    fn host_predicate() {
+        let e = event();
+        let p = Predicate::equals(ProfileAttr::Host, "London");
+        assert!(p.matches(&e, Some(doc(&e))));
+        assert!(p.matches(&e, None)); // host is an event attribute
+        let p = Predicate::equals(ProfileAttr::Host, "Hamilton");
+        assert!(!p.matches(&e, None));
+    }
+
+    #[test]
+    fn collection_predicate_uses_dotted_notation() {
+        let e = event();
+        let p = Predicate::equals(ProfileAttr::Collection, "London.E");
+        assert!(p.matches(&e, None));
+        let p = Predicate::new(
+            ProfileAttr::Collection,
+            AttrValue::Like(Wildcard::new("london.*")),
+        );
+        assert!(p.matches(&e, None));
+    }
+
+    #[test]
+    fn kind_predicate() {
+        let e = event();
+        let p = Predicate::equals(ProfileAttr::Kind, "documents-added");
+        assert!(p.matches(&e, None));
+    }
+
+    #[test]
+    fn doc_predicates_need_a_doc() {
+        let e = event();
+        let p = Predicate::equals(ProfileAttr::DocId, "HASH1");
+        assert!(p.matches(&e, Some(doc(&e))));
+        assert!(!p.matches(&e, None));
+    }
+
+    #[test]
+    fn metadata_predicate_is_any_value() {
+        let e = event();
+        let p = Predicate::equals(ProfileAttr::Meta(keys::SUBJECT.into()), "alerting");
+        assert!(p.matches(&e, Some(doc(&e))));
+        let p = Predicate::equals(ProfileAttr::Meta(keys::SUBJECT.into()), "nothing");
+        assert!(!p.matches(&e, Some(doc(&e))));
+    }
+
+    #[test]
+    fn id_list_predicate() {
+        let e = event();
+        let set: BTreeSet<String> = ["HASH1".to_string(), "HASH9".to_string()].into();
+        let p = Predicate::new(ProfileAttr::DocId, AttrValue::OneOf(set));
+        assert!(p.matches(&e, Some(doc(&e))));
+    }
+
+    #[test]
+    fn query_predicate_over_text() {
+        let e = event();
+        let q = Query::parse("digital AND librar*").unwrap();
+        let p = Predicate::new(ProfileAttr::Text, AttrValue::Matches(q));
+        assert!(p.matches(&e, Some(doc(&e))));
+        let q = Query::parse("nonexistent").unwrap();
+        let p = Predicate::new(ProfileAttr::Text, AttrValue::Matches(q));
+        assert!(!p.matches(&e, Some(doc(&e))));
+    }
+
+    #[test]
+    fn attr_parse_round_trips() {
+        for name in ["host", "collection", "kind", "doc", "text", "dc.Title"] {
+            assert_eq!(ProfileAttr::parse(name).name(), name);
+        }
+    }
+
+    #[test]
+    fn doc_attr_classification() {
+        assert!(ProfileAttr::DocId.is_doc_attr());
+        assert!(ProfileAttr::Text.is_doc_attr());
+        assert!(ProfileAttr::Meta("x".into()).is_doc_attr());
+        assert!(!ProfileAttr::Host.is_doc_attr());
+        assert!(!ProfileAttr::Collection.is_doc_attr());
+        assert!(!ProfileAttr::Kind.is_doc_attr());
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = Predicate::equals(ProfileAttr::Host, "London");
+        assert_eq!(p.to_string(), "host = \"London\"");
+        let set: BTreeSet<String> = ["a".to_string()].into();
+        let p = Predicate::new(ProfileAttr::DocId, AttrValue::OneOf(set));
+        assert_eq!(p.to_string(), "doc in [\"a\"]");
+        let p = Predicate::new(ProfileAttr::Text, AttrValue::Like(Wildcard::new("x*")));
+        assert_eq!(p.to_string(), "text ~ \"x*\"");
+    }
+}

@@ -1,0 +1,196 @@
+//! The Boolean macro level.
+
+use crate::attr::Predicate;
+use gsa_types::{DocId, DocSummary, Event};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A Boolean combination of predicates (the macro level of Section 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProfileExpr {
+    /// A single attribute-value pair.
+    Pred(Predicate),
+    /// All sub-expressions must match.
+    And(Vec<ProfileExpr>),
+    /// At least one sub-expression must match.
+    Or(Vec<ProfileExpr>),
+    /// The sub-expression must not match.
+    Not(Box<ProfileExpr>),
+}
+
+impl ProfileExpr {
+    /// Shorthand for a single-predicate expression.
+    pub fn pred(p: Predicate) -> ProfileExpr {
+        ProfileExpr::Pred(p)
+    }
+
+    /// Evaluates the expression against one (event, document) context.
+    pub fn matches(&self, event: &Event, doc: Option<&DocSummary>) -> bool {
+        match self {
+            ProfileExpr::Pred(p) => p.matches(event, doc),
+            ProfileExpr::And(es) => es.iter().all(|e| e.matches(event, doc)),
+            ProfileExpr::Or(es) => es.iter().any(|e| e.matches(event, doc)),
+            ProfileExpr::Not(e) => !e.matches(event, doc),
+        }
+    }
+
+    /// Evaluates against a whole event: the profile matches when any of
+    /// the event's documents satisfies it, or — for events without
+    /// documents (e.g. collection deletions) — when the document-free
+    /// context satisfies it.
+    pub fn matches_event(&self, event: &Event) -> bool {
+        if event.docs.is_empty() {
+            return self.matches(event, None);
+        }
+        event.docs.iter().any(|d| self.matches(event, Some(d)))
+    }
+
+    /// The documents of `event` that satisfy the profile (the notification
+    /// payload). Empty for non-matching events; also empty when the event
+    /// has no documents but matches at the event level.
+    pub fn matching_docs<'e>(&self, event: &'e Event) -> Vec<&'e DocId> {
+        event
+            .docs
+            .iter()
+            .filter(|d| self.matches(event, Some(d)))
+            .map(|d| &d.doc)
+            .collect()
+    }
+
+    /// The number of predicates in the expression.
+    pub fn predicate_count(&self) -> usize {
+        match self {
+            ProfileExpr::Pred(_) => 1,
+            ProfileExpr::And(es) | ProfileExpr::Or(es) => {
+                es.iter().map(ProfileExpr::predicate_count).sum()
+            }
+            ProfileExpr::Not(e) => e.predicate_count(),
+        }
+    }
+}
+
+impl From<Predicate> for ProfileExpr {
+    fn from(p: Predicate) -> Self {
+        ProfileExpr::Pred(p)
+    }
+}
+
+impl fmt::Display for ProfileExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileExpr::Pred(p) => write!(f, "{p}"),
+            ProfileExpr::And(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            ProfileExpr::Or(es) => {
+                write!(f, "(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            ProfileExpr::Not(e) => write!(f, "NOT {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::{AttrValue, ProfileAttr, Wildcard};
+    use gsa_types::{keys, CollectionId, EventId, EventKind, MetadataRecord, SimTime};
+
+    fn event_with_docs() -> Event {
+        let md1: MetadataRecord = [(keys::SUBJECT, "alerting")].into_iter().collect();
+        let md2: MetadataRecord = [(keys::SUBJECT, "archives")].into_iter().collect();
+        Event::new(
+            EventId::new("London", 1),
+            CollectionId::new("London", "E"),
+            EventKind::DocumentsAdded,
+            SimTime::ZERO,
+        )
+        .with_docs(vec![
+            DocSummary::new("d1").with_metadata(md1).with_excerpt("alpha"),
+            DocSummary::new("d2").with_metadata(md2).with_excerpt("beta"),
+        ])
+    }
+
+    fn subject(v: &str) -> ProfileExpr {
+        Predicate::equals(ProfileAttr::Meta(keys::SUBJECT.into()), v).into()
+    }
+
+    #[test]
+    fn and_or_not_semantics() {
+        let e = event_with_docs();
+        let host_ok: ProfileExpr = Predicate::equals(ProfileAttr::Host, "London").into();
+        let and = ProfileExpr::And(vec![host_ok.clone(), subject("alerting")]);
+        assert!(and.matches_event(&e));
+        let and = ProfileExpr::And(vec![host_ok.clone(), subject("nothing")]);
+        assert!(!and.matches_event(&e));
+        let or = ProfileExpr::Or(vec![subject("nothing"), subject("archives")]);
+        assert!(or.matches_event(&e));
+        let not = ProfileExpr::Not(Box::new(host_ok));
+        assert!(!not.matches_event(&e));
+    }
+
+    #[test]
+    fn per_doc_matching_any_semantics() {
+        let e = event_with_docs();
+        // Matches via d1 only.
+        assert!(subject("alerting").matches_event(&e));
+        let docs = subject("alerting").matching_docs(&e);
+        assert_eq!(docs, vec![&DocId::new("d1")]);
+    }
+
+    #[test]
+    fn conjunction_is_per_document_not_across_documents() {
+        let e = event_with_docs();
+        // No single document has both subjects, although the event does.
+        let both = ProfileExpr::And(vec![subject("alerting"), subject("archives")]);
+        assert!(!both.matches_event(&e));
+    }
+
+    #[test]
+    fn docless_event_matches_event_level_profiles() {
+        let e = Event::new(
+            EventId::new("London", 2),
+            CollectionId::new("London", "E"),
+            EventKind::CollectionDeleted,
+            SimTime::ZERO,
+        );
+        let host: ProfileExpr = Predicate::equals(ProfileAttr::Host, "London").into();
+        assert!(host.matches_event(&e));
+        assert!(!subject("alerting").matches_event(&e));
+        assert!(host.matching_docs(&e).is_empty());
+    }
+
+    #[test]
+    fn predicate_count() {
+        let e = ProfileExpr::And(vec![
+            subject("a"),
+            ProfileExpr::Not(Box::new(ProfileExpr::Or(vec![subject("b"), subject("c")]))),
+        ]);
+        assert_eq!(e.predicate_count(), 3);
+    }
+
+    #[test]
+    fn display_nests() {
+        let e = ProfileExpr::And(vec![
+            Predicate::equals(ProfileAttr::Host, "London").into(),
+            ProfileExpr::Not(Box::new(
+                Predicate::new(ProfileAttr::Text, AttrValue::Like(Wildcard::new("x*"))).into(),
+            )),
+        ]);
+        assert_eq!(e.to_string(), "(host = \"London\" AND NOT text ~ \"x*\")");
+    }
+}

@@ -1,0 +1,442 @@
+//! The textual profile syntax.
+//!
+//! ```text
+//! expr  := or
+//! or    := and ( OR and )*
+//! and   := unary ( AND unary )*
+//! unary := NOT unary | '(' expr ')' | pred
+//! pred  := attr op value
+//! attr  := identifier (dots allowed: dc.Title); reserved: host,
+//!          collection, kind, doc, text
+//! op/value :=
+//!   '=' "string"            exact equality
+//!   '~' "pattern"           wildcard ('*' matches any substring)
+//!   in ["a", "b", ...]      ID list
+//!   ? (query text)          retrieval query, see gsa-store's syntax
+//! ```
+
+use crate::attr::{AttrValue, Predicate, ProfileAttr, Wildcard};
+use crate::expr::ProfileExpr;
+use gsa_store::Query;
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+/// Error parsing the textual profile syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProfileError {
+    message: String,
+}
+
+impl ParseProfileError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseProfileError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid profile: {}", self.message)
+    }
+}
+
+impl Error for ParseProfileError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    RawQuery(String),
+    List(Vec<String>),
+    Eq,
+    Tilde,
+    Question,
+    In,
+    And,
+    Or,
+    Not,
+    Open,
+    Close,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, ParseProfileError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                // After '?', parentheses delimit a raw retrieval query.
+                if tokens.last() == Some(&Tok::Question) {
+                    let mut depth = 1;
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < chars.len() && depth > 0 {
+                        match chars[j] {
+                            '(' => depth += 1,
+                            ')' => depth -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if depth != 0 {
+                        return Err(ParseProfileError::new("unterminated query value"));
+                    }
+                    let raw: String = chars[start..j - 1].iter().collect();
+                    tokens.push(Tok::RawQuery(raw));
+                    i = j;
+                } else {
+                    tokens.push(Tok::Open);
+                    i += 1;
+                }
+            }
+            ')' => {
+                tokens.push(Tok::Close);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Tok::Eq);
+                i += 1;
+            }
+            '~' => {
+                tokens.push(Tok::Tilde);
+                i += 1;
+            }
+            '?' => {
+                tokens.push(Tok::Question);
+                i += 1;
+            }
+            '"' => {
+                let (s, next) = lex_string(&chars, i)?;
+                tokens.push(Tok::Str(s));
+                i = next;
+            }
+            '[' => {
+                let mut items = Vec::new();
+                i += 1;
+                loop {
+                    while i < chars.len() && (chars[i].is_whitespace() || chars[i] == ',') {
+                        i += 1;
+                    }
+                    if i >= chars.len() {
+                        return Err(ParseProfileError::new("unterminated id list"));
+                    }
+                    if chars[i] == ']' {
+                        i += 1;
+                        break;
+                    }
+                    if chars[i] != '"' {
+                        return Err(ParseProfileError::new("id list items must be quoted"));
+                    }
+                    let (s, next) = lex_string(&chars, i)?;
+                    items.push(s);
+                    i = next;
+                }
+                tokens.push(Tok::List(items));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || matches!(chars[i], '_' | '.' | '-'))
+                {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                match word.to_ascii_uppercase().as_str() {
+                    "AND" => tokens.push(Tok::And),
+                    "OR" => tokens.push(Tok::Or),
+                    "NOT" => tokens.push(Tok::Not),
+                    "IN" => tokens.push(Tok::In),
+                    _ => tokens.push(Tok::Ident(word)),
+                }
+            }
+            other => {
+                return Err(ParseProfileError::new(format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn lex_string(chars: &[char], open: usize) -> Result<(String, usize), ParseProfileError> {
+    debug_assert_eq!(chars[open], '"');
+    let mut out = String::new();
+    let mut i = open + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '"' => return Ok((out, i + 1)),
+            '\\' if i + 1 < chars.len() => {
+                out.push(chars[i + 1]);
+                i += 2;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    Err(ParseProfileError::new("unterminated string"))
+}
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn parse_or(&mut self) -> Result<ProfileExpr, ParseProfileError> {
+        let mut parts = vec![self.parse_and()?];
+        while self.peek() == Some(&Tok::Or) {
+            self.pos += 1;
+            parts.push(self.parse_and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("non-empty")
+        } else {
+            ProfileExpr::Or(parts)
+        })
+    }
+
+    fn parse_and(&mut self) -> Result<ProfileExpr, ParseProfileError> {
+        let mut parts = vec![self.parse_unary()?];
+        while self.peek() == Some(&Tok::And) {
+            self.pos += 1;
+            parts.push(self.parse_unary()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("non-empty")
+        } else {
+            ProfileExpr::And(parts)
+        })
+    }
+
+    fn parse_unary(&mut self) -> Result<ProfileExpr, ParseProfileError> {
+        match self.peek().cloned() {
+            Some(Tok::Not) => {
+                self.pos += 1;
+                Ok(ProfileExpr::Not(Box::new(self.parse_unary()?)))
+            }
+            Some(Tok::Open) => {
+                self.pos += 1;
+                let e = self.parse_or()?;
+                if self.peek() != Some(&Tok::Close) {
+                    return Err(ParseProfileError::new("missing closing parenthesis"));
+                }
+                self.pos += 1;
+                Ok(e)
+            }
+            Some(Tok::Ident(attr)) => {
+                self.pos += 1;
+                let attr = ProfileAttr::parse(&attr);
+                let value = match self.peek().cloned() {
+                    Some(Tok::Eq) => {
+                        self.pos += 1;
+                        match self.peek().cloned() {
+                            Some(Tok::Str(s)) => {
+                                self.pos += 1;
+                                AttrValue::Equals(s)
+                            }
+                            _ => return Err(ParseProfileError::new("`=` needs a quoted string")),
+                        }
+                    }
+                    Some(Tok::Tilde) => {
+                        self.pos += 1;
+                        match self.peek().cloned() {
+                            Some(Tok::Str(s)) => {
+                                self.pos += 1;
+                                AttrValue::Like(Wildcard::new(s))
+                            }
+                            _ => return Err(ParseProfileError::new("`~` needs a quoted pattern")),
+                        }
+                    }
+                    Some(Tok::In) => {
+                        self.pos += 1;
+                        match self.peek().cloned() {
+                            Some(Tok::List(items)) => {
+                                self.pos += 1;
+                                AttrValue::OneOf(items.into_iter().collect::<BTreeSet<_>>())
+                            }
+                            _ => return Err(ParseProfileError::new("`in` needs a [\"...\"] list")),
+                        }
+                    }
+                    Some(Tok::Question) => {
+                        self.pos += 1;
+                        match self.peek().cloned() {
+                            Some(Tok::RawQuery(raw)) => {
+                                self.pos += 1;
+                                let q = Query::parse(&raw).map_err(|e| {
+                                    ParseProfileError::new(format!("bad query value: {e}"))
+                                })?;
+                                AttrValue::Matches(q)
+                            }
+                            _ => {
+                                return Err(ParseProfileError::new("`?` needs a (query) value"));
+                            }
+                        }
+                    }
+                    _ => {
+                        return Err(ParseProfileError::new(format!(
+                            "attribute `{attr}` needs an operator (=, ~, in, ?)"
+                        )));
+                    }
+                };
+                Ok(ProfileExpr::Pred(Predicate::new(attr, value)))
+            }
+            Some(tok) => Err(ParseProfileError::new(format!("unexpected token {tok:?}"))),
+            None => Err(ParseProfileError::new("empty profile")),
+        }
+    }
+}
+
+/// Parses the textual profile syntax into a [`ProfileExpr`].
+///
+/// # Errors
+///
+/// Returns [`ParseProfileError`] on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use gsa_profile::parse_profile;
+/// let expr = parse_profile(
+///     r#"host = "London" AND (dc.Subject in ["dl", "pubsub"] OR text ? (alert*))"#,
+/// )?;
+/// assert_eq!(expr.predicate_count(), 3);
+/// # Ok::<(), gsa_profile::ParseProfileError>(())
+/// ```
+pub fn parse_profile(input: &str) -> Result<ProfileExpr, ParseProfileError> {
+    let tokens = lex(input)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let expr = parser.parse_or()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(ParseProfileError::new("unexpected trailing input"));
+    }
+    Ok(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_equality() {
+        let e = parse_profile(r#"host = "London""#).unwrap();
+        assert_eq!(
+            e,
+            ProfileExpr::Pred(Predicate::equals(ProfileAttr::Host, "London"))
+        );
+    }
+
+    #[test]
+    fn parse_metadata_attr_with_dots() {
+        let e = parse_profile(r#"dc.Title = "Greenstone""#).unwrap();
+        match e {
+            ProfileExpr::Pred(p) => assert_eq!(p.attr, ProfileAttr::Meta("dc.Title".into())),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_wildcard() {
+        let e = parse_profile(r#"text ~ "digi*""#).unwrap();
+        match e {
+            ProfileExpr::Pred(Predicate {
+                value: AttrValue::Like(w),
+                ..
+            }) => assert_eq!(w.as_str(), "digi*"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_id_list() {
+        let e = parse_profile(r#"doc in ["HASH1", "HASH2"]"#).unwrap();
+        match e {
+            ProfileExpr::Pred(Predicate {
+                value: AttrValue::OneOf(set),
+                ..
+            }) => assert_eq!(set.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_query_value() {
+        let e = parse_profile("text ? (digital AND (librar* OR archive))").unwrap();
+        match e {
+            ProfileExpr::Pred(Predicate {
+                value: AttrValue::Matches(_),
+                ..
+            }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_boolean_structure() {
+        let e = parse_profile(r#"host = "a" AND NOT (kind = "b" OR kind = "c")"#).unwrap();
+        assert_eq!(e.predicate_count(), 3);
+        match e {
+            ProfileExpr::And(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[1], ProfileExpr::Not(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter() {
+        let e = parse_profile(r#"host = "a" AND host = "b" OR host = "c""#).unwrap();
+        assert!(matches!(e, ProfileExpr::Or(_)));
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let e = parse_profile(r#"dc.Title = "say \"hi\"""#).unwrap();
+        match e {
+            ProfileExpr::Pred(Predicate {
+                value: AttrValue::Equals(s),
+                ..
+            }) => assert_eq!(s, "say \"hi\""),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_profile("").is_err());
+        assert!(parse_profile("host =").is_err());
+        assert!(parse_profile("host").is_err());
+        assert!(parse_profile(r#"host = "a" extra"#).is_err());
+        assert!(parse_profile(r#"(host = "a""#).is_err());
+        assert!(parse_profile(r#"doc in ["a""#).is_err());
+        assert!(parse_profile(r#"doc in [a]"#).is_err());
+        assert!(parse_profile(r#"text ? (a"#).is_err());
+        assert!(parse_profile(r#"text ? (AND)"#).is_err());
+        assert!(parse_profile(r#"host = "unterminated"#).is_err());
+        assert!(parse_profile("host @ \"x\"").is_err());
+    }
+
+    #[test]
+    fn display_of_parsed_profile_reparses_equivalently() {
+        let texts = [
+            r#"host = "London" AND text ~ "dig*""#,
+            r#"(doc in ["a", "b"] OR kind = "collection-rebuilt")"#,
+            r#"NOT dc.Subject = "spam" AND text ? (alert* OR notify)"#,
+        ];
+        for t in texts {
+            let e1 = parse_profile(t).unwrap();
+            let e2 = parse_profile(&e1.to_string()).unwrap();
+            assert_eq!(e1, e2, "profile {t}");
+        }
+    }
+}

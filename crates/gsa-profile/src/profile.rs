@@ -1,0 +1,180 @@
+//! Owned profiles and their user-facing constructors.
+
+use crate::attr::{AttrValue, Predicate, ProfileAttr};
+use crate::expr::ProfileExpr;
+use gsa_store::Query;
+use gsa_types::{ClientId, CollectionId, DocId, Event, ProfileId};
+use std::fmt;
+
+/// A registered profile: a continuous query owned by one client.
+///
+/// Profiles are stored only at the server the client registered them with
+/// (research problem 4: no profile may live on a server that could become
+/// unreachable, so cancellation is always local and immediate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    id: ProfileId,
+    owner: ClientId,
+    expr: ProfileExpr,
+}
+
+impl Profile {
+    /// Creates a profile.
+    pub fn new(id: ProfileId, owner: ClientId, expr: ProfileExpr) -> Self {
+        Profile { id, owner, expr }
+    }
+
+    /// The profile's id (unique per subscription manager).
+    pub fn id(&self) -> ProfileId {
+        self.id
+    }
+
+    /// The owning client.
+    pub fn owner(&self) -> ClientId {
+        self.owner
+    }
+
+    /// The profile expression.
+    pub fn expr(&self) -> &ProfileExpr {
+        &self.expr
+    }
+
+    /// The "watch this" button (Section 5): an identity-centred
+    /// observation of one document in one collection.
+    pub fn watch_document(
+        id: ProfileId,
+        owner: ClientId,
+        collection: &CollectionId,
+        doc: &DocId,
+    ) -> Self {
+        let expr = ProfileExpr::And(vec![
+            Predicate::equals(ProfileAttr::Collection, collection.to_string()).into(),
+            Predicate::equals(ProfileAttr::DocId, doc.as_str()).into(),
+        ]);
+        Profile::new(id, owner, expr)
+    }
+
+    /// A whole-collection observation: notify about any change to the
+    /// collection.
+    pub fn watch_collection(id: ProfileId, owner: ClientId, collection: &CollectionId) -> Self {
+        Profile::new(
+            id,
+            owner,
+            Predicate::equals(ProfileAttr::Collection, collection.to_string()).into(),
+        )
+    }
+
+    /// A search query turned continuous (Section 5: "search queries can be
+    /// used as profile queries"). Scoped to a collection when given.
+    pub fn from_search(
+        id: ProfileId,
+        owner: ClientId,
+        collection: Option<&CollectionId>,
+        query: Query,
+    ) -> Self {
+        let text_pred: ProfileExpr =
+            Predicate::new(ProfileAttr::Text, AttrValue::Matches(query)).into();
+        let expr = match collection {
+            Some(c) => ProfileExpr::And(vec![
+                Predicate::equals(ProfileAttr::Collection, c.to_string()).into(),
+                text_pred,
+            ]),
+            None => text_pred,
+        };
+        Profile::new(id, owner, expr)
+    }
+
+    /// Evaluates the profile against an event.
+    pub fn matches_event(&self, event: &Event) -> bool {
+        self.expr.matches_event(event)
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} of {}: {}", self.id, self.owner, self.expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsa_types::{DocSummary, EventId, EventKind, SimTime};
+
+    fn event(collection: CollectionId, doc: &str, text: &str) -> Event {
+        Event::new(
+            EventId::new(collection.host().clone(), 1),
+            collection,
+            EventKind::DocumentsUpdated,
+            SimTime::ZERO,
+        )
+        .with_docs(vec![DocSummary::new(doc).with_excerpt(text)])
+    }
+
+    #[test]
+    fn watch_document_matches_only_that_document() {
+        let c = CollectionId::new("London", "E");
+        let p = Profile::watch_document(
+            ProfileId::from_raw(1),
+            ClientId::from_raw(1),
+            &c,
+            &DocId::new("HASH1"),
+        );
+        assert!(p.matches_event(&event(c.clone(), "HASH1", "x")));
+        assert!(!p.matches_event(&event(c.clone(), "HASH2", "x")));
+        assert!(!p.matches_event(&event(CollectionId::new("Paris", "E"), "HASH1", "x")));
+    }
+
+    #[test]
+    fn watch_collection_matches_any_change() {
+        let c = CollectionId::new("London", "E");
+        let p = Profile::watch_collection(ProfileId::from_raw(2), ClientId::from_raw(1), &c);
+        assert!(p.matches_event(&event(c.clone(), "any", "x")));
+        // Also docless events about the collection.
+        let deleted = Event::new(
+            EventId::new("London", 2),
+            c,
+            EventKind::CollectionDeleted,
+            SimTime::ZERO,
+        );
+        assert!(p.matches_event(&deleted));
+    }
+
+    #[test]
+    fn from_search_scoped_and_unscoped() {
+        let c = CollectionId::new("London", "E");
+        let q = Query::parse("digital AND libraries").unwrap();
+        let scoped = Profile::from_search(
+            ProfileId::from_raw(3),
+            ClientId::from_raw(1),
+            Some(&c),
+            q.clone(),
+        );
+        assert!(scoped.matches_event(&event(c.clone(), "d", "digital libraries")));
+        assert!(!scoped.matches_event(&event(
+            CollectionId::new("Paris", "Z"),
+            "d",
+            "digital libraries"
+        )));
+        let unscoped = Profile::from_search(ProfileId::from_raw(4), ClientId::from_raw(1), None, q);
+        assert!(unscoped.matches_event(&event(
+            CollectionId::new("Paris", "Z"),
+            "d",
+            "digital libraries"
+        )));
+    }
+
+    #[test]
+    fn accessors_and_display() {
+        let p = Profile::watch_collection(
+            ProfileId::from_raw(9),
+            ClientId::from_raw(4),
+            &CollectionId::new("A", "B"),
+        );
+        assert_eq!(p.id(), ProfileId::from_raw(9));
+        assert_eq!(p.owner(), ClientId::from_raw(4));
+        assert!(p.to_string().contains("profile-9"));
+        assert!(p.to_string().contains("client-4"));
+        assert!(p.expr().predicate_count() == 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! The actor abstraction: protocol state machines driven by the simulator.
+
+use crate::sim::NodeId;
+use gsa_types::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use std::fmt;
+
+/// Identifies a pending timer so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub(crate) u64);
+
+impl fmt::Display for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer-{}", self.0)
+    }
+}
+
+/// A protocol state machine living on one simulated node.
+///
+/// Implementations react to messages and timers through the [`Ctx`] handed
+/// to each callback; they must not block or keep references into the
+/// context between callbacks.
+pub trait Actor<M>: 'static {
+    /// Called once when the simulation starts (or when the node is added to
+    /// an already-running simulation).
+    fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
+        let _ = ctx;
+    }
+
+    /// Called for every message delivered to this node.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: NodeId, msg: M);
+
+    /// Called when a timer set through [`Ctx::set_timer`] fires. `tag` is
+    /// the caller-chosen discriminator passed when the timer was set.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, timer: TimerId, tag: u64) {
+        let _ = (ctx, timer, tag);
+    }
+}
+
+/// Commands buffered by a [`Ctx`] during one actor callback.
+#[derive(Debug)]
+pub(crate) enum Command<M> {
+    Send { to: NodeId, msg: M },
+    SetTimer { id: TimerId, delay: SimDuration, tag: u64 },
+    CancelTimer { id: TimerId },
+    Count { name: String, delta: u64 },
+    Record { name: String, value: u64 },
+}
+
+/// The interface an [`Actor`] uses to interact with the simulated world.
+///
+/// All effects are buffered and applied by the simulator after the callback
+/// returns, in order.
+pub struct Ctx<'a, M> {
+    pub(crate) node: NodeId,
+    pub(crate) now: SimTime,
+    pub(crate) commands: Vec<Command<M>>,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) next_timer: &'a mut u64,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// The id of the node this actor runs on.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Sends `msg` to `to`. Delivery is subject to the link model: latency,
+    /// jitter, loss, partitions and downed nodes.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.commands.push(Command::Send { to, msg });
+    }
+
+    /// Schedules a timer `delay` from now. `tag` is passed back to
+    /// [`Actor::on_timer`] so one actor can multiplex timer purposes.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.commands.push(Command::SetTimer { id, delay, tag });
+        id
+    }
+
+    /// Cancels a timer previously set with [`Ctx::set_timer`]. Cancelling a
+    /// timer that already fired is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.commands.push(Command::CancelTimer { id });
+    }
+
+    /// Adds `delta` to the named experiment counter.
+    pub fn count(&mut self, name: &str, delta: u64) {
+        self.commands.push(Command::Count {
+            name: name.to_string(),
+            delta,
+        });
+    }
+
+    /// Records `value` into the named histogram.
+    pub fn record(&mut self, name: &str, value: u64) {
+        self.commands.push(Command::Record {
+            name: name.to_string(),
+            value,
+        });
+    }
+
+    /// Deterministic per-run random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+impl<'a, M> fmt::Debug for Ctx<'a, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ctx")
+            .field("node", &self.node)
+            .field("now", &self.now)
+            .field("buffered", &self.commands.len())
+            .finish()
+    }
+}

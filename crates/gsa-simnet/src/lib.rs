@@ -1,0 +1,67 @@
+//! A deterministic discrete-event network simulator.
+//!
+//! Every protocol in this workspace — the Greenstone (GS) protocol, the
+//! Greenstone Directory Service (GDS) protocol, the alerting service and
+//! the baseline comparators — runs over this simulator. It replaces the
+//! physical testbed of Greenstone installations the paper's authors had:
+//! nodes are protocol actors, links have latency/jitter/loss, nodes and
+//! links can fail and recover, and the network can be partitioned and
+//! healed mid-run. Runs are fully deterministic given a seed, which is what
+//! makes the reproduced experiments repeatable.
+//!
+//! # Model
+//!
+//! * An [`Actor`] reacts to messages and timers via [`Ctx`], which buffers
+//!   its outputs (sends, new timers, counter increments).
+//! * The [`Sim`] owns all actors, a priority queue of pending deliveries
+//!   and timers, the link model and the metrics.
+//! * Physical connectivity is *universal by default* (the Internet), with
+//!   explicit partitions, downed nodes or per-pair link overrides taking
+//!   precedence. Fragmentation in the paper's sense — who *references*
+//!   whom — is a property of the protocols above, not of this layer.
+//!
+//! # Examples
+//!
+//! ```
+//! use gsa_simnet::{Actor, Ctx, NodeId, Sim};
+//! use gsa_types::SimTime;
+//!
+//! struct Echo;
+//! impl Actor<String> for Echo {
+//!     fn on_message(&mut self, ctx: &mut Ctx<'_, String>, from: NodeId, msg: String) {
+//!         if msg == "ping" {
+//!             ctx.send(from, "pong".to_string());
+//!         }
+//!     }
+//! }
+//!
+//! struct Probe;
+//! impl Actor<String> for Probe {
+//!     fn on_start(&mut self, ctx: &mut Ctx<'_, String>) {
+//!         ctx.send(NodeId::from_raw(0), "ping".to_string());
+//!     }
+//!     fn on_message(&mut self, ctx: &mut Ctx<'_, String>, _from: NodeId, msg: String) {
+//!         ctx.count(&format!("probe.{msg}"), 1);
+//!     }
+//! }
+//!
+//! let mut sim = Sim::new(42);
+//! sim.add_node("echo", Echo);
+//! sim.add_node("probe", Probe);
+//! sim.run_until_quiet(SimTime::from_secs(10));
+//! assert_eq!(sim.metrics().counter("probe.pong"), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actor;
+pub mod link;
+pub mod metrics;
+pub mod rt;
+pub mod sim;
+
+pub use actor::{Actor, Ctx, TimerId};
+pub use link::{LinkConfig, LinkState};
+pub use metrics::{Histogram, Metrics};
+pub use sim::{NodeId, Sim, TraceEntry};

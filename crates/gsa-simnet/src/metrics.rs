@@ -1,0 +1,327 @@
+//! Run metrics: named counters, histograms and per-node load accounting.
+
+use crate::sim::NodeId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A histogram of `u64` samples with on-demand quantiles.
+///
+/// # Examples
+///
+/// ```
+/// use gsa_simnet::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [1, 2, 3, 4, 100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.len(), 5);
+/// assert_eq!(h.max(), Some(100));
+/// assert_eq!(h.quantile(0.5), Some(3));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// The number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        Some(self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64)
+    }
+
+    /// The maximum sample.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+
+    /// The minimum sample.
+    pub fn min(&self) -> Option<u64> {
+        self.samples.iter().copied().min()
+    }
+
+    /// The `q`-quantile (nearest-rank), `q` clamped into `[0,1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: the smallest sample with cumulative frequency >= q.
+        let rank = (q * self.samples.len() as f64).ceil() as usize;
+        let idx = rank.saturating_sub(1).min(self.samples.len() - 1);
+        Some(self.samples[idx])
+    }
+
+    /// All samples, in insertion order if quantiles were never queried.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(mean) => write!(
+                f,
+                "n={} mean={:.1} min={} max={}",
+                self.len(),
+                mean,
+                self.min().unwrap_or(0),
+                self.max().unwrap_or(0)
+            ),
+            None => write!(f, "n=0"),
+        }
+    }
+}
+
+/// Metrics accumulated during a simulation run.
+///
+/// Counters and histograms are named by free-form strings, so protocol
+/// layers can define their own without the simulator knowing about them.
+/// The simulator itself maintains `net.sent`, `net.delivered`,
+/// `net.dropped`, `net.bytes` and the per-node send/receive loads.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    node_sent: BTreeMap<NodeId, u64>,
+    node_received: BTreeMap<NodeId, u64>,
+}
+
+impl Metrics {
+    /// Creates an empty metrics store.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn count(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_default() += delta;
+    }
+
+    /// Reads a counter (0 when never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Records a histogram sample.
+    pub fn record(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Reads a histogram, if any samples were recorded under `name`.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Mutable access to a histogram (for quantile queries).
+    pub fn histogram_mut(&mut self, name: &str) -> Option<&mut Histogram> {
+        self.histograms.get_mut(name)
+    }
+
+    pub(crate) fn note_sent(&mut self, node: NodeId) {
+        *self.node_sent.entry(node).or_default() += 1;
+    }
+
+    pub(crate) fn note_received(&mut self, node: NodeId) {
+        *self.node_received.entry(node).or_default() += 1;
+    }
+
+    /// Messages sent per node (nodes that never sent are absent).
+    pub fn node_sent(&self) -> &BTreeMap<NodeId, u64> {
+        &self.node_sent
+    }
+
+    /// Messages received per node (nodes that never received are absent).
+    pub fn node_received(&self) -> &BTreeMap<NodeId, u64> {
+        &self.node_received
+    }
+
+    /// Load-imbalance summary over per-node received counts:
+    /// `(max, mean, gini)`. Returns `None` when nothing was received.
+    ///
+    /// Used by the rendezvous-bottleneck experiment (E6): a rendezvous
+    /// scheme concentrates load on few nodes, driving max/mean and the Gini
+    /// coefficient up.
+    pub fn receive_load_imbalance(&self) -> Option<(u64, f64, f64)> {
+        if self.node_received.is_empty() {
+            return None;
+        }
+        let mut loads: Vec<u64> = self.node_received.values().copied().collect();
+        loads.sort_unstable();
+        let n = loads.len() as f64;
+        let total: u64 = loads.iter().sum();
+        if total == 0 {
+            return Some((0, 0.0, 0.0));
+        }
+        let mean = total as f64 / n;
+        let max = *loads.last().expect("non-empty");
+        // Gini over the sorted loads.
+        let weighted: f64 = loads
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+            .sum();
+        let gini = (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n;
+        Some((max, mean, gini))
+    }
+
+    /// Merges another metrics store into this one (summing counters and
+    /// concatenating histograms). Useful to aggregate repeated runs.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in other.counters.iter() {
+            *self.counters.entry(k.clone()).or_default() += v;
+        }
+        for (k, h) in other.histograms.iter() {
+            let dst = self.histograms.entry(k.clone()).or_default();
+            for &s in h.samples() {
+                dst.record(s);
+            }
+        }
+        for (k, v) in other.node_sent.iter() {
+            *self.node_sent.entry(*k).or_default() += v;
+        }
+        for (k, v) in other.node_received.iter() {
+            *self.node_received.entry(*k).or_default() += v;
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "counters:")?;
+        for (k, v) in self.counters.iter() {
+            writeln!(f, "  {k} = {v}")?;
+        }
+        writeln!(f, "histograms:")?;
+        for (k, h) in self.histograms.iter() {
+            writeln!(f, "  {k}: {h}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(100));
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.to_string(), "n=0");
+    }
+
+    #[test]
+    fn counters_default_zero() {
+        let m = Metrics::new();
+        assert_eq!(m.counter("nothing"), 0);
+    }
+
+    #[test]
+    fn count_and_record() {
+        let mut m = Metrics::new();
+        m.count("a", 2);
+        m.count("a", 3);
+        m.record("h", 7);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.histogram("h").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn gini_uniform_is_zero() {
+        let mut m = Metrics::new();
+        for i in 0..4 {
+            for _ in 0..10 {
+                m.note_received(NodeId::from_raw(i));
+            }
+        }
+        let (max, mean, gini) = m.receive_load_imbalance().unwrap();
+        assert_eq!(max, 10);
+        assert!((mean - 10.0).abs() < 1e-9);
+        assert!(gini.abs() < 1e-9);
+    }
+
+    #[test]
+    fn gini_concentrated_is_high() {
+        let mut m = Metrics::new();
+        for _ in 0..100 {
+            m.note_received(NodeId::from_raw(0));
+        }
+        for i in 1..10 {
+            m.note_received(NodeId::from_raw(i));
+        }
+        let (max, mean, gini) = m.receive_load_imbalance().unwrap();
+        assert_eq!(max, 100);
+        assert!(mean < 11.0);
+        assert!(gini > 0.7, "gini={gini}");
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = Metrics::new();
+        a.count("c", 1);
+        a.record("h", 1);
+        let mut b = Metrics::new();
+        b.count("c", 2);
+        b.record("h", 3);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.histogram("h").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn imbalance_none_when_empty() {
+        assert!(Metrics::new().receive_load_imbalance().is_none());
+    }
+}

@@ -1,0 +1,257 @@
+//! A small real-time, thread-based transport.
+//!
+//! The discrete-event [`Sim`](crate::Sim) is the primary substrate, but the
+//! live examples also want to demonstrate the protocols running
+//! concurrently in wall-clock time. This module provides exactly that: one
+//! OS thread per node, a router thread applying per-message latency, and
+//! crossbeam channels in between. Handlers are a deliberately minimal
+//! variant of [`Actor`](crate::Actor) — real protocols stay on the
+//! simulator; this transport exists to show they are transport-agnostic.
+
+use crate::sim::NodeId;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// A handler reacting to messages on the real-time network.
+pub trait RtHandler<M>: Send + 'static {
+    /// Called for every message delivered to this node.
+    fn on_message(&mut self, net: &RtSender<M>, from: NodeId, msg: M);
+}
+
+impl<M, F: FnMut(&RtSender<M>, NodeId, M) + Send + 'static> RtHandler<M> for F {
+    fn on_message(&mut self, net: &RtSender<M>, from: NodeId, msg: M) {
+        self(net, from, msg)
+    }
+}
+
+enum Routed<M> {
+    Message { from: NodeId, to: NodeId, msg: M },
+    Shutdown,
+}
+
+/// A handle nodes use to send messages into the network.
+pub struct RtSender<M> {
+    node: NodeId,
+    router: Sender<Routed<M>>,
+}
+
+impl<M> Clone for RtSender<M> {
+    fn clone(&self) -> Self {
+        RtSender {
+            node: self.node,
+            router: self.router.clone(),
+        }
+    }
+}
+
+impl<M> fmt::Debug for RtSender<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RtSender").field("node", &self.node).finish()
+    }
+}
+
+impl<M> RtSender<M> {
+    /// The node this sender belongs to.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Sends `msg` to `to`. Messages to unknown nodes are dropped by the
+    /// router.
+    pub fn send(&self, to: NodeId, msg: M) {
+        // A closed router means the network is shutting down; dropping the
+        // message matches best-effort semantics.
+        let _ = self.router.send(Routed::Message {
+            from: self.node,
+            to,
+            msg,
+        });
+    }
+}
+
+/// A running real-time network of handler threads.
+///
+/// Dropping the network shuts it down; prefer calling
+/// [`RtNetwork::shutdown`] to join threads deterministically.
+///
+/// # Examples
+///
+/// ```
+/// use gsa_simnet::rt::{RtNetwork, RtSender};
+/// use gsa_simnet::NodeId;
+/// use std::sync::mpsc;
+///
+/// let mut net = RtNetwork::<String>::new(std::time::Duration::from_millis(1));
+/// let echo = net.add_node("echo", |net: &RtSender<String>, from: NodeId, msg: String| {
+///     if msg == "ping" {
+///         net.send(from, "pong".into());
+///     }
+/// });
+/// let (tx, rx) = mpsc::channel();
+/// let probe = net.add_node("probe", move |_net: &RtSender<String>, _from: NodeId, msg: String| {
+///     tx.send(msg).unwrap();
+/// });
+/// net.sender(probe).send(echo, "ping".into());
+/// assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap(), "pong");
+/// net.shutdown();
+/// ```
+pub struct RtNetwork<M> {
+    router_tx: Sender<Routed<M>>,
+    node_txs: Arc<Mutex<Vec<Sender<Routed<M>>>>>,
+    names: Vec<String>,
+    threads: Vec<JoinHandle<()>>,
+    router_thread: Option<JoinHandle<()>>,
+}
+
+impl<M: Send + 'static> RtNetwork<M> {
+    /// Creates a network whose router delays every message by `latency`.
+    pub fn new(latency: Duration) -> Self {
+        let (router_tx, router_rx): (Sender<Routed<M>>, Receiver<Routed<M>>) = unbounded();
+        let node_txs: Arc<Mutex<Vec<Sender<Routed<M>>>>> = Arc::new(Mutex::new(Vec::new()));
+        let txs = Arc::clone(&node_txs);
+        let router_thread = thread::spawn(move || {
+            while let Ok(routed) = router_rx.recv() {
+                match routed {
+                    Routed::Shutdown => break,
+                    Routed::Message { from, to, msg } => {
+                        if !latency.is_zero() {
+                            thread::sleep(latency);
+                        }
+                        let txs = txs.lock();
+                        if let Some(tx) = txs.get(to.as_u32() as usize) {
+                            let _ = tx.send(Routed::Message { from, to, msg });
+                        }
+                    }
+                }
+            }
+        });
+        RtNetwork {
+            router_tx,
+            node_txs,
+            names: Vec::new(),
+            threads: Vec::new(),
+            router_thread: Some(router_thread),
+        }
+    }
+
+    /// Adds a node running `handler` on its own thread.
+    pub fn add_node(&mut self, name: impl Into<String>, mut handler: impl RtHandler<M>) -> NodeId {
+        let id = NodeId::from_raw(self.names.len() as u32);
+        self.names.push(name.into());
+        let (tx, rx): (Sender<Routed<M>>, Receiver<Routed<M>>) = unbounded();
+        self.node_txs.lock().push(tx);
+        let sender = RtSender {
+            node: id,
+            router: self.router_tx.clone(),
+        };
+        self.threads.push(thread::spawn(move || {
+            while let Ok(routed) = rx.recv() {
+                match routed {
+                    Routed::Shutdown => break,
+                    Routed::Message { from, msg, .. } => handler.on_message(&sender, from, msg),
+                }
+            }
+        }));
+        id
+    }
+
+    /// A sender that injects messages as if they came from `from`.
+    pub fn sender(&self, from: NodeId) -> RtSender<M> {
+        RtSender {
+            node: from,
+            router: self.router_tx.clone(),
+        }
+    }
+
+    /// The name a node was added under, if `id` is valid.
+    pub fn node_name(&self, id: NodeId) -> Option<&str> {
+        self.names.get(id.as_u32() as usize).map(String::as_str)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Stops the router and all node threads, joining them.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let _ = self.router_tx.send(Routed::Shutdown);
+        for tx in self.node_txs.lock().iter() {
+            let _ = tx.send(Routed::Shutdown);
+        }
+        if let Some(h) = self.router_thread.take() {
+            let _ = h.join();
+        }
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<M> fmt::Debug for RtNetwork<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RtNetwork")
+            .field("nodes", &self.names.len())
+            .finish()
+    }
+}
+
+impl<M> Drop for RtNetwork<M> {
+    fn drop(&mut self) {
+        // Best-effort teardown; errors are ignored per C-DTOR-FAIL.
+        let _ = self.router_tx.send(Routed::Shutdown);
+        for tx in self.node_txs.lock().iter() {
+            let _ = tx.send(Routed::Shutdown);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn ping_pong_across_threads() {
+        let mut net = RtNetwork::<String>::new(Duration::ZERO);
+        let echo = net.add_node("echo", |net: &RtSender<String>, from: NodeId, msg: String| {
+            if msg == "ping" {
+                net.send(from, "pong".into());
+            }
+        });
+        let (tx, rx) = mpsc::channel();
+        let probe = net.add_node("probe", move |_: &RtSender<String>, _: NodeId, msg: String| {
+            tx.send(msg).unwrap();
+        });
+        net.sender(probe).send(echo, "ping".into());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), "pong");
+        net.shutdown();
+    }
+
+    #[test]
+    fn unknown_destination_is_dropped() {
+        let mut net = RtNetwork::<String>::new(Duration::ZERO);
+        let a = net.add_node("a", |_: &RtSender<String>, _: NodeId, _: String| {});
+        net.sender(a).send(NodeId::from_raw(99), "x".into());
+        // Nothing to assert beyond "does not panic / deadlock".
+        net.shutdown();
+    }
+
+    #[test]
+    fn names_are_tracked() {
+        let mut net = RtNetwork::<String>::new(Duration::ZERO);
+        let a = net.add_node("alpha", |_: &RtSender<String>, _: NodeId, _: String| {});
+        assert_eq!(net.node_name(a), Some("alpha"));
+        assert_eq!(net.node_name(NodeId::from_raw(9)), None);
+        assert_eq!(net.node_count(), 1);
+        net.shutdown();
+    }
+}

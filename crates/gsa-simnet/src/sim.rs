@@ -1,0 +1,781 @@
+//! The discrete-event simulation engine.
+
+use crate::actor::{Actor, Command, Ctx, TimerId};
+use crate::link::{LinkConfig, LinkState};
+use crate::metrics::Metrics;
+use gsa_types::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::fmt;
+
+/// Identifies a node in one simulation. Ids are dense, starting at zero,
+/// in the order nodes were added.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Wraps a raw index.
+    pub const fn from_raw(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw index.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One recorded message delivery, available when tracing is enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Delivery time.
+    pub at: SimTime,
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// A `Debug`-derived summary of the message, truncated.
+    pub summary: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} -> {}: {}", self.at, self.from, self.to, self.summary)
+    }
+}
+
+/// Object-safe actor wrapper that supports downcasting; implemented for
+/// every [`Actor`] automatically.
+trait ActorObj<M>: Actor<M> {
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<M: 'static, T: Actor<M>> ActorObj<M> for T {
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+enum What<M> {
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        sent_at: SimTime,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        tag: u64,
+    },
+    Start {
+        node: NodeId,
+    },
+    Control(Box<dyn FnOnce(&mut Sim<M>)>),
+}
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    what: What<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct NodeMeta {
+    name: String,
+    up: bool,
+    partition: u32,
+}
+
+/// The deterministic discrete-event simulator.
+///
+/// See the [crate documentation](crate) for the model and an example.
+pub struct Sim<M> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<M>>,
+    actors: Vec<Option<Box<dyn ActorObj<M>>>>,
+    meta: Vec<NodeMeta>,
+    names: HashMap<String, NodeId>,
+    default_link: LinkConfig,
+    link_overrides: HashMap<(NodeId, NodeId), LinkConfig>,
+    link_states: HashMap<(NodeId, NodeId), LinkState>,
+    cancelled_timers: HashSet<u64>,
+    next_timer: u64,
+    rng: StdRng,
+    metrics: Metrics,
+    trace: Option<Vec<TraceEntry>>,
+    wire_size: Option<Box<dyn Fn(&M) -> usize>>,
+}
+
+impl<M> fmt::Debug for Sim<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("nodes", &self.meta.len())
+            .field("pending", &self.queue.len())
+            .finish()
+    }
+}
+
+impl<M: fmt::Debug + 'static> Sim<M> {
+    /// Creates an empty simulation seeded with `seed`. Identical seeds and
+    /// identical action sequences give identical runs.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            actors: Vec::new(),
+            meta: Vec::new(),
+            names: HashMap::new(),
+            default_link: LinkConfig::lan(),
+            link_overrides: HashMap::new(),
+            link_states: HashMap::new(),
+            cancelled_timers: HashSet::new(),
+            next_timer: 0,
+            rng: StdRng::seed_from_u64(seed),
+            metrics: Metrics::new(),
+            trace: None,
+            wire_size: None,
+        }
+    }
+
+    /// Sets the link characteristics used for node pairs without an
+    /// explicit override.
+    pub fn set_default_link(&mut self, cfg: LinkConfig) {
+        self.default_link = cfg;
+    }
+
+    /// Enables trace recording of every delivered message.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// The recorded trace (empty unless [`Sim::enable_trace`] was called).
+    pub fn trace(&self) -> &[TraceEntry] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Installs a function measuring the wire size of a message, enabling
+    /// the `net.bytes` counter.
+    pub fn set_wire_size_fn(&mut self, f: impl Fn(&M) -> usize + 'static) {
+        self.wire_size = Some(Box::new(f));
+    }
+
+    /// Adds a node running `actor`; its [`Actor::on_start`] runs at the
+    /// current simulation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is already taken.
+    pub fn add_node(&mut self, name: impl Into<String>, actor: impl Actor<M>) -> NodeId {
+        let name = name.into();
+        assert!(
+            !self.names.contains_key(&name),
+            "duplicate node name {name:?}"
+        );
+        let id = NodeId(self.actors.len() as u32);
+        self.actors.push(Some(Box::new(actor)));
+        self.meta.push(NodeMeta {
+            name: name.clone(),
+            up: true,
+            partition: 0,
+        });
+        self.names.insert(name, id);
+        self.push(self.now, What::Start { node: id });
+        id
+    }
+
+    /// The number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Looks a node up by name.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.names.get(name).copied()
+    }
+
+    /// The name a node was added under.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` does not belong to this simulation.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.meta[id.index()].name
+    }
+
+    /// All node ids, in insertion order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.actors.len() as u32).map(NodeId)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable metrics access (for quantile queries or external counts).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Marks a node up or down. A downed node neither receives nor runs
+    /// timers; messages to it are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` does not belong to this simulation.
+    pub fn set_node_up(&mut self, id: NodeId, up: bool) {
+        self.meta[id.index()].up = up;
+    }
+
+    /// Whether the node is currently up.
+    pub fn is_node_up(&self, id: NodeId) -> bool {
+        self.meta[id.index()].up
+    }
+
+    /// Overrides link characteristics between `a` and `b`, both directions.
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) {
+        self.link_overrides.insert((a, b), cfg.clone());
+        self.link_overrides.insert((b, a), cfg);
+    }
+
+    /// Sets the administrative state of the `a`↔`b` link, both directions.
+    /// A [`LinkState::Down`] link drops all traffic, like the severed
+    /// connection of the paper's Section 7 discussion.
+    pub fn set_link_state(&mut self, a: NodeId, b: NodeId, state: LinkState) {
+        self.link_states.insert((a, b), state);
+        self.link_states.insert((b, a), state);
+    }
+
+    /// Assigns a node to a partition group. Nodes in different groups
+    /// cannot exchange messages. All nodes start in group 0.
+    pub fn set_partition(&mut self, id: NodeId, group: u32) {
+        self.meta[id.index()].partition = group;
+    }
+
+    /// Moves every node back to partition group 0 and marks all links up.
+    pub fn heal_network(&mut self) {
+        for meta in &mut self.meta {
+            meta.partition = 0;
+        }
+        self.link_states.clear();
+    }
+
+    /// Schedules `f` to run against the simulator at absolute time `at`
+    /// (clamped to now). Used to script mid-run topology changes.
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Sim<M>) + 'static) {
+        let at = at.max(self.now);
+        self.push(at, What::Control(Box::new(f)));
+    }
+
+    /// Injects a message delivered to `to` immediately, as if sent by
+    /// `from`. Used by experiment drivers to stand in for external clients.
+    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.push(
+            self.now,
+            What::Deliver {
+                from,
+                to,
+                msg,
+                sent_at: self.now,
+            },
+        );
+    }
+
+    /// Runs a closure against the node's actor, downcast to `T`, with a
+    /// full [`Ctx`] whose buffered effects are applied afterwards. Returns
+    /// `None` when the actor is not a `T`.
+    ///
+    /// This is how experiment drivers call protocol entry points
+    /// ("subscribe", "rebuild collection") between simulation steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` does not belong to this simulation.
+    pub fn with_actor<T: 'static, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut Ctx<'_, M>) -> R,
+    ) -> Option<R> {
+        let mut actor = self.actors[id.index()].take().expect("actor present");
+        let result = match actor.as_any_mut().downcast_mut::<T>() {
+            Some(typed) => {
+                let mut ctx = Ctx {
+                    node: id,
+                    now: self.now,
+                    commands: Vec::new(),
+                    rng: &mut self.rng,
+                    next_timer: &mut self.next_timer,
+                };
+                let r = f(typed, &mut ctx);
+                let commands = ctx.commands;
+                self.actors[id.index()] = Some(actor);
+                self.apply_commands(id, commands);
+                return Some(r);
+            }
+            None => None,
+        };
+        self.actors[id.index()] = Some(actor);
+        result
+    }
+
+    /// Reads from the node's actor, downcast to `T`, without a context.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` does not belong to this simulation.
+    pub fn actor<T: 'static, R>(&mut self, id: NodeId, f: impl FnOnce(&T) -> R) -> Option<R> {
+        let mut actor = self.actors[id.index()].take().expect("actor present");
+        let r = actor.as_any_mut().downcast_mut::<T>().map(|t| f(t));
+        self.actors[id.index()] = Some(actor);
+        r
+    }
+
+    /// Executes the next scheduled item. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        let Some(item) = self.queue.pop() else {
+            return false;
+        };
+        self.now = self.now.max(item.at);
+        match item.what {
+            What::Start { node } => {
+                if self.meta[node.index()].up {
+                    self.run_actor(node, |actor, ctx| actor.on_start(ctx));
+                }
+            }
+            What::Timer { node, id, tag } => {
+                if self.cancelled_timers.remove(&id.0) {
+                    return true;
+                }
+                if self.meta[node.index()].up {
+                    self.run_actor(node, |actor, ctx| actor.on_timer(ctx, id, tag));
+                }
+            }
+            What::Deliver {
+                from,
+                to,
+                msg,
+                sent_at,
+            } => {
+                if !self.meta[to.index()].up {
+                    self.metrics.count("net.dropped", 1);
+                    return true;
+                }
+                self.metrics.count("net.delivered", 1);
+                self.metrics.note_received(to);
+                self.metrics
+                    .record("net.latency_us", (self.now - sent_at).as_micros());
+                if let Some(trace) = &mut self.trace {
+                    let mut summary = format!("{msg:?}");
+                    if summary.len() > 160 {
+                        summary.truncate(157);
+                        summary.push_str("...");
+                    }
+                    trace.push(TraceEntry {
+                        at: self.now,
+                        from,
+                        to,
+                        summary,
+                    });
+                }
+                self.run_actor(to, |actor, ctx| actor.on_message(ctx, from, msg));
+            }
+            What::Control(f) => f(self),
+        }
+        true
+    }
+
+    /// Runs until the queue is exhausted or simulated time would exceed
+    /// `deadline`. Returns the number of items processed.
+    pub fn run_until_quiet(&mut self, deadline: SimTime) -> usize {
+        let mut processed = 0;
+        while let Some(head) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step();
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Processes everything scheduled up to and including `t`, then
+    /// advances the clock to exactly `t`.
+    pub fn run_until(&mut self, t: SimTime) -> usize {
+        let n = self.run_until_quiet(t);
+        self.now = self.now.max(t);
+        n
+    }
+
+    /// Convenience: [`Sim::run_until`] relative to the current time.
+    pub fn run_for(&mut self, d: SimDuration) -> usize {
+        self.run_until(self.now + d)
+    }
+
+    /// Number of items still scheduled.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn push(&mut self, at: SimTime, what: What<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, what });
+    }
+
+    fn run_actor(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut dyn ActorObj<M>, &mut Ctx<'_, M>),
+    ) {
+        let Some(mut actor) = self.actors[node.index()].take() else {
+            return;
+        };
+        let mut ctx = Ctx {
+            node,
+            now: self.now,
+            commands: Vec::new(),
+            rng: &mut self.rng,
+            next_timer: &mut self.next_timer,
+        };
+        f(actor.as_mut(), &mut ctx);
+        let commands = ctx.commands;
+        self.actors[node.index()] = Some(actor);
+        self.apply_commands(node, commands);
+    }
+
+    fn apply_commands(&mut self, node: NodeId, commands: Vec<Command<M>>) {
+        for command in commands {
+            match command {
+                Command::Send { to, msg } => self.route(node, to, msg),
+                Command::SetTimer { id, delay, tag } => {
+                    self.push(self.now + delay, What::Timer { node, id, tag });
+                }
+                Command::CancelTimer { id } => {
+                    self.cancelled_timers.insert(id.0);
+                }
+                Command::Count { name, delta } => self.metrics.count(&name, delta),
+                Command::Record { name, value } => self.metrics.record(&name, value),
+            }
+        }
+    }
+
+    fn route(&mut self, from: NodeId, to: NodeId, msg: M) {
+        self.metrics.count("net.sent", 1);
+        self.metrics.note_sent(from);
+        if let Some(f) = &self.wire_size {
+            let bytes = f(&msg) as u64;
+            self.metrics.count("net.bytes", bytes);
+        }
+        if to.index() >= self.actors.len() {
+            self.metrics.count("net.dropped", 1);
+            return;
+        }
+        let link_state = self
+            .link_states
+            .get(&(from, to))
+            .copied()
+            .unwrap_or_default();
+        let same_partition = self.meta[from.index()].partition == self.meta[to.index()].partition;
+        if !link_state.is_up() || !same_partition || !self.meta[to.index()].up {
+            self.metrics.count("net.dropped", 1);
+            return;
+        }
+        let cfg = self
+            .link_overrides
+            .get(&(from, to))
+            .unwrap_or(&self.default_link)
+            .clone();
+        if cfg.sample_drop(&mut self.rng) {
+            self.metrics.count("net.dropped", 1);
+            return;
+        }
+        let latency = cfg.sample_latency(&mut self.rng);
+        self.push(
+            self.now + latency,
+            What::Deliver {
+                from,
+                to,
+                msg,
+                sent_at: self.now,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{Actor, Ctx};
+
+    /// Replies "pong" to "ping"; counts everything it sees.
+    struct Echo;
+    impl Actor<String> for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, String>, from: NodeId, msg: String) {
+            ctx.count(&format!("echo.recv.{msg}"), 1);
+            if msg == "ping" {
+                ctx.send(from, "pong".to_string());
+            }
+        }
+    }
+
+    /// Sends one ping to node 0 on start; remembers pongs.
+    #[derive(Default)]
+    struct Pinger {
+        pongs: u32,
+    }
+    impl Actor<String> for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, String>) {
+            ctx.send(NodeId::from_raw(0), "ping".into());
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, String>, _from: NodeId, msg: String) {
+            if msg == "pong" {
+                self.pongs += 1;
+            }
+        }
+    }
+
+    fn ping_sim() -> Sim<String> {
+        let mut sim = Sim::new(1);
+        sim.add_node("echo", Echo);
+        sim.add_node("pinger", Pinger::default());
+        sim
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut sim = ping_sim();
+        sim.run_until_quiet(SimTime::from_secs(1));
+        assert_eq!(sim.metrics().counter("echo.recv.ping"), 1);
+        let pongs = sim
+            .actor::<Pinger, _>(NodeId::from_raw(1), |p| p.pongs)
+            .unwrap();
+        assert_eq!(pongs, 1);
+        assert_eq!(sim.metrics().counter("net.sent"), 2);
+        assert_eq!(sim.metrics().counter("net.delivered"), 2);
+    }
+
+    #[test]
+    fn latency_is_applied() {
+        let mut sim = ping_sim();
+        sim.set_default_link(LinkConfig::new(SimDuration::from_millis(10)));
+        sim.run_until_quiet(SimTime::from_secs(1));
+        // start(0us) -> ping arrives at 10ms -> pong arrives at 20ms.
+        assert_eq!(sim.now(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn downed_node_drops_messages() {
+        let mut sim = ping_sim();
+        sim.set_node_up(NodeId::from_raw(0), false);
+        sim.run_until_quiet(SimTime::from_secs(1));
+        assert_eq!(sim.metrics().counter("net.dropped"), 1);
+        assert_eq!(sim.metrics().counter("echo.recv.ping"), 0);
+    }
+
+    #[test]
+    fn partitioned_nodes_cannot_talk() {
+        let mut sim = ping_sim();
+        sim.set_partition(NodeId::from_raw(1), 1);
+        sim.run_until_quiet(SimTime::from_secs(1));
+        assert_eq!(sim.metrics().counter("echo.recv.ping"), 0);
+        sim.heal_network();
+        sim.with_actor::<Pinger, _>(NodeId::from_raw(1), |_, ctx| {
+            ctx.send(NodeId::from_raw(0), "ping".into());
+        });
+        sim.run_until_quiet(SimTime::from_secs(2));
+        assert_eq!(sim.metrics().counter("echo.recv.ping"), 1);
+    }
+
+    #[test]
+    fn downed_link_drops_messages() {
+        let mut sim = ping_sim();
+        sim.set_link_state(NodeId::from_raw(0), NodeId::from_raw(1), LinkState::Down);
+        sim.run_until_quiet(SimTime::from_secs(1));
+        assert_eq!(sim.metrics().counter("echo.recv.ping"), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut sim = Sim::new(seed);
+            sim.set_default_link(
+                LinkConfig::new(SimDuration::from_millis(1))
+                    .with_jitter(SimDuration::from_millis(5)),
+            );
+            sim.add_node("echo", Echo);
+            sim.add_node("pinger", Pinger::default());
+            sim.run_until_quiet(SimTime::from_secs(1));
+            sim.now()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    struct TimerActor {
+        fired: Vec<u64>,
+        cancel_second: bool,
+    }
+    impl Actor<String> for TimerActor {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, String>) {
+            ctx.set_timer(SimDuration::from_millis(1), 1);
+            let second = ctx.set_timer(SimDuration::from_millis(2), 2);
+            if self.cancel_second {
+                ctx.cancel_timer(second);
+            }
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, String>, _: NodeId, _: String) {}
+        fn on_timer(&mut self, _: &mut Ctx<'_, String>, _: crate::TimerId, tag: u64) {
+            self.fired.push(tag);
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut sim: Sim<String> = Sim::new(1);
+        let id = sim.add_node(
+            "t",
+            TimerActor {
+                fired: vec![],
+                cancel_second: false,
+            },
+        );
+        sim.run_until_quiet(SimTime::from_secs(1));
+        assert_eq!(sim.actor::<TimerActor, _>(id, |t| t.fired.clone()).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let mut sim: Sim<String> = Sim::new(1);
+        let id = sim.add_node(
+            "t",
+            TimerActor {
+                fired: vec![],
+                cancel_second: true,
+            },
+        );
+        sim.run_until_quiet(SimTime::from_secs(1));
+        assert_eq!(sim.actor::<TimerActor, _>(id, |t| t.fired.clone()).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn scheduled_control_runs_at_time() {
+        let mut sim = ping_sim();
+        sim.schedule_at(SimTime::from_millis(50), |sim| {
+            sim.set_node_up(NodeId::from_raw(0), false);
+        });
+        sim.run_until(SimTime::from_millis(100));
+        assert!(!sim.is_node_up(NodeId::from_raw(0)));
+        // Ping/pong happened before the shutdown.
+        assert_eq!(sim.metrics().counter("echo.recv.ping"), 1);
+    }
+
+    #[test]
+    fn inject_delivers_external_messages() {
+        let mut sim = ping_sim();
+        sim.run_until_quiet(SimTime::from_secs(1));
+        sim.inject(NodeId::from_raw(1), NodeId::from_raw(0), "ping".into());
+        sim.run_until_quiet(SimTime::from_secs(2));
+        assert_eq!(sim.metrics().counter("echo.recv.ping"), 2);
+    }
+
+    #[test]
+    fn trace_records_deliveries() {
+        let mut sim = ping_sim();
+        sim.enable_trace();
+        sim.run_until_quiet(SimTime::from_secs(1));
+        assert_eq!(sim.trace().len(), 2);
+        assert!(sim.trace()[0].summary.contains("ping"));
+        assert!(sim.trace()[0].to_string().contains("->"));
+    }
+
+    #[test]
+    fn wire_size_fn_enables_byte_accounting() {
+        let mut sim = ping_sim();
+        sim.set_wire_size_fn(|m: &String| m.len());
+        sim.run_until_quiet(SimTime::from_secs(1));
+        assert_eq!(sim.metrics().counter("net.bytes"), 8); // "ping" + "pong"
+    }
+
+    #[test]
+    fn node_lookup_by_name() {
+        let sim = ping_sim();
+        assert_eq!(sim.node_id("echo"), Some(NodeId::from_raw(0)));
+        assert_eq!(sim.node_name(NodeId::from_raw(1)), "pinger");
+        assert_eq!(sim.node_count(), 2);
+        assert_eq!(sim.node_ids().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node name")]
+    fn duplicate_names_panic() {
+        let mut sim: Sim<String> = Sim::new(1);
+        sim.add_node("x", Echo);
+        sim.add_node("x", Echo);
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut sim: Sim<String> = Sim::new(1);
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn lossy_link_eventually_drops() {
+        let mut sim: Sim<String> = Sim::new(3);
+        sim.set_default_link(LinkConfig::lan().with_drop_probability(1.0));
+        sim.add_node("echo", Echo);
+        sim.add_node("pinger", Pinger::default());
+        sim.run_until_quiet(SimTime::from_secs(1));
+        assert_eq!(sim.metrics().counter("net.dropped"), 1);
+        assert_eq!(sim.metrics().counter("net.delivered"), 0);
+    }
+
+    #[test]
+    fn with_actor_wrong_type_returns_none() {
+        let mut sim = ping_sim();
+        let r = sim.with_actor::<TimerActor, _>(NodeId::from_raw(0), |_, _| 1);
+        assert_eq!(r, None);
+    }
+}

@@ -1,0 +1,79 @@
+//! Text tokenization.
+//!
+//! The tokenizer is intentionally simple and language-agnostic — lowercase
+//! alphanumeric runs — matching the level of text processing the paper's
+//! filter layer assumes. Keeping it a free function makes index build,
+//! query parsing and single-document matching agree on token boundaries by
+//! construction.
+
+/// Splits `text` into lowercase alphanumeric tokens.
+///
+/// Tokens are maximal runs of alphanumeric characters; everything else is
+/// a separator. Numbers are kept as tokens.
+///
+/// # Examples
+///
+/// ```
+/// use gsa_store::tokenize;
+/// assert_eq!(tokenize("Greenstone 3: Alerting!"), vec!["greenstone", "3", "alerting"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            for lc in c.to_lowercase() {
+                current.push(lc);
+            }
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Normalizes a single query term the same way document text is tokenized;
+/// returns `None` when the term contains no token characters.
+pub fn normalize_term(term: &str) -> Option<String> {
+    tokenize(term).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(tokenize("a,b  c-d"), vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("HeLLo WORLD"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn keeps_numbers() {
+        assert_eq!(tokenize("ICDCS 2005"), vec!["icdcs", "2005"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! --- ...").is_empty());
+    }
+
+    #[test]
+    fn unicode_is_supported() {
+        assert_eq!(tokenize("Universität Dortmund"), vec!["universität", "dortmund"]);
+    }
+
+    #[test]
+    fn normalize_term_takes_first_token() {
+        assert_eq!(normalize_term("  FoX!"), Some("fox".to_string()));
+        assert_eq!(normalize_term("..."), None);
+    }
+}

@@ -1,0 +1,337 @@
+//! The event model of the alerting service.
+//!
+//! Events are produced by the collection build process (Section 4 of the
+//! paper): rebuilding a collection announces the documents that were added,
+//! updated or removed. An event names its *originating collection*; when an
+//! event from a remote sub-collection is re-issued by the server of its
+//! super-collection, the originating collection is rewritten (Section 4.2)
+//! and the previous origin is retained in the provenance chain so tests and
+//! benchmarks can verify the transformation.
+
+use crate::id::{CollectionId, DocId, HostName};
+use crate::meta::MetadataRecord;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A globally unique event identifier: issuing host plus host-local
+/// sequence number.
+///
+/// Host-scoped sequence numbers make identifiers unique without any global
+/// coordination, which is what lets the GDS broadcast suppress duplicates
+/// on arbitrary (even cyclic) delivery paths.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventId {
+    host: HostName,
+    seq: u64,
+}
+
+impl EventId {
+    /// Creates an event identifier.
+    pub fn new(host: impl Into<HostName>, seq: u64) -> Self {
+        EventId {
+            host: host.into(),
+            seq,
+        }
+    }
+
+    /// The host that issued the event.
+    pub fn host(&self) -> &HostName {
+        &self.host
+    }
+
+    /// The host-local sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.host, self.seq)
+    }
+}
+
+/// What happened to a collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// The collection was (re)built; `docs` lists newly imported documents.
+    CollectionRebuilt,
+    /// Documents were added without a full rebuild.
+    DocumentsAdded,
+    /// Existing documents changed.
+    DocumentsUpdated,
+    /// Documents were removed.
+    DocumentsRemoved,
+    /// The collection itself was deleted.
+    CollectionDeleted,
+}
+
+impl EventKind {
+    /// The wire name of this kind, stable across versions.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::CollectionRebuilt => "collection-rebuilt",
+            EventKind::DocumentsAdded => "documents-added",
+            EventKind::DocumentsUpdated => "documents-updated",
+            EventKind::DocumentsRemoved => "documents-removed",
+            EventKind::CollectionDeleted => "collection-deleted",
+        }
+    }
+
+    /// Parses a wire name produced by [`EventKind::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "collection-rebuilt" => EventKind::CollectionRebuilt,
+            "documents-added" => EventKind::DocumentsAdded,
+            "documents-updated" => EventKind::DocumentsUpdated,
+            "documents-removed" => EventKind::DocumentsRemoved,
+            "collection-deleted" => EventKind::CollectionDeleted,
+            _ => return None,
+        })
+    }
+
+    /// All kinds, in wire order. Useful for exhaustive tests.
+    pub const ALL: [EventKind; 5] = [
+        EventKind::CollectionRebuilt,
+        EventKind::DocumentsAdded,
+        EventKind::DocumentsUpdated,
+        EventKind::DocumentsRemoved,
+        EventKind::CollectionDeleted,
+    ];
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The per-document payload carried inside an event: the document id and the
+/// metadata a filter can match against.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DocSummary {
+    /// The collection-local document id.
+    pub doc: DocId,
+    /// Metadata extracted at build time (title, creator, subject, ...).
+    pub metadata: MetadataRecord,
+    /// A snippet of the document text, used by filter-query predicates.
+    pub excerpt: String,
+}
+
+impl DocSummary {
+    /// Creates a summary with empty metadata and excerpt.
+    pub fn new(doc: impl Into<DocId>) -> Self {
+        DocSummary {
+            doc: doc.into(),
+            metadata: MetadataRecord::new(),
+            excerpt: String::new(),
+        }
+    }
+
+    /// Builder-style helper: attach metadata.
+    pub fn with_metadata(mut self, metadata: MetadataRecord) -> Self {
+        self.metadata = metadata;
+        self
+    }
+
+    /// Builder-style helper: attach a text excerpt.
+    pub fn with_excerpt(mut self, excerpt: impl Into<String>) -> Self {
+        self.excerpt = excerpt.into();
+        self
+    }
+}
+
+/// An event message as broadcast over the GDS (Section 4.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Unique identifier, used for duplicate suppression everywhere.
+    pub id: EventId,
+    /// The identifier of the *original* event at the start of the
+    /// rewrite chain (equal to `id` for fresh events). Super-collection
+    /// hosts deduplicate rewrites on this, so diamond-shaped collection
+    /// graphs — two forwarding paths reaching the same super-collection —
+    /// re-issue an event only once.
+    pub root: EventId,
+    /// The collection this event is *about*, as seen by subscribers. For
+    /// re-issued sub-collection events this is the super-collection.
+    pub origin: CollectionId,
+    /// What happened.
+    pub kind: EventKind,
+    /// The affected documents.
+    pub docs: Vec<DocSummary>,
+    /// When the event was issued (simulated time).
+    pub issued_at: SimTime,
+    /// Earlier origins of this event, most recent last. Empty for events
+    /// issued directly by the collection's own server; contains
+    /// `London.E` after `London.E → Hamilton.D` rewriting.
+    pub provenance: Vec<CollectionId>,
+}
+
+impl Event {
+    /// Creates an event with no documents and empty provenance.
+    pub fn new(id: EventId, origin: CollectionId, kind: EventKind, issued_at: SimTime) -> Self {
+        Event {
+            root: id.clone(),
+            id,
+            origin,
+            kind,
+            docs: Vec::new(),
+            issued_at,
+            provenance: Vec::new(),
+        }
+    }
+
+    /// Builder-style helper: attach document summaries.
+    pub fn with_docs(mut self, docs: Vec<DocSummary>) -> Self {
+        self.docs = docs;
+        self
+    }
+
+    /// Re-issues this event under a new identity and origin, recording the
+    /// old origin in the provenance chain.
+    ///
+    /// This is the Section 4.2 transformation: an event about `London.E`
+    /// arriving at `Hamilton` via an auxiliary profile is re-broadcast as an
+    /// event about `Hamilton.D` "so subsequent event forwarding will be
+    /// consistent with the event having originated in the super-collection".
+    pub fn rewritten(&self, new_id: EventId, new_origin: CollectionId, at: SimTime) -> Event {
+        let mut provenance = self.provenance.clone();
+        provenance.push(self.origin.clone());
+        Event {
+            id: new_id,
+            root: self.root.clone(),
+            origin: new_origin,
+            kind: self.kind,
+            docs: self.docs.clone(),
+            issued_at: at,
+            provenance,
+        }
+    }
+
+    /// The origin the event had when it was first issued.
+    pub fn root_origin(&self) -> &CollectionId {
+        self.provenance.first().unwrap_or(&self.origin)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "event {} [{}] on {} ({} docs)",
+            self.id,
+            self.kind,
+            self.origin,
+            self.docs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev() -> Event {
+        Event::new(
+            EventId::new("London", 1),
+            CollectionId::new("London", "E"),
+            EventKind::CollectionRebuilt,
+            SimTime::from_millis(3),
+        )
+        .with_docs(vec![DocSummary::new("HASH1")])
+    }
+
+    #[test]
+    fn event_kind_round_trips() {
+        for kind in EventKind::ALL {
+            assert_eq!(EventKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(EventKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn rewritten_records_provenance() {
+        let e = ev();
+        let r = e.rewritten(
+            EventId::new("Hamilton", 9),
+            CollectionId::new("Hamilton", "D"),
+            SimTime::from_millis(5),
+        );
+        assert_eq!(r.origin, CollectionId::new("Hamilton", "D"));
+        assert_eq!(r.provenance, vec![CollectionId::new("London", "E")]);
+        assert_eq!(r.root_origin(), &CollectionId::new("London", "E"));
+        assert_eq!(r.kind, e.kind);
+        assert_eq!(r.docs, e.docs);
+        assert_ne!(r.id, e.id);
+        assert_eq!(r.root, e.id, "rewrite must preserve the root id");
+    }
+
+    #[test]
+    fn root_survives_rewrite_chains() {
+        let e = ev();
+        let r1 = e.rewritten(
+            EventId::new("Hamilton", 1),
+            CollectionId::new("Hamilton", "D"),
+            SimTime::ZERO,
+        );
+        let r2 = r1.rewritten(
+            EventId::new("Paris", 1),
+            CollectionId::new("Paris", "Z"),
+            SimTime::ZERO,
+        );
+        assert_eq!(r2.root, e.id);
+        assert_eq!(e.root, e.id);
+    }
+
+    #[test]
+    fn root_origin_of_fresh_event_is_its_origin() {
+        let e = ev();
+        assert_eq!(e.root_origin(), &e.origin);
+    }
+
+    #[test]
+    fn double_rewrite_chains_provenance() {
+        let e = ev();
+        let r1 = e.rewritten(
+            EventId::new("Hamilton", 1),
+            CollectionId::new("Hamilton", "D"),
+            SimTime::ZERO,
+        );
+        let r2 = r1.rewritten(
+            EventId::new("Paris", 1),
+            CollectionId::new("Paris", "Z"),
+            SimTime::ZERO,
+        );
+        assert_eq!(
+            r2.provenance,
+            vec![
+                CollectionId::new("London", "E"),
+                CollectionId::new("Hamilton", "D"),
+            ]
+        );
+        assert_eq!(r2.root_origin(), &CollectionId::new("London", "E"));
+    }
+
+    #[test]
+    fn event_display_mentions_id_kind_origin() {
+        let s = ev().to_string();
+        assert!(s.contains("London#1"));
+        assert!(s.contains("collection-rebuilt"));
+        assert!(s.contains("London.E"));
+    }
+
+    #[test]
+    fn event_id_display() {
+        assert_eq!(EventId::new("H", 2).to_string(), "H#2");
+    }
+
+    #[test]
+    fn doc_summary_builders() {
+        let d = DocSummary::new("X")
+            .with_excerpt("hello")
+            .with_metadata(MetadataRecord::new());
+        assert_eq!(d.doc.as_str(), "X");
+        assert_eq!(d.excerpt, "hello");
+    }
+}

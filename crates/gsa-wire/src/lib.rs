@@ -1,0 +1,36 @@
+//! Wire format for gsalert protocol messages.
+//!
+//! The paper's implementation exchanges "XML messaging over SOAP"
+//! (Section 6). This crate supplies that substrate from scratch:
+//!
+//! * [`xml`] — a small XML document model ([`XmlElement`]) with a writer and
+//!   a recursive-descent parser (elements, attributes, text, comments,
+//!   entity escaping, self-closing tags),
+//! * [`envelope`] — SOAP-style envelopes wrapping a header (routing
+//!   information) and a body (the payload element),
+//! * [`codec`] — conversions between the shared `gsa-types` data model and
+//!   XML elements.
+//!
+//! # Examples
+//!
+//! ```
+//! use gsa_wire::{XmlElement, parse_document};
+//!
+//! let doc = XmlElement::new("profile")
+//!     .with_attr("id", "42")
+//!     .with_child(XmlElement::new("host").with_text("London"));
+//! let text = doc.to_xml_string();
+//! let back = parse_document(&text)?;
+//! assert_eq!(back, doc);
+//! # Ok::<(), gsa_wire::WireError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod envelope;
+pub mod xml;
+
+pub use envelope::Envelope;
+pub use xml::{parse_document, WireError, XmlElement, XmlNode};

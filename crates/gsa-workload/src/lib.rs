@@ -1,0 +1,29 @@
+//! Deterministic workload generators.
+//!
+//! The paper evaluates against the real, unobservable Greenstone install
+//! base; this crate synthesizes networks with the properties Section 1
+//! names — *fragmented* (mostly solitary installations, islands),
+//! *dynamic* and possibly *cyclic* — plus the collections, documents,
+//! profiles and event schedules the experiments need. Everything is
+//! seeded: the same seed gives byte-identical workloads.
+//!
+//! * [`text`] — Zipfian vocabulary and document synthesis,
+//! * [`topology`] — fragmented Greenstone networks (islands, references,
+//!   cycles) together with the collection structures that *cause* the
+//!   references (remote sub-collections),
+//! * [`profiles`] — profile populations with configurable operator mixes,
+//! * [`schedule`] — event (rebuild) and churn (partition, cancellation)
+//!   schedules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod profiles;
+pub mod schedule;
+pub mod text;
+pub mod topology;
+
+pub use profiles::{ProfileMix, ProfilePopulation};
+pub use schedule::{ChurnEvent, RebuildSchedule};
+pub use text::DocumentGenerator;
+pub use topology::{GsWorld, WorldParams};

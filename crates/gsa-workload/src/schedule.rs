@@ -1,0 +1,206 @@
+//! Event (rebuild) and churn schedules.
+
+use crate::topology::GsWorld;
+use gsa_types::{CollectionId, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One scheduled collection rebuild.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rebuild {
+    /// When the rebuild happens.
+    pub at: SimTime,
+    /// Which collection is rebuilt.
+    pub collection: CollectionId,
+    /// How many documents the new build contains.
+    pub docs: usize,
+}
+
+/// A deterministic schedule of collection rebuilds.
+#[derive(Debug, Clone, Default)]
+pub struct RebuildSchedule {
+    /// The rebuilds, sorted by time.
+    pub rebuilds: Vec<Rebuild>,
+}
+
+impl RebuildSchedule {
+    /// Generates `count` rebuilds over the world's public collections,
+    /// uniformly spread over `[0, horizon)`, each importing
+    /// `docs_per_rebuild` documents.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the world has no public collections.
+    pub fn generate(
+        seed: u64,
+        world: &GsWorld,
+        count: usize,
+        horizon: SimDuration,
+        docs_per_rebuild: usize,
+    ) -> Self {
+        let publics = world.public_collections();
+        assert!(!publics.is_empty(), "world has no public collections");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rebuilds: Vec<Rebuild> = (0..count)
+            .map(|_| Rebuild {
+                at: SimTime::from_micros(rng.random_range(0..horizon.as_micros().max(1))),
+                collection: publics[rng.random_range(0..publics.len())].clone(),
+                docs: docs_per_rebuild,
+            })
+            .collect();
+        rebuilds.sort_by_key(|r| r.at);
+        RebuildSchedule { rebuilds }
+    }
+
+    /// Number of scheduled rebuilds.
+    pub fn len(&self) -> usize {
+        self.rebuilds.len()
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rebuilds.is_empty()
+    }
+}
+
+/// One churn action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// Move a host into a partition group.
+    Partition {
+        /// When.
+        at: SimTime,
+        /// Which host.
+        host: gsa_types::HostName,
+        /// The partition group (0 = main).
+        group: u32,
+    },
+    /// Heal all partitions.
+    Heal {
+        /// When.
+        at: SimTime,
+    },
+    /// Cancel the `index`-th subscription of the run.
+    Cancel {
+        /// When.
+        at: SimTime,
+        /// Index into the run's subscription list.
+        index: usize,
+    },
+}
+
+impl ChurnEvent {
+    /// The action's time.
+    pub fn at(&self) -> SimTime {
+        match self {
+            ChurnEvent::Partition { at, .. }
+            | ChurnEvent::Heal { at }
+            | ChurnEvent::Cancel { at, .. } => *at,
+        }
+    }
+
+    /// Generates a churn schedule: `partitions` partition/heal pairs and
+    /// `cancels` subscription cancellations over `[0, horizon)`.
+    pub fn schedule(
+        seed: u64,
+        world: &GsWorld,
+        partitions: usize,
+        cancels: usize,
+        subscriptions: usize,
+        horizon: SimDuration,
+    ) -> Vec<ChurnEvent> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        let h = horizon.as_micros().max(2);
+        for _ in 0..partitions {
+            let start = rng.random_range(0..h / 2);
+            let len = rng.random_range(1..h / 2);
+            let host = world.hosts[rng.random_range(0..world.hosts.len())].clone();
+            out.push(ChurnEvent::Partition {
+                at: SimTime::from_micros(start),
+                host,
+                group: 1,
+            });
+            out.push(ChurnEvent::Heal {
+                at: SimTime::from_micros(start + len),
+            });
+        }
+        for _ in 0..cancels.min(subscriptions) {
+            out.push(ChurnEvent::Cancel {
+                at: SimTime::from_micros(rng.random_range(0..h)),
+                index: rng.random_range(0..subscriptions.max(1)),
+            });
+        }
+        out.sort_by_key(ChurnEvent::at);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::WorldParams;
+
+    fn world() -> GsWorld {
+        GsWorld::generate(&WorldParams::small(3))
+    }
+
+    #[test]
+    fn rebuild_schedule_is_sorted_and_deterministic() {
+        let w = world();
+        let a = RebuildSchedule::generate(1, &w, 50, SimDuration::from_secs(60), 5);
+        let b = RebuildSchedule::generate(1, &w, 50, SimDuration::from_secs(60), 5);
+        assert_eq!(a.rebuilds, b.rebuilds);
+        assert_eq!(a.len(), 50);
+        assert!(!a.is_empty());
+        for pair in a.rebuilds.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+    }
+
+    #[test]
+    fn rebuilds_target_public_collections() {
+        let w = world();
+        let publics = w.public_collections();
+        let s = RebuildSchedule::generate(2, &w, 30, SimDuration::from_secs(10), 3);
+        for r in &s.rebuilds {
+            assert!(publics.contains(&r.collection));
+            assert_eq!(r.docs, 3);
+        }
+    }
+
+    #[test]
+    fn churn_schedule_sorted_with_heals_after_partitions() {
+        let w = world();
+        let churn = ChurnEvent::schedule(3, &w, 4, 5, 10, SimDuration::from_secs(60));
+        for pair in churn.windows(2) {
+            assert!(pair[0].at() <= pair[1].at());
+        }
+        let partitions = churn
+            .iter()
+            .filter(|c| matches!(c, ChurnEvent::Partition { .. }))
+            .count();
+        let heals = churn
+            .iter()
+            .filter(|c| matches!(c, ChurnEvent::Heal { .. }))
+            .count();
+        assert_eq!(partitions, 4);
+        assert_eq!(heals, 4);
+        let cancels = churn
+            .iter()
+            .filter(|c| matches!(c, ChurnEvent::Cancel { .. }))
+            .count();
+        assert_eq!(cancels, 5);
+    }
+
+    #[test]
+    fn cancel_indices_in_range() {
+        let w = world();
+        let churn = ChurnEvent::schedule(3, &w, 0, 8, 4, SimDuration::from_secs(60));
+        for c in churn {
+            if let ChurnEvent::Cancel { index, .. } = c {
+                assert!(index < 4);
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Integration test F1: the exact Figure 1 installation — federated,
+//! distributed, virtual and private collections — exercised through the
+//! GS protocol end to end, including the receptionist access rules.
+
+use gsa_core::System;
+use gsa_gds::figure2_tree;
+use gsa_greenstone::{CollectionConfig, GsError, Receptionist, SubCollectionRef};
+use gsa_store::{Query, SourceDocument};
+use gsa_types::{CollectionId, HostName, SimDuration, SimTime};
+
+fn doc(id: &str, text: &str) -> SourceDocument {
+    SourceDocument::new(id, text)
+}
+
+fn figure1_world() -> System {
+    let mut system = System::new(11);
+    system.add_gds_topology(&figure2_tree());
+    system.add_server("Hamilton", "gds-4");
+    system.add_server("London", "gds-2");
+    system.add_collection("Hamilton", CollectionConfig::simple("A", "A"));
+    system.add_collection("Hamilton", CollectionConfig::simple("B", "B"));
+    system.add_collection(
+        "Hamilton",
+        CollectionConfig::simple("C", "virtual C").with_subcollection(SubCollectionRef::new(
+            "a",
+            CollectionId::new("Hamilton", "A"),
+        )),
+    );
+    system.add_collection(
+        "Hamilton",
+        CollectionConfig::simple("D", "distributed D").with_subcollection(
+            SubCollectionRef::new("e", CollectionId::new("London", "E")),
+        ),
+    );
+    system.add_collection("London", CollectionConfig::simple("E", "E"));
+    system.add_collection(
+        "London",
+        CollectionConfig::simple("F", "F").with_subcollection(SubCollectionRef::new(
+            "g",
+            CollectionId::new("London", "G"),
+        )),
+    );
+    system.add_collection("London", CollectionConfig::simple("G", "private G").private());
+
+    system.rebuild("Hamilton", "A", vec![doc("a1", "alpha")]).unwrap();
+    system.rebuild("Hamilton", "B", vec![doc("b1", "beta")]).unwrap();
+    system.rebuild("Hamilton", "D", vec![doc("d1", "delta data")]).unwrap();
+    system.rebuild("London", "E", vec![doc("e1", "epsilon data")]).unwrap();
+    system.rebuild("London", "F", vec![doc("f1", "phi")]).unwrap();
+    system.rebuild("London", "G", vec![doc("g1", "gamma guarded")]).unwrap();
+    system.run_until_quiet(SimTime::from_secs(10));
+    system
+}
+
+#[test]
+fn distributed_collection_resolves_across_hosts() {
+    let mut system = figure1_world();
+    let result = system.fetch("Hamilton", "D", SimDuration::from_secs(30));
+    assert!(result.fatal.is_none());
+    assert!(result.errors.is_empty());
+    let mut pairs: Vec<(String, String)> = result
+        .docs
+        .iter()
+        .map(|f| (f.collection.to_string(), f.doc.id.to_string()))
+        .collect();
+    pairs.sort();
+    assert_eq!(
+        pairs,
+        vec![
+            ("Hamilton.D".to_string(), "d1".to_string()),
+            ("London.E".to_string(), "e1".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn virtual_collection_serves_subcollection_data() {
+    let mut system = figure1_world();
+    let result = system.fetch("Hamilton", "C", SimDuration::from_secs(30));
+    assert_eq!(result.docs.len(), 1);
+    assert_eq!(result.docs[0].collection, CollectionId::new("Hamilton", "A"));
+}
+
+#[test]
+fn private_collection_only_via_parent() {
+    let mut system = figure1_world();
+    let direct = system.fetch("London", "G", SimDuration::from_secs(30));
+    assert_eq!(direct.fatal, Some(GsError::PrivateCollection("G".into())));
+    assert!(direct.docs.is_empty());
+
+    let via_parent = system.fetch("London", "F", SimDuration::from_secs(30));
+    assert!(via_parent.fatal.is_none());
+    assert_eq!(via_parent.docs.len(), 2);
+}
+
+#[test]
+fn distributed_search_spans_hosts_and_merges() {
+    let mut system = figure1_world();
+    let query = Query::parse("delta OR epsilon").unwrap();
+    let result = system.search("Hamilton", "D", "text", &query, SimDuration::from_secs(30));
+    assert!(result.fatal.is_none());
+    assert_eq!(result.hits.len(), 2);
+    let hosts: Vec<&str> = result
+        .hits
+        .iter()
+        .map(|h| h.doc.collection().host().as_str())
+        .collect();
+    assert!(hosts.contains(&"Hamilton"));
+    assert!(hosts.contains(&"London"));
+}
+
+#[test]
+fn receptionist_access_rules_match_figure1() {
+    // Receptionist I accesses Hamilton and London; II only London.
+    let mut recep1 = Receptionist::new(
+        "recep-I",
+        vec![HostName::new("Hamilton"), HostName::new("London")],
+    );
+    let mut recep2 = Receptionist::new("recep-II", vec![HostName::new("London")]);
+
+    assert!(recep1.fetch(&CollectionId::new("Hamilton", "D")).is_ok());
+    assert!(recep1.fetch(&CollectionId::new("London", "E")).is_ok());
+    assert!(recep2.fetch(&CollectionId::new("London", "E")).is_ok());
+    assert!(
+        recep2.fetch(&CollectionId::new("Hamilton", "D")).is_err(),
+        "receptionist II has no access to Hamilton"
+    );
+}
+
+#[test]
+fn naming_service_resolves_servers() {
+    let mut system = figure1_world();
+    assert_eq!(
+        system.resolve("Hamilton", "London", SimDuration::from_secs(10)),
+        Some(HostName::new("gds-2"))
+    );
+    assert_eq!(
+        system.resolve("London", "Hamilton", SimDuration::from_secs(10)),
+        Some(HostName::new("gds-4"))
+    );
+    assert_eq!(
+        system.resolve("Hamilton", "Atlantis", SimDuration::from_secs(10)),
+        None
+    );
+}

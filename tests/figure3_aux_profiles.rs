@@ -1,0 +1,209 @@
+//! Integration test F3: the Figure 3 scenario — auxiliary profiles,
+//! event forwarding over the GS network, and origin rewriting — plus the
+//! chained virtual/private cases of Section 4.2.
+
+use gsa_core::System;
+use gsa_gds::figure2_tree;
+use gsa_greenstone::{CollectionConfig, SubCollectionRef};
+use gsa_store::SourceDocument;
+use gsa_types::{CollectionId, SimTime};
+
+fn doc(id: &str) -> SourceDocument {
+    SourceDocument::new(id, "some fresh content")
+}
+
+fn hamilton_london(seed: u64) -> System {
+    let mut system = System::new(seed);
+    system.add_gds_topology(&figure2_tree());
+    system.add_server("Hamilton", "gds-4");
+    system.add_server("London", "gds-2");
+    system.add_server("Berlin", "gds-3");
+    system.add_collection("London", CollectionConfig::simple("E", "E"));
+    system.add_collection(
+        "Hamilton",
+        CollectionConfig::simple("D", "D").with_subcollection(SubCollectionRef::new(
+            "e",
+            CollectionId::new("London", "E"),
+        )),
+    );
+    system.run_until_quiet(SimTime::from_secs(5));
+    system
+}
+
+#[test]
+fn aux_profile_is_planted_on_startup() {
+    let mut system = hamilton_london(1);
+    let count = system.inspect_core("London", |c| c.aux_store().len());
+    assert_eq!(count, 1);
+    let (sub, sup) = system.inspect_core("London", |c| {
+        let aux = c.aux_store().iter().next().unwrap().clone();
+        (aux.sub_name.clone(), aux.super_collection.clone())
+    });
+    assert_eq!(sub.as_str(), "E");
+    assert_eq!(sup, CollectionId::new("Hamilton", "D"));
+    // The plant was acknowledged.
+    assert_eq!(system.inspect_core("Hamilton", |c| c.pending_ops().len()), 0);
+}
+
+#[test]
+fn sub_rebuild_is_rewritten_to_super_origin() {
+    let mut system = hamilton_london(2);
+    let watcher = system.add_client("Berlin");
+    system
+        .subscribe_text("Berlin", watcher, r#"collection = "Hamilton.D""#)
+        .unwrap();
+    system.rebuild("London", "E", vec![doc("e1")]).unwrap();
+    system.run_until_quiet(SimTime::from_secs(60));
+    let inbox = system.take_notifications("Berlin", watcher);
+    assert_eq!(inbox.len(), 1);
+    assert_eq!(inbox[0].event.origin, CollectionId::new("Hamilton", "D"));
+    assert_eq!(inbox[0].event.provenance, vec![CollectionId::new("London", "E")]);
+    assert_eq!(inbox[0].event.root_origin(), &CollectionId::new("London", "E"));
+}
+
+#[test]
+fn watcher_of_sub_collection_sees_original_origin() {
+    let mut system = hamilton_london(3);
+    let watcher = system.add_client("Berlin");
+    system
+        .subscribe_text("Berlin", watcher, r#"collection = "London.E""#)
+        .unwrap();
+    system.rebuild("London", "E", vec![doc("e1")]).unwrap();
+    system.run_until_quiet(SimTime::from_secs(60));
+    let inbox = system.take_notifications("Berlin", watcher);
+    assert_eq!(inbox.len(), 1);
+    assert_eq!(inbox[0].event.origin, CollectionId::new("London", "E"));
+    assert!(inbox[0].event.provenance.is_empty());
+}
+
+#[test]
+fn watcher_of_both_gets_both_events_once_each() {
+    let mut system = hamilton_london(4);
+    let watcher = system.add_client("Berlin");
+    system
+        .subscribe_text(
+            "Berlin",
+            watcher,
+            r#"collection = "London.E" OR collection = "Hamilton.D""#,
+        )
+        .unwrap();
+    system.rebuild("London", "E", vec![doc("e1")]).unwrap();
+    system.run_until_quiet(SimTime::from_secs(60));
+    let inbox = system.take_notifications("Berlin", watcher);
+    assert_eq!(inbox.len(), 2, "one per announced origin, no duplicates");
+    let mut origins: Vec<String> = inbox.iter().map(|n| n.event.origin.to_string()).collect();
+    origins.sort();
+    assert_eq!(origins, vec!["Hamilton.D", "London.E"]);
+}
+
+#[test]
+fn restructuring_removes_the_aux_profile_and_stops_rewrites() {
+    let mut system = hamilton_london(5);
+    let watcher = system.add_client("Berlin");
+    system
+        .subscribe_text("Berlin", watcher, r#"collection = "Hamilton.D""#)
+        .unwrap();
+    system.remove_subcollection("Hamilton", "D", "e").unwrap();
+    system.run_until_quiet(SimTime::from_secs(30));
+    assert_eq!(system.inspect_core("London", |c| c.aux_store().len()), 0);
+
+    system.rebuild("London", "E", vec![doc("e1")]).unwrap();
+    system.run_until_quiet(SimTime::from_secs(60));
+    assert!(
+        system.take_notifications("Berlin", watcher).is_empty(),
+        "no rewrite after the sub-collection was removed"
+    );
+}
+
+#[test]
+fn chain_through_virtual_and_private_collections() {
+    // Paris.Z ⊃ London.F (virtual, public) ⊃ London.G (private).
+    let mut system = System::new(6);
+    system.add_gds_topology(&figure2_tree());
+    system.add_server("Paris", "gds-5");
+    system.add_server("London", "gds-2");
+    system.add_server("Berlin", "gds-3");
+    system.add_collection(
+        "London",
+        CollectionConfig::simple("F", "virtual F").with_subcollection(SubCollectionRef::new(
+            "g",
+            CollectionId::new("London", "G"),
+        )),
+    );
+    system.add_collection("London", CollectionConfig::simple("G", "private G").private());
+    system.add_collection(
+        "Paris",
+        CollectionConfig::simple("Z", "super Z").with_subcollection(SubCollectionRef::new(
+            "f",
+            CollectionId::new("London", "F"),
+        )),
+    );
+    system.run_until_quiet(SimTime::from_secs(5));
+
+    let watcher = system.add_client("Berlin");
+    system
+        .subscribe_text("Berlin", watcher, r#"collection = "Paris.Z""#)
+        .unwrap();
+    // Nobody may ever see the private G as an origin.
+    let spy = system.add_client("Berlin");
+    system
+        .subscribe_text("Berlin", spy, r#"collection = "London.G""#)
+        .unwrap();
+
+    system.rebuild("London", "G", vec![doc("g1")]).unwrap();
+    system.run_until_quiet(SimTime::from_secs(60));
+
+    let inbox = system.take_notifications("Berlin", watcher);
+    assert_eq!(inbox.len(), 1, "the chain G -> F -> Z must fire");
+    assert_eq!(inbox[0].event.origin, CollectionId::new("Paris", "Z"));
+    assert_eq!(
+        inbox[0].event.provenance,
+        vec![
+            CollectionId::new("London", "G"),
+            CollectionId::new("London", "F"),
+        ]
+    );
+    assert!(
+        system.take_notifications("Berlin", spy).is_empty(),
+        "a private collection is never broadcast in its own right"
+    );
+}
+
+#[test]
+fn cyclic_super_sub_references_terminate() {
+    // A.X ⊃ B.Y and B.Y ⊃ A.X — the paper's research problem 2.
+    let mut system = System::new(7);
+    system.add_gds_topology(&figure2_tree());
+    system.add_server("A", "gds-4");
+    system.add_server("B", "gds-2");
+    system.add_server("C", "gds-3");
+    system.add_collection(
+        "A",
+        CollectionConfig::simple("X", "X").with_subcollection(SubCollectionRef::new(
+            "y",
+            CollectionId::new("B", "Y"),
+        )),
+    );
+    system.add_collection(
+        "B",
+        CollectionConfig::simple("Y", "Y").with_subcollection(SubCollectionRef::new(
+            "x",
+            CollectionId::new("A", "X"),
+        )),
+    );
+    system.run_until_quiet(SimTime::from_secs(5));
+
+    let watcher = system.add_client("C");
+    system
+        .subscribe_text("C", watcher, r#"host in ["A", "B"]"#)
+        .unwrap();
+    system.rebuild("B", "Y", vec![doc("y1")]).unwrap();
+    system.run_until_quiet(SimTime::from_secs(120));
+    let inbox = system.take_notifications("C", watcher);
+    // Exactly two announcements: B.Y itself and the rewrite A.X; the
+    // cycle back to B.Y is cut by the provenance guard.
+    assert_eq!(inbox.len(), 2);
+    let mut origins: Vec<String> = inbox.iter().map(|n| n.event.origin.to_string()).collect();
+    origins.sort();
+    assert_eq!(origins, vec!["A.X", "B.Y"]);
+}

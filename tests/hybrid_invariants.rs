@@ -1,0 +1,100 @@
+//! Randomized whole-system invariants: across seeds, on generated
+//! fragmented/cyclic worlds, the hybrid service classified against the
+//! oracle has no false positives, no false negatives and no duplicates
+//! (outside don't-care windows), and reconciles all pending operations.
+
+use gsa_bench::{run_scheme, Oracle, RunConfig, Scheme};
+use gsa_types::SimDuration;
+use gsa_workload::{
+    ChurnEvent, GsWorld, ProfileMix, ProfilePopulation, RebuildSchedule, WorldParams,
+};
+
+fn check_seed(seed: u64, with_churn: bool) {
+    let world = GsWorld::generate(&WorldParams {
+        seed,
+        servers: 16,
+        p_solitary: 0.4,
+        max_island: 5,
+        collections_per_server: 2,
+        p_remote_sub: 0.5,
+        p_extra_edge: 0.3,
+        p_private: 0.15,
+    });
+    let population = ProfilePopulation::generate(seed + 1, &world, 40, &ProfileMix::default());
+    let horizon = SimDuration::from_secs(60);
+    let schedule = RebuildSchedule::generate(seed + 2, &world, 25, horizon, 3);
+    let churn = if with_churn {
+        ChurnEvent::schedule(seed + 3, &world, 2, 8, population.len(), horizon)
+    } else {
+        Vec::new()
+    };
+    let outcome = run_scheme(
+        Scheme::Hybrid,
+        &world,
+        &population,
+        &schedule,
+        &churn,
+        &RunConfig {
+            seed: seed + 4,
+            drain: SimDuration::from_secs(60),
+            ..RunConfig::default()
+        },
+    );
+    let oracle = Oracle::build(
+        &world,
+        &population,
+        &schedule,
+        &outcome.cancels,
+        &outcome.partitions,
+        SimDuration::from_secs(5),
+    );
+    let q = oracle.classify(&outcome.deliveries);
+    assert_eq!(q.false_positives, 0, "seed {seed}: {q}");
+    assert_eq!(q.false_negatives, 0, "seed {seed}: {q}");
+    assert_eq!(q.duplicates, 0, "seed {seed}: {q}");
+    assert!(q.expected > 0, "seed {seed}: degenerate workload");
+}
+
+#[test]
+fn hybrid_is_exact_without_churn_across_seeds() {
+    for seed in [101, 202, 303] {
+        check_seed(seed, false);
+    }
+}
+
+#[test]
+fn hybrid_is_exact_with_churn_across_seeds() {
+    for seed in [404, 505, 606] {
+        check_seed(seed, true);
+    }
+}
+
+#[test]
+fn baselines_are_strictly_worse_on_fragmented_worlds() {
+    let seed = 900;
+    let world = GsWorld::generate(&WorldParams {
+        seed,
+        servers: 16,
+        ..WorldParams::default()
+    });
+    let population = ProfilePopulation::generate(seed + 1, &world, 40, &ProfileMix::default());
+    let schedule = RebuildSchedule::generate(seed + 2, &world, 25, SimDuration::from_secs(60), 3);
+    let run = |scheme| {
+        let outcome = run_scheme(scheme, &world, &population, &schedule, &[], &RunConfig::default());
+        let oracle = Oracle::build(
+            &world,
+            &population,
+            &schedule,
+            &outcome.cancels,
+            &outcome.partitions,
+            SimDuration::from_secs(5),
+        );
+        oracle.classify(&outcome.deliveries)
+    };
+    let hybrid = run(Scheme::Hybrid);
+    let flood = run(Scheme::GsFlood);
+    let rendezvous = run(Scheme::Rendezvous);
+    assert_eq!(hybrid.recall(), 1.0);
+    assert!(flood.recall() < hybrid.recall());
+    assert!(rendezvous.recall() < hybrid.recall());
+}

@@ -1,0 +1,120 @@
+//! Wire-format integration tests: every protocol message survives the
+//! full envelope → XML text → parse → decode round trip, including
+//! randomized events and profiles (proptest).
+
+use gsa_gds::{GdsMessage, ResolveToken};
+use gsa_greenstone::{GsMessage, RequestId};
+use gsa_profile::{parse_profile, xml::expr_from_xml, xml::expr_to_xml};
+use gsa_store::Query;
+use gsa_types::{
+    keys, CollectionId, DocSummary, Event, EventId, EventKind, HostName, MessageId,
+    MetadataRecord, SimTime,
+};
+use gsa_wire::codec::{event_from_xml, event_to_xml};
+use gsa_wire::Envelope;
+use proptest::prelude::*;
+
+fn through_envelope(body: gsa_wire::XmlElement) -> gsa_wire::XmlElement {
+    let env = Envelope::new(MessageId::from_raw(9), HostName::new("sender"), body);
+    let text = env.encode();
+    Envelope::decode(&text).expect("envelope decodes").into_body()
+}
+
+#[test]
+fn gs_messages_survive_the_full_wire_path() {
+    let messages = vec![
+        GsMessage::DescribeRequest {
+            request: RequestId(1),
+            collection: "D".into(),
+        },
+        GsMessage::SearchRequest {
+            request: RequestId(2),
+            collection: "D".into(),
+            index: "text".into(),
+            query: Query::parse("digital AND (librar* OR NOT archive)").unwrap(),
+            visited: vec![CollectionId::new("A", "B")],
+            via_parent: true,
+        },
+        GsMessage::FetchRequest {
+            request: RequestId(3),
+            collection: "E".into(),
+            visited: vec![],
+            via_parent: false,
+        },
+    ];
+    for msg in messages {
+        let body = through_envelope(msg.to_xml());
+        assert_eq!(GsMessage::from_xml(&body).unwrap(), msg);
+    }
+}
+
+#[test]
+fn gds_messages_survive_the_full_wire_path() {
+    let event = Event::new(
+        EventId::new("Hamilton", 5),
+        CollectionId::new("Hamilton", "D"),
+        EventKind::CollectionRebuilt,
+        SimTime::from_millis(100),
+    );
+    let messages = vec![
+        GdsMessage::Register {
+            gs_host: "Hamilton".into(),
+        },
+        GdsMessage::publish_event(MessageId::from_raw(1), &event),
+        GdsMessage::Resolve {
+            token: ResolveToken(4),
+            name: "London".into(),
+            reply_to: "Hamilton".into(),
+        },
+    ];
+    for msg in messages {
+        let body = through_envelope(msg.to_xml());
+        assert_eq!(GdsMessage::from_xml(&body).unwrap(), msg);
+    }
+}
+
+#[test]
+fn profiles_with_nasty_strings_survive() {
+    let texts = [
+        r#"dc.Title = "quotes \" and <angles> & ampersands""#,
+        r#"text ~ "*digi*tal*""#,
+        r#"doc in ["id<1>", "id&2", "id\"3\""]"#,
+    ];
+    for text in texts {
+        let expr = parse_profile(text).unwrap();
+        let body = through_envelope(expr_to_xml(&expr));
+        assert_eq!(expr_from_xml(&body).unwrap(), expr, "profile {text}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_events_round_trip(
+        host in "[A-Za-z][A-Za-z0-9]{0,8}",
+        name in "[A-Za-z][A-Za-z0-9]{0,8}",
+        seq in 0u64..1000,
+        kind_idx in 0usize..EventKind::ALL.len(),
+        titles in prop::collection::vec("[ -~]{0,40}", 0..4),
+        excerpt in "[ -~]{0,80}",
+    ) {
+        let mut event = Event::new(
+            EventId::new(host.as_str(), seq),
+            CollectionId::new(host.as_str(), name.as_str()),
+            EventKind::ALL[kind_idx],
+            SimTime::from_micros(seq),
+        );
+        let docs = titles
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let md: MetadataRecord = [(keys::TITLE, t.as_str())].into_iter().collect();
+                DocSummary::new(format!("doc-{i}"))
+                    .with_metadata(md)
+                    .with_excerpt(excerpt.as_str())
+            })
+            .collect();
+        event.docs = docs;
+        let body = through_envelope(event_to_xml(&event));
+        prop_assert_eq!(event_from_xml(&body).unwrap(), event);
+    }
+}
