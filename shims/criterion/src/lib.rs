@@ -1,0 +1,254 @@
+//! Offline stand-in for the `criterion` APIs this workspace's benches use.
+//!
+//! Implements the structural API (`benchmark_group`, `bench_with_input`,
+//! `bench_function`, `iter`, the `criterion_group!`/`criterion_main!`
+//! macros) with a plain wall-clock measurement loop: each benchmark warms
+//! up briefly, then runs until a time budget is spent and reports the mean
+//! iteration time. No statistics, plots or baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: param.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.param)
+    }
+}
+
+/// Drives the measurement loop for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    measure_for: Duration,
+    /// Mean seconds per iteration, filled in by [`Bencher::iter`].
+    mean_secs: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring for the budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a few unmeasured runs populate caches/allocations.
+        let warmup_until = Instant::now() + self.measure_for / 5;
+        let mut warmups = 0u64;
+        while warmups < 3 || Instant::now() < warmup_until {
+            black_box(routine());
+            warmups += 1;
+            if warmups >= 1000 {
+                break;
+            }
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < 10 || start.elapsed() < self.measure_for {
+            black_box(routine());
+            iters += 1;
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.mean_secs = start.elapsed().as_secs_f64() / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn human_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn report(label: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let mut line = format!(
+        "{label:<50} {:>12}/iter ({} iters)",
+        human_time(bencher.mean_secs),
+        bencher.iters
+    );
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if bencher.mean_secs > 0.0 {
+            line.push_str(&format!(
+                "  {:>12.0} {unit}/s",
+                count as f64 / bencher.mean_secs
+            ));
+        }
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    criterion: &'c Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Accepted for API compatibility; the shim sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = self.criterion.bencher();
+        f(&mut bencher, input);
+        let label = format!("{}/{}", self.name, id);
+        report(&label, &bencher, self.throughput);
+    }
+
+    /// Runs one benchmark with no input.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = self.criterion.bencher();
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id);
+        report(&label, &bencher, self.throughput);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager.
+#[derive(Debug)]
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_for: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            measure_for: self.measure_for,
+            mean_secs: 0.0,
+            iters: 0,
+        }
+    }
+
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = self.bencher();
+        f(&mut bencher);
+        report(name, &bencher, None);
+        self
+    }
+}
+
+/// Declares a function running a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+        c.bench_function("solo", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(human_time(2e-9).contains("ns"));
+        assert!(human_time(2e-6).contains("µs"));
+        assert!(human_time(2e-3).contains("ms"));
+        assert!(human_time(2.0).contains('s'));
+    }
+}

@@ -1,0 +1,359 @@
+//! Offline stand-in for the `proptest` APIs this workspace uses.
+//!
+//! Provides deterministic random-input property testing: strategies are
+//! generator functions seeded from the test's name, the [`proptest!`]
+//! macro runs a configurable number of cases, and `prop_assert*` report
+//! the failing case index. Unlike real proptest there is **no shrinking**
+//! and no persistence of failing seeds; string strategies support the
+//! regex subset used in this tree (character classes, ranges, `{n,m}`,
+//! `?`, `*`, `+`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::rc::Rc;
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// The deterministic generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Creates a generator seeded from a test name (FNV-1a hashed), so
+    /// each test gets a stable, reproducible input stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(hash),
+        }
+    }
+
+    /// A raw 64-bit sample.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform sample in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        self.inner.random_range(0..bound)
+    }
+
+    /// A uniform sample in `[lo, hi)`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.random_range(lo..hi)
+    }
+}
+
+/// Number of cases to run per property.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Cases generated per `#[test]` inside [`proptest!`].
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property case, produced by the `prop_assert*` macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: Rc<String>,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: Rc::new(message.into()),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Namespaced strategy constructors, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{BoxedStrategy, Strategy};
+        use std::collections::BTreeSet;
+        use std::ops::Range;
+
+        /// A vector whose length is drawn from `len` and whose elements
+        /// come from `element`.
+        pub fn vec<S>(element: S, len: Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+        where
+            S: Strategy + 'static,
+            S::Value: 'static,
+        {
+            assert!(len.start < len.end, "empty length range");
+            BoxedStrategy::from_fn(move |rng| {
+                let n = len.start + rng.below(len.end - len.start);
+                (0..n).map(|_| element.generate(rng)).collect()
+            })
+        }
+
+        /// A `BTreeSet` of distinct elements; gives up adding when the
+        /// element space is too small to reach the requested size.
+        pub fn btree_set<S>(element: S, size: Range<usize>) -> BoxedStrategy<BTreeSet<S::Value>>
+        where
+            S: Strategy + 'static,
+            S::Value: Ord + 'static,
+        {
+            assert!(size.start < size.end, "empty size range");
+            BoxedStrategy::from_fn(move |rng| {
+                let want = size.start + rng.below(size.end - size.start);
+                let mut out = BTreeSet::new();
+                let mut attempts = 0;
+                while out.len() < want && attempts < want * 10 + 10 {
+                    out.insert(element.generate(rng));
+                    attempts += 1;
+                }
+                out
+            })
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::strategy::BoxedStrategy;
+
+        /// Uniformly selects one of `options` (cloned at build time).
+        pub fn select<T: Clone + 'static>(options: &[T]) -> BoxedStrategy<T> {
+            assert!(!options.is_empty(), "select of empty options");
+            let options: Vec<T> = options.to_vec();
+            BoxedStrategy::from_fn(move |rng| options[rng.below(options.len())].clone())
+        }
+    }
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError, TestRng,
+    };
+}
+
+/// Builds a uniform choice among boxed strategies (used by [`prop_oneof!`]).
+pub fn union<T: 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof of zero arms");
+    BoxedStrategy::from_fn(move |rng| arms[rng.below(arms.len())].generate(rng))
+}
+
+/// Uniformly picks one of the listed strategies (all must share a value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @config ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @config ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@config ($config:expr)) => {};
+    (@config ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng =
+                $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)*
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(error) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        error
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { @config ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strings_match_their_pattern() {
+        let mut rng = TestRng::from_name("strings");
+        for _ in 0..200 {
+            let s = "[A-Za-z][A-Za-z0-9]{0,8}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "bad len: {s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+            let p = "[ -~]{0,40}".generate(&mut rng);
+            assert!(p.len() <= 40);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn ranges_tuples_and_collections() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..200 {
+            let v = (0u64..1000).generate(&mut rng);
+            assert!(v < 1000);
+            let (a, b) = ((0usize..3), Just("x")).generate(&mut rng);
+            assert!(a < 3 && b == "x");
+            let xs = prop::collection::vec(0u64..5, 1..4).generate(&mut rng);
+            assert!((1..4).contains(&xs.len()));
+            let set = prop::collection::btree_set(0u64..50, 1..3).generate(&mut rng);
+            assert!(!set.is_empty() && set.len() < 3);
+            let pick = prop::sample::select(&["a", "b", "c"]).generate(&mut rng);
+            assert!(["a", "b", "c"].contains(&pick));
+        }
+    }
+
+    #[test]
+    fn oneof_recursion_and_map() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(children) => {
+                    1 + children.iter().map(depth).max().unwrap_or(0)
+                }
+            }
+        }
+        let leaf = (0u64..10).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 16, 3, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 1..4).prop_map(Tree::Node),
+                inner.prop_map(|t| Tree::Node(vec![t])),
+            ]
+        });
+        let mut rng = TestRng::from_name("trees");
+        let mut saw_node = false;
+        for _ in 0..100 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 16);
+            saw_node |= matches!(t, Tree::Node(_));
+        }
+        assert!(saw_node);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_runs_cases(x in 0u64..100, ys in prop::collection::vec(0u64..10, 0..5)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(ys.len(), ys.iter().count());
+            prop_assert_ne!(x, 100);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(x in 5u64..6) {
+            prop_assert_eq!(x, 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_index() {
+        proptest! {
+            fn always_fails(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

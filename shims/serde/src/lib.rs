@@ -1,0 +1,29 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace's wire format is hand-written XML (`gsa-wire`); the
+//! `#[derive(Serialize, Deserialize)]` attributes on the domain types only
+//! exist so the types stay serde-ready for a future JSON/binary transport.
+//! Nothing in the tree calls serde runtime APIs, so this shim provides the
+//! trait names and derive macros with no behaviour behind them.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Stand-in for `serde::de`, so `serde::de::DeserializeOwned` paths resolve.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
