@@ -194,6 +194,9 @@ impl AlertingCore {
     /// # Errors
     ///
     /// Returns the config back when a collection of that name exists.
+    // The Err variant is intentionally the rejected config itself, so the
+    // caller keeps ownership; this is a cold path, size is irrelevant.
+    #[allow(clippy::result_large_err)]
     pub fn add_collection(
         &mut self,
         config: CollectionConfig,

@@ -6,7 +6,7 @@
 //! always a local operation, which is what rules out dangling *user*
 //! profiles by construction.
 
-use gsa_filter::FilterEngine;
+use gsa_filter::{FilterEngine, MatchScratch};
 use gsa_profile::{DnfError, Profile, ProfileExpr};
 use gsa_types::{ClientId, DocId, Event, ProfileId, SimTime};
 use std::collections::HashMap;
@@ -52,6 +52,10 @@ pub struct SubscriptionManager {
     profiles: HashMap<ProfileId, Profile>,
     next_profile: u64,
     mailboxes: HashMap<ClientId, Vec<Notification>>,
+    /// Reusable matching state; after warm-up the engine's indexed path
+    /// runs allocation-free across the event stream.
+    scratch: MatchScratch,
+    matched: Vec<ProfileId>,
 }
 
 impl SubscriptionManager {
@@ -122,9 +126,10 @@ impl SubscriptionManager {
     /// notification per matching profile. Returns the notifications
     /// produced.
     pub fn filter_event(&mut self, event: &Arc<Event>, now: SimTime) -> Vec<Notification> {
-        let matched = self.engine.matches(event);
-        let mut out = Vec::with_capacity(matched.len());
-        for id in matched {
+        self.engine
+            .matches_into(event, &mut self.scratch, &mut self.matched);
+        let mut out = Vec::with_capacity(self.matched.len());
+        for &id in &self.matched {
             let profile = &self.profiles[&id];
             let matched_docs: Vec<DocId> = profile
                 .expr()

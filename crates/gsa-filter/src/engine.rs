@@ -1,22 +1,122 @@
 //! The equality-preferred (counting) matching engine.
+//!
+//! Second-generation implementation. The index is keyed by interned
+//! [`Symbol`] pairs (one flat hash map, one cheap integer hash per probe)
+//! instead of nested string maps, and the per-event counting state lives
+//! in a caller-owned [`MatchScratch`] whose counter slots are
+//! generation-stamped — no clearing and, after warm-up, no heap
+//! allocation per event on the indexed-equality path. Profile removal is
+//! proportional to the removed profile's own postings (back-pointers),
+//! not to the size of the whole index.
 
-use gsa_profile::{AttrValue, Literal, ProfileAttr, ProfileExpr};
+use crate::intern::{FxHashMap, Symbol, SymbolTable};
+use gsa_profile::{AttrValue, Literal, Predicate, ProfileAttr, ProfileExpr};
+use gsa_store::Query;
 use gsa_types::{DocSummary, Event, ProfileId};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::fmt::Write as _;
 
 /// Maximum number of indexed equality predicates per conjunction (bits of
 /// the counting bitmask); further equality predicates are verified as
 /// residuals, which is slower but exact.
 const MAX_INDEXED: usize = 64;
 
+/// One posting of the equality index: the conjunction holding the
+/// predicate and the predicate's bit in that conjunction's mask.
+#[derive(Debug, Clone, Copy)]
+struct Posting {
+    conj: u32,
+    mask: u64,
+}
+
+/// A residual literal, pre-classified at insert time so the hot loop can
+/// dispatch without re-inspecting the predicate shape.
+#[derive(Debug)]
+enum ResidualLit {
+    /// `text ? (query)` — evaluated against the per-context token cache,
+    /// so the excerpt is tokenized once per (event, document) context no
+    /// matter how many profiles carry filter queries.
+    TextQuery {
+        query: Query,
+        positive: bool,
+    },
+    /// Anything else, evaluated through the generic literal path.
+    General(Literal),
+}
+
+impl ResidualLit {
+    fn classify(lit: Literal) -> ResidualLit {
+        match lit {
+            Literal {
+                predicate:
+                    Predicate {
+                        attr: ProfileAttr::Text,
+                        value: AttrValue::Matches(query),
+                    },
+                positive,
+            } => ResidualLit::TextQuery { query, positive },
+            other => ResidualLit::General(other),
+        }
+    }
+
+    fn matches(&self, event: &Event, doc: Option<&DocSummary>, tokens: &mut TokenCache) -> bool {
+        match self {
+            ResidualLit::TextQuery { query, positive } => {
+                let holds = match doc {
+                    Some(doc) => query.matches_tokens(tokens.get(&doc.excerpt)),
+                    None => false,
+                };
+                holds == *positive
+            }
+            ResidualLit::General(lit) => lit.matches(event, doc),
+        }
+    }
+}
+
+/// Lazily tokenized excerpt of the current matching context. Built at
+/// most once per (event, document) context, shared by every filter-query
+/// residual verified in that context.
+#[derive(Debug, Default)]
+struct TokenCache {
+    tokens: BTreeSet<String>,
+    valid: bool,
+}
+
+impl TokenCache {
+    fn reset(&mut self) {
+        self.valid = false;
+    }
+
+    fn get(&mut self, excerpt: &str) -> &BTreeSet<String> {
+        if !self.valid {
+            self.tokens.clear();
+            self.tokens.extend(gsa_store::tokenize(excerpt));
+            self.valid = true;
+        }
+        &self.tokens
+    }
+}
+
 #[derive(Debug)]
 struct ConjEntry {
     profile: ProfileId,
+    /// Dense per-profile slot, used to deduplicate matches across the
+    /// event's documents without hashing profile ids.
+    pslot: u32,
     /// Bitmask with one bit per indexed predicate; candidate when all set.
     required: u64,
     /// Literals verified only on candidates.
-    residual: Vec<Literal>,
+    residual: Vec<ResidualLit>,
+    /// Back-pointers into the equality index, so removal only walks the
+    /// posting lists this conjunction actually appears in.
+    keys: Vec<(Symbol, Symbol)>,
+}
+
+#[derive(Debug)]
+struct ProfileEntry {
+    conjs: Vec<u32>,
+    pslot: u32,
 }
 
 /// Statistics about the engine's index structure.
@@ -32,6 +132,18 @@ pub struct FilterStats {
     pub index_entries: usize,
 }
 
+impl FilterStats {
+    /// Component-wise sum, used to aggregate shard statistics.
+    pub fn merge(self, other: FilterStats) -> FilterStats {
+        FilterStats {
+            profiles: self.profiles + other.profiles,
+            conjunctions: self.conjunctions + other.conjunctions,
+            scan_conjunctions: self.scan_conjunctions + other.scan_conjunctions,
+            index_entries: self.index_entries + other.index_entries,
+        }
+    }
+}
+
 impl fmt::Display for FilterStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -42,23 +154,98 @@ impl fmt::Display for FilterStats {
     }
 }
 
+/// Reusable per-thread matching state.
+///
+/// The counter slots are *generation-stamped*: advancing the generation
+/// invalidates every slot in O(1), so nothing is cleared between events.
+/// After the buffers have grown to the engine's size (one warm-up call),
+/// [`FilterEngine::matches_into`] performs no heap allocation on the
+/// indexed-equality path.
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    /// Monotonic stamp; bumped once per event and once per context.
+    generation: u64,
+    /// Per-conjunction `(generation, bits)` counter slots.
+    counters: Vec<(u64, u64)>,
+    /// Conjunction ids touched in the current context.
+    touched: Vec<u32>,
+    /// Per-profile-slot stamp of the event in which the profile matched.
+    matched: Vec<u64>,
+    /// Reusable buffer for the composed `host.name` collection key.
+    collection_key: String,
+    /// Per-context tokenized excerpt for filter-query residuals.
+    tokens: TokenCache,
+}
+
+impl MatchScratch {
+    /// Creates empty scratch state (buffers grow on first use).
+    pub fn new() -> Self {
+        MatchScratch::default()
+    }
+
+    fn ensure(&mut self, conjs: usize, pslots: usize) {
+        if self.counters.len() < conjs {
+            self.counters.resize(conjs, (0, 0));
+        }
+        if self.matched.len() < pslots {
+            self.matched.resize(pslots, 0);
+        }
+    }
+}
+
 /// The equality-preferred filter engine.
 ///
-/// See the [crate documentation](crate) for semantics and an example.
-#[derive(Debug, Default)]
+/// See the [crate documentation](crate) for semantics and an example. For
+/// high-throughput use, hold a [`MatchScratch`] and call
+/// [`matches_into`](FilterEngine::matches_into); the convenience
+/// [`matches`](FilterEngine::matches) allocates fresh state per call.
+#[derive(Debug)]
 pub struct FilterEngine {
+    symbols: SymbolTable,
+    attr_host: Symbol,
+    attr_collection: Symbol,
+    attr_kind: Symbol,
+    attr_doc: Symbol,
     conjs: Vec<Option<ConjEntry>>,
-    /// attribute name -> value -> [(conjunction index, predicate bit)].
-    eq_index: HashMap<String, HashMap<String, Vec<(usize, u64)>>>,
+    free_conjs: Vec<u32>,
+    /// (attribute, value) -> postings; one flat map, one probe per pair.
+    eq_index: FxHashMap<(Symbol, Symbol), Vec<Posting>>,
     /// Conjunctions with no indexed predicate, always candidates.
-    scan: BTreeSet<usize>,
-    by_profile: HashMap<ProfileId, Vec<usize>>,
+    scan: BTreeSet<u32>,
+    by_profile: HashMap<ProfileId, ProfileEntry>,
+    free_pslots: Vec<u32>,
+    /// High-water mark of allocated profile slots (scratch sizing).
+    pslot_high: u32,
+}
+
+impl Default for FilterEngine {
+    fn default() -> Self {
+        FilterEngine::new()
+    }
 }
 
 impl FilterEngine {
     /// Creates an empty engine.
     pub fn new() -> Self {
-        FilterEngine::default()
+        let mut symbols = SymbolTable::new();
+        let attr_host = symbols.intern(ProfileAttr::Host.name());
+        let attr_collection = symbols.intern(ProfileAttr::Collection.name());
+        let attr_kind = symbols.intern(ProfileAttr::Kind.name());
+        let attr_doc = symbols.intern(ProfileAttr::DocId.name());
+        FilterEngine {
+            symbols,
+            attr_host,
+            attr_collection,
+            attr_kind,
+            attr_doc,
+            conjs: Vec::new(),
+            free_conjs: Vec::new(),
+            eq_index: FxHashMap::default(),
+            scan: BTreeSet::new(),
+            by_profile: HashMap::new(),
+            free_pslots: Vec::new(),
+            pslot_high: 0,
+        }
     }
 
     /// Number of registered profiles.
@@ -82,8 +269,18 @@ impl FilterEngine {
             profiles: self.by_profile.len(),
             conjunctions: self.conjs.iter().flatten().count(),
             scan_conjunctions: self.scan.len(),
-            index_entries: self.eq_index.values().map(HashMap::len).sum(),
+            index_entries: self.eq_index.len(),
         }
+    }
+
+    /// Number of distinct interned strings (attribute names and values).
+    pub fn interned_symbols(&self) -> usize {
+        self.symbols.len()
+    }
+
+    #[cfg(test)]
+    fn conj_slot_capacity(&self) -> usize {
+        self.conjs.len()
     }
 
     /// Registers a profile expression under `id`. Re-inserting an existing
@@ -100,47 +297,76 @@ impl FilterEngine {
     ) -> Result<(), gsa_profile::DnfError> {
         let dnf = gsa_profile::dnf::to_dnf(expr)?;
         self.remove(id);
-        let mut indexes = Vec::with_capacity(dnf.len());
+        let pslot = self.free_pslots.pop().unwrap_or_else(|| {
+            let slot = self.pslot_high;
+            self.pslot_high = self
+                .pslot_high
+                .checked_add(1)
+                .expect("profile slot overflow");
+            slot
+        });
+        let mut conj_ids = Vec::with_capacity(dnf.len());
         for conj in dnf {
-            let ci = self.conjs.len();
+            let ci = match self.free_conjs.pop() {
+                Some(ci) => ci,
+                None => {
+                    let ci = u32::try_from(self.conjs.len()).expect("conjunction id overflow");
+                    self.conjs.push(None);
+                    ci
+                }
+            };
             let mut required = 0u64;
             let mut residual = Vec::new();
+            let mut keys = Vec::new();
             let mut bit = 0usize;
             for lit in conj.literals {
                 if bit < MAX_INDEXED && Self::indexable(&lit) {
                     let mask = 1u64 << bit;
                     required |= mask;
-                    let by_value = self
-                        .eq_index
-                        .entry(lit.predicate.attr.name().to_string())
-                        .or_default();
+                    let attr = self.symbols.intern(lit.predicate.attr.name());
+                    let mut post = |symbols: &mut SymbolTable,
+                                    eq_index: &mut FxHashMap<(Symbol, Symbol), Vec<Posting>>,
+                                    value: &str| {
+                        let key = (attr, symbols.intern(value));
+                        eq_index
+                            .entry(key)
+                            .or_default()
+                            .push(Posting { conj: ci, mask });
+                        keys.push(key);
+                    };
                     match &lit.predicate.value {
-                        AttrValue::Equals(v) => {
-                            by_value.entry(v.clone()).or_default().push((ci, mask));
-                        }
+                        AttrValue::Equals(v) => post(&mut self.symbols, &mut self.eq_index, v),
                         AttrValue::OneOf(set) => {
                             for v in set {
-                                by_value.entry(v.clone()).or_default().push((ci, mask));
+                                post(&mut self.symbols, &mut self.eq_index, v);
                             }
                         }
                         _ => unreachable!("indexable() only admits Equals/OneOf"),
                     }
                     bit += 1;
                 } else {
-                    residual.push(lit);
+                    residual.push(ResidualLit::classify(lit));
                 }
             }
             if required == 0 {
                 self.scan.insert(ci);
             }
-            self.conjs.push(Some(ConjEntry {
+            self.conjs[ci as usize] = Some(ConjEntry {
                 profile: id,
+                pslot,
                 required,
                 residual,
-            }));
-            indexes.push(ci);
+                keys,
+            });
+            conj_ids.push(ci);
         }
-        self.by_profile.insert(id, indexes);
+        self.by_profile.insert(
+            id,
+            ProfileEntry {
+                conjs: conj_ids,
+                pslot,
+            },
+        );
         Ok(())
     }
 
@@ -161,87 +387,186 @@ impl FilterEngine {
     }
 
     /// Removes a profile. Returns `true` when it was registered.
+    ///
+    /// Cost is proportional to the lengths of the posting lists the
+    /// profile's conjunctions appear in (tracked by back-pointers), not
+    /// to the size of the whole index.
     pub fn remove(&mut self, id: ProfileId) -> bool {
-        let Some(indexes) = self.by_profile.remove(&id) else {
+        let Some(entry) = self.by_profile.remove(&id) else {
             return false;
         };
-        for ci in indexes {
-            self.conjs[ci] = None;
+        for ci in entry.conjs {
+            let conj = self.conjs[ci as usize]
+                .take()
+                .expect("registered conjunction is live");
             self.scan.remove(&ci);
+            for key in conj.keys {
+                // Duplicate keys (e.g. the same value indexed under two
+                // bits) are handled by the first visit; later visits see
+                // an already-pruned or removed list.
+                if let Some(postings) = self.eq_index.get_mut(&key) {
+                    postings.retain(|p| p.conj != ci);
+                    if postings.is_empty() {
+                        self.eq_index.remove(&key);
+                    }
+                }
+            }
+            self.free_conjs.push(ci);
         }
-        // Prune index postings pointing at removed conjunctions.
-        self.eq_index.retain(|_, by_value| {
-            by_value.retain(|_, postings| {
-                postings.retain(|(ci, _)| self.conjs[*ci].is_some());
-                !postings.is_empty()
-            });
-            !by_value.is_empty()
-        });
+        self.free_pslots.push(entry.pslot);
         true
     }
 
-    /// The profiles matching `event` (in ascending id order). A profile
-    /// matches when any of the event's documents — or the document-free
-    /// context, for docless events — satisfies it.
-    pub fn matches(&self, event: &Event) -> Vec<ProfileId> {
-        let mut out: BTreeSet<ProfileId> = BTreeSet::new();
+    #[inline]
+    fn postings(&self, attr: Symbol, value: &str) -> Option<&[Posting]> {
+        let value = self.symbols.lookup(value)?;
+        self.eq_index.get(&(attr, value)).map(Vec::as_slice)
+    }
+
+    /// The profiles matching `event`, written to `out` in ascending id
+    /// order. A profile matches when any of the event's documents — or
+    /// the document-free context, for docless events — satisfies it.
+    ///
+    /// `out` is cleared first. With warm `scratch` buffers this performs
+    /// no heap allocation on the indexed-equality path; only residual
+    /// predicates (wildcards, filter queries, negations) may allocate.
+    pub fn matches_into(
+        &self,
+        event: &Event,
+        scratch: &mut MatchScratch,
+        out: &mut Vec<ProfileId>,
+    ) {
+        out.clear();
+        scratch.ensure(self.conjs.len(), self.pslot_high as usize);
+        scratch.generation += 1;
+        let event_gen = scratch.generation;
+
+        // Event-level keys are materialized (and hashed) once per event,
+        // not once per document context. The composed `host.name`
+        // collection key reuses the scratch buffer.
+        let host = self.postings(self.attr_host, event.origin.host().as_str());
+        scratch.collection_key.clear();
+        let _ = write!(scratch.collection_key, "{}", event.origin);
+        let collection = self.postings(self.attr_collection, &scratch.collection_key);
+        let kind = self.postings(self.attr_kind, event.kind.as_str());
+        let event_postings = [host, collection, kind];
+
         if event.docs.is_empty() {
-            self.match_context(event, None, &mut out);
+            self.match_context(event, None, &event_postings, scratch, event_gen, out);
         } else {
             for doc in &event.docs {
-                self.match_context(event, Some(doc), &mut out);
+                self.match_context(event, Some(doc), &event_postings, scratch, event_gen, out);
             }
         }
-        out.into_iter().collect()
+        out.sort_unstable();
+    }
+
+    /// The profiles matching `event` (in ascending id order).
+    ///
+    /// Convenience wrapper allocating fresh [`MatchScratch`] state; batch
+    /// callers should hold their own scratch and use
+    /// [`matches_into`](FilterEngine::matches_into).
+    pub fn matches(&self, event: &Event) -> Vec<ProfileId> {
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        self.matches_into(event, &mut scratch, &mut out);
+        out
+    }
+
+    /// Matches a batch of events with shared scratch state, returning one
+    /// match set per event (each in ascending id order).
+    pub fn matches_batch(&self, events: &[Event], scratch: &mut MatchScratch) -> Vec<Vec<ProfileId>> {
+        events
+            .iter()
+            .map(|event| {
+                let mut out = Vec::new();
+                self.matches_into(event, scratch, &mut out);
+                out
+            })
+            .collect()
     }
 
     fn match_context(
         &self,
         event: &Event,
         doc: Option<&DocSummary>,
-        out: &mut BTreeSet<ProfileId>,
+        event_postings: &[Option<&[Posting]>; 3],
+        scratch: &mut MatchScratch,
+        event_gen: u64,
+        out: &mut Vec<ProfileId>,
     ) {
-        // Phase 1: counting over the indexed equality predicates.
-        let mut counters: HashMap<usize, u64> = HashMap::new();
-        let mut probe = |attr: &str, value: &str| {
-            if let Some(postings) = self.eq_index.get(attr).and_then(|m| m.get(value)) {
-                for (ci, mask) in postings {
-                    *counters.entry(*ci).or_default() |= mask;
+        scratch.generation += 1;
+        let gen = scratch.generation;
+        scratch.touched.clear();
+        scratch.tokens.reset();
+        let MatchScratch {
+            counters,
+            touched,
+            matched,
+            tokens,
+            ..
+        } = scratch;
+
+        // Phase 1: counting over the indexed equality predicates. A slot
+        // stamped with an older generation is logically zero.
+        let mut bump = |postings: &[Posting]| {
+            for p in postings {
+                let slot = &mut counters[p.conj as usize];
+                if slot.0 == gen {
+                    slot.1 |= p.mask;
+                } else {
+                    *slot = (gen, p.mask);
+                    touched.push(p.conj);
                 }
             }
         };
-        probe("host", event.origin.host().as_str());
-        probe("collection", &event.origin.to_string());
-        probe("kind", event.kind.as_str());
+        for postings in event_postings.iter().flatten() {
+            bump(postings);
+        }
         if let Some(doc) = doc {
-            probe("doc", doc.doc.as_str());
+            if let Some(postings) = self.postings(self.attr_doc, doc.doc.as_str()) {
+                bump(postings);
+            }
             for (key, value) in doc.metadata.iter_flat() {
-                probe(key.as_str(), value);
+                let Some(attr) = self.symbols.lookup(key.as_str()) else {
+                    continue;
+                };
+                let Some(val) = self.symbols.lookup(value) else {
+                    continue;
+                };
+                if let Some(postings) = self.eq_index.get(&(attr, val)) {
+                    bump(postings);
+                }
             }
         }
 
-        // Phase 2: verification of candidates.
-        let mut verify = |ci: usize| {
-            let Some(entry) = &self.conjs[ci] else {
-                return;
-            };
-            if out.contains(&entry.profile) {
+        // Phase 2: verification of candidates. A profile that already
+        // matched this event (stamped slot) is skipped entirely.
+        let mut verify = |ci: u32, bits: u64| {
+            let entry = self.conjs[ci as usize]
+                .as_ref()
+                .expect("indexed conjunction is live");
+            if bits & entry.required != entry.required {
                 return;
             }
-            if entry.residual.iter().all(|l| l.matches(event, doc)) {
-                out.insert(entry.profile);
+            let mslot = &mut matched[entry.pslot as usize];
+            if *mslot == event_gen {
+                return;
+            }
+            if entry
+                .residual
+                .iter()
+                .all(|r| r.matches(event, doc, tokens))
+            {
+                *mslot = event_gen;
+                out.push(entry.profile);
             }
         };
-        for (ci, bits) in &counters {
-            let Some(entry) = &self.conjs[*ci] else {
-                continue;
-            };
-            if bits & entry.required == entry.required {
-                verify(*ci);
-            }
+        for &ci in touched.iter() {
+            verify(ci, counters[ci as usize].1);
         }
-        for ci in &self.scan {
-            verify(*ci);
+        for &ci in &self.scan {
+            verify(ci, !0);
         }
     }
 }
@@ -345,6 +670,40 @@ mod tests {
     }
 
     #[test]
+    fn remove_shrinks_index_entries() {
+        // Two profiles share the "host=London" entry; a third owns its own
+        // entries. Removing the third must drop exactly its entries, and
+        // removing one sharer must keep the shared entry alive.
+        let mut e = engine_with(&[
+            (1, r#"host = "London""#),
+            (2, r#"host = "London" AND dc.Subject = "dl""#),
+            (3, r#"kind = "documents-added" AND doc in ["d1", "d2"]"#),
+        ]);
+        // Entries: (host,London), (dc.Subject,dl), (kind,documents-added),
+        // (doc,d1), (doc,d2).
+        assert_eq!(e.stats().index_entries, 5);
+        assert!(e.remove(pid(3)));
+        assert_eq!(e.stats().index_entries, 2);
+        assert!(e.remove(pid(2)));
+        assert_eq!(e.stats().index_entries, 1);
+        assert_eq!(e.matches(&event("London", "E", "dl", "")), vec![pid(1)]);
+        assert!(e.remove(pid(1)));
+        assert_eq!(e.stats().index_entries, 0);
+        assert_eq!(e.stats().conjunctions, 0);
+    }
+
+    #[test]
+    fn removed_slots_are_reused() {
+        let mut e = engine_with(&[(1, r#"host = "A" OR host = "B""#)]);
+        let capacity = e.conj_slot_capacity();
+        assert!(e.remove(pid(1)));
+        e.insert(pid(2), &parse_profile(r#"host = "C" OR host = "D""#).unwrap())
+            .unwrap();
+        assert_eq!(e.conj_slot_capacity(), capacity);
+        assert_eq!(e.matches(&event("C", "E", "x", "")), vec![pid(2)]);
+    }
+
+    #[test]
     fn reinsert_replaces() {
         let mut e = engine_with(&[(1, r#"host = "London""#)]);
         e.insert(pid(1), &parse_profile(r#"host = "Paris""#).unwrap())
@@ -385,10 +744,56 @@ mod tests {
     }
 
     #[test]
+    fn scratch_is_reusable_across_engines_and_events() {
+        let e1 = engine_with(&[(1, r#"host = "London""#)]);
+        let e2 = engine_with(&[(7, r#"host = "Paris""#), (8, r#"host = "London""#)]);
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        e1.matches_into(&event("London", "E", "x", ""), &mut scratch, &mut out);
+        assert_eq!(out, vec![pid(1)]);
+        e2.matches_into(&event("Paris", "E", "x", ""), &mut scratch, &mut out);
+        assert_eq!(out, vec![pid(7)]);
+        e2.matches_into(&event("Berlin", "E", "x", ""), &mut scratch, &mut out);
+        assert!(out.is_empty());
+        e2.matches_into(&event("London", "E", "x", ""), &mut scratch, &mut out);
+        assert_eq!(out, vec![pid(8)]);
+    }
+
+    #[test]
+    fn matches_batch_agrees_with_single_calls() {
+        let e = engine_with(&[
+            (1, r#"host = "London""#),
+            (2, r#"dc.Subject = "dl""#),
+        ]);
+        let events = vec![
+            event("London", "E", "dl", ""),
+            event("Paris", "E", "dl", ""),
+            event("Berlin", "E", "x", ""),
+        ];
+        let mut scratch = MatchScratch::new();
+        let batched = e.matches_batch(&events, &mut scratch);
+        let singles: Vec<_> = events.iter().map(|ev| e.matches(ev)).collect();
+        assert_eq!(batched, singles);
+        assert_eq!(batched[0], vec![pid(1), pid(2)]);
+    }
+
+    #[test]
     fn stats_display() {
         let e = engine_with(&[(1, r#"host = "London""#)]);
         let s = e.stats().to_string();
         assert!(s.contains("1 profiles"));
+        assert!(e.interned_symbols() >= 5); // 4 attribute names + "London"
+    }
+
+    #[test]
+    fn stats_merge_adds_componentwise() {
+        let a = engine_with(&[(1, r#"host = "X""#)]).stats();
+        let b = engine_with(&[(2, r#"text ~ "*y*""#)]).stats();
+        let m = a.merge(b);
+        assert_eq!(m.profiles, 2);
+        assert_eq!(m.conjunctions, 2);
+        assert_eq!(m.scan_conjunctions, 1);
+        assert_eq!(m.index_entries, 1);
     }
 
     #[test]

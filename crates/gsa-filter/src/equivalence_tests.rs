@@ -1,7 +1,8 @@
-//! Property test: the equality-preferred engine and the naive engine agree
-//! on arbitrary profiles and events.
+//! Property tests: the interned engine, the string-keyed baseline, the
+//! sharded engine and the naive linear scan agree on arbitrary profiles
+//! and events — including under insert/remove churn.
 
-use crate::{FilterEngine, NaiveFilter};
+use crate::{BaselineEngine, FilterEngine, MatchScratch, NaiveFilter, ShardedFilterEngine};
 use gsa_profile::{AttrValue, Predicate, ProfileAttr, ProfileExpr, Wildcard};
 use gsa_store::Query;
 use gsa_types::{
@@ -36,8 +37,23 @@ fn arb_attr_value() -> impl Strategy<Value = AttrValue> {
 }
 
 fn arb_pred() -> impl Strategy<Value = ProfileExpr> {
-    (arb_attr(), arb_attr_value())
-        .prop_map(|(attr, value)| ProfileExpr::Pred(Predicate::new(attr, value)))
+    prop_oneof![
+        (arb_attr(), arb_attr_value())
+            .prop_map(|(attr, value)| ProfileExpr::Pred(Predicate::new(attr, value))),
+        // Collection predicates get values in `host.name` notation so they
+        // have a real chance of matching generated events (whose origin is
+        // always `<host>.C`); this exercises the engine's composed
+        // collection-key path.
+        arb_value().prop_map(|v| {
+            ProfileExpr::Pred(Predicate::equals(ProfileAttr::Collection, format!("{v}.C")))
+        }),
+        arb_value().prop_map(|v| {
+            ProfileExpr::Pred(Predicate::new(
+                ProfileAttr::Collection,
+                AttrValue::Like(Wildcard::new(format!("{}*", &v[..2]))),
+            ))
+        }),
+    ]
 }
 
 fn arb_expr() -> impl Strategy<Value = ProfileExpr> {
@@ -87,21 +103,35 @@ fn arb_event() -> impl Strategy<Value = Event> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// Both engines report exactly the same profile set for any event.
+    /// All four engines report exactly the same profile set for any event.
+    /// The interned engine is driven through the scratch API and the
+    /// sharded engine through the batch API, so the hot paths are the
+    /// ones being cross-checked.
     #[test]
     fn engines_agree(
         exprs in prop::collection::vec(arb_expr(), 1..8),
         events in prop::collection::vec(arb_event(), 1..8),
     ) {
         let mut fast = FilterEngine::new();
+        let mut baseline = BaselineEngine::new();
+        let mut sharded = ShardedFilterEngine::new(3);
         let mut naive = NaiveFilter::new();
         for (i, expr) in exprs.iter().enumerate() {
             let id = ProfileId::from_raw(i as u64);
             fast.insert(id, expr).unwrap();
+            baseline.insert(id, expr).unwrap();
+            sharded.insert(id, expr).unwrap();
             naive.insert(id, expr.clone());
         }
-        for event in &events {
-            prop_assert_eq!(fast.matches(event), naive.matches(event));
+        let mut scratch = MatchScratch::new();
+        let mut matched = Vec::new();
+        let sharded_results = sharded.matches_batch(&events);
+        for (event, from_sharded) in events.iter().zip(sharded_results) {
+            let expected = naive.matches(event);
+            fast.matches_into(event, &mut scratch, &mut matched);
+            prop_assert_eq!(&matched, &expected);
+            prop_assert_eq!(baseline.matches(event), expected.clone());
+            prop_assert_eq!(from_sharded, expected);
         }
     }
 
@@ -133,5 +163,53 @@ proptest! {
         }
         let got: BTreeSet<ProfileId> = fast.matches(&event).into_iter().collect();
         prop_assert_eq!(got, expected);
+    }
+
+    /// Interleaved removals and re-insertions (slot reuse in the interned
+    /// engine, shard routing in the sharded one) keep all engines in
+    /// agreement with the naive reference.
+    #[test]
+    fn engines_agree_under_churn(
+        exprs in prop::collection::vec(arb_expr(), 4..10),
+        churn in prop::collection::vec((0usize..10, arb_expr()), 1..6),
+        events in prop::collection::vec(arb_event(), 1..5),
+    ) {
+        let mut fast = FilterEngine::new();
+        let mut baseline = BaselineEngine::new();
+        let mut sharded = ShardedFilterEngine::new(2);
+        let mut naive = NaiveFilter::new();
+        for (i, expr) in exprs.iter().enumerate() {
+            let id = ProfileId::from_raw(i as u64);
+            fast.insert(id, expr).unwrap();
+            baseline.insert(id, expr).unwrap();
+            sharded.insert(id, expr).unwrap();
+            naive.insert(id, expr.clone());
+        }
+        // Alternate removing and replacing profiles; indices may repeat so
+        // double-removals and reinserts after removal are exercised too.
+        for (step, (slot, replacement)) in churn.iter().enumerate() {
+            let id = ProfileId::from_raw((slot % exprs.len()) as u64);
+            if step % 2 == 0 {
+                let removed = fast.remove(id);
+                prop_assert_eq!(baseline.remove(id), removed);
+                prop_assert_eq!(sharded.remove(id), removed);
+                naive.remove(id);
+            } else {
+                fast.insert(id, replacement).unwrap();
+                baseline.insert(id, replacement).unwrap();
+                sharded.insert(id, replacement).unwrap();
+                naive.insert(id, replacement.clone());
+            }
+        }
+        prop_assert_eq!(fast.len(), naive.len());
+        let mut scratch = MatchScratch::new();
+        let mut matched = Vec::new();
+        for event in &events {
+            let expected = naive.matches(event);
+            fast.matches_into(event, &mut scratch, &mut matched);
+            prop_assert_eq!(&matched, &expected);
+            prop_assert_eq!(baseline.matches(event), expected.clone());
+            prop_assert_eq!(sharded.matches(event), expected);
+        }
     }
 }

@@ -11,18 +11,26 @@
 //!   algorithm (a conjunction becomes a candidate only once *all* its
 //!   indexed predicates were satisfied by the event's attribute values);
 //!   residual predicates (wildcards, retrieval queries, negations) are
-//!   verified only on candidates.
+//!   verified only on candidates. The index is keyed by interned
+//!   [`Symbol`](intern::Symbol) pairs and the per-event counting state
+//!   lives in a reusable [`MatchScratch`], so steady-state matching does
+//!   not allocate on the indexed-equality path.
+//! * [`ShardedFilterEngine`] — the same engine partitioned by profile id
+//!   into independent shards matched in parallel with scoped threads.
+//! * [`BaselineEngine`] — the first-generation string-keyed
+//!   implementation, kept so experiment E3 can measure the interned core
+//!   against the engine it replaced.
 //! * [`NaiveFilter`] — the linear-scan baseline every profile is evaluated
 //!   against every event; used by experiment E3 to show the shape of the
 //!   equality-preferred speedup.
 //!
-//! Both engines agree exactly on semantics (a property test in this crate
+//! All engines agree exactly on semantics (a property test in this crate
 //! checks them against each other on randomized profiles and events).
 //!
 //! # Examples
 //!
 //! ```
-//! use gsa_filter::FilterEngine;
+//! use gsa_filter::{FilterEngine, MatchScratch};
 //! use gsa_profile::parse_profile;
 //! use gsa_types::{CollectionId, DocSummary, Event, EventId, EventKind, ProfileId, SimTime};
 //!
@@ -39,17 +47,29 @@
 //! )
 //! .with_docs(vec![DocSummary::new("d").with_excerpt("digital library")]);
 //! assert_eq!(engine.matches(&event), vec![ProfileId::from_raw(1)]);
+//!
+//! // Batch path: reusable scratch state, no per-event allocation on the
+//! // indexed-equality path.
+//! let mut scratch = MatchScratch::new();
+//! let mut matched = Vec::new();
+//! engine.matches_into(&event, &mut scratch, &mut matched);
+//! assert_eq!(matched, vec![ProfileId::from_raw(1)]);
 //! # Ok::<(), gsa_profile::DnfError>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod engine;
+pub mod intern;
 pub mod naive;
+pub mod sharded;
 
-pub use engine::{FilterEngine, FilterStats};
+pub use baseline::BaselineEngine;
+pub use engine::{FilterEngine, FilterStats, MatchScratch};
 pub use naive::NaiveFilter;
+pub use sharded::ShardedFilterEngine;
 
 #[cfg(test)]
 mod equivalence_tests;

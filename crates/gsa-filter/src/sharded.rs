@@ -1,0 +1,226 @@
+//! Shard-parallel filtering.
+//!
+//! A large profile population can be partitioned by profile id across N
+//! independent [`FilterEngine`] shards and matched in parallel: each
+//! shard owns a disjoint subset of the profiles, so per-event results
+//! merge by concatenation (no deduplication across shards is needed).
+//! Matching borrows the shards immutably, which lets
+//! [`std::thread::scope`] fan the work out without `Arc` or locking.
+
+use crate::engine::{FilterEngine, FilterStats, MatchScratch};
+use gsa_profile::{DnfError, ProfileExpr};
+use gsa_types::{Event, ProfileId};
+use std::thread;
+
+/// A filter engine partitioned into independently matched shards.
+///
+/// Semantically identical to one [`FilterEngine`] holding all profiles;
+/// a property test in this crate checks exactly that.
+#[derive(Debug)]
+pub struct ShardedFilterEngine {
+    shards: Vec<FilterEngine>,
+}
+
+impl ShardedFilterEngine {
+    /// Creates an engine with `shards` partitions (at least one).
+    pub fn new(shards: usize) -> Self {
+        ShardedFilterEngine {
+            shards: (0..shards.max(1)).map(|_| FilterEngine::new()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, id: ProfileId) -> usize {
+        (id.as_u64() % self.shards.len() as u64) as usize
+    }
+
+    /// Registers a profile expression under `id` in its home shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnfError`] when the expression is too large to normalize.
+    pub fn insert(&mut self, id: ProfileId, expr: &ProfileExpr) -> Result<(), DnfError> {
+        let shard = self.shard_of(id);
+        self.shards[shard].insert(id, expr)
+    }
+
+    /// Removes a profile. Returns `true` when it was registered.
+    pub fn remove(&mut self, id: ProfileId) -> bool {
+        let shard = self.shard_of(id);
+        self.shards[shard].remove(id)
+    }
+
+    /// Whether the profile id is registered.
+    pub fn contains(&self, id: ProfileId) -> bool {
+        self.shards[self.shard_of(id)].contains(id)
+    }
+
+    /// Number of registered profiles across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(FilterEngine::len).sum()
+    }
+
+    /// Returns `true` when no profiles are registered.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(FilterEngine::is_empty)
+    }
+
+    /// Aggregated index statistics across all shards.
+    pub fn stats(&self) -> FilterStats {
+        self.shards
+            .iter()
+            .map(FilterEngine::stats)
+            .fold(FilterStats::default(), FilterStats::merge)
+    }
+
+    /// The profiles matching `event` (in ascending id order), matched
+    /// shard-parallel with one scoped thread per shard.
+    pub fn matches(&self, event: &Event) -> Vec<ProfileId> {
+        if self.shards.len() == 1 {
+            return self.shards[0].matches(event);
+        }
+        let per_shard = thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| scope.spawn(move || shard.matches(event)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard matcher panicked"))
+                .collect::<Vec<_>>()
+        });
+        let mut out: Vec<ProfileId> = per_shard.into_iter().flatten().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Matches a batch of events, returning one match set per event (each
+    /// in ascending id order).
+    ///
+    /// This is the intended high-throughput entry point: threads are
+    /// spawned once per *batch*, and each shard thread reuses one
+    /// [`MatchScratch`] across the whole batch.
+    pub fn matches_batch(&self, events: &[Event]) -> Vec<Vec<ProfileId>> {
+        if self.shards.len() == 1 {
+            let mut scratch = MatchScratch::new();
+            return self.shards[0].matches_batch(events, &mut scratch);
+        }
+        let per_shard = thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let mut scratch = MatchScratch::new();
+                        shard.matches_batch(events, &mut scratch)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard matcher panicked"))
+                .collect::<Vec<_>>()
+        });
+        let mut merged: Vec<Vec<ProfileId>> = vec![Vec::new(); events.len()];
+        for shard_results in per_shard {
+            for (event_idx, mut ids) in shard_results.into_iter().enumerate() {
+                merged[event_idx].append(&mut ids);
+            }
+        }
+        for ids in &mut merged {
+            ids.sort_unstable();
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsa_profile::parse_profile;
+    use gsa_types::{CollectionId, DocSummary, EventId, EventKind, SimTime};
+
+    fn pid(raw: u64) -> ProfileId {
+        ProfileId::from_raw(raw)
+    }
+
+    fn event(host: &str) -> Event {
+        Event::new(
+            EventId::new(host, 1),
+            CollectionId::new(host, "E"),
+            EventKind::DocumentsAdded,
+            SimTime::ZERO,
+        )
+        .with_docs(vec![DocSummary::new("d1")])
+    }
+
+    fn sharded_with(shards: usize, profiles: &[(u64, &str)]) -> ShardedFilterEngine {
+        let mut e = ShardedFilterEngine::new(shards);
+        for (id, text) in profiles {
+            e.insert(pid(*id), &parse_profile(text).unwrap()).unwrap();
+        }
+        e
+    }
+
+    #[test]
+    fn shards_partition_profiles() {
+        let e = sharded_with(
+            3,
+            &[
+                (0, r#"host = "London""#),
+                (1, r#"host = "London""#),
+                (2, r#"host = "London""#),
+                (3, r#"host = "Paris""#),
+            ],
+        );
+        assert_eq!(e.shard_count(), 3);
+        assert_eq!(e.len(), 4);
+        assert!(!e.is_empty());
+        assert!(e.contains(pid(3)));
+        assert_eq!(e.stats().profiles, 4);
+        // Matches merge across shards, sorted ascending.
+        assert_eq!(e.matches(&event("London")), vec![pid(0), pid(1), pid(2)]);
+        assert_eq!(e.matches(&event("Paris")), vec![pid(3)]);
+    }
+
+    #[test]
+    fn remove_routes_to_home_shard() {
+        let mut e = sharded_with(2, &[(0, r#"host = "X""#), (1, r#"host = "X""#)]);
+        assert!(e.remove(pid(0)));
+        assert!(!e.remove(pid(0)));
+        assert!(!e.contains(pid(0)));
+        assert_eq!(e.matches(&event("X")), vec![pid(1)]);
+    }
+
+    #[test]
+    fn zero_shards_is_clamped_to_one() {
+        let e = ShardedFilterEngine::new(0);
+        assert_eq!(e.shard_count(), 1);
+        assert!(e.is_empty());
+        assert!(e.matches(&event("X")).is_empty());
+    }
+
+    #[test]
+    fn batch_agrees_with_per_event_matching() {
+        let e = sharded_with(
+            4,
+            &[
+                (0, r#"host = "A""#),
+                (1, r#"host = "B""#),
+                (2, r#"host in ["A", "B"]"#),
+                (3, r#"text ~ "*""#),
+            ],
+        );
+        let events = vec![event("A"), event("B"), event("C")];
+        let batched = e.matches_batch(&events);
+        let singles: Vec<_> = events.iter().map(|ev| e.matches(ev)).collect();
+        assert_eq!(batched, singles);
+        assert_eq!(batched[0], vec![pid(0), pid(2), pid(3)]);
+        assert_eq!(batched[2], vec![pid(3)]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Acceptance test for the zero-allocation matching claim: after one
+//! warm-up call, [`FilterEngine::matches_into`] performs no heap
+//! allocation on the indexed-equality path.
+//!
+//! A counting wrapper around the system allocator is installed as the
+//! global allocator; the window between warm-up and assertion is the
+//! only region where allocations are counted.
+
+use gsa_filter::{FilterEngine, MatchScratch};
+use gsa_profile::parse_profile;
+use gsa_types::{
+    keys, CollectionId, DocSummary, Event, EventId, EventKind, MetadataRecord, ProfileId, SimTime,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static TRACKING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn make_event(host: &str, seq: u64, subject: &str) -> Event {
+    let md: MetadataRecord = [(keys::SUBJECT, subject)].into_iter().collect();
+    Event::new(
+        EventId::new(host, seq),
+        CollectionId::new(host, "demo"),
+        EventKind::DocumentsAdded,
+        SimTime::from_millis(seq),
+    )
+    .with_docs(vec![
+        DocSummary::new(format!("doc-{seq}-a")).with_metadata(md.clone()),
+        DocSummary::new(format!("doc-{seq}-b")).with_metadata(md),
+    ])
+}
+
+#[test]
+fn matches_into_is_allocation_free_after_warmup() {
+    let hosts = ["London", "Paris", "Waikato", "Berlin"];
+    let subjects = ["physics", "history", "botany", "music"];
+
+    let mut engine = FilterEngine::new();
+    let mut id = 0u64;
+    // Indexed-equality profiles only: host / collection / kind / subject
+    // equality and id-lists, including multi-conjunction DNF shapes.
+    for host in hosts {
+        for subject in subjects {
+            for text in [
+                format!(r#"host = "{host}""#),
+                format!(r#"subject = "{subject}""#),
+                format!(r#"host = "{host}" AND subject = "{subject}""#),
+                format!(r#"host = "{host}" AND event = "documents_added""#),
+                format!(r#"host in ["{host}", "nowhere"] OR subject = "{subject}""#),
+                format!(r#"collection = "{host}.demo""#),
+            ] {
+                engine
+                    .insert(ProfileId::from_raw(id), &parse_profile(&text).unwrap())
+                    .unwrap();
+                id += 1;
+            }
+        }
+    }
+
+    // Events are built up-front so only matching itself is measured.
+    let events: Vec<Event> = (0..64)
+        .map(|i| make_event(hosts[i % hosts.len()], i as u64, subjects[i % subjects.len()]))
+        .collect();
+
+    let mut scratch = MatchScratch::new();
+    let mut matched = Vec::new();
+
+    // Warm-up: grows scratch slots, key buffers and the output vector.
+    for event in &events {
+        engine.matches_into(event, &mut scratch, &mut matched);
+        assert!(!matched.is_empty());
+    }
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    TRACKING.store(true, Ordering::SeqCst);
+    let mut total = 0usize;
+    for _ in 0..4 {
+        for event in &events {
+            engine.matches_into(event, &mut scratch, &mut matched);
+            total += matched.len();
+        }
+    }
+    TRACKING.store(false, Ordering::SeqCst);
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+
+    assert!(total > 0, "matching produced no results");
+    assert_eq!(
+        allocs, 0,
+        "matches_into allocated {allocs} times across {} warm calls",
+        events.len() * 4
+    );
+}

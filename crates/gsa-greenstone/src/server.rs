@@ -139,6 +139,9 @@ impl Server {
     /// # Errors
     ///
     /// Returns the config back when a collection of that name exists.
+    // The Err variant is intentionally the rejected config itself, so the
+    // caller keeps ownership; this is a cold path, size is irrelevant.
+    #[allow(clippy::result_large_err)]
     pub fn add_collection(&mut self, config: CollectionConfig) -> Result<(), CollectionConfig> {
         if self.collections.contains_key(&config.name) {
             return Err(config);
@@ -692,7 +695,7 @@ mod tests {
             // `from` is whoever is not the target in this 2-host world;
             // good enough for tests.
             let mut eff = target.handle_message(&source_host, out.msg);
-            queue.extend(eff.outbound.drain(..));
+            queue.append(&mut eff.outbound);
             done.fetches.extend(eff.fetches);
             done.searches.extend(eff.searches);
         }
@@ -818,7 +821,7 @@ mod tests {
                 (&mut b, HostName::new("A"))
             };
             let mut eff = target.handle_message(&from, out.msg);
-            queue.extend(eff.outbound.drain(..));
+            queue.append(&mut eff.outbound);
             done.fetches.extend(eff.fetches);
         }
         assert_eq!(done.fetches.len(), 1);

@@ -109,8 +109,55 @@ impl Wildcard {
     }
 
     /// Tests `value` against the pattern (case-insensitive).
+    ///
+    /// ASCII inputs (the overwhelmingly common case for hosts, ids and
+    /// titles) are matched byte-wise with ASCII case folding and no
+    /// allocation; anything else falls back to the unicode path.
     pub fn matches(&self, value: &str) -> bool {
-        let value = value.to_lowercase();
+        if self.pattern.is_ascii() && value.is_ascii() {
+            self.matches_ascii(value.as_bytes())
+        } else {
+            self.matches_unicode(&value.to_lowercase())
+        }
+    }
+
+    /// Allocation-free matcher; `self.pattern` is lowercase already, the
+    /// value is folded byte by byte.
+    fn matches_ascii(&self, value: &[u8]) -> bool {
+        let pat = self.pattern.as_bytes();
+        let Some(star) = pat.iter().position(|&b| b == b'*') else {
+            return eq_ignore_ascii(value, pat);
+        };
+        let first = &pat[..star];
+        let mut rest_pat = &pat[star + 1..];
+        if value.len() < first.len() || !eq_ignore_ascii(&value[..first.len()], first) {
+            return false;
+        }
+        let mut rest = &value[first.len()..];
+        // Middle segments are consumed greedily left-to-right; the final
+        // segment must anchor at the end of the value.
+        loop {
+            match rest_pat.iter().position(|&b| b == b'*') {
+                Some(star) => {
+                    let seg = &rest_pat[..star];
+                    rest_pat = &rest_pat[star + 1..];
+                    if seg.is_empty() {
+                        continue;
+                    }
+                    match find_ignore_ascii(rest, seg) {
+                        Some(idx) => rest = &rest[idx + seg.len()..],
+                        None => return false,
+                    }
+                }
+                None => {
+                    return rest.len() >= rest_pat.len()
+                        && eq_ignore_ascii(&rest[rest.len() - rest_pat.len()..], rest_pat);
+                }
+            }
+        }
+    }
+
+    fn matches_unicode(&self, value: &str) -> bool {
         let mut segments = self.pattern.split('*');
         let Some(first) = segments.next() else {
             return value.is_empty();
@@ -135,6 +182,24 @@ impl Wildcard {
         }
         rest.ends_with(last)
     }
+}
+
+/// Case-folding equality against an already-lowercase needle.
+fn eq_ignore_ascii(value: &[u8], lower: &[u8]) -> bool {
+    value.len() == lower.len()
+        && value
+            .iter()
+            .zip(lower)
+            .all(|(&v, &p)| v.to_ascii_lowercase() == p)
+}
+
+/// Case-folding substring search against an already-lowercase needle.
+fn find_ignore_ascii(haystack: &[u8], lower: &[u8]) -> Option<usize> {
+    if haystack.len() < lower.len() {
+        return None;
+    }
+    (0..=haystack.len() - lower.len())
+        .find(|&i| eq_ignore_ascii(&haystack[i..i + lower.len()], lower))
 }
 
 impl fmt::Display for Wildcard {
@@ -266,6 +331,29 @@ mod tests {
         assert!(Wildcard::new("*").matches("anything"));
         assert!(!Wildcard::new("a*c*e").matches("ace-but-no"));
         assert!(Wildcard::new("a*c*e").matches("abcde"));
+    }
+
+    #[test]
+    fn wildcard_ascii_and_unicode_paths_agree() {
+        let patterns = ["", "*", "a*c*e", "abc", "*bcd", "a*d", "ab*", "*a*a", "a**b"];
+        let values = ["", "a", "abc", "ABCD", "abcde", "ace-but-no", "aa", "ab"];
+        for p in patterns {
+            let w = Wildcard::new(p);
+            for v in values {
+                assert_eq!(
+                    w.matches_ascii(v.as_bytes()),
+                    w.matches_unicode(&v.to_lowercase()),
+                    "pattern {p:?} value {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wildcard_non_ascii_falls_back_to_unicode() {
+        assert!(Wildcard::new("über*").matches("ÜBERMENSCH"));
+        assert!(!Wildcard::new("über*").matches("unter"));
+        assert!(Wildcard::new("*straße").matches("Hauptstraße"));
     }
 
     #[test]

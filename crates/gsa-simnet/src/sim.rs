@@ -84,8 +84,14 @@ enum What<M> {
     Start {
         node: NodeId,
     },
-    Control(Box<dyn FnOnce(&mut Sim<M>)>),
+    Control(ControlFn<M>),
 }
+
+/// A deferred closure run against the simulator at its scheduled time.
+type ControlFn<M> = Box<dyn FnOnce(&mut Sim<M>)>;
+
+/// Per-message wire-size estimator used for byte accounting.
+type WireSizeFn<M> = Box<dyn Fn(&M) -> usize>;
 
 struct Scheduled<M> {
     at: SimTime,
@@ -135,7 +141,7 @@ pub struct Sim<M> {
     rng: StdRng,
     metrics: Metrics,
     trace: Option<Vec<TraceEntry>>,
-    wire_size: Option<Box<dyn Fn(&M) -> usize>>,
+    wire_size: Option<WireSizeFn<M>>,
 }
 
 impl<M> fmt::Debug for Sim<M> {

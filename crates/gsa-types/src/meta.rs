@@ -130,6 +130,7 @@ impl MetadataRecord {
     }
 
     /// Returns all values under `key` (empty slice when absent).
+    #[inline]
     pub fn all(&self, key: &str) -> &[MetaValue] {
         self.entries
             .get(&MetaKey::new(key))
@@ -148,8 +149,16 @@ impl MetadataRecord {
     }
 
     /// The number of keys present.
+    #[inline]
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// The number of `(key, value)` pairs counting multi-values — the
+    /// length of [`MetadataRecord::iter_flat`].
+    #[inline]
+    pub fn total_values(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
     }
 
     /// Iterates over `(key, values)` pairs in key order.
@@ -158,6 +167,7 @@ impl MetadataRecord {
     }
 
     /// Iterates over every `(key, value)` pair, flattening multi-values.
+    #[inline]
     pub fn iter_flat(&self) -> impl Iterator<Item = (&MetaKey, &str)> {
         self.entries
             .iter()

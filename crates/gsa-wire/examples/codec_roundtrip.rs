@@ -1,0 +1,70 @@
+//! Micro-benchmark: event XML encode/decode round-trip rate.
+//!
+//! Run with `cargo run --release -p gsa-wire --example codec_roundtrip`.
+
+use gsa_types::{
+    keys, CollectionId, DocSummary, Event, EventId, EventKind, MetadataRecord, SimTime,
+};
+use gsa_wire::codec::{event_from_xml, event_to_xml};
+use gsa_wire::parse_document;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn sample_event(seq: u64) -> Event {
+    let md: MetadataRecord = [
+        (keys::TITLE, "Digital library alerting"),
+        (keys::SUBJECT, "alerting"),
+        (keys::SUBJECT, "digital libraries"),
+    ]
+    .into_iter()
+    .collect();
+    Event::new(
+        EventId::new("London", seq),
+        CollectionId::new("London", "E"),
+        EventKind::DocumentsAdded,
+        SimTime::from_micros(seq),
+    )
+    .with_docs(
+        (0..3)
+            .map(|d| {
+                DocSummary::new(format!("doc-{seq}-{d}"))
+                    .with_metadata(md.clone())
+                    .with_excerpt("new digital library content for the alerting service")
+            })
+            .collect(),
+    )
+}
+
+fn main() {
+    let events: Vec<Event> = (0..64).map(sample_event).collect();
+    // Warm-up.
+    for e in &events {
+        black_box(event_from_xml(&event_to_xml(e)).unwrap());
+    }
+
+    let t = Instant::now();
+    let mut n = 0u64;
+    while t.elapsed().as_secs_f64() < 1.0 {
+        for e in &events {
+            black_box(event_from_xml(&event_to_xml(e)).unwrap());
+            n += 1;
+        }
+    }
+    let in_memory = n as f64 / t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let mut n = 0u64;
+    while t.elapsed().as_secs_f64() < 1.0 {
+        for e in &events {
+            let text = event_to_xml(e).to_document_string();
+            let parsed = parse_document(&text).unwrap();
+            black_box(event_from_xml(&parsed).unwrap());
+            n += 1;
+        }
+    }
+    let through_text = n as f64 / t.elapsed().as_secs_f64();
+
+    println!("event codec round-trips (3 docs, 9 metadata values each):");
+    println!("  element tree only : {in_memory:.0} events/s");
+    println!("  through wire text : {through_text:.0} events/s");
+}

@@ -17,6 +17,7 @@ use gsa_types::{
 /// every character.
 pub fn metadata_to_xml(md: &MetadataRecord) -> XmlElement {
     let mut el = XmlElement::new("metadata");
+    el.reserve_children(md.total_values());
     for (k, v) in md.iter_flat() {
         el.push_child(
             XmlElement::new("meta")
@@ -60,6 +61,7 @@ pub fn metadata_from_xml(el: &XmlElement) -> Result<MetadataRecord, WireError> {
 /// Encodes a document summary as a `<document>` element.
 pub fn doc_summary_to_xml(doc: &DocSummary) -> XmlElement {
     let mut el = XmlElement::new("document").with_attr("id", doc.doc.as_str());
+    el.reserve_children(2);
     el.push_child(metadata_to_xml(&doc.metadata));
     if !doc.excerpt.is_empty() {
         el.push_child(XmlElement::new("excerpt").with_attr("value", &doc.excerpt));
@@ -120,6 +122,7 @@ pub fn event_to_xml(event: &Event) -> XmlElement {
         .with_attr("root-seq", event.root.seq().to_string())
         .with_attr("kind", event.kind.as_str())
         .with_attr("issued-us", event.issued_at.as_micros().to_string());
+    el.reserve_children(1 + event.provenance.len() + event.docs.len());
     el.push_child(collection_to_xml("origin", &event.origin));
     for p in &event.provenance {
         el.push_child(collection_to_xml("provenance", p));

@@ -53,8 +53,17 @@ impl XmlElement {
     }
 
     /// The tag name.
+    #[inline]
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Pre-allocates room for `additional` more child nodes; codecs that
+    /// know the child count up front use this to avoid regrowing the
+    /// node vector while encoding.
+    #[inline]
+    pub fn reserve_children(&mut self, additional: usize) {
+        self.children.reserve(additional);
     }
 
     /// Sets an attribute, replacing an existing one of the same name.
@@ -75,6 +84,7 @@ impl XmlElement {
     }
 
     /// Looks up an attribute value by name.
+    #[inline]
     pub fn attr(&self, name: &str) -> Option<&str> {
         self.attrs
             .iter()
@@ -88,6 +98,7 @@ impl XmlElement {
     }
 
     /// Appends a child element.
+    #[inline]
     pub fn push_child(&mut self, child: XmlElement) {
         self.children.push(XmlNode::Element(child));
     }
@@ -110,6 +121,7 @@ impl XmlElement {
     }
 
     /// All child nodes in document order.
+    #[inline]
     pub fn nodes(&self) -> &[XmlNode] {
         &self.children
     }

@@ -37,9 +37,7 @@ fn main() {
 
     let planted = system.inspect_core("London", |core| core.aux_store().len());
     println!("auxiliary profiles planted at London: {planted}");
-    for p in [planted] {
-        assert_eq!(p, 1);
-    }
+    assert_eq!(planted, 1);
     system.inspect_core("London", |core| {
         for aux in core.aux_store().iter() {
             println!("  {aux}");

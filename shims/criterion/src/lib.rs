@@ -176,6 +176,16 @@ impl Default for Criterion {
 }
 
 impl Criterion {
+    /// Accepted for API compatibility; the shim sizes runs by time budget.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
     fn bencher(&self) -> Bencher {
         Bencher {
             measure_for: self.measure_for,
@@ -211,6 +221,12 @@ macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
             $($target(&mut criterion);)+
         }
     };

@@ -5,7 +5,7 @@ use gsa_core::System;
 use gsa_gds::figure2_tree;
 use gsa_greenstone::{CollectionConfig, SubCollectionRef};
 use gsa_store::SourceDocument;
-use gsa_types::{CollectionId, SimDuration, SimTime};
+use gsa_types::{CollectionId, SimTime};
 
 fn doc(id: &str) -> SourceDocument {
     SourceDocument::new(id, "content")
