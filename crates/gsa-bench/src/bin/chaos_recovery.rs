@@ -1,0 +1,271 @@
+//! Experiment E4b — delivery quality under chaos: seeded loss bursts,
+//! a transient directory-server crash, and partition waves, swept over
+//! ambient drop probability × fault intensity.
+//!
+//! The reliable hybrid (per-hop acks + retransmission, heartbeat-driven
+//! tree healing) is compared against the best-effort hybrid and the
+//! three baseline schemes on the *same* workload and the *same* fault
+//! plan. Expectation: only the reliable hybrid keeps recall 1.0 with
+//! zero false positives and zero duplicates across every cell; the
+//! best-effort schemes lose notifications whenever a fault window
+//! swallows a broadcast.
+//!
+//! Writes `BENCH_e4_chaos.json` in the working directory (the repo root
+//! when run via `cargo run --release --bin chaos_recovery`).
+
+use gsa_bench::{run_scheme, Oracle, RunConfig, Scheme, Table};
+use gsa_types::{HostName, SimDuration};
+use gsa_workload::{
+    FaultPlan, FaultPlanParams, GsWorld, ProfileMix, ProfilePopulation, RebuildSchedule,
+    WorldParams,
+};
+use std::fmt::Write as _;
+
+/// One swept fault-intensity level.
+struct Intensity {
+    name: &'static str,
+    params: FaultPlanParams,
+}
+
+fn intensities(horizon: SimDuration, base_drop: f64) -> Vec<Intensity> {
+    vec![
+        Intensity {
+            name: "calm",
+            params: FaultPlanParams {
+                horizon,
+                base_drop,
+                burst_drop: (base_drop + 0.3).min(0.5),
+                loss_bursts: 1,
+                crashes: 1,
+                crash_outage: SimDuration::from_secs(8),
+                partition_waves: 1,
+                partition_length: SimDuration::from_secs(6),
+            },
+        },
+        Intensity {
+            name: "rough",
+            params: FaultPlanParams {
+                horizon,
+                base_drop,
+                burst_drop: (base_drop + 0.3).min(0.5),
+                loss_bursts: 3,
+                crashes: 2,
+                crash_outage: SimDuration::from_secs(10),
+                partition_waves: 2,
+                partition_length: SimDuration::from_secs(8),
+            },
+        },
+    ]
+}
+
+/// A scheme variant in the comparison: the scheme plus whether the
+/// reliability layer is on (hybrid only).
+#[derive(Clone, Copy)]
+struct Variant {
+    scheme: Scheme,
+    reliable: bool,
+    label: &'static str,
+}
+
+const VARIANTS: [Variant; 5] = [
+    Variant {
+        scheme: Scheme::Hybrid,
+        reliable: true,
+        label: "hybrid+reliable",
+    },
+    Variant {
+        scheme: Scheme::Hybrid,
+        reliable: false,
+        label: "hybrid-besteffort",
+    },
+    Variant {
+        scheme: Scheme::GsFlood,
+        reliable: false,
+        label: "gs-flood",
+    },
+    Variant {
+        scheme: Scheme::ProfileFlood,
+        reliable: false,
+        label: "profile-flood",
+    },
+    Variant {
+        scheme: Scheme::Rendezvous,
+        reliable: false,
+        label: "rendezvous",
+    },
+];
+
+struct Row {
+    drop: f64,
+    intensity: &'static str,
+    label: &'static str,
+    expected: usize,
+    delivered: usize,
+    false_negatives: usize,
+    false_positives: usize,
+    duplicates: usize,
+    retransmits: u64,
+    reparents: u64,
+    dropped: u64,
+    p50_ms: u64,
+    p95_ms: u64,
+    p99_ms: u64,
+}
+
+fn percentile(sorted_ms: &[u64], p: f64) -> u64 {
+    if sorted_ms.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn main() {
+    // 24 servers with fanout 2 forces a three-level GDS tree, so mid-tier
+    // crashes exercise grandparent reparenting, not just sender retries.
+    let params = WorldParams {
+        servers: 24,
+        ..WorldParams::small(201)
+    };
+    let world = GsWorld::generate(&params);
+    let population = ProfilePopulation::generate(202, &world, 60, &ProfileMix::default());
+    let horizon = SimDuration::from_secs(60);
+    let schedule = RebuildSchedule::generate(203, &world, 24, horizon, 3);
+
+    let fanout = 2;
+    let (topo, _) = world.gds_tree(fanout);
+    // Crash only non-root directory servers: each has a recorded
+    // grandparent (or sits directly under the root) so the tree can heal.
+    let crashable: Vec<HostName> = topo
+        .specs()
+        .iter()
+        .filter(|s| s.parent.is_some())
+        .map(|s| s.name.clone())
+        .collect();
+    let partitionable: Vec<HostName> = world.hosts.clone();
+
+    println!("E4b: delivery quality under chaos (loss bursts × GDS crashes × partition waves)");
+    println!(
+        "    servers={} profiles={} rebuilds={} horizon={}s, drain=45s",
+        world.host_count(),
+        population.len(),
+        schedule.len(),
+        horizon.as_secs_f64(),
+    );
+    println!();
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &drop in &[0.0, 0.15, 0.3] {
+        for intensity in intensities(horizon, drop) {
+            let faults = FaultPlan::generate(
+                300 + (drop * 100.0) as u64,
+                &crashable,
+                &partitionable,
+                &intensity.params,
+            );
+            for variant in VARIANTS {
+                let cfg = RunConfig {
+                    seed: 204,
+                    fanout,
+                    drain: SimDuration::from_secs(45),
+                    reliable: variant.reliable,
+                    base_drop: drop,
+                    faults: Some(faults.clone()),
+                };
+                let outcome =
+                    run_scheme(variant.scheme, &world, &population, &schedule, &[], &cfg);
+                let oracle = Oracle::build(
+                    &world,
+                    &population,
+                    &schedule,
+                    &outcome.cancels,
+                    &outcome.partitions,
+                    SimDuration::from_secs(5),
+                );
+                let q = oracle.classify(&outcome.deliveries);
+                let mut ms: Vec<u64> = outcome.delays.iter().map(|d| d.as_millis()).collect();
+                ms.sort_unstable();
+                rows.push(Row {
+                    drop,
+                    intensity: intensity.name,
+                    label: variant.label,
+                    expected: q.expected,
+                    delivered: q.delivered,
+                    false_negatives: q.false_negatives,
+                    false_positives: q.false_positives,
+                    duplicates: q.duplicates,
+                    retransmits: outcome.retransmits,
+                    reparents: outcome.reparents,
+                    dropped: outcome.dropped,
+                    p50_ms: percentile(&ms, 0.50),
+                    p95_ms: percentile(&ms, 0.95),
+                    p99_ms: percentile(&ms, 0.99),
+                });
+            }
+        }
+    }
+
+    let mut table = Table::new(vec![
+        "drop", "faults", "scheme", "expected", "delivered", "false-neg", "false-pos", "dup",
+        "retx", "reparent", "net-drop", "p50ms", "p95ms", "p99ms",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            format!("{:.2}", r.drop),
+            r.intensity.to_string(),
+            r.label.to_string(),
+            r.expected.to_string(),
+            r.delivered.to_string(),
+            r.false_negatives.to_string(),
+            r.false_positives.to_string(),
+            r.duplicates.to_string(),
+            r.retransmits.to_string(),
+            r.reparents.to_string(),
+            r.dropped.to_string(),
+            r.p50_ms.to_string(),
+            r.p95_ms.to_string(),
+            r.p99_ms.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("(partition windows are don't-care for every scheme; loss bursts and GDS");
+    println!(" crashes are NOT — surviving them is exactly what the reliability layer buys)");
+
+    let json = render_json(&rows);
+    let path = "BENCH_e4_chaos.json";
+    std::fs::write(path, &json).expect("write BENCH_e4_chaos.json");
+    println!("\nwrote {path}");
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"e4b_chaos_recovery\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            out,
+            "    {{\"drop\": {:.2}, \"faults\": \"{}\", \"scheme\": \"{}\", \
+             \"expected\": {}, \"delivered\": {}, \"false_negatives\": {}, \
+             \"false_positives\": {}, \"duplicates\": {}, \"retransmits\": {}, \
+             \"reparents\": {}, \"net_dropped\": {}, \"delay_p50_ms\": {}, \
+             \"delay_p95_ms\": {}, \"delay_p99_ms\": {}}}{}",
+            r.drop,
+            r.intensity,
+            r.label,
+            r.expected,
+            r.delivered,
+            r.false_negatives,
+            r.false_positives,
+            r.duplicates,
+            r.retransmits,
+            r.reparents,
+            r.dropped,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+            comma,
+        )
+        .expect("string write");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -20,6 +20,7 @@ fn build_world(seed: u64) -> System {
     let cfg = CoreConfig {
         retry_interval: SimDuration::from_secs(2),
         request_timeout: SimDuration::from_secs(5),
+        ..CoreConfig::default()
     };
     system.add_server_with_config("Hamilton", "gds-4", cfg.clone());
     system.add_server_with_config("London", "gds-2", cfg);

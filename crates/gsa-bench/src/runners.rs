@@ -6,12 +6,15 @@
 //! tables report.
 
 use gsa_baselines::{GsFloodSystem, ProfileFloodSystem, RendezvousSystem};
-use gsa_core::System;
+use gsa_core::{ReliabilityConfig, System};
 use gsa_types::{
     ClientId, CollectionId, Event, EventId, EventKind, HostName, ProfileId, SimDuration, SimTime,
 };
 use gsa_store::SourceDocument;
-use gsa_workload::{ChurnEvent, DocumentGenerator, GsWorld, ProfilePopulation, RebuildSchedule};
+use gsa_workload::{
+    ChurnEvent, DocumentGenerator, FaultAction, FaultPlan, GsWorld, ProfilePopulation,
+    RebuildSchedule,
+};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -69,6 +72,14 @@ pub struct RunConfig {
     /// Extra simulated time after the last scheduled action, so retries
     /// and in-flight deliveries drain.
     pub drain: SimDuration,
+    /// Turn on the reliability layer (hybrid only): per-hop
+    /// acks/retransmission and heartbeat-driven tree healing.
+    pub reliable: bool,
+    /// Ambient per-link drop probability applied once the workload
+    /// starts (setup traffic runs clean).
+    pub base_drop: f64,
+    /// Optional chaos plan replayed alongside the workload.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for RunConfig {
@@ -77,6 +88,9 @@ impl Default for RunConfig {
             seed: 1,
             fanout: 3,
             drain: SimDuration::from_secs(30),
+            reliable: false,
+            base_drop: 0.0,
+            faults: None,
         }
     }
 }
@@ -103,6 +117,16 @@ pub struct RunOutcome {
     pub cancels: HashMap<usize, SimTime>,
     /// Partition intervals actually applied, for the oracle.
     pub partitions: HashMap<HostName, Vec<(SimTime, SimTime)>>,
+    /// Per-delivery latency (delivery time − rebuild time), aligned with
+    /// `deliveries`.
+    pub delays: Vec<SimDuration>,
+    /// Retransmissions performed (reliable hybrid only, else 0).
+    pub retransmits: u64,
+    /// GDS re-parenting events (reliable hybrid only, else 0).
+    pub reparents: u64,
+    /// Messages dropped by the network (loss + downed/partitioned
+    /// destinations).
+    pub dropped: u64,
 }
 
 /// Deterministic per-rebuild document batches, shared by every scheme and
@@ -138,11 +162,13 @@ pub fn rebuild_event(k: usize, collection: &CollectionId, docs: &[SourceDocument
 enum Action<'a> {
     Rebuild(usize, &'a gsa_workload::schedule::Rebuild),
     Churn(&'a ChurnEvent),
+    Fault(&'a FaultAction),
 }
 
 fn merged_actions<'a>(
     schedule: &'a RebuildSchedule,
     churn: &'a [ChurnEvent],
+    faults: Option<&'a FaultPlan>,
 ) -> Vec<(SimTime, Action<'a>)> {
     let mut actions: Vec<(SimTime, Action<'a>)> = Vec::new();
     for (k, r) in schedule.rebuilds.iter().enumerate() {
@@ -150,6 +176,11 @@ fn merged_actions<'a>(
     }
     for c in churn {
         actions.push((c.at(), Action::Churn(c)));
+    }
+    if let Some(plan) = faults {
+        for f in &plan.actions {
+            actions.push((f.at(), Action::Fault(f)));
+        }
     }
     actions.sort_by_key(|(at, _)| *at);
     actions
@@ -206,6 +237,9 @@ fn run_hybrid(
 ) -> RunOutcome {
     let (topo, assignment) = world.gds_tree(cfg.fanout);
     let mut system = System::new(cfg.seed);
+    if cfg.reliable {
+        system.set_reliability(ReliabilityConfig::default());
+    }
     system.add_gds_topology(&topo);
     for (host, gds) in &assignment {
         system.add_server(host.as_str(), gds.as_str());
@@ -228,7 +262,10 @@ fn run_hybrid(
 
     let mut cancels = HashMap::new();
     let mut tracker = PartitionTracker::default();
-    for (at, action) in merged_actions(schedule, churn) {
+    if cfg.base_drop > 0.0 {
+        system.set_drop_probability(cfg.base_drop);
+    }
+    for (at, action) in merged_actions(schedule, churn, cfg.faults.as_ref()) {
         system.run_until(at);
         match action {
             Action::Rebuild(k, r) => {
@@ -252,12 +289,31 @@ fn run_hybrid(
                     }
                 }
             }
+            Action::Fault(FaultAction::SetDropProbability { p, .. }) => {
+                system.set_drop_probability(*p);
+            }
+            Action::Fault(FaultAction::SetNodeUp { host, up, .. }) => {
+                if system.directory().lookup(host).is_some() {
+                    system.set_host_up(host.as_str(), *up);
+                }
+            }
+            Action::Fault(FaultAction::Partition { host, group, .. }) => {
+                if system.directory().lookup(host).is_some() {
+                    system.set_partition(host.as_str(), *group);
+                    tracker.partition(host, at);
+                }
+            }
+            Action::Fault(FaultAction::Heal { .. }) => {
+                system.heal_network();
+                tracker.heal_all(at);
+            }
         }
     }
     let end = system.now() + cfg.drain;
     system.run_until_quiet(end);
 
     let mut deliveries = Vec::new();
+    let mut delays = Vec::new();
     for (idx, (host, _)) in handles.iter().enumerate() {
         for n in system.take_notifications(host.as_str(), ClientId::from_raw(idx as u64)) {
             let k = n
@@ -268,6 +324,7 @@ fn run_hybrid(
                 .max();
             if let Some(k) = k {
                 deliveries.push((idx, k, n.event.origin.clone()));
+                delays.push(n.at.since(schedule.rebuilds[k].at));
             }
         }
     }
@@ -288,6 +345,10 @@ fn run_hybrid(
         load: system.metrics().receive_load_imbalance(),
         cancels,
         partitions: tracker.finish(end),
+        delays,
+        retransmits: system.metrics().counter("net.retransmits"),
+        reparents: system.metrics().counter("gds.reparent"),
+        dropped: system.metrics().counter("net.dropped"),
     }
 }
 
@@ -310,7 +371,10 @@ fn run_gsflood(
     }
     let mut cancels = HashMap::new();
     let mut tracker = PartitionTracker::default();
-    for (at, action) in merged_actions(schedule, churn) {
+    if cfg.base_drop > 0.0 {
+        sys.sim_mut().set_drop_probability(cfg.base_drop);
+    }
+    for (at, action) in merged_actions(schedule, churn, cfg.faults.as_ref()) {
         sys.sim_mut().run_until(at);
         match action {
             Action::Rebuild(k, r) => {
@@ -318,11 +382,12 @@ fn run_gsflood(
                 let event = rebuild_event(k, &r.collection, &docs, at);
                 sys.publish(r.collection.host().as_str(), event);
             }
-            Action::Churn(ChurnEvent::Partition { host, group, .. }) => {
+            Action::Churn(ChurnEvent::Partition { host, group, .. })
+            | Action::Fault(FaultAction::Partition { host, group, .. }) => {
                 sys.set_partition(host.as_str(), *group);
                 tracker.partition(host, at);
             }
-            Action::Churn(ChurnEvent::Heal { .. }) => {
+            Action::Churn(ChurnEvent::Heal { .. }) | Action::Fault(FaultAction::Heal { .. }) => {
                 sys.sim_mut().heal_network();
                 tracker.heal_all(at);
             }
@@ -333,19 +398,28 @@ fn run_gsflood(
                     }
                 }
             }
+            Action::Fault(FaultAction::SetDropProbability { p, .. }) => {
+                sys.sim_mut().set_drop_probability(*p);
+            }
+            // Baselines have no directory tier: a GDS-node crash has no
+            // counterpart here and is skipped.
+            Action::Fault(FaultAction::SetNodeUp { .. }) => {}
         }
     }
     let end = sys.sim_mut().now() + cfg.drain;
     sys.run_until_quiet(end);
 
-    let deliveries = sys
-        .take_deliveries()
-        .into_iter()
-        .map(|d| {
-            let k = d.event_id.seq() as usize;
-            (d.client.as_u64() as usize, k, schedule.rebuilds[k].collection.clone())
-        })
-        .collect();
+    let mut deliveries = Vec::new();
+    let mut delays = Vec::new();
+    for d in sys.take_deliveries() {
+        let k = d.event_id.seq() as usize;
+        deliveries.push((
+            d.client.as_u64() as usize,
+            k,
+            schedule.rebuilds[k].collection.clone(),
+        ));
+        delays.push(d.at.since(schedule.rebuilds[k].at));
+    }
     RunOutcome {
         deliveries,
         messages: sys.metrics().counter("net.sent"),
@@ -355,6 +429,10 @@ fn run_gsflood(
         load: sys.metrics().receive_load_imbalance(),
         cancels,
         partitions: tracker.finish(end),
+        delays,
+        retransmits: 0,
+        reparents: 0,
+        dropped: sys.metrics().counter("net.dropped"),
     }
 }
 
@@ -375,7 +453,10 @@ fn run_profileflood(
     }
     let mut cancels = HashMap::new();
     let mut tracker = PartitionTracker::default();
-    for (at, action) in merged_actions(schedule, churn) {
+    if cfg.base_drop > 0.0 {
+        sys.sim_mut().set_drop_probability(cfg.base_drop);
+    }
+    for (at, action) in merged_actions(schedule, churn, cfg.faults.as_ref()) {
         sys.sim_mut().run_until(at);
         match action {
             Action::Rebuild(k, r) => {
@@ -383,11 +464,12 @@ fn run_profileflood(
                 let event = rebuild_event(k, &r.collection, &docs, at);
                 sys.publish(r.collection.host().as_str(), event);
             }
-            Action::Churn(ChurnEvent::Partition { host, group, .. }) => {
+            Action::Churn(ChurnEvent::Partition { host, group, .. })
+            | Action::Fault(FaultAction::Partition { host, group, .. }) => {
                 sys.set_partition(host.as_str(), *group);
                 tracker.partition(host, at);
             }
-            Action::Churn(ChurnEvent::Heal { .. }) => {
+            Action::Churn(ChurnEvent::Heal { .. }) | Action::Fault(FaultAction::Heal { .. }) => {
                 sys.heal_network();
                 tracker.heal_all(at);
             }
@@ -398,18 +480,26 @@ fn run_profileflood(
                     }
                 }
             }
+            Action::Fault(FaultAction::SetDropProbability { p, .. }) => {
+                sys.sim_mut().set_drop_probability(*p);
+            }
+            // No directory tier to crash in this baseline.
+            Action::Fault(FaultAction::SetNodeUp { .. }) => {}
         }
     }
     let end = sys.sim_mut().now() + cfg.drain;
     sys.run_until_quiet(end);
-    let deliveries = sys
-        .take_deliveries()
-        .into_iter()
-        .map(|d| {
-            let k = d.event_id.seq() as usize;
-            (d.client.as_u64() as usize, k, schedule.rebuilds[k].collection.clone())
-        })
-        .collect();
+    let mut deliveries = Vec::new();
+    let mut delays = Vec::new();
+    for d in sys.take_deliveries() {
+        let k = d.event_id.seq() as usize;
+        deliveries.push((
+            d.client.as_u64() as usize,
+            k,
+            schedule.rebuilds[k].collection.clone(),
+        ));
+        delays.push(d.at.since(schedule.rebuilds[k].at));
+    }
     let stored = sys.stored_profiles();
     let orphans = sys.orphan_profiles();
     RunOutcome {
@@ -421,6 +511,10 @@ fn run_profileflood(
         load: sys.metrics().receive_load_imbalance(),
         cancels,
         partitions: tracker.finish(end),
+        delays,
+        retransmits: 0,
+        reparents: 0,
+        dropped: sys.metrics().counter("net.dropped"),
     }
 }
 
@@ -447,7 +541,10 @@ fn run_rendezvous(
     }
     let mut cancels = HashMap::new();
     let mut tracker = PartitionTracker::default();
-    for (at, action) in merged_actions(schedule, churn) {
+    if cfg.base_drop > 0.0 {
+        sys.sim_mut().set_drop_probability(cfg.base_drop);
+    }
+    for (at, action) in merged_actions(schedule, churn, cfg.faults.as_ref()) {
         sys.sim_mut().run_until(at);
         match action {
             Action::Rebuild(k, r) => {
@@ -455,11 +552,12 @@ fn run_rendezvous(
                 let event = rebuild_event(k, &r.collection, &docs, at);
                 sys.publish(r.collection.host().as_str(), event);
             }
-            Action::Churn(ChurnEvent::Partition { host, group, .. }) => {
+            Action::Churn(ChurnEvent::Partition { host, group, .. })
+            | Action::Fault(FaultAction::Partition { host, group, .. }) => {
                 sys.set_partition(host.as_str(), *group);
                 tracker.partition(host, at);
             }
-            Action::Churn(ChurnEvent::Heal { .. }) => {
+            Action::Churn(ChurnEvent::Heal { .. }) | Action::Fault(FaultAction::Heal { .. }) => {
                 sys.heal_network();
                 tracker.heal_all(at);
             }
@@ -470,18 +568,26 @@ fn run_rendezvous(
                     }
                 }
             }
+            Action::Fault(FaultAction::SetDropProbability { p, .. }) => {
+                sys.sim_mut().set_drop_probability(*p);
+            }
+            // No directory tier to crash in this baseline.
+            Action::Fault(FaultAction::SetNodeUp { .. }) => {}
         }
     }
     let end = sys.sim_mut().now() + cfg.drain;
     sys.run_until_quiet(end);
-    let deliveries = sys
-        .take_deliveries()
-        .into_iter()
-        .map(|d| {
-            let k = d.event_id.seq() as usize;
-            (d.client.as_u64() as usize, k, schedule.rebuilds[k].collection.clone())
-        })
-        .collect();
+    let mut deliveries = Vec::new();
+    let mut delays = Vec::new();
+    for d in sys.take_deliveries() {
+        let k = d.event_id.seq() as usize;
+        deliveries.push((
+            d.client.as_u64() as usize,
+            k,
+            schedule.rebuilds[k].collection.clone(),
+        ));
+        delays.push(d.at.since(schedule.rebuilds[k].at));
+    }
     let stored: usize = sys.stored_profiles_per_host().values().sum();
     RunOutcome {
         deliveries,
@@ -492,6 +598,10 @@ fn run_rendezvous(
         load: sys.metrics().receive_load_imbalance(),
         cancels,
         partitions: tracker.finish(end),
+        delays,
+        retransmits: 0,
+        reparents: 0,
+        dropped: sys.metrics().counter("net.dropped"),
     }
 }
 

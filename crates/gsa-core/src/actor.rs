@@ -3,9 +3,11 @@
 
 use crate::core::{AlertingCore, CoreEffects};
 use crate::message::SysMessage;
-use gsa_gds::{GdsEffects, GdsNode};
+use gsa_gds::{GdsEffects, GdsMessage, GdsNode, GdsOutbound};
+use gsa_simnet::metrics::names as metric;
 use gsa_simnet::{Actor, Ctx, NodeId, TimerId};
 use gsa_types::{HostName, SimDuration};
+use gsa_wire::reliable::{Reliable, RetransmitQueue, RetryPolicy};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -59,6 +61,102 @@ impl Directory {
 
 /// Timer tag for the periodic maintenance tick.
 const TICK_TAG: u64 = 1;
+/// Timer tag for the retransmission-queue poll (reliability on).
+const RELIABLE_TAG: u64 = 2;
+/// Timer tag for the child→parent heartbeat (reliability on).
+const HEARTBEAT_TAG: u64 = 3;
+
+/// Tunables of the opt-in per-hop reliability layer: ack/retransmit
+/// parameters for GDS traffic, and the heartbeat failure detector that
+/// drives tree self-healing. Defaults: retry every 500 ms doubling to
+/// 4 s with ±20 % jitter and no budget, queue polled every 250 ms,
+/// heartbeats every second, parent declared dead after 3 silent
+/// heartbeats (≈3 s).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityConfig {
+    /// Backoff/budget for retransmitting unacknowledged GDS messages.
+    pub retry: RetryPolicy,
+    /// How often the retransmission queue is polled.
+    pub tick: SimDuration,
+    /// How often a child pings its parent.
+    pub heartbeat_interval: SimDuration,
+    /// Consecutive unanswered heartbeats before the parent is declared
+    /// dead and the child re-parents to its recorded grandparent.
+    pub heartbeat_misses: u32,
+}
+
+impl Default for ReliabilityConfig {
+    fn default() -> Self {
+        ReliabilityConfig {
+            retry: RetryPolicy::default(),
+            tick: SimDuration::from_millis(250),
+            heartbeat_interval: SimDuration::from_secs(1),
+            heartbeat_misses: 3,
+        }
+    }
+}
+
+/// One actor's reliable GDS-hop sender: wraps outgoing messages in the
+/// [`Reliable`] envelope and retransmits until acknowledged.
+#[derive(Debug)]
+pub struct ReliableLink {
+    queue: RetransmitQueue<(NodeId, GdsMessage)>,
+}
+
+impl ReliableLink {
+    /// Creates a link with the given retry policy and jitter seed.
+    pub fn new(policy: RetryPolicy, seed: u64) -> Self {
+        ReliableLink {
+            queue: RetransmitQueue::new(policy, seed),
+        }
+    }
+
+    /// Wraps `msg` in a data envelope, transmits it, and remembers it
+    /// for retransmission until acknowledged.
+    fn transmit(&mut self, ctx: &mut Ctx<'_, SysMessage>, node: NodeId, msg: GdsMessage) {
+        let seq = self.queue.send((node, msg.clone()), ctx.now());
+        ctx.send(node, SysMessage::RelGds(Reliable::Data { seq, payload: msg }));
+    }
+
+    fn ack(&mut self, seq: u64) {
+        self.queue.ack(seq);
+    }
+
+    fn nack(&mut self, seq: u64) {
+        self.queue.nack(seq);
+    }
+
+    /// Retransmits everything due (counting `net.retransmits`) and
+    /// returns messages whose retry budget ran out.
+    fn poll(&mut self, ctx: &mut Ctx<'_, SysMessage>) -> Vec<(NodeId, GdsMessage)> {
+        let outcome = self.queue.poll(ctx.now());
+        if !outcome.retransmit.is_empty() {
+            ctx.count(metric::NET_RETRANSMITS, outcome.retransmit.len() as u64);
+        }
+        for (seq, (node, msg)) in outcome.retransmit {
+            ctx.send(node, SysMessage::RelGds(Reliable::Data { seq, payload: msg }));
+        }
+        outcome.dead.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Number of unacknowledged messages in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Acknowledges a received data envelope back to its sender.
+fn send_ack(ctx: &mut Ctx<'_, SysMessage>, from: NodeId, seq: u64) {
+    ctx.count(metric::NET_ACKS, 1);
+    ctx.send(from, SysMessage::RelGds(Reliable::Ack { seq }));
+}
+
+/// Heartbeats ride plain — wrapping the liveness probe in the
+/// retransmit machinery would defeat its purpose (a lost probe *is*
+/// the signal).
+fn rides_plain(msg: &GdsMessage) -> bool {
+    matches!(msg, GdsMessage::Heartbeat | GdsMessage::HeartbeatAck)
+}
 
 /// The simulation actor wrapping an [`AlertingCore`].
 #[derive(Debug)]
@@ -73,6 +171,7 @@ pub struct AlertingActor {
     pub completed_searches: Vec<(gsa_greenstone::RequestId, gsa_greenstone::server::SearchResult)>,
     /// Naming-service answers that arrived.
     pub resolved: Vec<(gsa_gds::ResolveToken, Option<HostName>)>,
+    reliability: Option<(ReliabilityConfig, ReliableLink)>,
 }
 
 impl AlertingActor {
@@ -86,7 +185,16 @@ impl AlertingActor {
             completed_fetches: Vec::new(),
             completed_searches: Vec::new(),
             resolved: Vec::new(),
+            reliability: None,
         }
+    }
+
+    /// Turns on the reliable envelope for this host's GDS-bound traffic
+    /// (registration, publishes, resolves). `seed` derives the
+    /// retransmission jitter.
+    pub fn enable_reliability(&mut self, config: ReliabilityConfig, seed: u64) {
+        let link = ReliableLink::new(config.retry.clone(), seed);
+        self.reliability = Some((config, link));
     }
 
     /// The wrapped core.
@@ -111,13 +219,22 @@ impl AlertingActor {
         if !effects.published.is_empty() {
             ctx.count("alert.events_published", effects.published.len() as u64);
         }
+        if !effects.dead_letters.is_empty() {
+            ctx.count(metric::AUX_DEAD_LETTER, effects.dead_letters.len() as u64);
+        }
         self.completed_fetches.extend(effects.fetches);
         self.completed_searches.extend(effects.searches);
         self.resolved.extend(effects.resolved);
         for (to, msg) in effects.outbound {
-            match self.directory.lookup(&to) {
-                Some(node) => ctx.send(node, msg),
-                None => ctx.count("alert.unknown_host", 1),
+            let Some(node) = self.directory.lookup(&to) else {
+                ctx.count("alert.unknown_host", 1);
+                continue;
+            };
+            match (&mut self.reliability, msg) {
+                (Some((_, link)), SysMessage::Gds(m)) if !rides_plain(&m) => {
+                    link.transmit(ctx, node, m)
+                }
+                (_, msg) => ctx.send(node, msg),
             }
         }
     }
@@ -128,9 +245,31 @@ impl Actor<SysMessage> for AlertingActor {
         let effects = self.core.startup(ctx.now());
         self.apply(effects, ctx);
         ctx.set_timer(self.tick, TICK_TAG);
+        if let Some((config, _)) = &self.reliability {
+            ctx.set_timer(config.tick, RELIABLE_TAG);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, SysMessage>, from: NodeId, msg: SysMessage) {
+        let msg = match msg {
+            SysMessage::RelGds(Reliable::Data { seq, payload }) => {
+                // Always ack, even a redelivery: processing below is
+                // idempotent, and the ack is what stops the sender.
+                send_ack(ctx, from, seq);
+                SysMessage::Gds(payload)
+            }
+            SysMessage::RelGds(rel) => {
+                if let Some((_, link)) = &mut self.reliability {
+                    match rel {
+                        Reliable::Ack { seq } => link.ack(seq),
+                        Reliable::Nack { seq } => link.nack(seq),
+                        Reliable::Data { .. } => unreachable!("handled above"),
+                    }
+                }
+                return;
+            }
+            other => other,
+        };
         let from_host = self
             .directory
             .name_of(from)
@@ -140,12 +279,39 @@ impl Actor<SysMessage> for AlertingActor {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, SysMessage>, _timer: TimerId, tag: u64) {
-        if tag == TICK_TAG {
-            let effects = self.core.on_tick(ctx.now());
-            self.apply(effects, ctx);
-            ctx.set_timer(self.tick, TICK_TAG);
+        match tag {
+            TICK_TAG => {
+                let effects = self.core.on_tick(ctx.now());
+                self.apply(effects, ctx);
+                ctx.set_timer(self.tick, TICK_TAG);
+            }
+            RELIABLE_TAG => {
+                if let Some((config, link)) = &mut self.reliability {
+                    let dead = link.poll(ctx);
+                    if !dead.is_empty() {
+                        ctx.count("gds.dead_letter", dead.len() as u64);
+                    }
+                    ctx.set_timer(config.tick, RELIABLE_TAG);
+                }
+            }
+            _ => {}
         }
     }
+}
+
+/// The failure-detector and retransmission state of one reliable
+/// [`GdsActor`].
+#[derive(Debug)]
+struct GdsReliability {
+    config: ReliabilityConfig,
+    link: ReliableLink,
+    /// The fallback attachment point recorded at join time (the
+    /// grandparent); consumed by one re-parenting.
+    grandparent: Option<HostName>,
+    /// A heartbeat is outstanding (sent, not yet acked).
+    heartbeat_pending: bool,
+    /// Consecutive unanswered heartbeats.
+    misses: u32,
 }
 
 /// The simulation actor wrapping a [`GdsNode`].
@@ -153,12 +319,38 @@ impl Actor<SysMessage> for AlertingActor {
 pub struct GdsActor {
     node: GdsNode,
     directory: Directory,
+    reliability: Option<GdsReliability>,
 }
 
 impl GdsActor {
-    /// Wraps a directory-server node.
+    /// Wraps a directory-server node (best-effort hops, no failure
+    /// detector — the paper's §6 baseline behaviour).
     pub fn new(node: GdsNode, directory: Directory) -> Self {
-        GdsActor { node, directory }
+        GdsActor {
+            node,
+            directory,
+            reliability: None,
+        }
+    }
+
+    /// Turns on reliable per-edge delivery and the heartbeat failure
+    /// detector. `grandparent` is the fallback attachment point this
+    /// node re-parents to when its parent is declared dead; `seed`
+    /// derives the retransmission jitter.
+    pub fn enable_reliability(
+        &mut self,
+        config: ReliabilityConfig,
+        grandparent: Option<HostName>,
+        seed: u64,
+    ) {
+        let link = ReliableLink::new(config.retry.clone(), seed);
+        self.reliability = Some(GdsReliability {
+            config,
+            link,
+            grandparent,
+            heartbeat_pending: false,
+            misses: 0,
+        });
     }
 
     /// The wrapped node.
@@ -171,25 +363,135 @@ impl GdsActor {
         &mut self.node
     }
 
-    fn apply(&self, effects: GdsEffects, ctx: &mut Ctx<'_, SysMessage>) {
+    fn apply(&mut self, effects: GdsEffects, ctx: &mut Ctx<'_, SysMessage>) {
         if !effects.undeliverable.is_empty() {
             ctx.count("gds.undeliverable", effects.undeliverable.len() as u64);
         }
         for out in effects.outbound {
-            match self.directory.lookup(&out.to) {
-                Some(node) => ctx.send(node, SysMessage::Gds(out.msg)),
-                None => ctx.count("gds.unknown_host", 1),
+            let Some(node) = self.directory.lookup(&out.to) else {
+                ctx.count("gds.unknown_host", 1);
+                continue;
+            };
+            match &mut self.reliability {
+                Some(rel) if !rides_plain(&out.msg) => rel.link.transmit(ctx, node, out.msg),
+                _ => ctx.send(node, SysMessage::Gds(out.msg)),
             }
         }
+    }
+
+    /// The heartbeat-timer body: count the silence, re-parent when the
+    /// detector trips, and probe the (possibly new) parent again.
+    fn heartbeat_tick(&mut self, ctx: &mut Ctx<'_, SysMessage>) {
+        let interval = {
+            let Some(rel) = self.reliability.as_mut() else {
+                return;
+            };
+            if self.node.parent().is_none() {
+                return;
+            }
+            if rel.heartbeat_pending {
+                rel.misses += 1;
+            }
+            rel.config.heartbeat_interval
+        };
+        let tripped = self.reliability.as_ref().is_some_and(|r| {
+            r.misses >= r.config.heartbeat_misses && r.grandparent.is_some()
+        });
+        if tripped {
+            self.reparent(ctx);
+        }
+        if let Some(parent) = self.node.parent().cloned() {
+            if let Some(node) = self.directory.lookup(&parent) {
+                ctx.send(node, SysMessage::Gds(GdsMessage::Heartbeat));
+            }
+            if let Some(rel) = self.reliability.as_mut() {
+                rel.heartbeat_pending = true;
+            }
+        }
+        ctx.set_timer(interval, HEARTBEAT_TAG);
+    }
+
+    /// Detaches from the dead parent and re-attaches the whole subtree
+    /// to the grandparent recorded at join time: adopt + re-register,
+    /// all over reliable edges so the moves survive further loss. The
+    /// detach is also reliable — it reaches the old parent when (if) it
+    /// heals, at which point it stops routing through a stale edge.
+    fn reparent(&mut self, ctx: &mut Ctx<'_, SysMessage>) {
+        let Some(new_parent) = self
+            .reliability
+            .as_mut()
+            .and_then(|rel| rel.grandparent.take())
+        else {
+            return;
+        };
+        let old_parent = self.node.parent().cloned();
+        ctx.count(metric::GDS_REPARENT, 1);
+        if let Some(rel) = self.reliability.as_mut() {
+            rel.misses = 0;
+            rel.heartbeat_pending = false;
+        }
+        self.node.set_parent(Some(new_parent.clone()));
+        let me = self.node.name().clone();
+        let mut effects = GdsEffects::default();
+        if let Some(old) = old_parent {
+            if old != new_parent {
+                effects.outbound.push(GdsOutbound {
+                    to: old,
+                    msg: GdsMessage::Detach { child: me.clone() },
+                });
+            }
+        }
+        effects.outbound.push(GdsOutbound {
+            to: new_parent,
+            msg: GdsMessage::Adopt { child: me },
+        });
+        effects.outbound.extend(self.node.reregistrations());
+        self.apply(effects, ctx);
     }
 }
 
 impl Actor<SysMessage> for GdsActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SysMessage>) {
+        if let Some(rel) = &self.reliability {
+            ctx.set_timer(rel.config.tick, RELIABLE_TAG);
+            if self.node.parent().is_some() {
+                ctx.set_timer(rel.config.heartbeat_interval, HEARTBEAT_TAG);
+            }
+        }
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx<'_, SysMessage>, from: NodeId, msg: SysMessage) {
-        let SysMessage::Gds(msg) = msg else {
-            ctx.count("gds.non_gds_message", 1);
-            return;
+        let msg = match msg {
+            SysMessage::Gds(m) => m,
+            SysMessage::RelGds(Reliable::Data { seq, payload }) => {
+                // Ack first, even for a redelivery — the directory's
+                // duplicate suppression makes reprocessing harmless,
+                // and the ack is what silences the sender.
+                send_ack(ctx, from, seq);
+                payload
+            }
+            SysMessage::RelGds(rel) => {
+                if let Some(r) = &mut self.reliability {
+                    match rel {
+                        Reliable::Ack { seq } => r.link.ack(seq),
+                        Reliable::Nack { seq } => r.link.nack(seq),
+                        Reliable::Data { .. } => unreachable!("handled above"),
+                    }
+                }
+                return;
+            }
+            _ => {
+                ctx.count("gds.non_gds_message", 1);
+                return;
+            }
         };
+        if matches!(msg, GdsMessage::HeartbeatAck) {
+            if let Some(rel) = &mut self.reliability {
+                rel.heartbeat_pending = false;
+                rel.misses = 0;
+            }
+            return;
+        }
         let from_host = self
             .directory
             .name_of(from)
@@ -197,6 +499,22 @@ impl Actor<SysMessage> for GdsActor {
         ctx.count("gds.messages", 1);
         let effects = self.node.handle_message(&from_host, msg);
         self.apply(effects, ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, SysMessage>, _timer: TimerId, tag: u64) {
+        match tag {
+            RELIABLE_TAG => {
+                if let Some(rel) = &mut self.reliability {
+                    let dead = rel.link.poll(ctx);
+                    if !dead.is_empty() {
+                        ctx.count("gds.dead_letter", dead.len() as u64);
+                    }
+                    ctx.set_timer(rel.config.tick, RELIABLE_TAG);
+                }
+            }
+            HEARTBEAT_TAG => self.heartbeat_tick(ctx),
+            _ => {}
+        }
     }
 }
 

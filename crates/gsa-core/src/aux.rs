@@ -11,8 +11,12 @@
 
 use crate::message::AuxPayload;
 use gsa_types::{CollectionId, CollectionName, Event, HostName, SimTime};
+use gsa_wire::reliable::RetryPolicy;
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// A batch of addressed auxiliary payloads (destination, payload).
+pub type AuxBatch = Vec<(HostName, AuxPayload)>;
 
 /// An auxiliary profile planted at this host.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -166,6 +170,41 @@ impl PendingOps {
         out
     }
 
+    /// Like [`PendingOps::due_for_retry`], but under an exponential
+    /// backoff [`RetryPolicy`]: an operation's next retry comes
+    /// `policy.interval(attempts - 1)` after its last transmission, and
+    /// an operation whose attempt count has reached the policy's budget
+    /// is removed and returned as a dead letter instead of retried.
+    /// Returns `(retries, dead_letters)`.
+    pub fn due_for_retry_policy(
+        &mut self,
+        now: SimTime,
+        policy: &RetryPolicy,
+    ) -> (AuxBatch, AuxBatch) {
+        let mut retry = Vec::new();
+        let mut exhausted = Vec::new();
+        for (op, pending) in self.ops.iter_mut() {
+            let interval = policy.interval(pending.attempts.saturating_sub(1));
+            if pending.last_sent + interval > now {
+                continue;
+            }
+            if policy.budget.is_some_and(|b| pending.attempts >= b) {
+                exhausted.push(*op);
+                continue;
+            }
+            pending.last_sent = now;
+            pending.attempts += 1;
+            retry.push((pending.to.clone(), pending.payload.clone()));
+        }
+        let mut dead = Vec::new();
+        for op in exhausted {
+            if let Some(p) = self.ops.remove(&op) {
+                dead.push((p.to, p.payload));
+            }
+        }
+        (retry, dead)
+    }
+
     /// Number of pending operations.
     pub fn len(&self) -> usize {
         self.ops.len()
@@ -251,6 +290,53 @@ mod tests {
         assert!(ops
             .due_for_retry(SimTime::from_millis(150), SimDuration::from_millis(100))
             .is_empty());
+    }
+
+    #[test]
+    fn policy_retry_backs_off_and_dead_letters() {
+        let policy = RetryPolicy {
+            base: SimDuration::from_millis(100),
+            multiplier: 2.0,
+            max_interval: SimDuration::from_secs(10),
+            jitter: 0.0,
+            budget: Some(2),
+        };
+        let mut ops = PendingOps::new();
+        let op = ops.next_op();
+        ops.enqueue("London".into(), AuxPayload::Ack { op }, SimTime::ZERO);
+        // First retry 100 ms after the original send.
+        let (due, dead) = ops.due_for_retry_policy(SimTime::from_millis(50), &policy);
+        assert!(due.is_empty() && dead.is_empty());
+        let (due, dead) = ops.due_for_retry_policy(SimTime::from_millis(100), &policy);
+        assert_eq!((due.len(), dead.len()), (1, 0));
+        // Second retry backs off to 200 ms after the first.
+        let (due, dead) = ops.due_for_retry_policy(SimTime::from_millis(250), &policy);
+        assert!(due.is_empty() && dead.is_empty());
+        // Budget of 2 attempts is now spent: the op dies instead of
+        // retrying a third time.
+        let (due, dead) = ops.due_for_retry_policy(SimTime::from_millis(300), &policy);
+        assert_eq!((due.len(), dead.len()), (0, 1));
+        assert_eq!(dead[0].0, HostName::new("London"));
+        assert!(ops.is_empty(), "dead letters leave the log");
+    }
+
+    #[test]
+    fn unlimited_policy_retries_forever() {
+        let policy = RetryPolicy {
+            base: SimDuration::from_millis(100),
+            multiplier: 1.0,
+            max_interval: SimDuration::from_millis(100),
+            jitter: 0.0,
+            budget: None,
+        };
+        let mut ops = PendingOps::new();
+        let op = ops.next_op();
+        ops.enqueue("L".into(), AuxPayload::Ack { op }, SimTime::ZERO);
+        for k in 1..20u64 {
+            let (due, dead) = ops.due_for_retry_policy(SimTime::from_millis(100 * k), &policy);
+            assert_eq!((due.len(), dead.len()), (1, 0), "attempt {k}");
+        }
+        assert_eq!(ops.len(), 1);
     }
 
     #[test]

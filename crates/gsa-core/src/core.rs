@@ -20,18 +20,25 @@ use gsa_types::{
     SimDuration, SimTime,
 };
 use gsa_wire::codec::event_from_xml;
+use gsa_wire::reliable::{Reliable, RetryPolicy};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
 /// Tunables of the alerting core.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoreConfig {
     /// How often unacknowledged operations are retransmitted.
     pub retry_interval: SimDuration,
     /// How long a distributed fetch/search may wait on sub-collections
     /// before completing with partial results.
     pub request_timeout: SimDuration,
+    /// When set, pending auxiliary operations retry under this
+    /// exponential-backoff policy instead of the fixed
+    /// `retry_interval` cadence, and an operation whose attempt count
+    /// exhausts the policy's budget is dead-lettered (surfaced in
+    /// [`CoreEffects::dead_letters`]) instead of retried forever.
+    pub retry_policy: Option<RetryPolicy>,
 }
 
 impl Default for CoreConfig {
@@ -39,6 +46,7 @@ impl Default for CoreConfig {
         CoreConfig {
             retry_interval: SimDuration::from_secs(2),
             request_timeout: SimDuration::from_secs(5),
+            retry_policy: None,
         }
     }
 }
@@ -59,6 +67,10 @@ pub struct CoreEffects {
     pub resolved: Vec<(ResolveToken, Option<HostName>)>,
     /// Events this host published to the GDS during this step (shared).
     pub published: Vec<Arc<Event>>,
+    /// Auxiliary operations abandoned this step because their retry
+    /// budget ran out (destination, payload). Only produced when
+    /// [`CoreConfig::retry_policy`] sets a finite budget.
+    pub dead_letters: Vec<(HostName, AuxPayload)>,
 }
 
 impl CoreEffects {
@@ -70,6 +82,7 @@ impl CoreEffects {
         self.searches.extend(other.searches);
         self.resolved.extend(other.resolved);
         self.published.extend(other.published);
+        self.dead_letters.extend(other.dead_letters);
     }
 
     fn send(&mut self, to: HostName, msg: impl Into<SysMessage>) {
@@ -90,6 +103,10 @@ pub struct AlertingCore {
     /// (original event id, local super-collection) pairs already
     /// rewritten — makes retried ForwardEvents idempotent.
     rewritten: HashSet<(EventId, CollectionName)>,
+    /// Operations abandoned after exhausting the retry budget, kept for
+    /// inspection (the §7 invariant is "delayed, not lost" — a dead
+    /// letter is an explicit, observable deviation from it).
+    dead_letters: Vec<(HostName, AuxPayload)>,
     /// Locally-initiated GS requests and when they started.
     request_started: HashMap<RequestId, SimTime>,
 }
@@ -128,6 +145,7 @@ impl AlertingCore {
             config,
             event_seq: 0,
             rewritten: HashSet::new(),
+            dead_letters: Vec::new(),
             request_started: HashMap::new(),
             host,
         }
@@ -161,6 +179,13 @@ impl AlertingCore {
     /// The configured tunables.
     pub fn config(&self) -> &CoreConfig {
         &self.config
+    }
+
+    /// Auxiliary operations abandoned because their retry budget ran
+    /// out, in abandonment order. Empty unless
+    /// [`CoreConfig::retry_policy`] sets a finite budget.
+    pub fn dead_letters(&self) -> &[(HostName, AuxPayload)] {
+        &self.dead_letters
     }
 
     /// Startup effects: register with the GDS and plant auxiliary profiles
@@ -611,6 +636,12 @@ impl AlertingCore {
     ) -> CoreEffects {
         match msg {
             SysMessage::Gds(m) => self.handle_gds(m, now),
+            // The actor layer acks and unwraps reliable envelopes before
+            // handing the payload down; a stray envelope reaching the
+            // core is still processed (processing is idempotent), and
+            // bare acks/nacks carry nothing for the core.
+            SysMessage::RelGds(Reliable::Data { payload, .. }) => self.handle_gds(payload, now),
+            SysMessage::RelGds(_) => CoreEffects::default(),
             SysMessage::Gs(GsMessage::Alerting(el)) => match AuxPayload::from_xml(&el) {
                 Ok(payload) => self.handle_aux(from, payload, now),
                 Err(_) => CoreEffects::default(),
@@ -721,8 +752,19 @@ impl AlertingCore {
     /// expire timed-out distributed requests with partial results.
     pub fn on_tick(&mut self, now: SimTime) -> CoreEffects {
         let mut effects = CoreEffects::default();
-        for (to, payload) in self.pending.due_for_retry(now, self.config.retry_interval) {
+        let (due, dead) = match &self.config.retry_policy {
+            Some(policy) => self.pending.due_for_retry_policy(now, policy),
+            None => (
+                self.pending.due_for_retry(now, self.config.retry_interval),
+                Vec::new(),
+            ),
+        };
+        for (to, payload) in due {
             effects.send(to, payload.into_message());
+        }
+        for entry in dead {
+            self.dead_letters.push(entry.clone());
+            effects.dead_letters.push(entry);
         }
         let timeout = self.config.request_timeout;
         let expired: Vec<RequestId> = self
@@ -800,7 +842,7 @@ mod tests {
                           collected: &mut CoreEffects| {
             for (to, msg) in eff.outbound {
                 match &msg {
-                    SysMessage::Gds(_) => gds_traffic.push((to, msg)),
+                    SysMessage::Gds(_) | SysMessage::RelGds(_) => gds_traffic.push((to, msg)),
                     SysMessage::Gs(_) => queue.push((from.clone(), to, msg)),
                 }
             }

@@ -5,18 +5,23 @@ use gsa_gds::GdsMessage;
 use gsa_greenstone::GsMessage;
 use gsa_types::{CollectionId, CollectionName, Event};
 use gsa_wire::codec::{collection_from_text, event_from_xml, event_to_xml};
+use gsa_wire::reliable::{reliable_to_xml, Reliable};
 use gsa_wire::{WireError, XmlElement};
 use std::fmt;
 
 /// Every message a node in the full system can receive: either GS
 /// protocol (server ↔ server, receptionist ↔ server) or GDS protocol
-/// (server ↔ directory, directory ↔ directory).
+/// (server ↔ directory, directory ↔ directory), the latter optionally
+/// wrapped in the reliable-delivery envelope.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SysMessage {
     /// A Greenstone-protocol message.
     Gs(GsMessage),
     /// A directory-service message.
     Gds(GdsMessage),
+    /// A directory-service message under the opt-in reliable-delivery
+    /// envelope (per-hop sequence numbers, acks and retransmission).
+    RelGds(Reliable<GdsMessage>),
 }
 
 impl SysMessage {
@@ -25,6 +30,7 @@ impl SysMessage {
         match self {
             SysMessage::Gs(m) => m.wire_size(),
             SysMessage::Gds(m) => m.wire_size(),
+            SysMessage::RelGds(rel) => reliable_to_xml(rel, GdsMessage::to_xml).wire_size(),
         }
     }
 }
@@ -34,6 +40,7 @@ impl fmt::Display for SysMessage {
         match self {
             SysMessage::Gs(m) => write!(f, "gs:{m}"),
             SysMessage::Gds(m) => write!(f, "gds:{m}"),
+            SysMessage::RelGds(rel) => write!(f, "rel-gds:{}", rel.seq()),
         }
     }
 }
@@ -261,5 +268,20 @@ mod tests {
         }
         .into();
         assert!(m.to_string().starts_with("gds:"));
+    }
+
+    #[test]
+    fn reliable_envelope_accounts_payload_bytes() {
+        let inner = GdsMessage::Register { gs_host: "h".into() };
+        let plain = SysMessage::Gds(inner.clone()).wire_size();
+        let data = SysMessage::RelGds(Reliable::Data {
+            seq: 3,
+            payload: inner,
+        });
+        assert!(data.wire_size() > plain, "envelope adds header bytes");
+        assert!(data.to_string().starts_with("rel-gds:"));
+        let ack = SysMessage::RelGds(Reliable::Ack { seq: 3 });
+        assert!(ack.wire_size() > 0);
+        assert!(ack.wire_size() < plain, "acks are small");
     }
 }

@@ -4,7 +4,7 @@
 //! deterministic simulation and exposes the driver operations the
 //! examples, integration tests and benchmarks use.
 
-use crate::actor::{AlertingActor, Directory, GdsActor};
+use crate::actor::{AlertingActor, Directory, GdsActor, ReliabilityConfig};
 use crate::core::{AlertingCore, CoreConfig};
 use crate::message::SysMessage;
 use crate::subs::Notification;
@@ -28,6 +28,8 @@ pub struct System {
     directory: Directory,
     tick: SimDuration,
     next_client: u64,
+    seed: u64,
+    reliability: Option<ReliabilityConfig>,
 }
 
 impl fmt::Debug for System {
@@ -49,12 +51,36 @@ impl System {
             directory: Directory::new(),
             tick: SimDuration::from_millis(500),
             next_client: 0,
+            seed,
+            reliability: None,
         }
     }
 
     /// Sets the default link characteristics (latency/jitter/loss).
     pub fn set_default_link(&mut self, cfg: LinkConfig) {
         self.sim.set_default_link(cfg);
+    }
+
+    /// Changes the per-link drop probability on every link (default and
+    /// overrides), keeping latency characteristics — the chaos-harness
+    /// control knob.
+    pub fn set_drop_probability(&mut self, p: f64) {
+        self.sim.set_drop_probability(p);
+    }
+
+    /// Turns on the reliability layer for every node added *after* this
+    /// call: GDS traffic rides the ack/retransmit envelope, directory
+    /// servers heartbeat their parents and re-parent to their recorded
+    /// grandparent when the failure detector trips. Call before
+    /// [`System::add_gds_topology`] / [`System::add_server`]. Off by
+    /// default — the paper's §6 best-effort behaviour.
+    pub fn set_reliability(&mut self, config: ReliabilityConfig) {
+        self.reliability = Some(config);
+    }
+
+    /// The reliability configuration, when enabled.
+    pub fn reliability(&self) -> Option<&ReliabilityConfig> {
+        self.reliability.as_ref()
     }
 
     /// The underlying simulator (topology control, scheduling).
@@ -72,21 +98,43 @@ impl System {
         &self.directory
     }
 
-    /// Adds every node of a GDS topology.
+    /// Adds every node of a GDS topology. With reliability enabled,
+    /// each node also records its grandparent as the fallback
+    /// attachment point for tree self-healing.
     pub fn add_gds_topology(&mut self, topo: &GdsTopology) {
         for node in topo.build() {
-            self.add_gds_node(node);
+            let grandparent = topo.grandparent_of(node.name()).cloned();
+            self.add_gds_node_with_fallback(node, grandparent);
         }
     }
 
-    /// Adds one GDS directory server.
+    /// Adds one GDS directory server (no re-parenting fallback).
     pub fn add_gds_node(&mut self, node: GdsNode) -> NodeId {
+        self.add_gds_node_with_fallback(node, None)
+    }
+
+    /// Adds one GDS directory server with an explicit re-parenting
+    /// fallback (only meaningful with reliability enabled).
+    pub fn add_gds_node_with_fallback(
+        &mut self,
+        node: GdsNode,
+        grandparent: Option<HostName>,
+    ) -> NodeId {
         let name = node.name().clone();
-        let id = self
-            .sim
-            .add_node(name.as_str(), GdsActor::new(node, self.directory.clone()));
+        let mut actor = GdsActor::new(node, self.directory.clone());
+        if let Some(cfg) = &self.reliability {
+            actor.enable_reliability(cfg.clone(), grandparent, self.jitter_seed());
+        }
+        let id = self.sim.add_node(name.as_str(), actor);
         self.directory.insert(name, id);
         id
+    }
+
+    /// A per-actor deterministic jitter seed: a function of the system
+    /// seed and the join order, so runs replay bit-identically.
+    fn jitter_seed(&self) -> u64 {
+        (self.seed ^ 0x9e37_79b9_7f4a_7c15)
+            .wrapping_mul(2 * self.directory.len() as u64 + 1)
     }
 
     /// Adds a Greenstone server registered at the named GDS node.
@@ -102,7 +150,10 @@ impl System {
         config: CoreConfig,
     ) -> NodeId {
         let core = AlertingCore::with_config(host, gds_server, config);
-        let actor = AlertingActor::new(core, self.directory.clone(), self.tick);
+        let mut actor = AlertingActor::new(core, self.directory.clone(), self.tick);
+        if let Some(cfg) = &self.reliability {
+            actor.enable_reliability(cfg.clone(), self.jitter_seed());
+        }
         let id = self.sim.add_node(host, actor);
         self.directory.insert(HostName::new(host), id);
         id
@@ -606,6 +657,71 @@ mod tests {
     fn unknown_host_panics() {
         let mut system = System::new(1);
         system.take_notifications("Ghost", ClientId::from_raw(0));
+    }
+
+    #[test]
+    fn reliable_layer_delivers_exactly_once_over_lossy_links() {
+        let mut system = System::new(11);
+        system.set_reliability(ReliabilityConfig::default());
+        system.add_gds_topology(&figure2_tree());
+        system.add_server("Hamilton", "gds-4");
+        system.add_server("London", "gds-2");
+        system.add_collection("Hamilton", CollectionConfig::simple("D", "d"));
+        let client = system.add_client("London");
+        system
+            .subscribe_text("London", client, r#"host = "Hamilton""#)
+            .unwrap();
+        system.run_until_quiet(SimTime::from_secs(5));
+        // Every link now loses a quarter of its traffic; acks and
+        // retransmission must still get the one event through, once.
+        system.set_drop_probability(0.25);
+        system.rebuild("Hamilton", "D", vec![doc("d1", "x")]).unwrap();
+        system.run_until_quiet(SimTime::from_secs(65));
+        let inbox = system.take_notifications("London", client);
+        assert_eq!(inbox.len(), 1, "exactly one notification despite loss");
+        assert!(system.metrics().counter("net.dropped") > 0, "loss happened");
+        assert!(
+            system.metrics().counter("net.retransmits") > 0,
+            "losses were repaired by retransmission"
+        );
+        assert!(system.metrics().counter("net.acks") > 0);
+    }
+
+    #[test]
+    fn gds_crash_heals_by_reparenting_to_grandparent() {
+        let mut system = System::new(5);
+        system.set_reliability(ReliabilityConfig::default());
+        system.add_gds_topology(&figure2_tree());
+        // London sits on gds-6, a leaf under gds-3; Hamilton far away.
+        let cfg = CoreConfig {
+            retry_policy: Some(gsa_wire::reliable::RetryPolicy::default()),
+            ..CoreConfig::default()
+        };
+        system.add_server_with_config("Hamilton", "gds-4", cfg.clone());
+        system.add_server_with_config("London", "gds-6", cfg);
+        system.add_collection("Hamilton", CollectionConfig::simple("D", "d"));
+        let client = system.add_client("London");
+        system
+            .subscribe_text("London", client, r#"host = "Hamilton""#)
+            .unwrap();
+        system.run_until_quiet(SimTime::from_secs(5));
+        // Kill gds-3 (London's grandparent in GDS terms: gds-6's parent).
+        // gds-6 should declare it dead after ~3 missed heartbeats and
+        // re-attach to gds-1, keeping the broadcast tree connected.
+        system.set_host_up("gds-3", false);
+        system.run_for(SimDuration::from_secs(10));
+        assert!(
+            system.metrics().counter("gds.reparent") >= 1,
+            "failure detector re-parented the orphaned subtree"
+        );
+        system.rebuild("Hamilton", "D", vec![doc("d1", "x")]).unwrap();
+        system.run_until_quiet(system.now() + SimDuration::from_secs(60));
+        let inbox = system.take_notifications("London", client);
+        assert_eq!(
+            inbox.len(),
+            1,
+            "event crossed the healed tree to the orphaned leaf"
+        );
     }
 
     #[test]

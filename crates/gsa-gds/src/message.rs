@@ -111,6 +111,22 @@ pub enum GdsMessage {
         /// The GDS node responsible, or `None` when unknown network-wide.
         result: Option<HostName>,
     },
+    /// Child→parent liveness probe (tree maintenance, §3).
+    Heartbeat,
+    /// Parent's reply to a [`GdsMessage::Heartbeat`].
+    HeartbeatAck,
+    /// A GDS node whose parent was declared dead asks its recorded
+    /// grandparent to adopt it as a child (tree self-healing).
+    Adopt {
+        /// The re-parenting GDS node.
+        child: HostName,
+    },
+    /// A re-parented GDS node tells its old parent to forget the edge
+    /// (delivered after the heal; retried until then).
+    Detach {
+        /// The departed GDS node.
+        child: HostName,
+    },
 }
 
 impl GdsMessage {
@@ -219,6 +235,14 @@ impl GdsMessage {
                 }
                 el
             }
+            GdsMessage::Heartbeat => XmlElement::new("gds:heartbeat"),
+            GdsMessage::HeartbeatAck => XmlElement::new("gds:heartbeat-ack"),
+            GdsMessage::Adopt { child } => {
+                XmlElement::new("gds:adopt").with_attr("child", child.as_str())
+            }
+            GdsMessage::Detach { child } => {
+                XmlElement::new("gds:detach").with_attr("child", child.as_str())
+            }
         }
     }
 
@@ -301,6 +325,10 @@ impl GdsMessage {
                 name: host("name")?,
                 result: el.attr("result").map(HostName::new),
             }),
+            "gds:heartbeat" => Ok(GdsMessage::Heartbeat),
+            "gds:heartbeat-ack" => Ok(GdsMessage::HeartbeatAck),
+            "gds:adopt" => Ok(GdsMessage::Adopt { child: host("child")? }),
+            "gds:detach" => Ok(GdsMessage::Detach { child: host("child")? }),
             other => Err(WireError::malformed(format!("unknown GDS message <{other}>"))),
         }
     }
@@ -416,6 +444,14 @@ mod tests {
     #[test]
     fn deliver_event_on_wrong_variant_errors() {
         assert!(GdsMessage::Register { gs_host: "x".into() }.deliver_event().is_err());
+    }
+
+    #[test]
+    fn maintenance_messages_round_trip() {
+        round_trip(GdsMessage::Heartbeat);
+        round_trip(GdsMessage::HeartbeatAck);
+        round_trip(GdsMessage::Adopt { child: "gds-5".into() });
+        round_trip(GdsMessage::Detach { child: "gds-5".into() });
     }
 
     #[test]

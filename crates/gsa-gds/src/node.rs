@@ -2,8 +2,14 @@
 
 use crate::message::GdsMessage;
 use gsa_types::HostName;
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 use std::fmt;
+
+/// How many recently flooded events a node keeps for replay to an
+/// adopted child. Only needs to cover the traffic of one outage window:
+/// an event older than that already reached the child through its former
+/// parent (per-edge delivery is reliable when the layer is on).
+const RECENT_CAP: usize = 128;
 
 /// A message to be sent to another network participant (GDS node or
 /// Greenstone server — both are addressed by host name).
@@ -47,6 +53,10 @@ pub struct GdsNode {
     subtree: BTreeMap<HostName, HostName>,
     /// Duplicate-suppression memory: (origin, message id).
     seen: HashSet<(HostName, u64)>,
+    /// Recently flooded events (origin, id, payload), oldest first;
+    /// replayed to an adopted child to close the reparenting race where
+    /// an in-flight broadcast misses the moved subtree.
+    recent: VecDeque<(HostName, u64, gsa_wire::XmlElement)>,
 }
 
 impl fmt::Debug for GdsNode {
@@ -74,7 +84,16 @@ impl GdsNode {
             local: BTreeSet::new(),
             subtree: BTreeMap::new(),
             seen: HashSet::new(),
+            recent: VecDeque::new(),
         }
+    }
+
+    /// Remembers a flooded event for replay to later-adopted children.
+    fn remember(&mut self, origin: HostName, id: u64, payload: gsa_wire::XmlElement) {
+        if self.recent.len() == RECENT_CAP {
+            self.recent.pop_front();
+        }
+        self.recent.push_back((origin, id, payload));
     }
 
     /// The node's network name.
@@ -194,6 +213,7 @@ impl GdsNode {
                 // `from` is the publishing Greenstone server.
                 let origin = from.clone();
                 if self.seen.insert((origin.clone(), id.as_u64())) {
+                    self.remember(origin.clone(), id.as_u64(), payload.clone());
                     self.flood(&origin, id.as_u64(), payload, None, &mut effects);
                 }
             }
@@ -203,6 +223,7 @@ impl GdsNode {
                 payload,
             } => {
                 if self.seen.insert((origin.clone(), id.as_u64())) {
+                    self.remember(origin.clone(), id.as_u64(), payload.clone());
                     self.flood(&origin, id.as_u64(), payload, Some(from), &mut effects);
                 }
             }
@@ -262,9 +283,44 @@ impl GdsNode {
                     );
                 }
             }
-            // Final deliveries and resolve answers are addressed to
-            // Greenstone servers; a GDS node receiving one ignores it.
-            GdsMessage::Deliver { .. } | GdsMessage::ResolveResponse { .. } => {}
+            GdsMessage::Heartbeat => {
+                // Liveness probe from a child; answering is all the
+                // parent owes (the child's detector does the timing).
+                effects.send(from.clone(), GdsMessage::HeartbeatAck);
+            }
+            GdsMessage::Adopt { child } => {
+                // A grandchild lost its parent and re-parents here.
+                // Replay recent events down the new edge: a broadcast
+                // that was in flight while the child's old parent was
+                // down would otherwise miss the moved subtree (the old
+                // parent learns of the detach and stops forwarding; this
+                // node finished its broadcast before the edge existed).
+                // The child's duplicate suppression absorbs re-sends.
+                for (origin, id, payload) in &self.recent {
+                    effects.send(
+                        child.clone(),
+                        GdsMessage::Broadcast {
+                            id: gsa_types::MessageId::from_raw(*id),
+                            origin: origin.clone(),
+                            payload: payload.clone(),
+                        },
+                    );
+                }
+                self.add_child(child);
+            }
+            GdsMessage::Detach { child } => {
+                // An old child re-parented elsewhere; drop the edge and
+                // everything routed through it (re-registrations via the
+                // new path rebuild the subtree view).
+                self.remove_child(&child);
+            }
+            // Final deliveries, resolve answers and heartbeat replies are
+            // addressed to the asker; a GDS node receiving one ignores it
+            // (the actor layer intercepts heartbeat replies for its
+            // failure detector).
+            GdsMessage::Deliver { .. }
+            | GdsMessage::ResolveResponse { .. }
+            | GdsMessage::HeartbeatAck => {}
         }
         effects
     }
@@ -618,6 +674,70 @@ mod tests {
         assert!(undeliverable.is_empty());
         assert_eq!(deliveries.len(), 1);
         assert_eq!(deliveries[0].0, HostName::new("gs-7"));
+    }
+
+    #[test]
+    fn heartbeat_is_answered_with_an_ack() {
+        let mut nodes = figure2();
+        let parent = nodes.get_mut(&HostName::new("gds-3")).unwrap();
+        let effects = parent.handle_message(&"gds-7".into(), GdsMessage::Heartbeat);
+        assert_eq!(effects.outbound.len(), 1);
+        assert_eq!(effects.outbound[0].to, HostName::new("gds-7"));
+        assert_eq!(effects.outbound[0].msg, GdsMessage::HeartbeatAck);
+        // The reply is ignored at the node layer (the actor's failure
+        // detector consumes it).
+        let child = nodes.get_mut(&HostName::new("gds-7")).unwrap();
+        let effects = child.handle_message(&"gds-3".into(), GdsMessage::HeartbeatAck);
+        assert!(effects.outbound.is_empty());
+    }
+
+    #[test]
+    fn adopt_and_detach_drive_protocol_level_reparenting() {
+        let mut nodes = figure2();
+        // gds-7's parent gds-3 "died"; gds-7 re-parents to grandparent
+        // gds-1 using only protocol messages.
+        let node7 = nodes.get_mut(&HostName::new("gds-7")).unwrap();
+        node7.set_parent(Some("gds-1".into()));
+        let rereg = node7.reregistrations();
+        pump(
+            &mut nodes,
+            &"gds-1".into(),
+            &"gds-7".into(),
+            GdsMessage::Adopt { child: "gds-7".into() },
+        );
+        for out in rereg {
+            pump(&mut nodes, &out.to.clone(), &"gds-7".into(), out.msg);
+        }
+        assert!(nodes[&HostName::new("gds-1")]
+            .children()
+            .any(|c| c == &HostName::new("gds-7")));
+        // After the heal the old parent is told to forget the edge.
+        pump(
+            &mut nodes,
+            &"gds-3".into(),
+            &"gds-7".into(),
+            GdsMessage::Detach { child: "gds-7".into() },
+        );
+        assert!(nodes[&HostName::new("gds-3")]
+            .children()
+            .all(|c| c != &HostName::new("gds-7")));
+        // Broadcasts still reach everyone exactly once over the healed tree.
+        let (deliveries, _) = pump(
+            &mut nodes,
+            &"gds-5".into(),
+            &"gs-5".into(),
+            GdsMessage::Publish {
+                id: MessageId::from_raw(21),
+                payload: XmlElement::new("event"),
+            },
+        );
+        let mut recipients: Vec<String> =
+            deliveries.iter().map(|(to, _)| to.to_string()).collect();
+        recipients.sort();
+        assert_eq!(
+            recipients,
+            vec!["gs-1", "gs-2", "gs-3", "gs-4", "gs-6", "gs-7"]
+        );
     }
 
     #[test]

@@ -93,6 +93,21 @@ impl GdsTopology {
     pub fn names(&self) -> impl Iterator<Item = &HostName> {
         self.specs.iter().map(|s| &s.name)
     }
+
+    /// The parent of `name`, when it has one.
+    pub fn parent_of(&self, name: &HostName) -> Option<&HostName> {
+        self.specs
+            .iter()
+            .find(|s| &s.name == name)
+            .and_then(|s| s.parent.as_ref())
+    }
+
+    /// The grandparent of `name` — the fallback attachment point a node
+    /// records at join time so it can re-parent when its parent dies
+    /// (tree self-healing). `None` for the root and its children.
+    pub fn grandparent_of(&self, name: &HostName) -> Option<&HostName> {
+        self.parent_of(name).and_then(|p| self.parent_of(p))
+    }
 }
 
 impl fmt::Display for GdsTopology {
@@ -195,6 +210,19 @@ mod tests {
     fn duplicate_node_panics() {
         let mut t = GdsTopology::new();
         t.add("a", 1, None).add("a", 1, None);
+    }
+
+    #[test]
+    fn grandparents_follow_the_spec_chain() {
+        let t = figure2_tree();
+        assert_eq!(t.parent_of(&"gds-5".into()), Some(&HostName::new("gds-2")));
+        assert_eq!(
+            t.grandparent_of(&"gds-5".into()),
+            Some(&HostName::new("gds-1"))
+        );
+        assert_eq!(t.grandparent_of(&"gds-2".into()), None, "root child");
+        assert_eq!(t.grandparent_of(&"gds-1".into()), None, "root");
+        assert_eq!(t.grandparent_of(&"gds-99".into()), None, "unknown");
     }
 
     #[test]

@@ -4,6 +4,29 @@ use crate::sim::NodeId;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Well-known counter names shared by the transports and protocol
+/// layers, so dashboards and tests agree on spelling.
+pub mod names {
+    /// Messages handed to the network (sim transport).
+    pub const NET_SENT: &str = "net.sent";
+    /// Serialized bytes handed to the network.
+    pub const NET_BYTES: &str = "net.bytes";
+    /// Messages dropped in flight (loss, partitions, downed nodes,
+    /// unknown destinations) — mirrored by the real-time transport's
+    /// [`dropped_count`](crate::rt::RtNetwork::dropped_count).
+    pub const NET_DROPPED: &str = "net.dropped";
+    /// Reliable-envelope retransmissions (second and later attempts).
+    pub const NET_RETRANSMITS: &str = "net.retransmits";
+    /// Reliable-envelope acknowledgements sent.
+    pub const NET_ACKS: &str = "net.acks";
+    /// GDS nodes that re-parented to their grandparent after the
+    /// failure detector declared the parent dead.
+    pub const GDS_REPARENT: &str = "gds.reparent";
+    /// Auxiliary-profile operations abandoned after exhausting their
+    /// retry budget.
+    pub const AUX_DEAD_LETTER: &str = "aux.dead_letter";
+}
+
 /// A histogram of `u64` samples with on-demand quantiles.
 ///
 /// # Examples

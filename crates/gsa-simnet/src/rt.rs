@@ -12,6 +12,7 @@ use crate::sim::NodeId;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -102,6 +103,8 @@ impl<M> RtSender<M> {
 pub struct RtNetwork<M> {
     router_tx: Sender<Routed<M>>,
     node_txs: Arc<Mutex<Vec<Sender<Routed<M>>>>>,
+    node_up: Arc<Mutex<Vec<bool>>>,
+    dropped: Arc<AtomicU64>,
     names: Vec<String>,
     threads: Vec<JoinHandle<()>>,
     router_thread: Option<JoinHandle<()>>,
@@ -112,7 +115,11 @@ impl<M: Send + 'static> RtNetwork<M> {
     pub fn new(latency: Duration) -> Self {
         let (router_tx, router_rx): (Sender<Routed<M>>, Receiver<Routed<M>>) = unbounded();
         let node_txs: Arc<Mutex<Vec<Sender<Routed<M>>>>> = Arc::new(Mutex::new(Vec::new()));
+        let node_up: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(Vec::new()));
+        let dropped: Arc<AtomicU64> = Arc::new(AtomicU64::new(0));
         let txs = Arc::clone(&node_txs);
+        let ups = Arc::clone(&node_up);
+        let drop_count = Arc::clone(&dropped);
         let router_thread = thread::spawn(move || {
             while let Ok(routed) = router_rx.recv() {
                 match routed {
@@ -121,9 +128,18 @@ impl<M: Send + 'static> RtNetwork<M> {
                         if !latency.is_zero() {
                             thread::sleep(latency);
                         }
+                        // Mirror the simulator's `net.dropped` accounting:
+                        // sends to unknown or downed destinations are
+                        // still best-effort dropped, but never silently.
+                        let up = ups.lock().get(to.as_u32() as usize).copied();
                         let txs = txs.lock();
-                        if let Some(tx) = txs.get(to.as_u32() as usize) {
-                            let _ = tx.send(Routed::Message { from, to, msg });
+                        match (up, txs.get(to.as_u32() as usize)) {
+                            (Some(true), Some(tx)) => {
+                                let _ = tx.send(Routed::Message { from, to, msg });
+                            }
+                            _ => {
+                                drop_count.fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                     }
                 }
@@ -132,6 +148,8 @@ impl<M: Send + 'static> RtNetwork<M> {
         RtNetwork {
             router_tx,
             node_txs,
+            node_up,
+            dropped,
             names: Vec::new(),
             threads: Vec::new(),
             router_thread: Some(router_thread),
@@ -144,6 +162,7 @@ impl<M: Send + 'static> RtNetwork<M> {
         self.names.push(name.into());
         let (tx, rx): (Sender<Routed<M>>, Receiver<Routed<M>>) = unbounded();
         self.node_txs.lock().push(tx);
+        self.node_up.lock().push(true);
         let sender = RtSender {
             node: id,
             router: self.router_tx.clone(),
@@ -175,6 +194,27 @@ impl<M: Send + 'static> RtNetwork<M> {
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.names.len()
+    }
+
+    /// Marks a node up or down. Messages routed to a downed node are
+    /// counted as dropped, exactly like the simulator's downed nodes.
+    /// Returns `false` when `id` is unknown.
+    pub fn set_node_up(&self, id: NodeId, up: bool) -> bool {
+        let mut ups = self.node_up.lock();
+        match ups.get_mut(id.as_u32() as usize) {
+            Some(slot) => {
+                *slot = up;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of messages the router dropped because their destination
+    /// was unknown or down — the real-time counterpart of the
+    /// simulator's `net.dropped` counter.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Stops the router and all node threads, joining them.
@@ -236,12 +276,44 @@ mod tests {
         net.shutdown();
     }
 
+    /// Spins until the router has dropped `n` messages (it routes on its
+    /// own thread) — bounded so a regression fails rather than hangs.
+    fn await_dropped<M: Send + 'static>(net: &RtNetwork<M>, n: u64) {
+        for _ in 0..5_000 {
+            if net.dropped_count() >= n {
+                return;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        panic!("router never recorded {n} dropped messages");
+    }
+
     #[test]
-    fn unknown_destination_is_dropped() {
+    fn unknown_destination_is_dropped_and_counted() {
         let mut net = RtNetwork::<String>::new(Duration::ZERO);
         let a = net.add_node("a", |_: &RtSender<String>, _: NodeId, _: String| {});
+        assert_eq!(net.dropped_count(), 0);
         net.sender(a).send(NodeId::from_raw(99), "x".into());
-        // Nothing to assert beyond "does not panic / deadlock".
+        await_dropped(&net, 1);
+        net.shutdown();
+    }
+
+    #[test]
+    fn downed_node_drops_are_counted_until_restart() {
+        let mut net = RtNetwork::<String>::new(Duration::ZERO);
+        let a = net.add_node("a", |_: &RtSender<String>, _: NodeId, _: String| {});
+        let (tx, rx) = mpsc::channel();
+        let b = net.add_node("b", move |_: &RtSender<String>, _: NodeId, msg: String| {
+            tx.send(msg).unwrap();
+        });
+        assert!(net.set_node_up(b, false));
+        assert!(!net.set_node_up(NodeId::from_raw(99), false));
+        net.sender(a).send(b, "lost".into());
+        await_dropped(&net, 1);
+        assert!(net.set_node_up(b, true));
+        net.sender(a).send(b, "heard".into());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), "heard");
+        assert_eq!(net.dropped_count(), 1);
         net.shutdown();
     }
 

@@ -183,6 +183,17 @@ impl<M: fmt::Debug + 'static> Sim<M> {
         self.default_link = cfg;
     }
 
+    /// Sets the drop probability on *every* link — the default link and
+    /// all per-pair overrides — preserving their latency and jitter.
+    /// Chaos harnesses use this to open and close loss bursts without
+    /// re-describing the topology.
+    pub fn set_drop_probability(&mut self, p: f64) {
+        self.default_link = self.default_link.clone().with_drop_probability(p);
+        for cfg in self.link_overrides.values_mut() {
+            *cfg = cfg.clone().with_drop_probability(p);
+        }
+    }
+
     /// Enables trace recording of every delivered message.
     pub fn enable_trace(&mut self) {
         if self.trace.is_none() {
@@ -265,13 +276,20 @@ impl<M: fmt::Debug + 'static> Sim<M> {
     }
 
     /// Marks a node up or down. A downed node neither receives nor runs
-    /// timers; messages to it are dropped.
+    /// timers; messages to it are dropped. Bringing a downed node back
+    /// up re-runs its [`Actor::on_start`] — a restarted process re-arms
+    /// its timers on boot, while timers that came due during the outage
+    /// stay lost (they fired into a dead process).
     ///
     /// # Panics
     ///
     /// Panics when `id` does not belong to this simulation.
     pub fn set_node_up(&mut self, id: NodeId, up: bool) {
+        let was_up = self.meta[id.index()].up;
         self.meta[id.index()].up = up;
+        if up && !was_up {
+            self.push(self.now, What::Start { node: id });
+        }
     }
 
     /// Whether the node is currently up.

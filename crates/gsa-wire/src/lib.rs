@@ -9,7 +9,11 @@
 //! * [`envelope`] — SOAP-style envelopes wrapping a header (routing
 //!   information) and a body (the payload element),
 //! * [`codec`] — conversions between the shared `gsa-types` data model and
-//!   XML elements.
+//!   XML elements,
+//! * [`reliable`] — an opt-in reliable-delivery envelope
+//!   ([`Reliable`]) plus a deterministic retransmission queue with
+//!   exponential backoff, jitter and a bounded retry budget
+//!   ([`RetransmitQueue`]).
 //!
 //! # Examples
 //!
@@ -30,7 +34,9 @@
 
 pub mod codec;
 pub mod envelope;
+pub mod reliable;
 pub mod xml;
 
 pub use envelope::Envelope;
+pub use reliable::{Reliable, RetransmitQueue, RetryPolicy};
 pub use xml::{parse_document, WireError, XmlElement, XmlNode};

@@ -13,16 +13,20 @@
 //!   references (remote sub-collections),
 //! * [`profiles`] — profile populations with configurable operator mixes,
 //! * [`schedule`] — event (rebuild) and churn (partition, cancellation)
-//!   schedules.
+//!   schedules,
+//! * [`faults`] — seeded chaos plans (loss bursts, transient node
+//!   crashes, partition waves) for robustness experiments.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod profiles;
 pub mod schedule;
 pub mod text;
 pub mod topology;
 
+pub use faults::{FaultAction, FaultPlan, FaultPlanParams};
 pub use profiles::{ProfileMix, ProfilePopulation};
 pub use schedule::{ChurnEvent, RebuildSchedule};
 pub use text::DocumentGenerator;

@@ -1,7 +1,7 @@
 //! Integration tests for the Section 7 case analysis: every way a
 //! super↔sub connection can be disturbed, and the reconciliation after.
 
-use gsa_core::System;
+use gsa_core::{ReliabilityConfig, System};
 use gsa_gds::figure2_tree;
 use gsa_greenstone::{CollectionConfig, SubCollectionRef};
 use gsa_store::SourceDocument;
@@ -89,6 +89,54 @@ fn delete_during_partition_reconciles_after_heal() {
     system.run_until_quiet(SimTime::from_secs(120));
     assert_eq!(system.inspect_core("London", |c| c.aux_store().len()), 0);
     assert_eq!(system.inspect_core("Hamilton", |c| c.pending_ops().len()), 0);
+}
+
+#[test]
+fn delete_replay_after_heal_survives_message_loss() {
+    // Section 7's deletion replay, hardened: the partition heals onto a
+    // *lossy* network, so the queued Delete and its Ack each face a 20 %
+    // drop on every hop. The pending-operation log keeps re-sending
+    // until the ack lands; the dangling auxiliary profile must still be
+    // reaped exactly as in the clean-network case.
+    let mut system = System::new(7);
+    system.set_reliability(ReliabilityConfig::default());
+    system.add_gds_topology(&figure2_tree());
+    system.add_server("Hamilton", "gds-4");
+    system.add_server("London", "gds-2");
+    system.add_collection("London", CollectionConfig::simple("E", "E"));
+    system.add_collection(
+        "Hamilton",
+        CollectionConfig::simple("D", "D").with_subcollection(SubCollectionRef::new(
+            "e",
+            CollectionId::new("London", "E"),
+        )),
+    );
+    system.run_until_quiet(SimTime::from_secs(5));
+    assert_eq!(system.inspect_core("London", |c| c.aux_store().len()), 1);
+
+    system.set_partition("London", 1);
+    system.remove_subcollection("Hamilton", "D", "e").unwrap();
+    system.run_until(SimTime::from_secs(30));
+    assert_eq!(
+        system.inspect_core("London", |c| c.aux_store().len()),
+        1,
+        "the dangling auxiliary profile persists during the partition"
+    );
+
+    // Heal the partition but keep every link lossy from here on.
+    system.set_drop_probability(0.2);
+    system.heal_network();
+    system.run_until_quiet(SimTime::from_secs(300));
+    assert_eq!(
+        system.inspect_core("London", |c| c.aux_store().len()),
+        0,
+        "the delete replay got through despite the loss"
+    );
+    assert_eq!(system.inspect_core("Hamilton", |c| c.pending_ops().len()), 0);
+    assert!(
+        system.metrics().counter("net.dropped") > 0,
+        "the lossy phase actually dropped traffic"
+    );
 }
 
 #[test]
