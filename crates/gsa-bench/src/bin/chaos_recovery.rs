@@ -121,16 +121,21 @@ fn percentile(sorted_ms: &[u64], p: f64) -> u64 {
 }
 
 fn main() {
+    // `--smoke` shrinks everything (world, workload, sweep) to a single
+    // fast cell pair for CI; the full sweep is unchanged without it.
+    let smoke = std::env::args().any(|a| a == "--smoke");
     // 24 servers with fanout 2 forces a three-level GDS tree, so mid-tier
     // crashes exercise grandparent reparenting, not just sender retries.
     let params = WorldParams {
-        servers: 24,
+        servers: if smoke { 10 } else { 24 },
         ..WorldParams::small(201)
     };
     let world = GsWorld::generate(&params);
-    let population = ProfilePopulation::generate(202, &world, 60, &ProfileMix::default());
-    let horizon = SimDuration::from_secs(60);
-    let schedule = RebuildSchedule::generate(203, &world, 24, horizon, 3);
+    let profiles = if smoke { 20 } else { 60 };
+    let population = ProfilePopulation::generate(202, &world, profiles, &ProfileMix::default());
+    let horizon = SimDuration::from_secs(if smoke { 30 } else { 60 });
+    let rebuilds = if smoke { 8 } else { 24 };
+    let schedule = RebuildSchedule::generate(203, &world, rebuilds, horizon, 3);
 
     let fanout = 2;
     let (topo, _) = world.gds_tree(fanout);
@@ -155,15 +160,23 @@ fn main() {
     println!();
 
     let mut rows: Vec<Row> = Vec::new();
-    for &drop in &[0.0, 0.15, 0.3] {
-        for intensity in intensities(horizon, drop) {
+    let drops: &[f64] = if smoke { &[0.15] } else { &[0.0, 0.15, 0.3] };
+    for &drop in drops {
+        let mut levels = intensities(horizon, drop);
+        if smoke {
+            levels.truncate(1); // calm only
+        }
+        for intensity in levels {
             let faults = FaultPlan::generate(
                 300 + (drop * 100.0) as u64,
                 &crashable,
                 &partitionable,
                 &intensity.params,
             );
-            for variant in VARIANTS {
+            // Smoke mode compares just the two hybrids — the pair whose
+            // contrast (perfect vs lossy delivery) the full run pins.
+            let variants = if smoke { &VARIANTS[..2] } else { &VARIANTS[..] };
+            for &variant in variants {
                 let cfg = RunConfig {
                     seed: 204,
                     fanout,
@@ -231,10 +244,12 @@ fn main() {
     println!("(partition windows are don't-care for every scheme; loss bursts and GDS");
     println!(" crashes are NOT — surviving them is exactly what the reliability layer buys)");
 
-    let json = render_json(&rows);
-    let path = "BENCH_e4_chaos.json";
-    std::fs::write(path, &json).expect("write BENCH_e4_chaos.json");
-    println!("\nwrote {path}");
+    if !smoke {
+        let json = render_json(&rows);
+        let path = "BENCH_e4_chaos.json";
+        std::fs::write(path, &json).expect("write BENCH_e4_chaos.json");
+        println!("\nwrote {path}");
+    }
 }
 
 fn render_json(rows: &[Row]) -> String {

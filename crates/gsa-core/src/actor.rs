@@ -8,6 +8,7 @@ use gsa_simnet::metrics::names as metric;
 use gsa_simnet::{Actor, Ctx, NodeId, TimerId};
 use gsa_types::{HostName, SimDuration};
 use gsa_wire::reliable::{Reliable, RetransmitQueue, RetryPolicy};
+use gsa_wire::WireFormat;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -65,6 +66,200 @@ const TICK_TAG: u64 = 1;
 const RELIABLE_TAG: u64 = 2;
 /// Timer tag for the child→parent heartbeat (reliability on).
 const HEARTBEAT_TAG: u64 = 3;
+/// Timer tag for the per-edge batch flush (batching on).
+const BATCH_TAG: u64 = 4;
+
+/// Tunables of the per-edge event batcher: flood traffic buffered per
+/// neighbour and flushed as one [`GdsMessage::Batch`] frame when either
+/// bound is hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchConfig {
+    /// Flush an edge's buffer as soon as it holds this many events.
+    pub max_events: usize,
+    /// Flush all buffers this long after the first event was queued.
+    pub max_delay: SimDuration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_events: 8,
+            max_delay: SimDuration::from_millis(2),
+        }
+    }
+}
+
+/// Per-host wire-protocol configuration: which format version the host
+/// speaks and whether flood traffic is batched per edge.
+///
+/// The default — version 1, no batching — reproduces the paper's
+/// XML-over-SOAP behaviour exactly, frame for frame. Version 2 hosts
+/// announce themselves with a [`GdsMessage::Hello`] exchange and switch
+/// an edge to the binary codec only once the peer has proven it
+/// understands it, so mixed-version trees interoperate.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WireConfig {
+    /// Highest wire-format version this host speaks. Version 1 is the
+    /// XML text protocol; version 2 adds the length-prefixed binary
+    /// codec and per-edge negotiation.
+    pub version: WireVersion,
+    /// Per-edge event batching; `None` (the default) sends every flood
+    /// message as its own frame, preserving the paper's message counts.
+    pub batch: Option<BatchConfig>,
+}
+
+/// Wire-format versions a host can be configured to speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireVersion {
+    /// XML messaging over SOAP-style envelopes (the paper's §6 format).
+    #[default]
+    V1,
+    /// Negotiated length-prefixed binary framing with XML fallback.
+    V2,
+}
+
+impl WireConfig {
+    /// Version-2 wire format, batching off.
+    pub fn v2() -> Self {
+        WireConfig {
+            version: WireVersion::V2,
+            batch: None,
+        }
+    }
+
+    /// Version-2 wire format with per-edge batching.
+    pub fn v2_batched(batch: BatchConfig) -> Self {
+        WireConfig {
+            version: WireVersion::V2,
+            batch: Some(batch),
+        }
+    }
+
+    fn speaks_v2(&self) -> bool {
+        self.version == WireVersion::V2
+    }
+}
+
+/// Messages eligible for per-edge batching: only the flood-path frames
+/// (broadcast forwarding and final delivery). Control traffic —
+/// registrations, resolves, topology changes — always rides alone so
+/// its latency and ordering stay untouched.
+fn batchable(msg: &GdsMessage) -> bool {
+    matches!(
+        msg,
+        GdsMessage::Broadcast { .. } | GdsMessage::Deliver { .. }
+    )
+}
+
+/// One actor's view of the wire protocol: the negotiated format per
+/// neighbour and the per-edge batch buffers.
+#[derive(Debug)]
+struct WireLink {
+    config: WireConfig,
+    /// Edges proven (via hello/hello-ack) to understand the binary
+    /// codec. Absent edges ride XML — always safe.
+    peer_fmt: HashMap<NodeId, WireFormat>,
+    /// Per-edge buffered flood messages awaiting a flush.
+    pending: HashMap<NodeId, Vec<GdsMessage>>,
+    /// A `BATCH_TAG` timer is outstanding.
+    timer_armed: bool,
+}
+
+impl WireLink {
+    fn new(config: WireConfig) -> Self {
+        WireLink {
+            config,
+            peer_fmt: HashMap::new(),
+            pending: HashMap::new(),
+            timer_armed: false,
+        }
+    }
+
+    /// The format negotiated for an edge; XML until proven otherwise.
+    fn fmt_for(&self, node: NodeId) -> WireFormat {
+        self.peer_fmt.get(&node).copied().unwrap_or(WireFormat::Xml)
+    }
+
+    /// Whether a peer's announced version upgrades the edge, given our
+    /// own configuration.
+    fn accepts(&self, version: u8) -> bool {
+        self.config.speaks_v2() && version >= 2
+    }
+
+    fn record_peer_v2(&mut self, node: NodeId) {
+        self.peer_fmt.insert(node, WireFormat::Binary);
+    }
+
+    /// The hello announcement this host sends on tree edges, if any.
+    fn hello(&self) -> Option<GdsMessage> {
+        self.config
+            .speaks_v2()
+            .then_some(GdsMessage::Hello { version: 2 })
+    }
+
+    /// Queues or sends one data message on an edge. Batchable flood
+    /// traffic on a negotiated binary edge is buffered (when batching
+    /// is on) and flushed by size or by the `BATCH_TAG` timer;
+    /// everything else goes out immediately in the edge's format.
+    fn dispatch(
+        &mut self,
+        ctx: &mut Ctx<'_, SysMessage>,
+        node: NodeId,
+        msg: GdsMessage,
+        link: Option<&mut ReliableLink>,
+    ) {
+        let fmt = self.fmt_for(node);
+        let batch = match &self.config.batch {
+            // Only binary edges batch: a v1 peer has no gds:batch tag.
+            Some(b) if fmt == WireFormat::Binary && batchable(&msg) => b,
+            _ => return send_data(ctx, node, fmt, msg, link),
+        };
+        let max_events = batch.max_events.max(1);
+        let max_delay = batch.max_delay;
+        let buf = self.pending.entry(node).or_default();
+        buf.push(msg);
+        if buf.len() >= max_events {
+            self.flush_edge(ctx, node, link);
+        } else if !self.timer_armed {
+            ctx.set_timer(max_delay, BATCH_TAG);
+            self.timer_armed = true;
+        }
+    }
+
+    /// Flushes one edge's buffer: a single message rides plain, more
+    /// coalesce into one [`GdsMessage::Batch`] frame (one sequence
+    /// number, one ack, when the edge is reliable).
+    fn flush_edge(
+        &mut self,
+        ctx: &mut Ctx<'_, SysMessage>,
+        node: NodeId,
+        link: Option<&mut ReliableLink>,
+    ) {
+        let Some(mut items) = self.pending.remove(&node) else {
+            return;
+        };
+        let fmt = self.fmt_for(node);
+        let msg = match items.len() {
+            0 => return,
+            1 => items.pop().expect("len checked"),
+            n => {
+                ctx.count(metric::WIRE_BATCH_FLUSHES, 1);
+                ctx.count(metric::WIRE_BATCH_COALESCED, n as u64);
+                GdsMessage::Batch(items)
+            }
+        };
+        send_data(ctx, node, fmt, msg, link);
+    }
+
+    /// Flushes every buffered edge (the `BATCH_TAG` timer body).
+    fn flush_all(&mut self, ctx: &mut Ctx<'_, SysMessage>, mut link: Option<&mut ReliableLink>) {
+        self.timer_armed = false;
+        let edges: Vec<NodeId> = self.pending.keys().copied().collect();
+        for node in edges {
+            self.flush_edge(ctx, node, link.as_deref_mut());
+        }
+    }
+}
 
 /// Tunables of the opt-in per-hop reliability layer: ack/retransmit
 /// parameters for GDS traffic, and the heartbeat failure detector that
@@ -97,10 +292,13 @@ impl Default for ReliabilityConfig {
 }
 
 /// One actor's reliable GDS-hop sender: wraps outgoing messages in the
-/// [`Reliable`] envelope and retransmits until acknowledged.
+/// [`Reliable`] envelope and retransmits until acknowledged. Each
+/// queued entry remembers the wire format its edge had negotiated at
+/// send time, so retransmissions reuse a frame the peer is known to
+/// understand.
 #[derive(Debug)]
 pub struct ReliableLink {
-    queue: RetransmitQueue<(NodeId, GdsMessage)>,
+    queue: RetransmitQueue<(NodeId, WireFormat, GdsMessage)>,
 }
 
 impl ReliableLink {
@@ -111,11 +309,17 @@ impl ReliableLink {
         }
     }
 
-    /// Wraps `msg` in a data envelope, transmits it, and remembers it
-    /// for retransmission until acknowledged.
-    fn transmit(&mut self, ctx: &mut Ctx<'_, SysMessage>, node: NodeId, msg: GdsMessage) {
-        let seq = self.queue.send((node, msg.clone()), ctx.now());
-        ctx.send(node, SysMessage::RelGds(Reliable::Data { seq, payload: msg }));
+    /// Wraps `msg` in a data envelope, transmits it in the edge's
+    /// format, and remembers it for retransmission until acknowledged.
+    fn transmit(
+        &mut self,
+        ctx: &mut Ctx<'_, SysMessage>,
+        node: NodeId,
+        fmt: WireFormat,
+        msg: GdsMessage,
+    ) {
+        let seq = self.queue.send((node, fmt, msg.clone()), ctx.now());
+        ctx.send(node, rel_frame(fmt, Reliable::Data { seq, payload: msg }));
     }
 
     fn ack(&mut self, seq: u64) {
@@ -133,10 +337,14 @@ impl ReliableLink {
         if !outcome.retransmit.is_empty() {
             ctx.count(metric::NET_RETRANSMITS, outcome.retransmit.len() as u64);
         }
-        for (seq, (node, msg)) in outcome.retransmit {
-            ctx.send(node, SysMessage::RelGds(Reliable::Data { seq, payload: msg }));
+        for (seq, (node, fmt, msg)) in outcome.retransmit {
+            ctx.send(node, rel_frame(fmt, Reliable::Data { seq, payload: msg }));
         }
-        outcome.dead.into_iter().map(|(_, p)| p).collect()
+        outcome
+            .dead
+            .into_iter()
+            .map(|(_, (node, _, msg))| (node, msg))
+            .collect()
     }
 
     /// Number of unacknowledged messages in flight.
@@ -145,17 +353,57 @@ impl ReliableLink {
     }
 }
 
-/// Acknowledges a received data envelope back to its sender.
-fn send_ack(ctx: &mut Ctx<'_, SysMessage>, from: NodeId, seq: u64) {
+/// Picks the `SysMessage` carrier for a plain data frame in a format.
+fn data_frame(fmt: WireFormat, msg: GdsMessage) -> SysMessage {
+    match fmt {
+        WireFormat::Xml => SysMessage::Gds(msg),
+        WireFormat::Binary => SysMessage::GdsBin(msg),
+    }
+}
+
+/// Picks the `SysMessage` carrier for a reliable envelope in a format.
+fn rel_frame(fmt: WireFormat, rel: Reliable<GdsMessage>) -> SysMessage {
+    match fmt {
+        WireFormat::Xml => SysMessage::RelGds(rel),
+        WireFormat::Binary => SysMessage::RelGdsBin(rel),
+    }
+}
+
+/// Sends one data message on an edge, through the reliable link when
+/// one is supplied, otherwise fire-and-forget, in the edge's format.
+fn send_data(
+    ctx: &mut Ctx<'_, SysMessage>,
+    node: NodeId,
+    fmt: WireFormat,
+    msg: GdsMessage,
+    link: Option<&mut ReliableLink>,
+) {
+    match link {
+        Some(l) => l.transmit(ctx, node, fmt, msg),
+        None => ctx.send(node, data_frame(fmt, msg)),
+    }
+}
+
+/// Acknowledges a received data envelope back to its sender, in the
+/// same format the data frame arrived in.
+fn send_ack(ctx: &mut Ctx<'_, SysMessage>, from: NodeId, seq: u64, fmt: WireFormat) {
     ctx.count(metric::NET_ACKS, 1);
-    ctx.send(from, SysMessage::RelGds(Reliable::Ack { seq }));
+    ctx.send(from, rel_frame(fmt, Reliable::Ack { seq }));
 }
 
 /// Heartbeats ride plain — wrapping the liveness probe in the
 /// retransmit machinery would defeat its purpose (a lost probe *is*
-/// the signal).
+/// the signal). Hellos ride plain too: a version-1 peer would drop the
+/// unknown tag without acking, so retransmitting one forever would
+/// defeat the fallback the hello exists to provide.
 fn rides_plain(msg: &GdsMessage) -> bool {
-    matches!(msg, GdsMessage::Heartbeat | GdsMessage::HeartbeatAck)
+    matches!(
+        msg,
+        GdsMessage::Heartbeat
+            | GdsMessage::HeartbeatAck
+            | GdsMessage::Hello { .. }
+            | GdsMessage::HelloAck { .. }
+    )
 }
 
 /// The simulation actor wrapping an [`AlertingCore`].
@@ -172,6 +420,7 @@ pub struct AlertingActor {
     /// Naming-service answers that arrived.
     pub resolved: Vec<(gsa_gds::ResolveToken, Option<HostName>)>,
     reliability: Option<(ReliabilityConfig, ReliableLink)>,
+    wire: WireLink,
 }
 
 impl AlertingActor {
@@ -186,6 +435,7 @@ impl AlertingActor {
             completed_searches: Vec::new(),
             resolved: Vec::new(),
             reliability: None,
+            wire: WireLink::new(WireConfig::default()),
         }
     }
 
@@ -195,6 +445,12 @@ impl AlertingActor {
     pub fn enable_reliability(&mut self, config: ReliabilityConfig, seed: u64) {
         let link = ReliableLink::new(config.retry.clone(), seed);
         self.reliability = Some((config, link));
+    }
+
+    /// Sets the wire-protocol configuration (format version,
+    /// batching). Takes effect from the next hello exchange.
+    pub fn set_wire(&mut self, config: WireConfig) {
+        self.wire = WireLink::new(config);
     }
 
     /// The wrapped core.
@@ -230,11 +486,13 @@ impl AlertingActor {
                 ctx.count("alert.unknown_host", 1);
                 continue;
             };
-            match (&mut self.reliability, msg) {
-                (Some((_, link)), SysMessage::Gds(m)) if !rides_plain(&m) => {
-                    link.transmit(ctx, node, m)
+            match msg {
+                SysMessage::Gds(m) if !rides_plain(&m) => {
+                    let link = self.reliability.as_mut().map(|(_, l)| l);
+                    self.wire.dispatch(ctx, node, m, link);
                 }
-                (_, msg) => ctx.send(node, msg),
+                SysMessage::Gds(m) => ctx.send(node, data_frame(self.wire.fmt_for(node), m)),
+                msg => ctx.send(node, msg),
             }
         }
     }
@@ -244,6 +502,13 @@ impl Actor<SysMessage> for AlertingActor {
     fn on_start(&mut self, ctx: &mut Ctx<'_, SysMessage>) {
         let effects = self.core.startup(ctx.now());
         self.apply(effects, ctx);
+        // Announce wire v2 to this host's directory node; the edge
+        // upgrades when (if) the hello-ack comes back.
+        if let Some(hello) = self.wire.hello() {
+            if let Some(node) = self.directory.lookup(self.core.gds_server()) {
+                ctx.send(node, SysMessage::Gds(hello));
+            }
+        }
         ctx.set_timer(self.tick, TICK_TAG);
         if let Some((config, _)) = &self.reliability {
             ctx.set_timer(config.tick, RELIABLE_TAG);
@@ -255,10 +520,14 @@ impl Actor<SysMessage> for AlertingActor {
             SysMessage::RelGds(Reliable::Data { seq, payload }) => {
                 // Always ack, even a redelivery: processing below is
                 // idempotent, and the ack is what stops the sender.
-                send_ack(ctx, from, seq);
+                send_ack(ctx, from, seq, WireFormat::Xml);
                 SysMessage::Gds(payload)
             }
-            SysMessage::RelGds(rel) => {
+            SysMessage::RelGdsBin(Reliable::Data { seq, payload }) => {
+                send_ack(ctx, from, seq, WireFormat::Binary);
+                SysMessage::Gds(payload)
+            }
+            SysMessage::RelGds(rel) | SysMessage::RelGdsBin(rel) => {
                 if let Some((_, link)) = &mut self.reliability {
                     match rel {
                         Reliable::Ack { seq } => link.ack(seq),
@@ -268,14 +537,42 @@ impl Actor<SysMessage> for AlertingActor {
                 }
                 return;
             }
+            SysMessage::GdsBin(m) => SysMessage::Gds(m),
             other => other,
         };
+        // Version negotiation terminates at the actor layer.
+        match &msg {
+            SysMessage::Gds(GdsMessage::Hello { version }) => {
+                if self.wire.accepts(*version) {
+                    self.wire.record_peer_v2(from);
+                    ctx.send(from, SysMessage::Gds(GdsMessage::HelloAck { version: 2 }));
+                }
+                return;
+            }
+            SysMessage::Gds(GdsMessage::HelloAck { version }) => {
+                if self.wire.accepts(*version) {
+                    self.wire.record_peer_v2(from);
+                }
+                return;
+            }
+            _ => {}
+        }
         let from_host = self
             .directory
             .name_of(from)
             .unwrap_or_else(|| HostName::new(format!("unknown-{from}")));
-        let effects = self.core.handle_message(&from_host, msg, ctx.now());
-        self.apply(effects, ctx);
+        // A batch from the directory node unbatches here; each item is
+        // processed exactly as if it had arrived in its own frame.
+        let items = match msg {
+            SysMessage::Gds(GdsMessage::Batch(items)) => {
+                items.into_iter().map(SysMessage::Gds).collect()
+            }
+            other => vec![other],
+        };
+        for item in items {
+            let effects = self.core.handle_message(&from_host, item, ctx.now());
+            self.apply(effects, ctx);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, SysMessage>, _timer: TimerId, tag: u64) {
@@ -293,6 +590,10 @@ impl Actor<SysMessage> for AlertingActor {
                     }
                     ctx.set_timer(config.tick, RELIABLE_TAG);
                 }
+            }
+            BATCH_TAG => {
+                let link = self.reliability.as_mut().map(|(_, l)| l);
+                self.wire.flush_all(ctx, link);
             }
             _ => {}
         }
@@ -320,6 +621,7 @@ pub struct GdsActor {
     node: GdsNode,
     directory: Directory,
     reliability: Option<GdsReliability>,
+    wire: WireLink,
 }
 
 impl GdsActor {
@@ -330,7 +632,15 @@ impl GdsActor {
             node,
             directory,
             reliability: None,
+            wire: WireLink::new(WireConfig::default()),
         }
+    }
+
+    /// Sets the wire-protocol configuration. A v2 node also freezes
+    /// flood payloads at the origin (encode-once forwarding).
+    pub fn set_wire(&mut self, config: WireConfig) {
+        self.node.set_encode_once(config.speaks_v2());
+        self.wire = WireLink::new(config);
     }
 
     /// Turns on reliable per-edge delivery and the heartbeat failure
@@ -372,9 +682,20 @@ impl GdsActor {
                 ctx.count("gds.unknown_host", 1);
                 continue;
             };
-            match &mut self.reliability {
-                Some(rel) if !rides_plain(&out.msg) => rel.link.transmit(ctx, node, out.msg),
-                _ => ctx.send(node, SysMessage::Gds(out.msg)),
+            if rides_plain(&out.msg) {
+                ctx.send(node, data_frame(self.wire.fmt_for(node), out.msg));
+            } else {
+                let link = self.reliability.as_mut().map(|r| &mut r.link);
+                self.wire.dispatch(ctx, node, out.msg, link);
+            }
+        }
+    }
+
+    /// Announces wire v2 on one edge (no-op for v1 configurations).
+    fn say_hello(&self, ctx: &mut Ctx<'_, SysMessage>, peer: &HostName) {
+        if let Some(hello) = self.wire.hello() {
+            if let Some(node) = self.directory.lookup(peer) {
+                ctx.send(node, SysMessage::Gds(hello));
             }
         }
     }
@@ -402,7 +723,16 @@ impl GdsActor {
         }
         if let Some(parent) = self.node.parent().cloned() {
             if let Some(node) = self.directory.lookup(&parent) {
-                ctx.send(node, SysMessage::Gds(GdsMessage::Heartbeat));
+                ctx.send(
+                    node,
+                    data_frame(self.wire.fmt_for(node), GdsMessage::Heartbeat),
+                );
+                // A hello can be lost (it rides plain); piggyback a
+                // fresh announcement on the heartbeat cadence until the
+                // edge upgrades.
+                if self.wire.fmt_for(node) == WireFormat::Xml {
+                    self.say_hello(ctx, &parent);
+                }
             }
             if let Some(rel) = self.reliability.as_mut() {
                 rel.heartbeat_pending = true;
@@ -442,16 +772,31 @@ impl GdsActor {
             }
         }
         effects.outbound.push(GdsOutbound {
-            to: new_parent,
+            to: new_parent.clone(),
             msg: GdsMessage::Adopt { child: me },
         });
         effects.outbound.extend(self.node.reregistrations());
         self.apply(effects, ctx);
+        // The new parent is an unknown quantity: renegotiate the edge
+        // from the XML-safe default.
+        self.say_hello(ctx, &new_parent);
     }
 }
 
 impl Actor<SysMessage> for GdsActor {
     fn on_start(&mut self, ctx: &mut Ctx<'_, SysMessage>) {
+        // Announce wire v2 on every tree edge; each one upgrades
+        // independently when its hello-ack comes back.
+        let neighbours: Vec<HostName> = self
+            .node
+            .parent()
+            .into_iter()
+            .chain(self.node.children())
+            .cloned()
+            .collect();
+        for peer in &neighbours {
+            self.say_hello(ctx, peer);
+        }
         if let Some(rel) = &self.reliability {
             ctx.set_timer(rel.config.tick, RELIABLE_TAG);
             if self.node.parent().is_some() {
@@ -463,14 +808,19 @@ impl Actor<SysMessage> for GdsActor {
     fn on_message(&mut self, ctx: &mut Ctx<'_, SysMessage>, from: NodeId, msg: SysMessage) {
         let msg = match msg {
             SysMessage::Gds(m) => m,
+            SysMessage::GdsBin(m) => m,
             SysMessage::RelGds(Reliable::Data { seq, payload }) => {
                 // Ack first, even for a redelivery — the directory's
                 // duplicate suppression makes reprocessing harmless,
                 // and the ack is what silences the sender.
-                send_ack(ctx, from, seq);
+                send_ack(ctx, from, seq, WireFormat::Xml);
                 payload
             }
-            SysMessage::RelGds(rel) => {
+            SysMessage::RelGdsBin(Reliable::Data { seq, payload }) => {
+                send_ack(ctx, from, seq, WireFormat::Binary);
+                payload
+            }
+            SysMessage::RelGds(rel) | SysMessage::RelGdsBin(rel) => {
                 if let Some(r) = &mut self.reliability {
                     match rel {
                         Reliable::Ack { seq } => r.link.ack(seq),
@@ -492,11 +842,35 @@ impl Actor<SysMessage> for GdsActor {
             }
             return;
         }
+        // Version negotiation terminates at the actor layer. A host
+        // configured for v1 falls through to the node, which ignores
+        // the tags — modelling a legacy peer that never upgrades.
+        match msg {
+            GdsMessage::Hello { version } if self.wire.accepts(version) => {
+                self.wire.record_peer_v2(from);
+                ctx.send(
+                    from,
+                    data_frame(
+                        self.wire.fmt_for(from),
+                        GdsMessage::HelloAck { version: 2 },
+                    ),
+                );
+                return;
+            }
+            GdsMessage::HelloAck { version } if self.wire.accepts(version) => {
+                self.wire.record_peer_v2(from);
+                return;
+            }
+            _ => {}
+        }
         let from_host = self
             .directory
             .name_of(from)
             .unwrap_or_else(|| HostName::new(format!("unknown-{from}")));
         ctx.count("gds.messages", 1);
+        if let GdsMessage::Batch(ref items) = msg {
+            ctx.count(metric::WIRE_BATCH_RECEIVED, items.len() as u64);
+        }
         let effects = self.node.handle_message(&from_host, msg);
         self.apply(effects, ctx);
     }
@@ -513,6 +887,10 @@ impl Actor<SysMessage> for GdsActor {
                 }
             }
             HEARTBEAT_TAG => self.heartbeat_tick(ctx),
+            BATCH_TAG => {
+                let link = self.reliability.as_mut().map(|r| &mut r.link);
+                self.wire.flush_all(ctx, link);
+            }
             _ => {}
         }
     }

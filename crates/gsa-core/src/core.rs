@@ -19,7 +19,6 @@ use gsa_types::{
     ClientId, CollectionId, CollectionName, Event, EventId, EventKind, HostName, ProfileId,
     SimDuration, SimTime,
 };
-use gsa_wire::codec::event_from_xml;
 use gsa_wire::reliable::{Reliable, RetryPolicy};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -154,6 +153,12 @@ impl AlertingCore {
     /// This host's name.
     pub fn host(&self) -> &HostName {
         &self.host
+    }
+
+    /// The directory-service node this host publishes to and receives
+    /// deliveries from.
+    pub fn gds_server(&self) -> &HostName {
+        self.gds.gds_server()
     }
 
     /// The underlying Greenstone server (read-only).
@@ -635,13 +640,16 @@ impl AlertingCore {
         now: SimTime,
     ) -> CoreEffects {
         match msg {
-            SysMessage::Gds(m) => self.handle_gds(m, now),
+            SysMessage::Gds(m) | SysMessage::GdsBin(m) => self.handle_gds(m, now),
             // The actor layer acks and unwraps reliable envelopes before
             // handing the payload down; a stray envelope reaching the
             // core is still processed (processing is idempotent), and
             // bare acks/nacks carry nothing for the core.
-            SysMessage::RelGds(Reliable::Data { payload, .. }) => self.handle_gds(payload, now),
-            SysMessage::RelGds(_) => CoreEffects::default(),
+            SysMessage::RelGds(Reliable::Data { payload, .. })
+            | SysMessage::RelGdsBin(Reliable::Data { payload, .. }) => {
+                self.handle_gds(payload, now)
+            }
+            SysMessage::RelGds(_) | SysMessage::RelGdsBin(_) => CoreEffects::default(),
             SysMessage::Gs(GsMessage::Alerting(el)) => match AuxPayload::from_xml(&el) {
                 Ok(payload) => self.handle_aux(from, payload, now),
                 Err(_) => CoreEffects::default(),
@@ -660,7 +668,10 @@ impl AlertingCore {
             return effects;
         }
         if let Some((_origin, payload)) = self.gds.accept(&msg) {
-            if let Ok(event) = event_from_xml(&payload) {
+            // Lazy decode: a frozen binary payload deserialises through
+            // the native event codec here, at filter time — the XML
+            // tree is never rebuilt on the v2 fast path.
+            if let Ok(event) = payload.decode_event() {
                 let event = Arc::new(event);
                 effects
                     .notifications
@@ -842,7 +853,10 @@ mod tests {
                           collected: &mut CoreEffects| {
             for (to, msg) in eff.outbound {
                 match &msg {
-                    SysMessage::Gds(_) | SysMessage::RelGds(_) => gds_traffic.push((to, msg)),
+                    SysMessage::Gds(_)
+                    | SysMessage::GdsBin(_)
+                    | SysMessage::RelGds(_)
+                    | SysMessage::RelGdsBin(_) => gds_traffic.push((to, msg)),
                     SysMessage::Gs(_) => queue.push((from.clone(), to, msg)),
                 }
             }
@@ -1208,7 +1222,7 @@ mod tests {
         let deliver = GdsMessage::Deliver {
             id: gsa_types::MessageId::from_raw(1),
             origin: "B".into(),
-            payload: gsa_wire::codec::event_to_xml(&event),
+            payload: gsa_wire::codec::event_to_xml(&event).into(),
         };
         let eff = core.handle_message(
             &HostName::new("gds-1"),

@@ -61,7 +61,10 @@ pub mod subs;
 pub mod system;
 
 pub use crate::core::{AlertingCore, CoreConfig, CoreEffects};
-pub use actor::{AlertingActor, Directory, GdsActor, ReliabilityConfig, ReliableLink};
+pub use actor::{
+    AlertingActor, BatchConfig, Directory, GdsActor, ReliabilityConfig, ReliableLink, WireConfig,
+    WireVersion,
+};
 pub use aux::{AuxProfile, AuxStore};
 pub use message::{AuxPayload, SysMessage};
 pub use subs::{Notification, SubscriptionManager};

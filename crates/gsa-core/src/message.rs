@@ -4,6 +4,7 @@
 use gsa_gds::GdsMessage;
 use gsa_greenstone::GsMessage;
 use gsa_types::{CollectionId, CollectionName, Event};
+use gsa_wire::binary::{frame, framed_len, unframe, varint_len, write_varint, BinReader};
 use gsa_wire::codec::{collection_from_text, event_from_xml, event_to_xml};
 use gsa_wire::reliable::{reliable_to_xml, Reliable};
 use gsa_wire::{WireError, XmlElement};
@@ -12,25 +13,98 @@ use std::fmt;
 /// Every message a node in the full system can receive: either GS
 /// protocol (server ↔ server, receptionist ↔ server) or GDS protocol
 /// (server ↔ directory, directory ↔ directory), the latter optionally
-/// wrapped in the reliable-delivery envelope.
+/// wrapped in the reliable-delivery envelope. The `*Bin` variants are
+/// the same GDS messages travelling as wire-format-v2 binary frames on
+/// edges where the hello exchange negotiated v2; the sender picks the
+/// variant per edge, so mixed-version trees carry both.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SysMessage {
     /// A Greenstone-protocol message.
     Gs(GsMessage),
-    /// A directory-service message.
+    /// A directory-service message (v1 XML text encoding).
     Gds(GdsMessage),
     /// A directory-service message under the opt-in reliable-delivery
     /// envelope (per-hop sequence numbers, acks and retransmission).
     RelGds(Reliable<GdsMessage>),
+    /// A directory-service message as a v2 binary frame.
+    GdsBin(GdsMessage),
+    /// A reliable-enveloped directory-service message as a v2 binary
+    /// frame.
+    RelGdsBin(Reliable<GdsMessage>),
+}
+
+/// Binary tags for the reliable envelope inside a v2 frame.
+const REL_DATA: u8 = 0;
+const REL_ACK: u8 = 1;
+const REL_NACK: u8 = 2;
+
+/// Encodes a reliable-enveloped GDS message as a v2 binary frame:
+/// envelope tag + varint seq, then (for data) the inner message frame.
+pub fn reliable_gds_to_binary(rel: &Reliable<GdsMessage>) -> Vec<u8> {
+    let mut body = Vec::new();
+    match rel {
+        Reliable::Data { seq, payload } => {
+            body.push(REL_DATA);
+            write_varint(&mut body, *seq);
+            body.extend_from_slice(&payload.to_binary());
+        }
+        Reliable::Ack { seq } => {
+            body.push(REL_ACK);
+            write_varint(&mut body, *seq);
+        }
+        Reliable::Nack { seq } => {
+            body.push(REL_NACK);
+            write_varint(&mut body, *seq);
+        }
+    }
+    frame(body)
+}
+
+/// Decodes a reliable envelope written by [`reliable_gds_to_binary`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on bad framing or an unknown envelope tag.
+pub fn reliable_gds_from_binary(bytes: &[u8]) -> Result<Reliable<GdsMessage>, WireError> {
+    let body = unframe(bytes)?;
+    let mut r = BinReader::new(body);
+    let tag = r.read_u8()?;
+    let seq = r.read_varint()?;
+    match tag {
+        REL_DATA => {
+            let inner = r.read_slice(r.remaining())?;
+            Ok(Reliable::Data {
+                seq,
+                payload: GdsMessage::from_binary(inner)?,
+            })
+        }
+        REL_ACK => Ok(Reliable::Ack { seq }),
+        REL_NACK => Ok(Reliable::Nack { seq }),
+        other => Err(WireError::malformed(format!(
+            "unknown reliable envelope tag {other}"
+        ))),
+    }
+}
+
+fn reliable_gds_binary_size(rel: &Reliable<GdsMessage>) -> usize {
+    let body = match rel {
+        Reliable::Data { seq, payload } => 1 + varint_len(*seq) + payload.binary_wire_size(),
+        Reliable::Ack { seq } | Reliable::Nack { seq } => 1 + varint_len(*seq),
+    };
+    framed_len(body)
 }
 
 impl SysMessage {
-    /// The serialized size in bytes (for the simulator's byte accounting).
+    /// The serialized size in bytes (for the simulator's byte
+    /// accounting): the v1 XML text length for text variants, the exact
+    /// v2 frame length for binary variants.
     pub fn wire_size(&self) -> usize {
         match self {
             SysMessage::Gs(m) => m.wire_size(),
             SysMessage::Gds(m) => m.wire_size(),
             SysMessage::RelGds(rel) => reliable_to_xml(rel, GdsMessage::to_xml).wire_size(),
+            SysMessage::GdsBin(m) => m.binary_wire_size(),
+            SysMessage::RelGdsBin(rel) => reliable_gds_binary_size(rel),
         }
     }
 }
@@ -41,6 +115,8 @@ impl fmt::Display for SysMessage {
             SysMessage::Gs(m) => write!(f, "gs:{m}"),
             SysMessage::Gds(m) => write!(f, "gds:{m}"),
             SysMessage::RelGds(rel) => write!(f, "rel-gds:{}", rel.seq()),
+            SysMessage::GdsBin(m) => write!(f, "gds-bin:{m}"),
+            SysMessage::RelGdsBin(rel) => write!(f, "rel-gds-bin:{}", rel.seq()),
         }
     }
 }
@@ -268,6 +344,40 @@ mod tests {
         }
         .into();
         assert!(m.to_string().starts_with("gds:"));
+    }
+
+    #[test]
+    fn binary_variants_report_exact_frame_sizes() {
+        let inner = GdsMessage::Deliver {
+            id: gsa_types::MessageId::from_raw(7),
+            origin: "Hamilton".into(),
+            payload: XmlElement::new("event").with_attr("kind", "documents-added").into(),
+        };
+        let bin = SysMessage::GdsBin(inner.clone());
+        assert_eq!(bin.wire_size(), inner.to_binary().len());
+        assert!(
+            bin.wire_size() < SysMessage::Gds(inner.clone()).wire_size(),
+            "binary frame beats XML text"
+        );
+        for rel in [
+            Reliable::Data {
+                seq: 3,
+                payload: inner,
+            },
+            Reliable::Ack { seq: 3 },
+            Reliable::Nack { seq: 4 },
+        ] {
+            let encoded = reliable_gds_to_binary(&rel);
+            assert_eq!(
+                SysMessage::RelGdsBin(rel.clone()).wire_size(),
+                encoded.len(),
+                "size fn matches actual encoding"
+            );
+            assert_eq!(reliable_gds_from_binary(&encoded).unwrap(), rel);
+        }
+        assert!(SysMessage::RelGdsBin(Reliable::Ack { seq: 1 })
+            .to_string()
+            .starts_with("rel-gds-bin:"));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! deterministic simulation and exposes the driver operations the
 //! examples, integration tests and benchmarks use.
 
-use crate::actor::{AlertingActor, Directory, GdsActor, ReliabilityConfig};
+use crate::actor::{AlertingActor, Directory, GdsActor, ReliabilityConfig, WireConfig};
 use crate::core::{AlertingCore, CoreConfig};
 use crate::message::SysMessage;
 use crate::subs::Notification;
@@ -30,6 +30,7 @@ pub struct System {
     next_client: u64,
     seed: u64,
     reliability: Option<ReliabilityConfig>,
+    wire: WireConfig,
 }
 
 impl fmt::Debug for System {
@@ -53,6 +54,7 @@ impl System {
             next_client: 0,
             seed,
             reliability: None,
+            wire: WireConfig::default(),
         }
     }
 
@@ -81,6 +83,42 @@ impl System {
     /// The reliability configuration, when enabled.
     pub fn reliability(&self) -> Option<&ReliabilityConfig> {
         self.reliability.as_ref()
+    }
+
+    /// Sets the wire-protocol configuration for every node added
+    /// *after* this call. The default ([`WireConfig::default`]) is the
+    /// paper's XML messaging; [`WireConfig::v2`] turns on the
+    /// negotiated binary fast path with encode-once flood forwarding,
+    /// and [`WireConfig::v2_batched`] adds per-edge event batching.
+    /// Call before [`System::add_gds_topology`] / [`System::add_server`].
+    pub fn set_wire(&mut self, config: WireConfig) {
+        self.wire = config;
+    }
+
+    /// The wire-protocol configuration new nodes receive.
+    pub fn wire(&self) -> &WireConfig {
+        &self.wire
+    }
+
+    /// Overrides one already-added host's wire configuration — the
+    /// mixed-version-deployment knob (e.g. pin a single directory node
+    /// to v1 in an otherwise v2 tree). Call before the first run so
+    /// the hello exchange reflects it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `host` is unknown.
+    pub fn set_host_wire(&mut self, host: &str, config: WireConfig) {
+        let node = self.node(host);
+        let done = self
+            .sim
+            .with_actor::<GdsActor, ()>(node, |actor, _| actor.set_wire(config.clone()))
+            .is_some()
+            || self
+                .sim
+                .with_actor::<AlertingActor, ()>(node, |actor, _| actor.set_wire(config.clone()))
+                .is_some();
+        assert!(done, "{host:?} is neither a GDS node nor a server");
     }
 
     /// The underlying simulator (topology control, scheduling).
@@ -125,6 +163,7 @@ impl System {
         if let Some(cfg) = &self.reliability {
             actor.enable_reliability(cfg.clone(), grandparent, self.jitter_seed());
         }
+        actor.set_wire(self.wire.clone());
         let id = self.sim.add_node(name.as_str(), actor);
         self.directory.insert(name, id);
         id
@@ -154,6 +193,7 @@ impl System {
         if let Some(cfg) = &self.reliability {
             actor.enable_reliability(cfg.clone(), self.jitter_seed());
         }
+        actor.set_wire(self.wire.clone());
         let id = self.sim.add_node(host, actor);
         self.directory.insert(HostName::new(host), id);
         id

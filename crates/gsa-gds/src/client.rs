@@ -3,7 +3,7 @@
 use crate::message::{GdsMessage, ResolveToken};
 use crate::node::GdsOutbound;
 use gsa_types::{Event, HostName, MessageId};
-use gsa_wire::XmlElement;
+use gsa_wire::Payload;
 use std::collections::HashSet;
 use std::fmt;
 
@@ -82,13 +82,16 @@ impl GdsClient {
     }
 
     /// Builds a broadcast of an arbitrary payload.
-    pub fn publish(&mut self, payload: XmlElement) -> (MessageId, GdsOutbound) {
+    pub fn publish(&mut self, payload: impl Into<Payload>) -> (MessageId, GdsOutbound) {
         let id = self.fresh_id();
         (
             id,
             GdsOutbound {
                 to: self.gds_server.clone(),
-                msg: GdsMessage::Publish { id, payload },
+                msg: GdsMessage::Publish {
+                    id,
+                    payload: payload.into(),
+                },
             },
         )
     }
@@ -110,7 +113,7 @@ impl GdsClient {
     pub fn publish_to(
         &mut self,
         targets: Vec<HostName>,
-        payload: XmlElement,
+        payload: impl Into<Payload>,
     ) -> (MessageId, GdsOutbound) {
         let id = self.fresh_id();
         (
@@ -120,7 +123,7 @@ impl GdsClient {
                 msg: GdsMessage::PublishTargeted {
                     id,
                     targets,
-                    payload,
+                    payload: payload.into(),
                 },
             },
         )
@@ -146,7 +149,7 @@ impl GdsClient {
     /// Accepts an inbound `Deliver`, returning its origin and payload the
     /// first time this `(origin, id)` is seen; duplicates and other
     /// message kinds return `None`.
-    pub fn accept(&mut self, msg: &GdsMessage) -> Option<(HostName, XmlElement)> {
+    pub fn accept(&mut self, msg: &GdsMessage) -> Option<(HostName, Payload)> {
         match msg {
             GdsMessage::Deliver {
                 id,
@@ -173,6 +176,7 @@ impl GdsClient {
 mod tests {
     use super::*;
     use gsa_types::{CollectionId, EventId, EventKind, SimTime};
+    use gsa_wire::XmlElement;
 
     fn client() -> GdsClient {
         GdsClient::new("Hamilton", "gds-4")
@@ -211,7 +215,7 @@ mod tests {
         let deliver = GdsMessage::Deliver {
             id: MessageId::from_raw(5),
             origin: "London".into(),
-            payload: XmlElement::new("event"),
+            payload: XmlElement::new("event").into(),
         };
         assert!(c.accept(&deliver).is_some());
         assert!(c.accept(&deliver).is_none());
@@ -225,7 +229,7 @@ mod tests {
         let echo = GdsMessage::Deliver {
             id,
             origin: "Hamilton".into(),
-            payload: XmlElement::new("event"),
+            payload: XmlElement::new("event").into(),
         };
         assert!(c.accept(&echo).is_none());
     }
@@ -253,7 +257,7 @@ mod tests {
         match out.msg {
             GdsMessage::Publish { id: mid, payload } => {
                 assert_eq!(mid, id);
-                assert_eq!(payload.name(), "event");
+                assert_eq!(payload.to_xml_element().name(), "event");
             }
             other => panic!("unexpected {other:?}"),
         }

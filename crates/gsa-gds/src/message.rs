@@ -1,8 +1,11 @@
 //! GDS protocol messages and their XML encoding.
 
 use gsa_types::{HostName, MessageId};
-use gsa_wire::codec::{event_from_xml, event_to_xml};
-use gsa_wire::{WireError, XmlElement};
+use gsa_wire::binary::{
+    frame, framed_len, str_len, unframe, varint_len, write_str, write_varint, BinReader,
+};
+use gsa_wire::codec::event_to_xml;
+use gsa_wire::{FrozenBytes, Payload, WireError, XmlElement};
 use gsa_types::Event;
 use std::fmt;
 
@@ -51,7 +54,7 @@ pub enum GdsMessage {
         /// Publisher-chosen id, unique per publisher.
         id: MessageId,
         /// The payload (an encoded alerting event).
-        payload: XmlElement,
+        payload: Payload,
     },
     /// A Greenstone server asks its GDS node to deliver a payload to a
     /// specific set of servers (multicast; a single target is
@@ -62,7 +65,7 @@ pub enum GdsMessage {
         /// The Greenstone servers to reach.
         targets: Vec<HostName>,
         /// The payload.
-        payload: XmlElement,
+        payload: Payload,
     },
     /// Tree flooding between GDS nodes.
     Broadcast {
@@ -71,7 +74,7 @@ pub enum GdsMessage {
         /// The publishing Greenstone server.
         origin: HostName,
         /// The payload.
-        payload: XmlElement,
+        payload: Payload,
     },
     /// Targeted routing between GDS nodes.
     Route {
@@ -82,7 +85,7 @@ pub enum GdsMessage {
         /// Targets still to reach.
         targets: Vec<HostName>,
         /// The payload.
-        payload: XmlElement,
+        payload: Payload,
     },
     /// Final delivery from a GDS node to a Greenstone server.
     Deliver {
@@ -91,7 +94,7 @@ pub enum GdsMessage {
         /// The publishing Greenstone server.
         origin: HostName,
         /// The payload.
-        payload: XmlElement,
+        payload: Payload,
     },
     /// Naming-service query: which GDS node serves `name`?
     Resolve {
@@ -127,6 +130,22 @@ pub enum GdsMessage {
         /// The departed GDS node.
         child: HostName,
     },
+    /// Wire-format negotiation: "I can speak binary wire format v2."
+    /// Sent to tree neighbours on startup; a v1 peer ignores it (an
+    /// unknown message is dropped), so the edge silently stays on XML
+    /// text.
+    Hello {
+        /// Highest wire format version the sender speaks.
+        version: u8,
+    },
+    /// Reply to a [`GdsMessage::Hello`]: the edge may upgrade.
+    HelloAck {
+        /// Version the responder agrees to speak.
+        version: u8,
+    },
+    /// Several messages coalesced into one frame by the per-edge
+    /// batcher. A batch travels (and is acked) as a unit.
+    Batch(Vec<GdsMessage>),
 }
 
 impl GdsMessage {
@@ -135,7 +154,7 @@ impl GdsMessage {
     pub fn publish_event(id: MessageId, event: &Event) -> Self {
         GdsMessage::Publish {
             id,
-            payload: event_to_xml(event),
+            payload: event_to_xml(event).into(),
         }
     }
 
@@ -147,7 +166,7 @@ impl GdsMessage {
     /// not a valid event element.
     pub fn deliver_event(&self) -> Result<Event, WireError> {
         match self {
-            GdsMessage::Deliver { payload, .. } => event_from_xml(payload),
+            GdsMessage::Deliver { payload, .. } => payload.decode_event(),
             _ => Err(WireError::malformed("not a Deliver message")),
         }
     }
@@ -169,7 +188,7 @@ impl GdsMessage {
             }
             GdsMessage::Publish { id, payload } => XmlElement::new("gds:publish")
                 .with_attr("id", id.as_u64().to_string())
-                .with_child(payload.clone()),
+                .with_child(payload.to_xml_element()),
             GdsMessage::PublishTargeted {
                 id,
                 targets,
@@ -180,7 +199,7 @@ impl GdsMessage {
                 for t in targets {
                     el.push_child(XmlElement::new("target").with_text(t.as_str()));
                 }
-                el.push_child(payload.clone());
+                el.push_child(payload.to_xml_element());
                 el
             }
             GdsMessage::Broadcast {
@@ -190,7 +209,7 @@ impl GdsMessage {
             } => XmlElement::new("gds:broadcast")
                 .with_attr("id", id.as_u64().to_string())
                 .with_attr("origin", origin.as_str())
-                .with_child(payload.clone()),
+                .with_child(payload.to_xml_element()),
             GdsMessage::Route {
                 id,
                 origin,
@@ -203,7 +222,7 @@ impl GdsMessage {
                 for t in targets {
                     el.push_child(XmlElement::new("target").with_text(t.as_str()));
                 }
-                el.push_child(payload.clone());
+                el.push_child(payload.to_xml_element());
                 el
             }
             GdsMessage::Deliver {
@@ -213,7 +232,7 @@ impl GdsMessage {
             } => XmlElement::new("gds:deliver")
                 .with_attr("id", id.as_u64().to_string())
                 .with_attr("origin", origin.as_str())
-                .with_child(payload.clone()),
+                .with_child(payload.to_xml_element()),
             GdsMessage::Resolve {
                 token,
                 name,
@@ -243,6 +262,20 @@ impl GdsMessage {
             GdsMessage::Detach { child } => {
                 XmlElement::new("gds:detach").with_attr("child", child.as_str())
             }
+            GdsMessage::Hello { version } => {
+                XmlElement::new("gds:hello").with_attr("version", version.to_string())
+            }
+            GdsMessage::HelloAck { version } => {
+                XmlElement::new("gds:hello-ack").with_attr("version", version.to_string())
+            }
+            GdsMessage::Batch(items) => {
+                let mut el = XmlElement::new("gds:batch");
+                el.reserve_children(items.len());
+                for item in items {
+                    el.push_child(item.to_xml());
+                }
+                el
+            }
         }
     }
 
@@ -271,11 +304,17 @@ impl GdsMessage {
                 .map(ResolveToken)
                 .ok_or_else(|| WireError::malformed("missing token"))
         };
-        let payload = || -> Result<XmlElement, WireError> {
+        let payload = || -> Result<Payload, WireError> {
             el.elements()
                 .find(|e| e.name() != "target")
                 .cloned()
+                .map(Payload::from)
                 .ok_or_else(|| WireError::malformed("missing payload"))
+        };
+        let version = || -> Result<u8, WireError> {
+            el.attr("version")
+                .and_then(|v| v.parse::<u8>().ok())
+                .ok_or_else(|| WireError::malformed("missing version"))
         };
         let targets = || -> Vec<HostName> {
             el.children_named("target")
@@ -329,14 +368,359 @@ impl GdsMessage {
             "gds:heartbeat-ack" => Ok(GdsMessage::HeartbeatAck),
             "gds:adopt" => Ok(GdsMessage::Adopt { child: host("child")? }),
             "gds:detach" => Ok(GdsMessage::Detach { child: host("child")? }),
+            "gds:hello" => Ok(GdsMessage::Hello { version: version()? }),
+            "gds:hello-ack" => Ok(GdsMessage::HelloAck { version: version()? }),
+            "gds:batch" => Ok(GdsMessage::Batch(
+                el.elements().map(GdsMessage::from_xml).collect::<Result<_, _>>()?,
+            )),
             other => Err(WireError::malformed(format!("unknown GDS message <{other}>"))),
         }
     }
 
-    /// The serialized size in bytes.
+    /// The serialized size in bytes of the v1 XML text encoding.
     pub fn wire_size(&self) -> usize {
         self.to_xml().wire_size()
     }
+
+    /// Encodes the message as a wire-format-v2 binary frame.
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(self.binary_body_len());
+        self.write_body(&mut body);
+        frame(body)
+    }
+
+    /// Decodes a message from a v2 binary frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on bad framing, unknown opcodes or
+    /// malformed fields. Payloads are *not* deserialised here — they
+    /// arrive as frozen bytes and decode lazily at delivery time.
+    pub fn from_binary(bytes: &[u8]) -> Result<GdsMessage, WireError> {
+        let body = unframe(bytes)?;
+        let mut r = BinReader::new(body);
+        let msg = Self::read_body(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(WireError::malformed("trailing bytes after GDS message"));
+        }
+        Ok(msg)
+    }
+
+    /// The exact serialized size in bytes of the v2 binary frame,
+    /// computed without materialising it. O(1) in the payload when the
+    /// payload is frozen — the flood hot path measures without
+    /// re-encoding.
+    pub fn binary_wire_size(&self) -> usize {
+        framed_len(self.binary_body_len())
+    }
+
+    fn write_body(&self, buf: &mut Vec<u8>) {
+        match self {
+            GdsMessage::Register { gs_host } => {
+                buf.push(opcode::REGISTER);
+                write_str(buf, gs_host.as_str());
+            }
+            GdsMessage::Unregister { gs_host } => {
+                buf.push(opcode::UNREGISTER);
+                write_str(buf, gs_host.as_str());
+            }
+            GdsMessage::RegisterUp { gs_host, via } => {
+                buf.push(opcode::REGISTER_UP);
+                write_str(buf, gs_host.as_str());
+                write_str(buf, via.as_str());
+            }
+            GdsMessage::UnregisterUp { gs_host } => {
+                buf.push(opcode::UNREGISTER_UP);
+                write_str(buf, gs_host.as_str());
+            }
+            GdsMessage::Publish { id, payload } => {
+                buf.push(opcode::PUBLISH);
+                write_varint(buf, id.as_u64());
+                payload.write_binary(buf);
+            }
+            GdsMessage::PublishTargeted {
+                id,
+                targets,
+                payload,
+            } => {
+                buf.push(opcode::PUBLISH_TARGETED);
+                write_varint(buf, id.as_u64());
+                write_hosts(buf, targets);
+                payload.write_binary(buf);
+            }
+            GdsMessage::Broadcast {
+                id,
+                origin,
+                payload,
+            } => {
+                buf.push(opcode::BROADCAST);
+                write_varint(buf, id.as_u64());
+                write_str(buf, origin.as_str());
+                payload.write_binary(buf);
+            }
+            GdsMessage::Route {
+                id,
+                origin,
+                targets,
+                payload,
+            } => {
+                buf.push(opcode::ROUTE);
+                write_varint(buf, id.as_u64());
+                write_str(buf, origin.as_str());
+                write_hosts(buf, targets);
+                payload.write_binary(buf);
+            }
+            GdsMessage::Deliver {
+                id,
+                origin,
+                payload,
+            } => {
+                buf.push(opcode::DELIVER);
+                write_varint(buf, id.as_u64());
+                write_str(buf, origin.as_str());
+                payload.write_binary(buf);
+            }
+            GdsMessage::Resolve {
+                token,
+                name,
+                reply_to,
+            } => {
+                buf.push(opcode::RESOLVE);
+                write_varint(buf, token.0);
+                write_str(buf, name.as_str());
+                write_str(buf, reply_to.as_str());
+            }
+            GdsMessage::ResolveResponse {
+                token,
+                name,
+                result,
+            } => {
+                buf.push(opcode::RESOLVE_RESPONSE);
+                write_varint(buf, token.0);
+                write_str(buf, name.as_str());
+                match result {
+                    Some(r) => {
+                        buf.push(1);
+                        write_str(buf, r.as_str());
+                    }
+                    None => buf.push(0),
+                }
+            }
+            GdsMessage::Heartbeat => buf.push(opcode::HEARTBEAT),
+            GdsMessage::HeartbeatAck => buf.push(opcode::HEARTBEAT_ACK),
+            GdsMessage::Adopt { child } => {
+                buf.push(opcode::ADOPT);
+                write_str(buf, child.as_str());
+            }
+            GdsMessage::Detach { child } => {
+                buf.push(opcode::DETACH);
+                write_str(buf, child.as_str());
+            }
+            GdsMessage::Hello { version } => {
+                buf.push(opcode::HELLO);
+                buf.push(*version);
+            }
+            GdsMessage::HelloAck { version } => {
+                buf.push(opcode::HELLO_ACK);
+                buf.push(*version);
+            }
+            GdsMessage::Batch(items) => {
+                buf.push(opcode::BATCH);
+                write_varint(buf, items.len() as u64);
+                for item in items {
+                    item.write_body(buf);
+                }
+            }
+        }
+    }
+
+    fn binary_body_len(&self) -> usize {
+        1 + match self {
+            GdsMessage::Register { gs_host }
+            | GdsMessage::Unregister { gs_host }
+            | GdsMessage::UnregisterUp { gs_host } => str_len(gs_host.as_str()),
+            GdsMessage::RegisterUp { gs_host, via } => {
+                str_len(gs_host.as_str()) + str_len(via.as_str())
+            }
+            GdsMessage::Publish { id, payload } => {
+                varint_len(id.as_u64()) + payload.binary_size()
+            }
+            GdsMessage::PublishTargeted {
+                id,
+                targets,
+                payload,
+            } => varint_len(id.as_u64()) + hosts_len(targets) + payload.binary_size(),
+            GdsMessage::Broadcast {
+                id,
+                origin,
+                payload,
+            } => varint_len(id.as_u64()) + str_len(origin.as_str()) + payload.binary_size(),
+            GdsMessage::Route {
+                id,
+                origin,
+                targets,
+                payload,
+            } => {
+                varint_len(id.as_u64())
+                    + str_len(origin.as_str())
+                    + hosts_len(targets)
+                    + payload.binary_size()
+            }
+            GdsMessage::Deliver {
+                id,
+                origin,
+                payload,
+            } => varint_len(id.as_u64()) + str_len(origin.as_str()) + payload.binary_size(),
+            GdsMessage::Resolve {
+                token,
+                name,
+                reply_to,
+            } => varint_len(token.0) + str_len(name.as_str()) + str_len(reply_to.as_str()),
+            GdsMessage::ResolveResponse {
+                token,
+                name,
+                result,
+            } => {
+                varint_len(token.0)
+                    + str_len(name.as_str())
+                    + 1
+                    + result.as_ref().map_or(0, |r| str_len(r.as_str()))
+            }
+            GdsMessage::Heartbeat | GdsMessage::HeartbeatAck => 0,
+            GdsMessage::Adopt { child } | GdsMessage::Detach { child } => {
+                str_len(child.as_str())
+            }
+            GdsMessage::Hello { .. } | GdsMessage::HelloAck { .. } => 1,
+            GdsMessage::Batch(items) => {
+                varint_len(items.len() as u64)
+                    + items.iter().map(GdsMessage::binary_body_len).sum::<usize>()
+            }
+        }
+    }
+
+    fn read_body(r: &mut BinReader<'_>) -> Result<GdsMessage, WireError> {
+        let read_host = |r: &mut BinReader<'_>| -> Result<HostName, WireError> {
+            let s = r.read_string()?;
+            if s.is_empty() {
+                return Err(WireError::malformed("empty host name"));
+            }
+            Ok(HostName::new(s))
+        };
+        let read_payload = |r: &mut BinReader<'_>| -> Result<Payload, WireError> {
+            let len = r.read_varint()? as usize;
+            let bytes = r.read_slice(len)?;
+            Ok(Payload::from_frozen(FrozenBytes::new(bytes.to_vec())))
+        };
+        let read_hosts = |r: &mut BinReader<'_>| -> Result<Vec<HostName>, WireError> {
+            let n = r.read_varint()? as usize;
+            let mut hosts = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                hosts.push(HostName::new(r.read_string()?));
+            }
+            Ok(hosts)
+        };
+        match r.read_u8()? {
+            opcode::REGISTER => Ok(GdsMessage::Register { gs_host: read_host(r)? }),
+            opcode::UNREGISTER => Ok(GdsMessage::Unregister { gs_host: read_host(r)? }),
+            opcode::REGISTER_UP => Ok(GdsMessage::RegisterUp {
+                gs_host: read_host(r)?,
+                via: read_host(r)?,
+            }),
+            opcode::UNREGISTER_UP => Ok(GdsMessage::UnregisterUp { gs_host: read_host(r)? }),
+            opcode::PUBLISH => Ok(GdsMessage::Publish {
+                id: MessageId::from_raw(r.read_varint()?),
+                payload: read_payload(r)?,
+            }),
+            opcode::PUBLISH_TARGETED => Ok(GdsMessage::PublishTargeted {
+                id: MessageId::from_raw(r.read_varint()?),
+                targets: read_hosts(r)?,
+                payload: read_payload(r)?,
+            }),
+            opcode::BROADCAST => Ok(GdsMessage::Broadcast {
+                id: MessageId::from_raw(r.read_varint()?),
+                origin: read_host(r)?,
+                payload: read_payload(r)?,
+            }),
+            opcode::ROUTE => Ok(GdsMessage::Route {
+                id: MessageId::from_raw(r.read_varint()?),
+                origin: read_host(r)?,
+                targets: read_hosts(r)?,
+                payload: read_payload(r)?,
+            }),
+            opcode::DELIVER => Ok(GdsMessage::Deliver {
+                id: MessageId::from_raw(r.read_varint()?),
+                origin: read_host(r)?,
+                payload: read_payload(r)?,
+            }),
+            opcode::RESOLVE => Ok(GdsMessage::Resolve {
+                token: ResolveToken(r.read_varint()?),
+                name: read_host(r)?,
+                reply_to: read_host(r)?,
+            }),
+            opcode::RESOLVE_RESPONSE => Ok(GdsMessage::ResolveResponse {
+                token: ResolveToken(r.read_varint()?),
+                name: read_host(r)?,
+                result: match r.read_u8()? {
+                    0 => None,
+                    1 => Some(HostName::new(r.read_string()?)),
+                    other => {
+                        return Err(WireError::malformed(format!(
+                            "bad resolve-result marker {other}"
+                        )));
+                    }
+                },
+            }),
+            opcode::HEARTBEAT => Ok(GdsMessage::Heartbeat),
+            opcode::HEARTBEAT_ACK => Ok(GdsMessage::HeartbeatAck),
+            opcode::ADOPT => Ok(GdsMessage::Adopt { child: read_host(r)? }),
+            opcode::DETACH => Ok(GdsMessage::Detach { child: read_host(r)? }),
+            opcode::HELLO => Ok(GdsMessage::Hello { version: r.read_u8()? }),
+            opcode::HELLO_ACK => Ok(GdsMessage::HelloAck { version: r.read_u8()? }),
+            opcode::BATCH => {
+                let n = r.read_varint()? as usize;
+                let mut items = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    items.push(Self::read_body(r)?);
+                }
+                Ok(GdsMessage::Batch(items))
+            }
+            other => Err(WireError::malformed(format!("unknown GDS opcode {other}"))),
+        }
+    }
+}
+
+/// Binary opcodes for [`GdsMessage::to_binary`]. One byte, stable
+/// across versions — new messages append, never renumber.
+mod opcode {
+    pub const REGISTER: u8 = 0;
+    pub const UNREGISTER: u8 = 1;
+    pub const REGISTER_UP: u8 = 2;
+    pub const UNREGISTER_UP: u8 = 3;
+    pub const PUBLISH: u8 = 4;
+    pub const PUBLISH_TARGETED: u8 = 5;
+    pub const BROADCAST: u8 = 6;
+    pub const ROUTE: u8 = 7;
+    pub const DELIVER: u8 = 8;
+    pub const RESOLVE: u8 = 9;
+    pub const RESOLVE_RESPONSE: u8 = 10;
+    pub const HEARTBEAT: u8 = 11;
+    pub const HEARTBEAT_ACK: u8 = 12;
+    pub const ADOPT: u8 = 13;
+    pub const DETACH: u8 = 14;
+    pub const HELLO: u8 = 15;
+    pub const HELLO_ACK: u8 = 16;
+    pub const BATCH: u8 = 17;
+}
+
+fn write_hosts(buf: &mut Vec<u8>, hosts: &[HostName]) {
+    write_varint(buf, hosts.len() as u64);
+    for h in hosts {
+        write_str(buf, h.as_str());
+    }
+}
+
+fn hosts_len(hosts: &[HostName]) -> usize {
+    varint_len(hosts.len() as u64) + hosts.iter().map(|h| str_len(h.as_str())).sum::<usize>()
 }
 
 impl fmt::Display for GdsMessage {
@@ -369,7 +753,9 @@ mod tests {
 
     #[test]
     fn publish_and_deliver_round_trip() {
-        let payload = XmlElement::new("event").with_attr("kind", "collection-rebuilt");
+        let payload = gsa_wire::Payload::from(
+            XmlElement::new("event").with_attr("kind", "collection-rebuilt"),
+        );
         round_trip(GdsMessage::Publish {
             id: MessageId::from_raw(1),
             payload: payload.clone(),
@@ -388,7 +774,7 @@ mod tests {
 
     #[test]
     fn targeted_messages_round_trip() {
-        let payload = XmlElement::new("x");
+        let payload = gsa_wire::Payload::from(XmlElement::new("x"));
         round_trip(GdsMessage::PublishTargeted {
             id: MessageId::from_raw(2),
             targets: vec!["London".into(), "Paris".into()],
@@ -457,6 +843,137 @@ mod tests {
     #[test]
     fn unknown_tag_errors() {
         assert!(GdsMessage::from_xml(&XmlElement::new("gds:nope")).is_err());
+    }
+
+    #[test]
+    fn negotiation_messages_round_trip() {
+        round_trip(GdsMessage::Hello { version: 2 });
+        round_trip(GdsMessage::HelloAck { version: 2 });
+    }
+
+    #[test]
+    fn batch_round_trips_in_both_formats() {
+        let batch = GdsMessage::Batch(vec![
+            GdsMessage::Broadcast {
+                id: MessageId::from_raw(1),
+                origin: "Hamilton".into(),
+                payload: XmlElement::new("event").with_attr("kind", "documents-added").into(),
+            },
+            GdsMessage::Heartbeat,
+            GdsMessage::Deliver {
+                id: MessageId::from_raw(2),
+                origin: "Hamilton".into(),
+                payload: XmlElement::new("x").into(),
+            },
+        ]);
+        round_trip(batch.clone());
+        let back = GdsMessage::from_binary(&batch.to_binary()).unwrap();
+        assert_eq!(back, batch);
+    }
+
+    fn binary_round_trip(msg: GdsMessage) {
+        let frame = msg.to_binary();
+        assert_eq!(frame.len(), msg.binary_wire_size(), "size fn is exact");
+        assert_eq!(GdsMessage::from_binary(&frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn every_variant_round_trips_in_binary() {
+        let payload: Payload = XmlElement::new("event").with_attr("kind", "documents-added").into();
+        for msg in [
+            GdsMessage::Register { gs_host: "Hamilton".into() },
+            GdsMessage::Unregister { gs_host: "Hamilton".into() },
+            GdsMessage::RegisterUp {
+                gs_host: "Hamilton".into(),
+                via: "gds-4".into(),
+            },
+            GdsMessage::UnregisterUp { gs_host: "Hamilton".into() },
+            GdsMessage::Publish {
+                id: MessageId::from_raw(1),
+                payload: payload.clone(),
+            },
+            GdsMessage::PublishTargeted {
+                id: MessageId::from_raw(2),
+                targets: vec!["London".into(), "Paris".into()],
+                payload: payload.clone(),
+            },
+            GdsMessage::Broadcast {
+                id: MessageId::from_raw(3),
+                origin: "Hamilton".into(),
+                payload: payload.clone(),
+            },
+            GdsMessage::Route {
+                id: MessageId::from_raw(4),
+                origin: "Hamilton".into(),
+                targets: vec!["London".into()],
+                payload: payload.clone(),
+            },
+            GdsMessage::Deliver {
+                id: MessageId::from_raw(5),
+                origin: "Hamilton".into(),
+                payload,
+            },
+            GdsMessage::Resolve {
+                token: ResolveToken(9),
+                name: "London".into(),
+                reply_to: "Hamilton".into(),
+            },
+            GdsMessage::ResolveResponse {
+                token: ResolveToken(9),
+                name: "London".into(),
+                result: Some("gds-2".into()),
+            },
+            GdsMessage::ResolveResponse {
+                token: ResolveToken(9),
+                name: "Nowhere".into(),
+                result: None,
+            },
+            GdsMessage::Heartbeat,
+            GdsMessage::HeartbeatAck,
+            GdsMessage::Adopt { child: "gds-5".into() },
+            GdsMessage::Detach { child: "gds-5".into() },
+            GdsMessage::Hello { version: 2 },
+            GdsMessage::HelloAck { version: 2 },
+        ] {
+            binary_round_trip(msg);
+        }
+    }
+
+    #[test]
+    fn binary_wire_size_is_o1_for_frozen_payloads() {
+        let event = Event::new(
+            EventId::new("Hamilton", 1),
+            CollectionId::new("Hamilton", "D"),
+            EventKind::CollectionRebuilt,
+            SimTime::from_millis(1),
+        );
+        let mut payload: Payload = event_to_xml(&event).into();
+        payload.freeze();
+        let msg = GdsMessage::Broadcast {
+            id: MessageId::from_raw(1),
+            origin: "Hamilton".into(),
+            payload,
+        };
+        assert_eq!(msg.to_binary().len(), msg.binary_wire_size());
+        assert!(
+            msg.binary_wire_size() < msg.wire_size(),
+            "binary frame beats XML text: {} vs {}",
+            msg.binary_wire_size(),
+            msg.wire_size()
+        );
+    }
+
+    #[test]
+    fn binary_decode_rejects_garbage() {
+        assert!(GdsMessage::from_binary(&[]).is_err());
+        assert!(GdsMessage::from_binary(&[0x00, 0x01, 0xff]).is_err());
+        // Grow the declared body by one stray byte: [magic, len=1, op]
+        // becomes [magic, len=2, op, 0x00] and must be rejected.
+        let mut frame = GdsMessage::Heartbeat.to_binary();
+        assert_eq!(frame.len(), 3);
+        frame[1] += 1;
+        frame.push(0x00);
+        assert!(GdsMessage::from_binary(&frame).is_err());
     }
 
     #[test]

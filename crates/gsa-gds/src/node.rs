@@ -2,6 +2,7 @@
 
 use crate::message::GdsMessage;
 use gsa_types::HostName;
+use gsa_wire::Payload;
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 use std::fmt;
 
@@ -56,7 +57,12 @@ pub struct GdsNode {
     /// Recently flooded events (origin, id, payload), oldest first;
     /// replayed to an adopted child to close the reparenting race where
     /// an in-flight broadcast misses the moved subtree.
-    recent: VecDeque<(HostName, u64, gsa_wire::XmlElement)>,
+    recent: VecDeque<(HostName, u64, Payload)>,
+    /// When true (wire format v2 negotiated by the actor layer), flood
+    /// payloads are frozen to their binary bytes once on entry, so
+    /// every forwarded copy shares one encoded buffer instead of
+    /// re-serialising per edge.
+    encode_once: bool,
 }
 
 impl fmt::Debug for GdsNode {
@@ -85,11 +91,20 @@ impl GdsNode {
             subtree: BTreeMap::new(),
             seen: HashSet::new(),
             recent: VecDeque::new(),
+            encode_once: false,
         }
     }
 
+    /// Enables encode-once forwarding: flood payloads are frozen to
+    /// binary on entry and every edge shares the same buffer. Off by
+    /// default (v1 behaviour is byte-identical to the paper's text
+    /// wire).
+    pub fn set_encode_once(&mut self, enabled: bool) {
+        self.encode_once = enabled;
+    }
+
     /// Remembers a flooded event for replay to later-adopted children.
-    fn remember(&mut self, origin: HostName, id: u64, payload: gsa_wire::XmlElement) {
+    fn remember(&mut self, origin: HostName, id: u64, payload: Payload) {
         if self.recent.len() == RECENT_CAP {
             self.recent.pop_front();
         }
@@ -209,10 +224,15 @@ impl GdsNode {
                     effects.send(parent.clone(), GdsMessage::UnregisterUp { gs_host });
                 }
             }
-            GdsMessage::Publish { id, payload } => {
+            GdsMessage::Publish { id, mut payload } => {
                 // `from` is the publishing Greenstone server.
                 let origin = from.clone();
                 if self.seen.insert((origin.clone(), id.as_u64())) {
+                    if self.encode_once {
+                        // Serialise once; every forwarded clone below
+                        // shares this buffer.
+                        payload.freeze();
+                    }
                     self.remember(origin.clone(), id.as_u64(), payload.clone());
                     self.flood(&origin, id.as_u64(), payload, None, &mut effects);
                 }
@@ -220,9 +240,12 @@ impl GdsNode {
             GdsMessage::Broadcast {
                 id,
                 origin,
-                payload,
+                mut payload,
             } => {
                 if self.seen.insert((origin.clone(), id.as_u64())) {
+                    if self.encode_once {
+                        payload.freeze();
+                    }
                     self.remember(origin.clone(), id.as_u64(), payload.clone());
                     self.flood(&origin, id.as_u64(), payload, Some(from), &mut effects);
                 }
@@ -314,13 +337,25 @@ impl GdsNode {
                 // new path rebuild the subtree view).
                 self.remove_child(&child);
             }
-            // Final deliveries, resolve answers and heartbeat replies are
-            // addressed to the asker; a GDS node receiving one ignores it
-            // (the actor layer intercepts heartbeat replies for its
-            // failure detector).
+            GdsMessage::Batch(items) => {
+                // The per-edge batcher coalesced several messages into
+                // one frame; unpack in order, merging effects.
+                for item in items {
+                    let sub = self.handle_message(from, item);
+                    effects.outbound.extend(sub.outbound);
+                    effects.undeliverable.extend(sub.undeliverable);
+                }
+            }
+            // Final deliveries, resolve answers, heartbeat replies and
+            // wire negotiation are addressed to the asker; a GDS node
+            // receiving one ignores it (the actor layer intercepts
+            // heartbeat replies for its failure detector and hellos for
+            // its per-edge format table).
             GdsMessage::Deliver { .. }
             | GdsMessage::ResolveResponse { .. }
-            | GdsMessage::HeartbeatAck => {}
+            | GdsMessage::HeartbeatAck
+            | GdsMessage::Hello { .. }
+            | GdsMessage::HelloAck { .. } => {}
         }
         effects
     }
@@ -332,7 +367,7 @@ impl GdsNode {
         &self,
         origin: &HostName,
         id: u64,
-        payload: gsa_wire::XmlElement,
+        payload: Payload,
         came_from: Option<&HostName>,
         effects: &mut GdsEffects,
     ) {
@@ -372,7 +407,7 @@ impl GdsNode {
         origin: &HostName,
         id: u64,
         targets: Vec<HostName>,
-        payload: gsa_wire::XmlElement,
+        payload: Payload,
         came_from: Option<&HostName>,
         effects: &mut GdsEffects,
     ) {
@@ -508,7 +543,7 @@ mod tests {
     #[test]
     fn broadcast_reaches_every_server_exactly_once() {
         let mut nodes = figure2();
-        let payload = XmlElement::new("event");
+        let payload = Payload::from(XmlElement::new("event"));
         let (deliveries, _) = pump(
             &mut nodes,
             &"gds-5".into(),
@@ -530,7 +565,7 @@ mod tests {
     #[test]
     fn broadcast_is_deduplicated_on_replay() {
         let mut nodes = figure2();
-        let payload = XmlElement::new("event");
+        let payload = Payload::from(XmlElement::new("event"));
         let publish = GdsMessage::Publish {
             id: MessageId::from_raw(1),
             payload,
@@ -551,7 +586,7 @@ mod tests {
             GdsMessage::PublishTargeted {
                 id: MessageId::from_raw(2),
                 targets: vec!["gs-7".into(), "gs-1".into()],
-                payload: XmlElement::new("x"),
+                payload: XmlElement::new("x").into(),
             },
         );
         let mut recipients: Vec<String> = deliveries.iter().map(|(to, _)| to.to_string()).collect();
@@ -570,7 +605,7 @@ mod tests {
             GdsMessage::PublishTargeted {
                 id: MessageId::from_raw(3),
                 targets: vec!["gs-ghost".into()],
-                payload: XmlElement::new("x"),
+                payload: XmlElement::new("x").into(),
             },
         );
         assert!(deliveries.is_empty());
@@ -638,7 +673,7 @@ mod tests {
             &"gs-5".into(),
             GdsMessage::Publish {
                 id: MessageId::from_raw(9),
-                payload: XmlElement::new("event"),
+                payload: XmlElement::new("event").into(),
             },
         );
         assert!(deliveries.iter().all(|(to, _)| to != &HostName::new("gs-7")));
@@ -668,7 +703,7 @@ mod tests {
             GdsMessage::PublishTargeted {
                 id: MessageId::from_raw(11),
                 targets: vec!["gs-7".into()],
-                payload: XmlElement::new("x"),
+                payload: XmlElement::new("x").into(),
             },
         );
         assert!(undeliverable.is_empty());
@@ -728,7 +763,7 @@ mod tests {
             &"gs-5".into(),
             GdsMessage::Publish {
                 id: MessageId::from_raw(21),
-                payload: XmlElement::new("event"),
+                payload: XmlElement::new("event").into(),
             },
         );
         let mut recipients: Vec<String> =

@@ -25,6 +25,18 @@ pub mod names {
     /// Auxiliary-profile operations abandoned after exhausting their
     /// retry budget.
     pub const AUX_DEAD_LETTER: &str = "aux.dead_letter";
+    /// Wire frames handed to the network (a batch frame counts once).
+    pub const NET_FRAMES: &str = "net.frames";
+    /// Serialized bytes handed to the network, as measured by the
+    /// format-aware wire-size function (alias of [`NET_BYTES`] kept
+    /// separate so dashboards can tell the v2 accounting apart).
+    pub const NET_BYTES_SENT: &str = "net.bytes_sent";
+    /// Batch frames flushed by the per-edge batcher.
+    pub const WIRE_BATCH_FLUSHES: &str = "wire.batch.flushes";
+    /// Individual messages coalesced into batch frames at senders.
+    pub const WIRE_BATCH_COALESCED: &str = "wire.batch.coalesced";
+    /// Individual messages unpacked from batch frames at receivers.
+    pub const WIRE_BATCH_RECEIVED: &str = "wire.batch.received";
 }
 
 /// A histogram of `u64` samples with on-demand quantiles.

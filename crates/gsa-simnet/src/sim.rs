@@ -527,10 +527,12 @@ impl<M: fmt::Debug + 'static> Sim<M> {
 
     fn route(&mut self, from: NodeId, to: NodeId, msg: M) {
         self.metrics.count("net.sent", 1);
+        self.metrics.count("net.frames", 1);
         self.metrics.note_sent(from);
         if let Some(f) = &self.wire_size {
             let bytes = f(&msg) as u64;
             self.metrics.count("net.bytes", bytes);
+            self.metrics.count("net.bytes_sent", bytes);
         }
         if to.index() >= self.actors.len() {
             self.metrics.count("net.dropped", 1);

@@ -1,0 +1,711 @@
+//! Binary wire format v2: a length-prefixed, varint-framed codec.
+//!
+//! Version 1 of the wire protocol is the paper's "XML messaging over
+//! SOAP" text encoding ([`crate::xml`], [`crate::envelope`]). Version 2
+//! keeps the exact same information content but encodes it compactly:
+//!
+//! * integers are LEB128 varints,
+//! * strings are a varint byte length followed by UTF-8 bytes,
+//! * a frame is one magic byte ([`FRAME_MAGIC`]), a varint body length,
+//!   and the body — so a receiver can peek the header and skip or slice
+//!   the body without parsing it (lazy decode),
+//! * well-known bodies (events, metadata records, document summaries)
+//!   have native field-for-field codecs; anything else falls back to a
+//!   generic encoding of the XML element tree, so every v1 body is
+//!   representable in v2.
+//!
+//! The format is negotiated per edge (hello exchange, see
+//! `gsa-core`): a v2 node speaks v1 XML text to any peer that has not
+//! proven v2 support, so the two formats coexist in one tree.
+//!
+//! # Examples
+//!
+//! ```
+//! use gsa_types::{CollectionId, EventId, EventKind, SimTime, Event};
+//! use gsa_wire::binary::{event_to_binary, event_from_binary, BinReader};
+//!
+//! let event = Event::new(
+//!     EventId::new("Hamilton", 1),
+//!     CollectionId::new("Hamilton", "D"),
+//!     EventKind::CollectionRebuilt,
+//!     SimTime::from_millis(5),
+//! );
+//! let mut buf = Vec::new();
+//! event_to_binary(&event, &mut buf);
+//! let back = event_from_binary(&mut BinReader::new(&buf))?;
+//! assert_eq!(back, event);
+//! # Ok::<(), gsa_wire::WireError>(())
+//! ```
+
+use crate::codec::{event_from_xml, event_to_xml};
+use crate::xml::{WireError, XmlElement, XmlNode};
+use gsa_types::{CollectionId, DocSummary, Event, EventId, EventKind, MetadataRecord, SimTime};
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// First byte of every v2 binary frame.
+pub const FRAME_MAGIC: u8 = 0xB2;
+
+/// Which encoding a message travels in on a given edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    /// Version 1: the paper's XML text encoding (always understood).
+    #[default]
+    Xml,
+    /// Version 2: the compact binary framing (negotiated per edge).
+    Binary,
+}
+
+impl fmt::Display for WireFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WireFormat::Xml => "xml",
+            WireFormat::Binary => "binary",
+        })
+    }
+}
+
+/// An immutable, reference-counted byte buffer: the "encode once,
+/// forward everywhere" carrier. Cloning bumps a refcount; the bytes are
+/// shared by every edge a flooded payload is forwarded on.
+#[derive(Clone, PartialEq, Eq)]
+pub struct FrozenBytes(Arc<[u8]>);
+
+impl FrozenBytes {
+    /// Freezes a buffer.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        FrozenBytes(bytes.into())
+    }
+
+    /// The frozen bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` when the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for FrozenBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for FrozenBytes {
+    fn from(bytes: Vec<u8>) -> Self {
+        FrozenBytes::new(bytes)
+    }
+}
+
+impl fmt::Debug for FrozenBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FrozenBytes({} bytes)", self.len())
+    }
+}
+
+// --- varint primitives ------------------------------------------------
+
+/// Appends `v` as a LEB128 varint.
+pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// The encoded size of `v` as a LEB128 varint.
+pub fn varint_len(v: u64) -> usize {
+    // 1 byte per started 7-bit group; zero still takes one byte.
+    (64 - v.max(1).leading_zeros() as usize).div_ceil(7).max(1)
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn write_str(buf: &mut Vec<u8>, s: &str) {
+    write_varint(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// The encoded size of a length-prefixed string.
+pub fn str_len(s: &str) -> usize {
+    varint_len(s.len() as u64) + s.len()
+}
+
+/// A cursor over binary frame bytes.
+#[derive(Debug)]
+pub struct BinReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BinReader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BinReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn truncated(&self) -> WireError {
+        WireError::malformed(format!("binary frame truncated at byte {}", self.pos))
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when the buffer is exhausted.
+    pub fn read_u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or_else(|| self.truncated())?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation or a varint longer than 64 bits.
+    pub fn read_varint(&mut self) -> Result<u64, WireError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.read_u8()?;
+            if shift >= 64 {
+                return Err(WireError::malformed("varint overflows 64 bits"));
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Reads `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when fewer than `n` bytes remain.
+    pub fn read_slice(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(self.truncated());
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation or invalid UTF-8.
+    pub fn read_string(&mut self) -> Result<String, WireError> {
+        let len = self.read_varint()? as usize;
+        let bytes = self.read_slice(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| WireError::malformed("string is not valid UTF-8"))
+    }
+}
+
+// --- generic XML-tree codec -------------------------------------------
+
+const NODE_ELEMENT: u8 = 0;
+const NODE_TEXT: u8 = 1;
+
+/// Encodes an arbitrary XML element tree (the v2 fallback for bodies
+/// without a native codec).
+pub fn xml_to_binary(el: &XmlElement, buf: &mut Vec<u8>) {
+    write_str(buf, el.name());
+    write_varint(buf, el.attrs().count() as u64);
+    for (k, v) in el.attrs() {
+        write_str(buf, k);
+        write_str(buf, v);
+    }
+    write_varint(buf, el.nodes().len() as u64);
+    for node in el.nodes() {
+        match node {
+            XmlNode::Element(child) => {
+                buf.push(NODE_ELEMENT);
+                xml_to_binary(child, buf);
+            }
+            XmlNode::Text(text) => {
+                buf.push(NODE_TEXT);
+                write_str(buf, text);
+            }
+        }
+    }
+}
+
+/// The encoded size of [`xml_to_binary`] without materialising it.
+pub fn xml_binary_size(el: &XmlElement) -> usize {
+    let mut n = str_len(el.name());
+    n += varint_len(el.attrs().count() as u64);
+    for (k, v) in el.attrs() {
+        n += str_len(k) + str_len(v);
+    }
+    n += varint_len(el.nodes().len() as u64);
+    for node in el.nodes() {
+        n += 1 + match node {
+            XmlNode::Element(child) => xml_binary_size(child),
+            XmlNode::Text(text) => str_len(text),
+        };
+    }
+    n
+}
+
+/// Decodes an element tree written by [`xml_to_binary`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncation or malformed structure.
+pub fn xml_from_binary(r: &mut BinReader<'_>) -> Result<XmlElement, WireError> {
+    let name = r.read_string()?;
+    let mut el = XmlElement::new(name);
+    let attrs = r.read_varint()? as usize;
+    for _ in 0..attrs {
+        let k = r.read_string()?;
+        let v = r.read_string()?;
+        el.set_attr(k, v);
+    }
+    let children = r.read_varint()? as usize;
+    el.reserve_children(children);
+    for _ in 0..children {
+        match r.read_u8()? {
+            NODE_ELEMENT => el.push_child(xml_from_binary(r)?),
+            NODE_TEXT => el.push_text(r.read_string()?),
+            other => {
+                return Err(WireError::malformed(format!("unknown node tag {other}")));
+            }
+        }
+    }
+    Ok(el)
+}
+
+// --- native codecs: metadata, document summaries, events --------------
+
+/// Encodes a metadata record as a flat list of key/value pairs
+/// (multi-valued keys contribute one pair per value, in record order).
+pub fn metadata_to_binary(md: &MetadataRecord, buf: &mut Vec<u8>) {
+    write_varint(buf, md.total_values() as u64);
+    for (k, v) in md.iter_flat() {
+        write_str(buf, k.as_str());
+        write_str(buf, v);
+    }
+}
+
+/// The encoded size of [`metadata_to_binary`].
+pub fn metadata_binary_size(md: &MetadataRecord) -> usize {
+    let mut n = varint_len(md.total_values() as u64);
+    for (k, v) in md.iter_flat() {
+        n += str_len(k.as_str()) + str_len(v);
+    }
+    n
+}
+
+/// Decodes a metadata record written by [`metadata_to_binary`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncation or invalid UTF-8.
+pub fn metadata_from_binary(r: &mut BinReader<'_>) -> Result<MetadataRecord, WireError> {
+    let pairs = r.read_varint()? as usize;
+    let mut md = MetadataRecord::new();
+    for _ in 0..pairs {
+        let k = r.read_string()?;
+        let v = r.read_string()?;
+        md.add(k, v);
+    }
+    Ok(md)
+}
+
+/// Encodes a document summary: id, metadata, excerpt.
+pub fn doc_summary_to_binary(doc: &DocSummary, buf: &mut Vec<u8>) {
+    write_str(buf, doc.doc.as_str());
+    metadata_to_binary(&doc.metadata, buf);
+    write_str(buf, &doc.excerpt);
+}
+
+/// The encoded size of [`doc_summary_to_binary`].
+pub fn doc_summary_binary_size(doc: &DocSummary) -> usize {
+    str_len(doc.doc.as_str()) + metadata_binary_size(&doc.metadata) + str_len(&doc.excerpt)
+}
+
+/// Decodes a document summary written by [`doc_summary_to_binary`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncation or invalid UTF-8.
+pub fn doc_summary_from_binary(r: &mut BinReader<'_>) -> Result<DocSummary, WireError> {
+    let id = r.read_string()?;
+    let metadata = metadata_from_binary(r)?;
+    let excerpt = r.read_string()?;
+    let mut doc = DocSummary::new(id).with_metadata(metadata);
+    if !excerpt.is_empty() {
+        doc = doc.with_excerpt(excerpt);
+    }
+    Ok(doc)
+}
+
+fn write_collection(buf: &mut Vec<u8>, id: &CollectionId) {
+    write_str(buf, id.host().as_str());
+    write_str(buf, id.name().as_str());
+}
+
+fn collection_len(id: &CollectionId) -> usize {
+    str_len(id.host().as_str()) + str_len(id.name().as_str())
+}
+
+fn read_collection(r: &mut BinReader<'_>) -> Result<CollectionId, WireError> {
+    let host = r.read_string()?;
+    let name = r.read_string()?;
+    Ok(CollectionId::new(host, name))
+}
+
+/// Encodes an alerting event, field for field with
+/// [`event_to_xml`](crate::codec::event_to_xml).
+pub fn event_to_binary(event: &Event, buf: &mut Vec<u8>) {
+    write_str(buf, event.id.host().as_str());
+    write_varint(buf, event.id.seq());
+    write_str(buf, event.root.host().as_str());
+    write_varint(buf, event.root.seq());
+    write_collection(buf, &event.origin);
+    let kind = EventKind::ALL
+        .iter()
+        .position(|k| *k == event.kind)
+        .expect("EventKind::ALL is exhaustive") as u64;
+    write_varint(buf, kind);
+    write_varint(buf, event.issued_at.as_micros());
+    write_varint(buf, event.provenance.len() as u64);
+    for p in &event.provenance {
+        write_collection(buf, p);
+    }
+    write_varint(buf, event.docs.len() as u64);
+    for doc in &event.docs {
+        doc_summary_to_binary(doc, buf);
+    }
+}
+
+/// The encoded size of [`event_to_binary`].
+pub fn event_binary_size(event: &Event) -> usize {
+    let kind = EventKind::ALL
+        .iter()
+        .position(|k| *k == event.kind)
+        .expect("EventKind::ALL is exhaustive") as u64;
+    let mut n = str_len(event.id.host().as_str())
+        + varint_len(event.id.seq())
+        + str_len(event.root.host().as_str())
+        + varint_len(event.root.seq())
+        + collection_len(&event.origin)
+        + varint_len(kind)
+        + varint_len(event.issued_at.as_micros())
+        + varint_len(event.provenance.len() as u64)
+        + varint_len(event.docs.len() as u64);
+    for p in &event.provenance {
+        n += collection_len(p);
+    }
+    for doc in &event.docs {
+        n += doc_summary_binary_size(doc);
+    }
+    n
+}
+
+/// Decodes an event written by [`event_to_binary`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncation, invalid UTF-8 or an unknown
+/// event kind.
+pub fn event_from_binary(r: &mut BinReader<'_>) -> Result<Event, WireError> {
+    let id_host = r.read_string()?;
+    let id_seq = r.read_varint()?;
+    let root_host = r.read_string()?;
+    let root_seq = r.read_varint()?;
+    let origin = read_collection(r)?;
+    let kind_idx = r.read_varint()? as usize;
+    let kind = *EventKind::ALL
+        .get(kind_idx)
+        .ok_or_else(|| WireError::malformed(format!("unknown event kind {kind_idx}")))?;
+    let issued_at = SimTime::from_micros(r.read_varint()?);
+    let provenance_len = r.read_varint()? as usize;
+    let mut provenance = Vec::with_capacity(provenance_len.min(64));
+    for _ in 0..provenance_len {
+        provenance.push(read_collection(r)?);
+    }
+    let docs_len = r.read_varint()? as usize;
+    let mut docs = Vec::with_capacity(docs_len.min(64));
+    for _ in 0..docs_len {
+        docs.push(doc_summary_from_binary(r)?);
+    }
+    Ok(Event {
+        id: EventId::new(id_host, id_seq),
+        root: EventId::new(root_host, root_seq),
+        origin,
+        kind,
+        docs,
+        issued_at,
+        provenance,
+    })
+}
+
+// --- payload bytes (tagged: native event or generic XML) --------------
+
+const PAYLOAD_XML: u8 = 0;
+const PAYLOAD_EVENT: u8 = 1;
+
+/// Encodes a message payload element: a tag byte, then either the
+/// native event codec (when the element is a well-formed event — the
+/// flood fast path) or the generic XML-tree codec.
+pub fn payload_bytes_from_xml(el: &XmlElement) -> Vec<u8> {
+    match event_from_xml(el) {
+        // Only canonical event elements take the native path, so
+        // freezing and thawing is the identity on the element tree.
+        Ok(event) if event_to_xml(&event) == *el => {
+            let mut buf = Vec::with_capacity(1 + event_binary_size(&event));
+            buf.push(PAYLOAD_EVENT);
+            event_to_binary(&event, &mut buf);
+            buf
+        }
+        _ => {
+            let mut buf = Vec::with_capacity(1 + xml_binary_size(el));
+            buf.push(PAYLOAD_XML);
+            xml_to_binary(el, &mut buf);
+            buf
+        }
+    }
+}
+
+/// Reconstructs the payload element from [`payload_bytes_from_xml`]
+/// bytes (the slow path, used when re-encoding for a v1 peer).
+///
+/// # Errors
+///
+/// Returns [`WireError`] on malformed bytes.
+pub fn payload_xml_from_bytes(bytes: &[u8]) -> Result<XmlElement, WireError> {
+    let mut r = BinReader::new(bytes);
+    match r.read_u8()? {
+        PAYLOAD_EVENT => Ok(event_to_xml(&event_from_binary(&mut r)?)),
+        PAYLOAD_XML => xml_from_binary(&mut r),
+        other => Err(WireError::malformed(format!("unknown payload tag {other}"))),
+    }
+}
+
+/// Decodes an event straight out of frozen payload bytes — the lazy
+/// decode at delivery/filter time, skipping the XML tree entirely on
+/// the fast path.
+///
+/// # Errors
+///
+/// Returns [`WireError`] when the bytes are malformed or the payload is
+/// not an event.
+pub fn payload_event_from_bytes(bytes: &[u8]) -> Result<Event, WireError> {
+    let mut r = BinReader::new(bytes);
+    match r.read_u8()? {
+        PAYLOAD_EVENT => event_from_binary(&mut r),
+        PAYLOAD_XML => event_from_xml(&xml_from_binary(&mut r)?),
+        other => Err(WireError::malformed(format!("unknown payload tag {other}"))),
+    }
+}
+
+// --- framing ----------------------------------------------------------
+
+/// Wraps an encoded body in the v2 frame: magic byte + varint length +
+/// body.
+pub fn frame(body: Vec<u8>) -> Vec<u8> {
+    let mut framed = Vec::with_capacity(1 + varint_len(body.len() as u64) + body.len());
+    framed.push(FRAME_MAGIC);
+    write_varint(&mut framed, body.len() as u64);
+    framed.extend_from_slice(&body);
+    framed
+}
+
+/// The framed size of a body of `body_len` bytes.
+pub fn framed_len(body_len: usize) -> usize {
+    1 + varint_len(body_len as u64) + body_len
+}
+
+/// Peeks a v2 frame header and returns the body slice (lazy decode: the
+/// caller slices first, deserialises later — or never).
+///
+/// # Errors
+///
+/// Returns [`WireError`] on a missing magic byte or a length that
+/// disagrees with the buffer.
+pub fn unframe(bytes: &[u8]) -> Result<&[u8], WireError> {
+    let mut r = BinReader::new(bytes);
+    let magic = r.read_u8()?;
+    if magic != FRAME_MAGIC {
+        return Err(WireError::malformed(format!(
+            "expected frame magic {FRAME_MAGIC:#x}, found {magic:#x}"
+        )));
+    }
+    let len = r.read_varint()? as usize;
+    r.read_slice(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsa_types::keys;
+
+    #[test]
+    fn varint_round_trips_at_boundaries() {
+        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert_eq!(buf.len(), varint_len(v), "length of {v}");
+            let mut r = BinReader::new(&buf);
+            assert_eq!(r.read_varint().unwrap(), v);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn varint_overflow_is_rejected() {
+        let buf = [0xffu8; 11];
+        assert!(BinReader::new(&buf).read_varint().is_err());
+    }
+
+    #[test]
+    fn strings_round_trip() {
+        for s in ["", "a", "héllo <&> \"quotes\"", &"x".repeat(300)] {
+            let mut buf = Vec::new();
+            write_str(&mut buf, s);
+            assert_eq!(buf.len(), str_len(s));
+            assert_eq!(BinReader::new(&buf).read_string().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn truncated_reads_error() {
+        let mut buf = Vec::new();
+        write_str(&mut buf, "hello");
+        buf.truncate(3);
+        assert!(BinReader::new(&buf).read_string().is_err());
+        assert!(BinReader::new(&[]).read_u8().is_err());
+    }
+
+    #[test]
+    fn xml_tree_round_trips_and_sizes_agree() {
+        let el = XmlElement::new("gds:publish")
+            .with_attr("id", "7")
+            .with_child(
+                XmlElement::new("event")
+                    .with_attr("kind", "documents-added")
+                    .with_text("mixed <content> & entities"),
+            )
+            .with_child(XmlElement::new("empty"));
+        let mut buf = Vec::new();
+        xml_to_binary(&el, &mut buf);
+        assert_eq!(buf.len(), xml_binary_size(&el));
+        let back = xml_from_binary(&mut BinReader::new(&buf)).unwrap();
+        assert_eq!(back, el);
+    }
+
+    fn sample_event() -> Event {
+        let md: MetadataRecord = [(keys::TITLE, "Digital Libraries"), (keys::CREATOR, "Hinze")]
+            .into_iter()
+            .collect();
+        let mut event = Event::new(
+            EventId::new("Hamilton", 42),
+            CollectionId::new("Hamilton", "D"),
+            EventKind::DocumentsAdded,
+            SimTime::from_millis(1234),
+        );
+        event.docs = vec![
+            DocSummary::new("doc-1").with_metadata(md).with_excerpt("…an excerpt…"),
+            DocSummary::new("doc-2"),
+        ];
+        event.provenance = vec![CollectionId::new("London", "E")];
+        event
+    }
+
+    #[test]
+    fn event_round_trips_and_sizes_agree() {
+        let event = sample_event();
+        let mut buf = Vec::new();
+        event_to_binary(&event, &mut buf);
+        assert_eq!(buf.len(), event_binary_size(&event));
+        let back = event_from_binary(&mut BinReader::new(&buf)).unwrap();
+        assert_eq!(back, event);
+    }
+
+    #[test]
+    fn event_binary_is_smaller_than_xml() {
+        let event = sample_event();
+        let xml = event_to_xml(&event).to_xml_string();
+        assert!(
+            event_binary_size(&event) * 2 < xml.len(),
+            "binary {} vs xml {}",
+            event_binary_size(&event),
+            xml.len()
+        );
+    }
+
+    #[test]
+    fn payload_bytes_take_the_native_path_for_events() {
+        let event = sample_event();
+        let el = event_to_xml(&event);
+        let bytes = payload_bytes_from_xml(&el);
+        assert_eq!(bytes[0], PAYLOAD_EVENT);
+        assert_eq!(payload_event_from_bytes(&bytes).unwrap(), event);
+        assert_eq!(payload_xml_from_bytes(&bytes).unwrap(), el);
+    }
+
+    #[test]
+    fn payload_bytes_fall_back_to_generic_xml() {
+        let el = XmlElement::new("custom").with_attr("x", "1");
+        let bytes = payload_bytes_from_xml(&el);
+        assert_eq!(bytes[0], PAYLOAD_XML);
+        assert_eq!(payload_xml_from_bytes(&bytes).unwrap(), el);
+        assert!(payload_event_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn frames_peek_without_decoding() {
+        let body = vec![1u8, 2, 3, 4];
+        let framed = frame(body.clone());
+        assert_eq!(framed.len(), framed_len(body.len()));
+        assert_eq!(unframe(&framed).unwrap(), &body[..]);
+        assert!(unframe(&[0x00, 0x01]).is_err(), "bad magic");
+        assert!(unframe(&[FRAME_MAGIC, 0x09, 0x01]).is_err(), "short body");
+    }
+
+    #[test]
+    fn frozen_bytes_share_storage() {
+        let a = FrozenBytes::new(vec![1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(&*b, &[1, 2, 3]);
+        assert_eq!(format!("{a:?}"), "FrozenBytes(3 bytes)");
+    }
+
+    #[test]
+    fn wire_format_displays() {
+        assert_eq!(WireFormat::Xml.to_string(), "xml");
+        assert_eq!(WireFormat::Binary.to_string(), "binary");
+        assert_eq!(WireFormat::default(), WireFormat::Xml);
+    }
+}

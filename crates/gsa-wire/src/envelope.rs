@@ -5,6 +5,10 @@
 //! sending host, a message id for duplicate suppression, a hop count) and a
 //! single body element with the actual payload.
 
+use crate::binary::{
+    frame, framed_len, str_len, unframe, varint_len, write_str, write_varint, xml_binary_size,
+    xml_from_binary, xml_to_binary, BinReader, WireFormat,
+};
 use crate::xml::{parse_document, WireError, XmlElement};
 use gsa_types::{HostName, MessageId};
 use std::fmt;
@@ -147,9 +151,63 @@ impl Envelope {
         })
     }
 
-    /// The serialized size in bytes, for bandwidth accounting.
+    /// Serializes the envelope as a wire-format-v2 binary frame:
+    /// headers as varints/length-prefixed strings, the body as the
+    /// generic binary XML-tree codec.
+    pub fn encode_binary(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(self.binary_body_len());
+        write_varint(&mut body, self.message_id.as_u64());
+        write_str(&mut body, self.sender.as_str());
+        write_varint(&mut body, u64::from(self.hops));
+        xml_to_binary(&self.body, &mut body);
+        frame(body)
+    }
+
+    /// Parses an envelope from a v2 binary frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when the frame header or any field is
+    /// malformed.
+    pub fn decode_binary(bytes: &[u8]) -> Result<Envelope, WireError> {
+        let body = unframe(bytes)?;
+        let mut r = BinReader::new(body);
+        let message_id = MessageId::from_raw(r.read_varint()?);
+        let sender = r.read_string()?;
+        if sender.is_empty() {
+            return Err(WireError::malformed("missing Sender header"));
+        }
+        let hops = u32::try_from(r.read_varint()?)
+            .map_err(|_| WireError::malformed("Hops header overflows u32"))?;
+        let body = xml_from_binary(&mut r)?;
+        Ok(Envelope {
+            message_id,
+            sender: HostName::new(sender),
+            hops,
+            body,
+        })
+    }
+
+    fn binary_body_len(&self) -> usize {
+        varint_len(self.message_id.as_u64())
+            + str_len(self.sender.as_str())
+            + varint_len(u64::from(self.hops))
+            + xml_binary_size(&self.body)
+    }
+
+    /// The serialized size in bytes of the v1 text encoding, for
+    /// bandwidth accounting.
     pub fn wire_size(&self) -> usize {
-        self.encode().len()
+        self.wire_size_in(WireFormat::Xml)
+    }
+
+    /// The serialized size in bytes in the given wire format. The
+    /// binary size is computed without materialising the frame.
+    pub fn wire_size_in(&self, format: WireFormat) -> usize {
+        match format {
+            WireFormat::Xml => self.encode().len(),
+            WireFormat::Binary => framed_len(self.binary_body_len()),
+        }
     }
 }
 
@@ -235,5 +293,43 @@ mod tests {
     #[test]
     fn into_body_returns_payload() {
         assert_eq!(sample().into_body().name(), "event");
+    }
+
+    #[test]
+    fn binary_round_trips_and_matches_text_decode() {
+        let env = sample().forwarded_by(HostName::new("London"));
+        let frame = env.encode_binary();
+        let back = Envelope::decode_binary(&frame).unwrap();
+        assert_eq!(back, env);
+        assert_eq!(back, Envelope::decode(&env.encode()).unwrap());
+        assert_eq!(back.hops(), 1, "hop count survives the binary wire");
+    }
+
+    #[test]
+    fn wire_size_is_format_aware_and_exact() {
+        let env = sample();
+        assert_eq!(env.wire_size(), env.encode().len());
+        assert_eq!(env.wire_size_in(WireFormat::Xml), env.encode().len());
+        assert_eq!(
+            env.wire_size_in(WireFormat::Binary),
+            env.encode_binary().len()
+        );
+        assert!(
+            env.wire_size_in(WireFormat::Binary) < env.wire_size_in(WireFormat::Xml),
+            "binary framing is smaller than SOAP text"
+        );
+    }
+
+    #[test]
+    fn binary_decode_rejects_corruption() {
+        let env = sample();
+        let mut frame = env.encode_binary();
+        frame[0] = 0x00;
+        assert!(Envelope::decode_binary(&frame).is_err(), "bad magic");
+        let frame = env.encode_binary();
+        assert!(
+            Envelope::decode_binary(&frame[..frame.len() - 1]).is_err(),
+            "truncated frame"
+        );
     }
 }

@@ -13,7 +13,13 @@
 //! * [`reliable`] — an opt-in reliable-delivery envelope
 //!   ([`Reliable`]) plus a deterministic retransmission queue with
 //!   exponential backoff, jitter and a bounded retry budget
-//!   ([`RetransmitQueue`]).
+//!   ([`RetransmitQueue`]),
+//! * [`binary`] — the negotiated wire format v2: a length-prefixed,
+//!   varint-framed binary codec with native encoders for events,
+//!   metadata records and document summaries, and a generic XML-tree
+//!   fallback for everything else,
+//! * [`payload`] — the dual-representation [`Payload`] carrier that
+//!   makes encode-once flood forwarding and lazy decode possible.
 //!
 //! # Examples
 //!
@@ -32,11 +38,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binary;
 pub mod codec;
 pub mod envelope;
+pub mod payload;
 pub mod reliable;
 pub mod xml;
 
+pub use binary::{FrozenBytes, WireFormat};
 pub use envelope::Envelope;
+pub use payload::Payload;
 pub use reliable::{Reliable, RetransmitQueue, RetryPolicy};
 pub use xml::{parse_document, WireError, XmlElement, XmlNode};

@@ -89,7 +89,7 @@ fn main() {
         lookup("gds-4"),
         GdsMessage::Publish {
             id: MessageId::from_raw(1),
-            payload: XmlElement::new("event").with_attr("about", "Hamilton.news"),
+            payload: XmlElement::new("event").with_attr("about", "Hamilton.news").into(),
         },
     );
 
@@ -99,6 +99,7 @@ fn main() {
     let elapsed = started.elapsed();
     match msg {
         GdsMessage::Deliver { origin, payload, .. } => {
+            let payload = payload.to_xml_element();
             println!(
                 "{who} received a live delivery from {origin} after {:?}: <{} about={:?}>",
                 elapsed,
