@@ -182,6 +182,7 @@ fn main() {
                     fanout,
                     drain: SimDuration::from_secs(45),
                     reliable: variant.reliable,
+                    pruned: false,
                     base_drop: drop,
                     faults: Some(faults.clone()),
                 };

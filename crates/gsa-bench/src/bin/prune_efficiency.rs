@@ -1,0 +1,374 @@
+//! Experiment E6-prune — flood cost with subscription-aware multicast
+//! pruning: {clustered, uniform} watcher locality × tree depth ×
+//! {flood, pruned}.
+//!
+//! Each cell attaches one watcher server per directory node and a
+//! publisher at the deepest node, floods an event storm twice — once
+//! with the paper's full GDS flood and once with interest-summary
+//! pruning — and compares messages per event. Watcher interests are
+//! either *clustered* (only the root-child subtree holding the
+//! publisher subscribes to it; everyone else watches an unrelated
+//! host) or *uniform* (interested watchers alternate across the whole
+//! tree), so the sweep shows where pruning pays: whole subtrees of
+//! disinterest.
+//!
+//! Every pruned cell is pinned to its flood twin: the per-watcher
+//! notification counts must be identical (zero false negatives, zero
+//! new deliveries) before a number is reported.
+//!
+//! Writes `BENCH_e6_prune.json` in the working directory. `--smoke`
+//! runs a single tiny cell per locality for CI.
+
+use gsa_bench::Table;
+use gsa_core::System;
+use gsa_gds::{balanced_tree, figure2_tree, GdsMessage, GdsTopology};
+use gsa_types::{
+    keys, CollectionId, DocSummary, Event, EventId, EventKind, HostName, MessageId,
+    MetadataRecord, SimDuration, SimTime,
+};
+use gsa_wire::codec::event_to_xml;
+use gsa_wire::Payload;
+use std::fmt::Write as _;
+
+/// One swept tree.
+struct Tree {
+    label: &'static str,
+    topo: GdsTopology,
+    depth: u8,
+}
+
+fn trees(smoke: bool) -> Vec<Tree> {
+    if smoke {
+        return vec![Tree {
+            label: "figure2",
+            topo: figure2_tree(),
+            depth: 3,
+        }];
+    }
+    vec![
+        Tree {
+            label: "figure2",
+            topo: figure2_tree(),
+            depth: 3,
+        },
+        Tree {
+            label: "bal-2x4",
+            topo: balanced_tree(2, 4),
+            depth: 4,
+        },
+        Tree {
+            label: "bal-3x4",
+            topo: balanced_tree(3, 4),
+            depth: 4,
+        },
+    ]
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Locality {
+    /// Interested watchers fill exactly the root-child subtree that
+    /// holds the publisher; the rest of the tree watches another host.
+    Clustered,
+    /// Interested watchers alternate across the spec order, so every
+    /// subtree holds at least some interest.
+    Uniform,
+}
+
+impl Locality {
+    fn label(self) -> &'static str {
+        match self {
+            Locality::Clustered => "clustered",
+            Locality::Uniform => "uniform",
+        }
+    }
+}
+
+/// The same realistic rebuild payload the wire benchmark floods.
+fn event_payload(publisher: &HostName, seq: u64) -> Payload {
+    let mut md = MetadataRecord::new();
+    md.add(keys::TITLE, format!("Bulk import {seq}"));
+    md.add(keys::CREATOR, "Witten, I.");
+    let event = Event::new(
+        EventId::new(publisher.clone(), seq),
+        CollectionId::new(publisher.clone(), "D"),
+        EventKind::DocumentsAdded,
+        SimTime::from_millis(seq),
+    )
+    .with_docs(vec![DocSummary::new(format!("doc-{seq}"))
+        .with_metadata(md)
+        .with_excerpt("an excerpt of the imported document text")]);
+    Payload::from(event_to_xml(&event))
+}
+
+/// The deepest directory node — where the publisher attaches.
+fn deepest_node(topo: &GdsTopology) -> HostName {
+    topo.specs()
+        .iter()
+        .max_by_key(|s| s.stratum)
+        .expect("non-empty tree")
+        .name
+        .clone()
+}
+
+/// The set of nodes whose watchers subscribe to the publisher.
+fn interested_nodes(topo: &GdsTopology, locality: Locality) -> Vec<HostName> {
+    match locality {
+        Locality::Clustered => {
+            // The root-child subtree holding the publisher's node.
+            let deepest = deepest_node(topo);
+            let root = topo
+                .specs()
+                .iter()
+                .find(|s| s.parent.is_none())
+                .expect("rooted tree")
+                .name
+                .clone();
+            topo.specs()
+                .iter()
+                .filter(|s| s.parent.as_ref() == Some(&root))
+                .map(|s| topo.subtree_of(&s.name))
+                .find(|subtree| subtree.contains(&deepest))
+                .expect("publisher sits under some root child")
+        }
+        Locality::Uniform => topo
+            .specs()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 0)
+            .map(|(_, s)| s.name.clone())
+            .collect(),
+    }
+}
+
+struct Cell {
+    notifications: usize,
+    /// Per-watcher notification counts, in spec order — the delivery
+    /// set the pruned twin must reproduce exactly.
+    per_watcher: Vec<(String, usize)>,
+    messages: u64,
+    msgs_per_event: f64,
+    pruned_edges: u64,
+    summary_updates: u64,
+}
+
+/// Runs one cell: full flood or pruned, same workload either way.
+fn run_cell(tree: &Tree, locality: Locality, pruned: bool, events: usize) -> Cell {
+    let mut system = System::new(611);
+    system.set_pruning(pruned);
+    system.add_gds_topology(&tree.topo);
+
+    let deepest = deepest_node(&tree.topo);
+    let publisher = HostName::new("Hamilton");
+    system.add_server(publisher.as_str(), deepest.as_str());
+
+    let interested = interested_nodes(&tree.topo, locality);
+    let mut watchers = Vec::new();
+    for spec in tree.topo.specs() {
+        if spec.name == deepest {
+            continue;
+        }
+        let host = format!("watcher-{}", spec.name.as_str());
+        system.add_server(&host, spec.name.as_str());
+        let client = system.add_client(&host);
+        // Uninterested watchers still subscribe — to a host that never
+        // publishes — so pruning has real negative interest to skip
+        // rather than empty servers.
+        let profile = if interested.contains(&spec.name) {
+            r#"host = "Hamilton""#
+        } else {
+            r#"host = "Nowhere""#
+        };
+        system
+            .subscribe_text(&host, client, profile)
+            .expect("valid profile");
+        watchers.push((host, client, interested.contains(&spec.name)));
+    }
+    // Settle registrations and the interest-summary exchange.
+    system.run_until_quiet(SimTime::from_secs(5));
+
+    let publisher_node = system
+        .directory()
+        .lookup(&publisher)
+        .expect("publisher registered");
+    let origin_node = system.directory().lookup(&deepest).expect("gds node");
+    let sent_before = system.metrics().counter("net.sent");
+    let pruned_before = system.metrics().counter("gds.pruned_edges");
+
+    let mut seq = 0u64;
+    while (seq as usize) < events {
+        for _ in 0..8 {
+            if seq as usize >= events {
+                break;
+            }
+            seq += 1;
+            system.sim_mut().inject(
+                publisher_node,
+                origin_node,
+                gsa_core::SysMessage::Gds(GdsMessage::Publish {
+                    id: MessageId::from_raw(seq),
+                    payload: event_payload(&publisher, seq),
+                }),
+            );
+        }
+        let next = system.now() + SimDuration::from_millis(10);
+        system.run_until(next);
+    }
+    let drain = system.now() + SimDuration::from_secs(5);
+    system.run_until_quiet(drain);
+
+    let mut notifications = 0usize;
+    let mut per_watcher = Vec::new();
+    for (host, client, wants) in &watchers {
+        let got = system.take_notifications(host, *client).len();
+        let expected = if *wants { events } else { 0 };
+        assert_eq!(
+            got, expected,
+            "cell {}/{}/{}: watcher {host} expected {expected} notifications",
+            tree.label,
+            locality.label(),
+            if pruned { "pruned" } else { "flood" },
+        );
+        notifications += got;
+        per_watcher.push((host.clone(), got));
+    }
+
+    let messages = system.metrics().counter("net.sent") - sent_before;
+    Cell {
+        notifications,
+        per_watcher,
+        messages,
+        msgs_per_event: messages as f64 / events as f64,
+        pruned_edges: system.metrics().counter("gds.pruned_edges") - pruned_before,
+        summary_updates: system.metrics().counter("gds.summary_updates"),
+    }
+}
+
+struct Row {
+    tree: &'static str,
+    nodes: usize,
+    depth: u8,
+    locality: &'static str,
+    events: usize,
+    flood: Cell,
+    pruned: Cell,
+    reduction: f64,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let events = if smoke { 16 } else { 200 };
+
+    println!("E6-prune: flood cost with subscription-aware pruning");
+    println!("    events/cell={events}, one watcher server per directory node");
+    println!();
+
+    let mut rows: Vec<Row> = Vec::new();
+    for tree in trees(smoke) {
+        for locality in [Locality::Clustered, Locality::Uniform] {
+            let flood = run_cell(&tree, locality, false, events);
+            let pruned = run_cell(&tree, locality, true, events);
+            // The oracle pin: pruning must not change a single
+            // watcher's delivery count.
+            assert_eq!(
+                flood.per_watcher, pruned.per_watcher,
+                "{}/{}: pruned deliveries diverged from the full flood",
+                tree.label,
+                locality.label(),
+            );
+            assert!(
+                pruned.messages <= flood.messages,
+                "{}/{}: pruning may never cost flood messages",
+                tree.label,
+                locality.label(),
+            );
+            let reduction = 1.0 - pruned.messages as f64 / flood.messages as f64;
+            rows.push(Row {
+                tree: tree.label,
+                nodes: tree.topo.len(),
+                depth: tree.depth,
+                locality: locality.label(),
+                events,
+                flood,
+                pruned,
+                reduction,
+            });
+        }
+    }
+
+    let mut table = Table::new(vec![
+        "tree", "nodes", "depth", "locality", "events", "flood-msgs", "pruned-msgs",
+        "flood-m/ev", "pruned-m/ev", "edges-cut", "reduction",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.tree.to_string(),
+            r.nodes.to_string(),
+            r.depth.to_string(),
+            r.locality.to_string(),
+            r.events.to_string(),
+            r.flood.messages.to_string(),
+            r.pruned.messages.to_string(),
+            format!("{:.1}", r.flood.msgs_per_event),
+            format!("{:.1}", r.pruned.msgs_per_event),
+            r.pruned.pruned_edges.to_string(),
+            format!("{:.0}%", 100.0 * r.reduction),
+        ]);
+    }
+    println!("{table}");
+
+    // The headline claim: clustered interest at depth >= 3 saves at
+    // least 30% of flood messages without losing a delivery.
+    for r in &rows {
+        if r.locality == "clustered" && r.depth >= 3 {
+            assert!(
+                r.reduction >= 0.30,
+                "{}/{}: clustered reduction {:.0}% below the 30% bar",
+                r.tree,
+                r.locality,
+                100.0 * r.reduction,
+            );
+        }
+    }
+    println!("clustered cells at depth >= 3 all clear the 30% reduction bar");
+
+    if !smoke {
+        let json = render_json(&rows, events);
+        let path = "BENCH_e6_prune.json";
+        std::fs::write(path, &json).expect("write BENCH_e6_prune.json");
+        println!("\nwrote {path}");
+    }
+}
+
+fn render_json(rows: &[Row], events: usize) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"e6_prune_efficiency\",\n");
+    let _ = writeln!(out, "  \"events_per_cell\": {events},");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            out,
+            "    {{\"tree\": \"{}\", \"nodes\": {}, \"depth\": {}, \"locality\": \"{}\", \
+             \"events\": {}, \"notifications\": {}, \"flood_messages\": {}, \
+             \"pruned_messages\": {}, \"flood_msgs_per_event\": {:.2}, \
+             \"pruned_msgs_per_event\": {:.2}, \"pruned_edges\": {}, \
+             \"summary_updates\": {}, \"reduction\": {:.3}, \"false_negatives\": 0}}{}",
+            r.tree,
+            r.nodes,
+            r.depth,
+            r.locality,
+            r.events,
+            r.pruned.notifications,
+            r.flood.messages,
+            r.pruned.messages,
+            r.flood.msgs_per_event,
+            r.pruned.msgs_per_event,
+            r.pruned.pruned_edges,
+            r.pruned.summary_updates,
+            r.reduction,
+            comma,
+        )
+        .expect("string write");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -80,6 +80,8 @@ pub struct RunConfig {
     pub base_drop: f64,
     /// Optional chaos plan replayed alongside the workload.
     pub faults: Option<FaultPlan>,
+    /// Turn on subscription-aware flood pruning (hybrid only).
+    pub pruned: bool,
 }
 
 impl Default for RunConfig {
@@ -91,6 +93,7 @@ impl Default for RunConfig {
             reliable: false,
             base_drop: 0.0,
             faults: None,
+            pruned: false,
         }
     }
 }
@@ -127,6 +130,9 @@ pub struct RunOutcome {
     /// Messages dropped by the network (loss + downed/partitioned
     /// destinations).
     pub dropped: u64,
+    /// Flood edges skipped by subscription-aware pruning (pruned hybrid
+    /// only, else 0).
+    pub pruned_edges: u64,
 }
 
 /// Deterministic per-rebuild document batches, shared by every scheme and
@@ -240,6 +246,7 @@ fn run_hybrid(
     if cfg.reliable {
         system.set_reliability(ReliabilityConfig::default());
     }
+    system.set_pruning(cfg.pruned);
     system.add_gds_topology(&topo);
     for (host, gds) in &assignment {
         system.add_server(host.as_str(), gds.as_str());
@@ -259,6 +266,11 @@ fn run_hybrid(
             .expect("profile indexes");
         handles.push((host.clone(), pid));
     }
+    // A subscription only counts once its interest announcement has
+    // propagated (the SDI subscribe round-trip): let the burst settle
+    // on clean links before loss and faults start, or an immediately
+    // scheduled rebuild can race a half-propagated summary.
+    system.run_until_quiet(system.now() + SimDuration::from_secs(2));
 
     let mut cancels = HashMap::new();
     let mut tracker = PartitionTracker::default();
@@ -349,6 +361,7 @@ fn run_hybrid(
         retransmits: system.metrics().counter("net.retransmits"),
         reparents: system.metrics().counter("gds.reparent"),
         dropped: system.metrics().counter("net.dropped"),
+        pruned_edges: system.metrics().counter("gds.pruned_edges"),
     }
 }
 
@@ -433,6 +446,7 @@ fn run_gsflood(
         retransmits: 0,
         reparents: 0,
         dropped: sys.metrics().counter("net.dropped"),
+        pruned_edges: 0,
     }
 }
 
@@ -515,6 +529,7 @@ fn run_profileflood(
         retransmits: 0,
         reparents: 0,
         dropped: sys.metrics().counter("net.dropped"),
+        pruned_edges: 0,
     }
 }
 
@@ -602,6 +617,7 @@ fn run_rendezvous(
         retransmits: 0,
         reparents: 0,
         dropped: sys.metrics().counter("net.dropped"),
+        pruned_edges: 0,
     }
 }
 

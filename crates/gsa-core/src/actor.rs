@@ -643,6 +643,11 @@ impl GdsActor {
         self.wire = WireLink::new(config);
     }
 
+    /// Enables subscription-aware flood pruning on the wrapped node.
+    pub fn set_pruning(&mut self, enabled: bool) {
+        self.node.set_pruning(enabled);
+    }
+
     /// Turns on reliable per-edge delivery and the heartbeat failure
     /// detector. `grandparent` is the fallback attachment point this
     /// node re-parents to when its parent is declared dead; `seed`
@@ -676,6 +681,13 @@ impl GdsActor {
     fn apply(&mut self, effects: GdsEffects, ctx: &mut Ctx<'_, SysMessage>) {
         if !effects.undeliverable.is_empty() {
             ctx.count("gds.undeliverable", effects.undeliverable.len() as u64);
+        }
+        let (pruned, updates) = self.node.take_counters();
+        if pruned > 0 {
+            ctx.count(metric::GDS_PRUNED_EDGES, pruned);
+        }
+        if updates > 0 {
+            ctx.count(metric::GDS_SUMMARY_UPDATES, updates);
         }
         for out in effects.outbound {
             let Some(node) = self.directory.lookup(&out.to) else {
@@ -738,6 +750,14 @@ impl GdsActor {
                 rel.heartbeat_pending = true;
             }
         }
+        // Piggyback a summary re-announcement on the heartbeat cadence:
+        // an update lost before the reliable layer (or a parent that
+        // restarted and forgot us) heals within one heartbeat.
+        if let Some(out) = self.node.summary_announcement() {
+            let mut effects = GdsEffects::default();
+            effects.outbound.push(out);
+            self.apply(effects, ctx);
+        }
         ctx.set_timer(interval, HEARTBEAT_TAG);
     }
 
@@ -776,6 +796,10 @@ impl GdsActor {
             msg: GdsMessage::Adopt { child: me },
         });
         effects.outbound.extend(self.node.reregistrations());
+        // The new parent starts us at wildcard-by-absence (Adopt drops
+        // any stale edge summary); tell it what we actually cover so
+        // pruning resumes on the healed edge.
+        effects.outbound.extend(self.node.summary_announcement());
         self.apply(effects, ctx);
         // The new parent is an unknown quantity: renegotiate the edge
         // from the XML-safe default.

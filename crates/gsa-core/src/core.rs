@@ -20,6 +20,7 @@ use gsa_types::{
     SimDuration, SimTime,
 };
 use gsa_wire::reliable::{Reliable, RetryPolicy};
+use gsa_wire::InterestSummary;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
@@ -108,6 +109,11 @@ pub struct AlertingCore {
     dead_letters: Vec<(HostName, AuxPayload)>,
     /// Locally-initiated GS requests and when they started.
     request_started: HashMap<RequestId, SimTime>,
+    /// When true, the core announces its interest summary to its GDS
+    /// node (subscription-aware flood pruning). Off by default.
+    pruning: bool,
+    /// The last summary announced, so no-op refreshes send nothing.
+    last_summary: Option<InterestSummary>,
 }
 
 impl fmt::Debug for AlertingCore {
@@ -146,8 +152,17 @@ impl AlertingCore {
             rewritten: HashSet::new(),
             dead_letters: Vec::new(),
             request_started: HashMap::new(),
+            pruning: false,
+            last_summary: None,
             host,
         }
+    }
+
+    /// Enables interest-summary announcements for GDS flood pruning.
+    /// Off by default: a non-announcing server is treated as wildcard
+    /// by its GDS node and always receives the full flood.
+    pub fn set_pruning(&mut self, enabled: bool) {
+        self.pruning = enabled;
     }
 
     /// This host's name.
@@ -215,6 +230,25 @@ impl AlertingCore {
         for (parent, sub) in plants {
             self.plant_aux(&parent, &sub, now, &mut effects);
         }
+        effects.extend(self.summary_refresh());
+        effects
+    }
+
+    /// Announces this server's interest summary to its GDS node when
+    /// pruning is on and the digest changed since the last announcement
+    /// (subscribe, unsubscribe, startup). Empty effects otherwise.
+    pub fn summary_refresh(&mut self) -> CoreEffects {
+        let mut effects = CoreEffects::default();
+        if !self.pruning {
+            return effects;
+        }
+        let summary = self.subs.interest_summary();
+        if self.last_summary.as_ref() == Some(&summary) {
+            return effects;
+        }
+        self.last_summary = Some(summary.clone());
+        let out = self.gds.summary_update(summary);
+        effects.send(out.to, out.msg);
         effects
     }
 

@@ -9,6 +9,7 @@
 use gsa_filter::{FilterEngine, MatchScratch};
 use gsa_profile::{DnfError, Profile, ProfileExpr};
 use gsa_types::{ClientId, DocId, Event, ProfileId, SimTime};
+use gsa_wire::InterestSummary;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
@@ -120,6 +121,22 @@ impl SubscriptionManager {
     /// Iterates over all profiles (arbitrary order).
     pub fn profiles(&self) -> impl Iterator<Item = &Profile> {
         self.profiles.values()
+    }
+
+    /// The conservative interest digest of every stored profile — the
+    /// union of [`gsa_profile::interests_of`] over all expressions,
+    /// announced to the GDS flood-pruning layer. Empty when no profiles
+    /// are stored; wildcard as soon as any profile cannot be anchored to
+    /// exact origins.
+    pub fn interest_summary(&self) -> InterestSummary {
+        let mut summary = InterestSummary::empty();
+        for profile in self.profiles.values() {
+            summary.union_with(&gsa_profile::interests_of(profile.expr()));
+            if summary.is_wildcard() {
+                break;
+            }
+        }
+        summary
     }
 
     /// Filters an event against every stored profile, queueing a
@@ -257,6 +274,25 @@ mod tests {
         let s = n[0].to_string();
         assert!(s.contains("client-3"));
         assert!(s.contains("X.C"));
+    }
+
+    #[test]
+    fn interest_summary_unions_profiles() {
+        let mut subs = SubscriptionManager::new();
+        assert!(subs.interest_summary().is_empty());
+        let p = subs.subscribe(client(1), parse_profile(r#"host = "A""#).unwrap()).unwrap();
+        subs.subscribe(client(2), parse_profile(r#"collection = "B.C""#).unwrap()).unwrap();
+        let s = subs.interest_summary();
+        assert!(s.may_match("A", "A.X") && s.may_match("B", "B.C"));
+        assert!(!s.may_match("Z", "Z.Z"));
+        // An unanchorable profile widens the whole digest.
+        subs.subscribe(client(3), parse_profile(r#"kind = "rebuilt""#).unwrap()).unwrap();
+        assert!(subs.interest_summary().is_wildcard());
+        // Cancellation narrows it back.
+        subs.unsubscribe_client(client(3));
+        subs.unsubscribe(p);
+        let s = subs.interest_summary();
+        assert!(!s.may_match("A", "A.X") && s.may_match("B", "B.C"));
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub struct System {
     seed: u64,
     reliability: Option<ReliabilityConfig>,
     wire: WireConfig,
+    pruning: bool,
 }
 
 impl fmt::Debug for System {
@@ -55,6 +56,7 @@ impl System {
             seed,
             reliability: None,
             wire: WireConfig::default(),
+            pruning: false,
         }
     }
 
@@ -98,6 +100,22 @@ impl System {
     /// The wire-protocol configuration new nodes receive.
     pub fn wire(&self) -> &WireConfig {
         &self.wire
+    }
+
+    /// Turns on subscription-aware flood pruning for every node added
+    /// *after* this call: servers announce conservative interest
+    /// summaries to their directory nodes, nodes aggregate them per
+    /// subtree, and floods skip edges that cannot match an event. Call
+    /// before [`System::add_gds_topology`] / [`System::add_server`].
+    /// Off by default — the paper's full-flood behaviour, message for
+    /// message.
+    pub fn set_pruning(&mut self, enabled: bool) {
+        self.pruning = enabled;
+    }
+
+    /// Whether new nodes get flood pruning.
+    pub fn pruning(&self) -> bool {
+        self.pruning
     }
 
     /// Overrides one already-added host's wire configuration — the
@@ -164,6 +182,7 @@ impl System {
             actor.enable_reliability(cfg.clone(), grandparent, self.jitter_seed());
         }
         actor.set_wire(self.wire.clone());
+        actor.set_pruning(self.pruning);
         let id = self.sim.add_node(name.as_str(), actor);
         self.directory.insert(name, id);
         id
@@ -188,7 +207,8 @@ impl System {
         gds_server: &str,
         config: CoreConfig,
     ) -> NodeId {
-        let core = AlertingCore::with_config(host, gds_server, config);
+        let mut core = AlertingCore::with_config(host, gds_server, config);
+        core.set_pruning(self.pruning);
         let mut actor = AlertingActor::new(core, self.directory.clone(), self.tick);
         if let Some(cfg) = &self.reliability {
             actor.enable_reliability(cfg.clone(), self.jitter_seed());
@@ -243,6 +263,19 @@ impl System {
         self.sim
             .actor::<AlertingActor, R>(node, |actor| f(actor.core()))
             .unwrap_or_else(|| panic!("{host:?} is not a Greenstone server"))
+    }
+
+    /// Read-only access to a GDS node's tree state (tests and
+    /// benchmarks inspecting summaries or membership).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `host` is unknown or not a GDS node.
+    pub fn inspect_gds<R>(&mut self, host: &str, f: impl FnOnce(&gsa_gds::GdsNode) -> R) -> R {
+        let node = self.node(host);
+        self.sim
+            .actor::<GdsActor, R>(node, |actor| f(actor.node()))
+            .unwrap_or_else(|| panic!("{host:?} is not a GDS node"))
     }
 
     /// Adds a collection to a server (auxiliary profiles for remote
@@ -315,7 +348,11 @@ impl System {
         expr: ProfileExpr,
     ) -> Result<ProfileId, DnfError> {
         self.with_core(host, |core, _| {
-            (core.subscribe(client, expr), Default::default())
+            let result = core.subscribe(client, expr);
+            // The interest digest may have changed; tell the GDS (a
+            // no-op unless pruning is enabled for this server).
+            let effects = core.summary_refresh();
+            (result, effects)
         })
     }
 
@@ -337,7 +374,11 @@ impl System {
 
     /// Cancels a profile — local and immediate.
     pub fn unsubscribe(&mut self, host: &str, profile: ProfileId) -> bool {
-        self.with_core(host, |core, _| (core.unsubscribe(profile), Default::default()))
+        self.with_core(host, |core, _| {
+            let removed = core.unsubscribe(profile);
+            let effects = core.summary_refresh();
+            (removed, effects)
+        })
     }
 
     /// Rebuilds a collection from a full document set, triggering the

@@ -3,7 +3,7 @@
 use crate::message::{GdsMessage, ResolveToken};
 use crate::node::GdsOutbound;
 use gsa_types::{Event, HostName, MessageId};
-use gsa_wire::Payload;
+use gsa_wire::{InterestSummary, Payload};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -17,6 +17,7 @@ pub struct GdsClient {
     gds_server: HostName,
     next_id: u64,
     next_token: u64,
+    next_summary_version: u64,
     seen: HashSet<(HostName, u64)>,
 }
 
@@ -39,6 +40,7 @@ impl GdsClient {
             gds_server: gds_server.into(),
             next_id: 0,
             next_token: 0,
+            next_summary_version: 0,
             seen: HashSet::new(),
         }
     }
@@ -127,6 +129,21 @@ impl GdsClient {
                 },
             },
         )
+    }
+
+    /// Builds an interest-summary announcement for this server's GDS
+    /// node (the flood-pruning layer). Versions are monotonic so the
+    /// node keeps only the newest, whatever order updates arrive in.
+    pub fn summary_update(&mut self, summary: InterestSummary) -> GdsOutbound {
+        self.next_summary_version += 1;
+        GdsOutbound {
+            to: self.gds_server.clone(),
+            msg: GdsMessage::SummaryUpdate {
+                from: self.host.clone(),
+                version: self.next_summary_version,
+                summary,
+            },
+        }
     }
 
     /// Builds a naming-service query.
@@ -276,6 +293,25 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn summary_updates_carry_monotonic_versions() {
+        let mut c = client();
+        let mut summary = InterestSummary::empty();
+        summary.add_host("London");
+        let first = c.summary_update(summary.clone());
+        let second = c.summary_update(summary.clone());
+        assert_eq!(first.to, HostName::new("gds-4"));
+        let version_of = |out: &GdsOutbound| match &out.msg {
+            GdsMessage::SummaryUpdate { from, version, summary: s } => {
+                assert_eq!(from, &HostName::new("Hamilton"));
+                assert_eq!(s, &summary);
+                *version
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(version_of(&second) > version_of(&first));
     }
 
     #[test]

@@ -5,7 +5,7 @@ use gsa_wire::binary::{
     frame, framed_len, str_len, unframe, varint_len, write_str, write_varint, BinReader,
 };
 use gsa_wire::codec::event_to_xml;
-use gsa_wire::{FrozenBytes, Payload, WireError, XmlElement};
+use gsa_wire::{FrozenBytes, InterestSummary, Payload, WireError, XmlElement};
 use gsa_types::Event;
 use std::fmt;
 
@@ -146,6 +146,19 @@ pub enum GdsMessage {
     /// Several messages coalesced into one frame by the per-edge
     /// batcher. A batch travels (and is acked) as a unit.
     Batch(Vec<GdsMessage>),
+    /// A child (GDS node or Greenstone server) announces the interest
+    /// summary of its subtree to its parent. Versions are per-sender and
+    /// monotonic: the receiver keeps only the newest summary per edge,
+    /// so updates may be lost or reordered without corrupting state —
+    /// a missing summary just means the edge stays unpruned.
+    SummaryUpdate {
+        /// Whose subtree the summary describes (the direct child edge).
+        from: HostName,
+        /// Monotonic per-sender version; stale updates are ignored.
+        version: u64,
+        /// The conservative interest digest of the sender's subtree.
+        summary: InterestSummary,
+    },
 }
 
 impl GdsMessage {
@@ -276,6 +289,14 @@ impl GdsMessage {
                 }
                 el
             }
+            GdsMessage::SummaryUpdate {
+                from,
+                version,
+                summary,
+            } => summary
+                .to_xml("gds:summary")
+                .with_attr("from", from.as_str())
+                .with_attr("version", version.to_string()),
         }
     }
 
@@ -373,6 +394,14 @@ impl GdsMessage {
             "gds:batch" => Ok(GdsMessage::Batch(
                 el.elements().map(GdsMessage::from_xml).collect::<Result<_, _>>()?,
             )),
+            "gds:summary" => Ok(GdsMessage::SummaryUpdate {
+                from: host("from")?,
+                version: el
+                    .attr("version")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .ok_or_else(|| WireError::malformed("missing summary version"))?,
+                summary: InterestSummary::from_xml(el)?,
+            }),
             other => Err(WireError::malformed(format!("unknown GDS message <{other}>"))),
         }
     }
@@ -531,6 +560,16 @@ impl GdsMessage {
                     item.write_body(buf);
                 }
             }
+            GdsMessage::SummaryUpdate {
+                from,
+                version,
+                summary,
+            } => {
+                buf.push(opcode::SUMMARY_UPDATE);
+                write_str(buf, from.as_str());
+                write_varint(buf, *version);
+                summary.write_binary(buf);
+            }
         }
     }
 
@@ -595,6 +634,11 @@ impl GdsMessage {
                 varint_len(items.len() as u64)
                     + items.iter().map(GdsMessage::binary_body_len).sum::<usize>()
             }
+            GdsMessage::SummaryUpdate {
+                from,
+                version,
+                summary,
+            } => str_len(from.as_str()) + varint_len(*version) + summary.binary_size(),
         }
     }
 
@@ -684,6 +728,11 @@ impl GdsMessage {
                 }
                 Ok(GdsMessage::Batch(items))
             }
+            opcode::SUMMARY_UPDATE => Ok(GdsMessage::SummaryUpdate {
+                from: read_host(r)?,
+                version: r.read_varint()?,
+                summary: InterestSummary::read_binary(r)?,
+            }),
             other => Err(WireError::malformed(format!("unknown GDS opcode {other}"))),
         }
     }
@@ -710,6 +759,7 @@ mod opcode {
     pub const HELLO: u8 = 15;
     pub const HELLO_ACK: u8 = 16;
     pub const BATCH: u8 = 17;
+    pub const SUMMARY_UPDATE: u8 = 18;
 }
 
 fn write_hosts(buf: &mut Vec<u8>, hosts: &[HostName]) {
@@ -851,6 +901,30 @@ mod tests {
         round_trip(GdsMessage::HelloAck { version: 2 });
     }
 
+    fn sample_summary() -> InterestSummary {
+        let mut summary = InterestSummary::empty();
+        summary.add_host("Hamilton");
+        summary.add_collection("London.E");
+        summary
+    }
+
+    #[test]
+    fn summary_updates_round_trip_in_both_formats() {
+        for summary in [
+            InterestSummary::empty(),
+            InterestSummary::wildcard(),
+            sample_summary(),
+        ] {
+            let msg = GdsMessage::SummaryUpdate {
+                from: "gds-4".into(),
+                version: 7,
+                summary,
+            };
+            round_trip(msg.clone());
+            binary_round_trip(msg);
+        }
+    }
+
     #[test]
     fn batch_round_trips_in_both_formats() {
         let batch = GdsMessage::Batch(vec![
@@ -934,6 +1008,11 @@ mod tests {
             GdsMessage::Detach { child: "gds-5".into() },
             GdsMessage::Hello { version: 2 },
             GdsMessage::HelloAck { version: 2 },
+            GdsMessage::SummaryUpdate {
+                from: "gds-4".into(),
+                version: 3,
+                summary: sample_summary(),
+            },
         ] {
             binary_round_trip(msg);
         }

@@ -2,7 +2,7 @@
 
 use crate::message::GdsMessage;
 use gsa_types::HostName;
-use gsa_wire::Payload;
+use gsa_wire::{InterestSummary, Payload};
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 use std::fmt;
 
@@ -63,6 +63,27 @@ pub struct GdsNode {
     /// every forwarded copy shares one encoded buffer instead of
     /// re-serialising per edge.
     encode_once: bool,
+    /// When true, flood forwarding consults `edge_summaries` and skips
+    /// edges whose subtree cannot match the event. Off by default: the
+    /// paper's full flood, byte-identical message counts.
+    pruning: bool,
+    /// Newest interest summary per direct edge (local Greenstone server
+    /// or child GDS node), with the sender's version. An edge with no
+    /// entry is treated as wildcard — never pruned — which is what makes
+    /// loss, reordering, restarts and reparenting safe: forgetting a
+    /// summary only ever widens delivery.
+    edge_summaries: BTreeMap<HostName, (u64, InterestSummary)>,
+    /// Version of this node's own upward summary announcements.
+    agg_version: u64,
+    /// What this node last announced to its parent (dedup of no-op
+    /// refreshes). `None` until the first announcement: the parent's
+    /// wildcard-by-absence default already covers us, so an initial
+    /// wildcard aggregate is never sent.
+    last_sent_summary: Option<InterestSummary>,
+    /// Flood edges skipped thanks to summaries (drained by the actor).
+    pruned_edges: u64,
+    /// Summary updates accepted from direct edges (drained by the actor).
+    summary_updates: u64,
 }
 
 impl fmt::Debug for GdsNode {
@@ -92,6 +113,12 @@ impl GdsNode {
             seen: HashSet::new(),
             recent: VecDeque::new(),
             encode_once: false,
+            pruning: false,
+            edge_summaries: BTreeMap::new(),
+            agg_version: 0,
+            last_sent_summary: None,
+            pruned_edges: 0,
+            summary_updates: 0,
         }
     }
 
@@ -101,6 +128,101 @@ impl GdsNode {
     /// wire).
     pub fn set_encode_once(&mut self, enabled: bool) {
         self.encode_once = enabled;
+    }
+
+    /// Enables subscription-aware flood pruning. Off by default: with
+    /// pruning disabled the node neither consults nor announces interest
+    /// summaries, so the flood is the paper's full broadcast and message
+    /// counts are untouched.
+    pub fn set_pruning(&mut self, enabled: bool) {
+        self.pruning = enabled;
+    }
+
+    /// Whether flood pruning is enabled.
+    pub fn pruning(&self) -> bool {
+        self.pruning
+    }
+
+    /// The newest interest summary recorded for a direct edge, if any.
+    pub fn edge_summary(&self, edge: &HostName) -> Option<&InterestSummary> {
+        self.edge_summaries.get(edge).map(|(_, s)| s)
+    }
+
+    /// All direct edges with a recorded interest summary, in edge-name
+    /// order. Edges absent here are treated as wildcard by the flood.
+    pub fn edge_summaries(&self) -> impl Iterator<Item = (&HostName, &InterestSummary)> {
+        self.edge_summaries.iter().map(|(edge, (_, s))| (edge, s))
+    }
+
+    /// The conservative union of this node's whole subtree: every direct
+    /// edge's summary, with any edge lacking one widening the result to
+    /// the wildcard (unknown means "could match anything").
+    pub fn aggregate_summary(&self) -> InterestSummary {
+        let mut agg = InterestSummary::empty();
+        for member in self.local.iter().chain(self.children.iter()) {
+            match self.edge_summaries.get(member) {
+                Some((_, summary)) => agg.union_with(summary),
+                None => return InterestSummary::wildcard(),
+            }
+            if agg.is_wildcard() {
+                return agg;
+            }
+        }
+        agg
+    }
+
+    /// Drains the `(pruned_edges, summary_updates)` counters accumulated
+    /// since the last call (the actor layer turns them into metrics).
+    pub fn take_counters(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.pruned_edges),
+            std::mem::take(&mut self.summary_updates),
+        )
+    }
+
+    /// An unconditional re-announcement of the current aggregate to the
+    /// parent (heartbeat refresh, or telling a brand-new parent after a
+    /// reparent). Versions bump on every announcement so the receiver —
+    /// which keeps only the newest per edge — always accepts it. Returns
+    /// `None` when pruning is off, the node is the root, or there has
+    /// never been anything better than the parent's wildcard-by-absence
+    /// default to say.
+    pub fn summary_announcement(&mut self) -> Option<GdsOutbound> {
+        if !self.pruning {
+            return None;
+        }
+        let parent = self.parent.clone()?;
+        let agg = self.aggregate_summary();
+        if self.last_sent_summary.is_none() && agg.is_wildcard() {
+            return None;
+        }
+        self.agg_version += 1;
+        self.last_sent_summary = Some(agg.clone());
+        Some(GdsOutbound {
+            to: parent,
+            msg: GdsMessage::SummaryUpdate {
+                from: self.name.clone(),
+                version: self.agg_version,
+                summary: agg,
+            },
+        })
+    }
+
+    /// Re-announces the aggregate upward when it changed since the last
+    /// announcement. Called whenever an edge summary is (in)validated.
+    fn refresh_parent_summary(&mut self, effects: &mut GdsEffects) {
+        if !self.pruning || self.parent.is_none() {
+            return;
+        }
+        let agg = self.aggregate_summary();
+        if self.last_sent_summary.as_ref() == Some(&agg)
+            || (self.last_sent_summary.is_none() && agg.is_wildcard())
+        {
+            return;
+        }
+        if let Some(out) = self.summary_announcement() {
+            effects.send(out.to, out.msg);
+        }
     }
 
     /// Remembers a flooded event for replay to later-adopted children.
@@ -141,6 +263,7 @@ impl GdsNode {
     pub fn remove_child(&mut self, child: &HostName) {
         self.children.remove(child);
         self.subtree.retain(|_, via| via != child);
+        self.edge_summaries.remove(child);
     }
 
     /// Changes the node's parent (reparenting after a failure). Use
@@ -189,6 +312,12 @@ impl GdsNode {
             GdsMessage::Register { gs_host } => {
                 self.local.insert(gs_host.clone());
                 self.subtree.insert(gs_host.clone(), self.name.clone());
+                // Any summary the server already announced stays: the
+                // transport may reorder a registration past the server's
+                // first announcements, and summary versions are monotonic
+                // for a server's lifetime, so what is stored is never
+                // staler than wildcard-by-absence. Departures reset the
+                // edge via Unregister/Detach instead.
                 if let Some(parent) = &self.parent {
                     effects.send(
                         parent.clone(),
@@ -198,13 +327,16 @@ impl GdsNode {
                         },
                     );
                 }
+                self.refresh_parent_summary(&mut effects);
             }
             GdsMessage::Unregister { gs_host } => {
                 self.local.remove(&gs_host);
                 self.subtree.remove(&gs_host);
+                self.edge_summaries.remove(&gs_host);
                 if let Some(parent) = &self.parent {
                     effects.send(parent.clone(), GdsMessage::UnregisterUp { gs_host });
                 }
+                self.refresh_parent_summary(&mut effects);
             }
             GdsMessage::RegisterUp { gs_host, via } => {
                 self.subtree.insert(gs_host.clone(), via);
@@ -329,13 +461,19 @@ impl GdsNode {
                         },
                     );
                 }
+                // The adopted subtree's summary (if we ever had one from
+                // a previous stint as its parent) is stale; start at
+                // wildcard-by-absence until the child announces afresh.
+                self.edge_summaries.remove(&child);
                 self.add_child(child);
+                self.refresh_parent_summary(&mut effects);
             }
             GdsMessage::Detach { child } => {
                 // An old child re-parented elsewhere; drop the edge and
                 // everything routed through it (re-registrations via the
                 // new path rebuild the subtree view).
                 self.remove_child(&child);
+                self.refresh_parent_summary(&mut effects);
             }
             GdsMessage::Batch(items) => {
                 // The per-edge batcher coalesced several messages into
@@ -344,6 +482,25 @@ impl GdsNode {
                     let sub = self.handle_message(from, item);
                     effects.outbound.extend(sub.outbound);
                     effects.undeliverable.extend(sub.undeliverable);
+                }
+            }
+            GdsMessage::SummaryUpdate {
+                from: edge,
+                version,
+                summary,
+            } => {
+                // Keyed by the announced edge (the direct child or local
+                // server the summary describes); only strictly newer
+                // versions are kept, so delayed or reordered updates can
+                // never clobber fresher knowledge.
+                let newer = self
+                    .edge_summaries
+                    .get(&edge)
+                    .is_none_or(|(v, _)| version > *v);
+                if newer {
+                    self.edge_summaries.insert(edge, (version, summary));
+                    self.summary_updates += 1;
+                    self.refresh_parent_summary(&mut effects);
                 }
             }
             // Final deliveries, resolve answers, heartbeat replies and
@@ -363,17 +520,44 @@ impl GdsNode {
     /// Tree flooding: deliver to local Greenstone servers (except the
     /// origin) and forward to every tree neighbour except the one the
     /// message came from.
+    ///
+    /// With pruning on, downward edges (local servers and children)
+    /// whose recorded summary cannot match the event's origin are
+    /// skipped. The parent edge is never pruned — the rest of the tree
+    /// is reachable only through it, and upward interest is not
+    /// summarised here. Any reason to doubt the skip (no summary for
+    /// the edge, an undecodable payload, pruning off) falls back to
+    /// forwarding: false positives cost a message, false negatives are
+    /// impossible by construction.
     fn flood(
-        &self,
+        &mut self,
         origin: &HostName,
         id: u64,
         payload: Payload,
         came_from: Option<&HostName>,
         effects: &mut GdsEffects,
     ) {
+        let anchor = if self.pruning && !self.edge_summaries.is_empty() {
+            payload
+                .decode_event()
+                .ok()
+                .map(|event| (event.origin.host().as_str().to_string(), event.origin.to_string()))
+        } else {
+            None
+        };
+        let mut pruned = 0u64;
+        let summaries = &self.edge_summaries;
+        let mut prunable = |edge: &HostName| -> bool {
+            let skip = match (&anchor, summaries.get(edge)) {
+                (Some((host, coll)), Some((_, summary))) => !summary.may_match(host, coll),
+                _ => false,
+            };
+            pruned += u64::from(skip);
+            skip
+        };
         let mid = gsa_types::MessageId::from_raw(id);
         for gs in &self.local {
-            if gs != origin {
+            if gs != origin && !prunable(gs) {
                 effects.send(
                     gs.clone(),
                     GdsMessage::Deliver {
@@ -395,10 +579,11 @@ impl GdsNode {
             }
         }
         for child in &self.children {
-            if Some(child) != came_from {
+            if Some(child) != came_from && !prunable(child) {
                 effects.send(child.clone(), forward.clone());
             }
         }
+        self.pruned_edges += pruned;
     }
 
     /// Targeted routing along the tree using the subtree registry.
@@ -773,6 +958,186 @@ mod tests {
             recipients,
             vec!["gs-1", "gs-2", "gs-3", "gs-4", "gs-6", "gs-7"]
         );
+    }
+
+    fn event_payload(host: &str, seq: u64) -> Payload {
+        let event = gsa_types::Event::new(
+            gsa_types::EventId::new(host, seq),
+            gsa_types::CollectionId::new(host, "D"),
+            gsa_types::EventKind::CollectionRebuilt,
+            gsa_types::SimTime::from_millis(1),
+        );
+        gsa_wire::codec::event_to_xml(&event).into()
+    }
+
+    fn host_summary(host: &str) -> InterestSummary {
+        let mut s = InterestSummary::empty();
+        s.add_host(host);
+        s
+    }
+
+    /// figure2 with pruning enabled everywhere and every server having
+    /// announced its interests: gs-6 wants events from gs-5, everyone
+    /// else wants nothing.
+    fn pruned_figure2() -> BTreeMap<HostName, GdsNode> {
+        let mut nodes = figure2();
+        for node in nodes.values_mut() {
+            node.set_pruning(true);
+        }
+        for i in 1..=7 {
+            let gds = HostName::new(format!("gds-{i}"));
+            let gs = HostName::new(format!("gs-{i}"));
+            let summary = if i == 6 { host_summary("gs-5") } else { InterestSummary::empty() };
+            pump(
+                &mut nodes,
+                &gds,
+                &gs,
+                GdsMessage::SummaryUpdate { from: gs.clone(), version: 1, summary },
+            );
+        }
+        nodes
+    }
+
+    #[test]
+    fn pruned_flood_reaches_exactly_the_interested_server() {
+        let mut nodes = pruned_figure2();
+        // Sanity: summaries aggregated up — the root sees gds-3's
+        // subtree as interested in gs-5.
+        let root = &nodes[&HostName::new("gds-1")];
+        assert_eq!(root.edge_summary(&"gds-3".into()), Some(&host_summary("gs-5")));
+        assert_eq!(root.edge_summary(&"gds-2".into()), Some(&InterestSummary::empty()));
+
+        let (deliveries, _) = pump(
+            &mut nodes,
+            &"gds-5".into(),
+            &"gs-5".into(),
+            GdsMessage::Publish { id: MessageId::from_raw(1), payload: event_payload("gs-5", 1) },
+        );
+        let recipients: Vec<String> = deliveries.iter().map(|(to, _)| to.to_string()).collect();
+        assert_eq!(recipients, vec!["gs-6"], "only the interested server is reached");
+        let pruned: u64 = nodes.values_mut().map(|n| n.take_counters().0).sum();
+        assert!(pruned > 0, "some edges must have been pruned");
+    }
+
+    #[test]
+    fn unannounced_edges_and_undecodable_payloads_are_never_pruned() {
+        // A newly registered server that has not announced interests yet
+        // widens its node to wildcard, and the widening cascades up.
+        let mut nodes = pruned_figure2();
+        pump(
+            &mut nodes,
+            &"gds-4".into(),
+            &"gs-8".into(),
+            GdsMessage::Register { gs_host: "gs-8".into() },
+        );
+        assert!(nodes[&HostName::new("gds-1")].edge_summary(&"gds-4".into()).unwrap().is_wildcard());
+        let (deliveries, _) = pump(
+            &mut nodes,
+            &"gds-5".into(),
+            &"gs-5".into(),
+            GdsMessage::Publish { id: MessageId::from_raw(2), payload: event_payload("gs-5", 2) },
+        );
+        let mut recipients: Vec<String> = deliveries.iter().map(|(to, _)| to.to_string()).collect();
+        recipients.sort();
+        // gs-8's edge is wildcard, so the flood re-enters gds-4's subtree;
+        // gs-4's own (empty) summary still prunes its local edge.
+        assert_eq!(recipients, vec!["gs-6", "gs-8"]);
+
+        // A payload that is not a decodable event floods everywhere.
+        let mut nodes = pruned_figure2();
+        let (deliveries, _) = pump(
+            &mut nodes,
+            &"gds-5".into(),
+            &"gs-5".into(),
+            GdsMessage::Publish { id: MessageId::from_raw(3), payload: XmlElement::new("x").into() },
+        );
+        assert_eq!(deliveries.len(), 6, "conservative fallback floods to all");
+    }
+
+    #[test]
+    fn stale_summary_versions_are_ignored() {
+        let mut nodes = pruned_figure2();
+        let gds6 = nodes.get_mut(&HostName::new("gds-6")).unwrap();
+        gds6.handle_message(
+            &"gs-6".into(),
+            GdsMessage::SummaryUpdate { from: "gs-6".into(), version: 3, summary: host_summary("gs-1") },
+        );
+        // An older (delayed) update must not clobber the newer one.
+        gds6.handle_message(
+            &"gs-6".into(),
+            GdsMessage::SummaryUpdate { from: "gs-6".into(), version: 2, summary: host_summary("gs-5") },
+        );
+        assert_eq!(gds6.edge_summary(&"gs-6".into()), Some(&host_summary("gs-1")));
+    }
+
+    #[test]
+    fn adoption_resets_the_edge_to_wildcard() {
+        let mut nodes = pruned_figure2();
+        // Move gds-6 (the only interested subtree) under gds-1 directly.
+        nodes.get_mut(&HostName::new("gds-3")).unwrap().remove_child(&"gds-6".into());
+        let node6 = nodes.get_mut(&HostName::new("gds-6")).unwrap();
+        node6.set_parent(Some("gds-1".into()));
+        let rereg = node6.reregistrations();
+        pump(&mut nodes, &"gds-1".into(), &"gds-6".into(), GdsMessage::Adopt { child: "gds-6".into() });
+        for out in rereg {
+            pump(&mut nodes, &out.to.clone(), &"gds-6".into(), out.msg);
+        }
+        // The new edge has no summary, so it is wildcard: events still
+        // reach gs-6 even before gds-6 re-announces.
+        assert_eq!(nodes[&HostName::new("gds-1")].edge_summary(&"gds-6".into()), None);
+        let (deliveries, _) = pump(
+            &mut nodes,
+            &"gds-5".into(),
+            &"gs-5".into(),
+            GdsMessage::Publish { id: MessageId::from_raw(4), payload: event_payload("gs-5", 4) },
+        );
+        assert!(
+            deliveries.iter().any(|(to, _)| to == &HostName::new("gs-6")),
+            "adopted subtree must not be pruned before it re-announces"
+        );
+    }
+
+    #[test]
+    fn disabled_pruning_sends_no_summary_traffic_and_full_floods() {
+        let mut nodes = figure2();
+        // Updates are stored even with pruning off (cheap, and they are
+        // ready if pruning turns on), but nothing propagates upward and
+        // floods stay full.
+        pump(
+            &mut nodes,
+            &"gds-6".into(),
+            &"gs-6".into(),
+            GdsMessage::SummaryUpdate { from: "gs-6".into(), version: 1, summary: InterestSummary::empty() },
+        );
+        assert!(nodes[&HostName::new("gds-3")].edge_summary(&"gds-6".into()).is_none());
+        let (deliveries, _) = pump(
+            &mut nodes,
+            &"gds-5".into(),
+            &"gs-5".into(),
+            GdsMessage::Publish { id: MessageId::from_raw(5), payload: event_payload("gs-5", 5) },
+        );
+        assert_eq!(deliveries.len(), 6, "full flood when pruning is off");
+    }
+
+    #[test]
+    fn summary_announcement_bumps_versions_and_skips_initial_wildcard() {
+        let mut node = GdsNode::new("gds-9", 2, Some(HostName::new("gds-1")));
+        node.set_pruning(true);
+        node.add_child("gds-10");
+        // Child edge has no summary → aggregate is wildcard → nothing
+        // better than the parent's default to say.
+        assert!(node.summary_announcement().is_none());
+        node.handle_message(
+            &"gds-10".into(),
+            GdsMessage::SummaryUpdate { from: "gds-10".into(), version: 1, summary: host_summary("gs-5") },
+        );
+        let first = node.summary_announcement().expect("announces once known");
+        let second = node.summary_announcement().expect("re-announce allowed");
+        let version_of = |out: &GdsOutbound| match &out.msg {
+            GdsMessage::SummaryUpdate { version, .. } => *version,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(version_of(&second) > version_of(&first));
     }
 
     #[test]

@@ -108,6 +108,28 @@ impl GdsTopology {
     pub fn grandparent_of(&self, name: &HostName) -> Option<&HostName> {
         self.parent_of(name).and_then(|p| self.parent_of(p))
     }
+
+    /// Every node in the subtree rooted at `name` (inclusive), in
+    /// insertion order. Empty when `name` is not in the topology. Used
+    /// by benchmarks and tests that place clustered subscriber
+    /// populations under one branch of the tree.
+    pub fn subtree_of(&self, name: &HostName) -> Vec<HostName> {
+        let mut members: Vec<HostName> = Vec::new();
+        if self.specs.iter().all(|s| &s.name != name) {
+            return members;
+        }
+        members.push(name.clone());
+        // Specs are ordered parents-before-children, so one pass finds
+        // every descendant.
+        for spec in &self.specs {
+            if let Some(parent) = &spec.parent {
+                if members.contains(parent) {
+                    members.push(spec.name.clone());
+                }
+            }
+        }
+        members
+    }
 }
 
 impl fmt::Display for GdsTopology {
@@ -223,6 +245,17 @@ mod tests {
         assert_eq!(t.grandparent_of(&"gds-2".into()), None, "root child");
         assert_eq!(t.grandparent_of(&"gds-1".into()), None, "root");
         assert_eq!(t.grandparent_of(&"gds-99".into()), None, "unknown");
+    }
+
+    #[test]
+    fn subtree_of_collects_descendants() {
+        let t = figure2_tree();
+        let sub: Vec<String> = t.subtree_of(&"gds-3".into()).iter().map(|h| h.to_string()).collect();
+        assert_eq!(sub, vec!["gds-3", "gds-6", "gds-7"]);
+        let whole = t.subtree_of(&"gds-1".into());
+        assert_eq!(whole.len(), 7);
+        assert!(t.subtree_of(&"gds-99".into()).is_empty());
+        assert_eq!(t.subtree_of(&"gds-5".into()), vec![HostName::new("gds-5")]);
     }
 
     #[test]

@@ -42,12 +42,14 @@
 pub mod attr;
 pub mod dnf;
 pub mod expr;
+pub mod interest;
 pub mod parse;
 pub mod profile;
 pub mod xml;
 
 pub use attr::{AttrValue, Predicate, ProfileAttr, Wildcard};
 pub use dnf::{Conjunction, DnfError, Literal};
+pub use interest::interests_of;
 pub use expr::ProfileExpr;
 pub use parse::{parse_profile, ParseProfileError};
 pub use profile::Profile;

@@ -37,6 +37,11 @@ pub mod names {
     pub const WIRE_BATCH_COALESCED: &str = "wire.batch.coalesced";
     /// Individual messages unpacked from batch frames at receivers.
     pub const WIRE_BATCH_RECEIVED: &str = "wire.batch.received";
+    /// Flood edges skipped because the edge's subtree interest summary
+    /// could not match the event (subscription-aware pruning).
+    pub const GDS_PRUNED_EDGES: &str = "gds.pruned_edges";
+    /// Interest-summary updates accepted by GDS nodes.
+    pub const GDS_SUMMARY_UPDATES: &str = "gds.summary_updates";
 }
 
 /// A histogram of `u64` samples with on-demand quantiles.

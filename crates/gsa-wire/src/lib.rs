@@ -19,7 +19,10 @@
 //!   metadata records and document summaries, and a generic XML-tree
 //!   fallback for everything else,
 //! * [`payload`] — the dual-representation [`Payload`] carrier that
-//!   makes encode-once flood forwarding and lazy decode possible.
+//!   makes encode-once flood forwarding and lazy decode possible,
+//! * [`summary`] — conservative subtree interest summaries
+//!   ([`InterestSummary`]) used by the GDS flood-pruning layer, with
+//!   both XML and binary codecs.
 //!
 //! # Examples
 //!
@@ -43,10 +46,12 @@ pub mod codec;
 pub mod envelope;
 pub mod payload;
 pub mod reliable;
+pub mod summary;
 pub mod xml;
 
 pub use binary::{FrozenBytes, WireFormat};
 pub use envelope::Envelope;
 pub use payload::Payload;
+pub use summary::InterestSummary;
 pub use reliable::{Reliable, RetransmitQueue, RetryPolicy};
 pub use xml::{parse_document, WireError, XmlElement, XmlNode};

@@ -1,0 +1,315 @@
+//! Subtree interest summaries for GDS flood pruning.
+//!
+//! An [`InterestSummary`] is a conservative, set-based digest of the
+//! subscription interests registered in some scope (one server's
+//! profiles, or the union over a directory node's whole subtree). It
+//! answers one question at flood time: *can any subscriber below this
+//! edge possibly match an event from this origin?* The answer errs
+//! toward "yes" — a summary may over-approximate the live interests
+//! (false positives merely forward a message that nobody wanted), but
+//! it must never under-approximate them (a false negative would drop a
+//! notification). The extraction side of that contract lives in
+//! `gsa-profile`: any profile shape the extractor cannot anchor to an
+//! exact origin host or collection collapses the summary to
+//! [`InterestSummary::wildcard`], which matches everything.
+//!
+//! Summaries travel inside `gds:summary` messages, so this module also
+//! provides the XML (v1) and binary (v2) codec halves, following the
+//! same conventions as the rest of the wire layer.
+
+use crate::binary::{str_len, varint_len, write_str, write_varint, BinReader};
+use crate::xml::{WireError, XmlElement};
+use std::collections::BTreeSet;
+
+/// A conservative digest of subscription interests: the set of exact
+/// origin hosts and origin collections ("Host.Name") that profiles
+/// below some edge are anchored to, or *wildcard* when at least one
+/// profile could match events from anywhere.
+///
+/// The empty (non-wildcard) summary matches nothing — the digest of a
+/// scope with no subscribers at all.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InterestSummary {
+    /// When set, the summary matches every event (some interest below
+    /// this edge could not be anchored to an exact origin).
+    wildcard: bool,
+    /// Exact origin host names of anchored interests.
+    hosts: BTreeSet<String>,
+    /// Exact origin collection ids (`Host.Name`) of anchored interests.
+    collections: BTreeSet<String>,
+}
+
+impl InterestSummary {
+    /// The empty summary: no interests, matches nothing.
+    pub fn empty() -> Self {
+        InterestSummary::default()
+    }
+
+    /// The wildcard summary: matches every event.
+    pub fn wildcard() -> Self {
+        InterestSummary {
+            wildcard: true,
+            hosts: BTreeSet::new(),
+            collections: BTreeSet::new(),
+        }
+    }
+
+    /// `true` when this summary matches every event.
+    pub fn is_wildcard(&self) -> bool {
+        self.wildcard
+    }
+
+    /// `true` when this summary matches nothing (no interests at all).
+    pub fn is_empty(&self) -> bool {
+        !self.wildcard && self.hosts.is_empty() && self.collections.is_empty()
+    }
+
+    /// Records an interest anchored to an exact origin host.
+    pub fn add_host(&mut self, host: impl Into<String>) {
+        self.hosts.insert(host.into());
+    }
+
+    /// Records an interest anchored to an exact origin collection
+    /// (`Host.Name`).
+    pub fn add_collection(&mut self, collection: impl Into<String>) {
+        self.collections.insert(collection.into());
+    }
+
+    /// Widens this summary to match everything.
+    pub fn make_wildcard(&mut self) {
+        self.wildcard = true;
+        // Anchors are redundant under the wildcard; dropping them keeps
+        // the encoding minimal and equality canonical.
+        self.hosts.clear();
+        self.collections.clear();
+    }
+
+    /// Unions another summary into this one.
+    pub fn union_with(&mut self, other: &InterestSummary) {
+        if self.wildcard {
+            return;
+        }
+        if other.wildcard {
+            self.make_wildcard();
+            return;
+        }
+        self.hosts.extend(other.hosts.iter().cloned());
+        self.collections.extend(other.collections.iter().cloned());
+    }
+
+    /// Can an event with this exact origin host and origin collection
+    /// (`Host.Name`) match any interest in the summary?
+    pub fn may_match(&self, origin_host: &str, origin_collection: &str) -> bool {
+        self.wildcard
+            || self.hosts.contains(origin_host)
+            || self.collections.contains(origin_collection)
+    }
+
+    /// `true` when every event this `other` summary matches is also
+    /// matched by `self` — the superset/no-false-negative invariant the
+    /// property tests pin.
+    pub fn covers(&self, other: &InterestSummary) -> bool {
+        if self.wildcard {
+            return true;
+        }
+        if other.wildcard {
+            return false;
+        }
+        other.hosts.is_subset(&self.hosts) && other.collections.is_subset(&self.collections)
+    }
+
+    /// The anchored host names, in sorted order.
+    pub fn hosts(&self) -> impl Iterator<Item = &str> {
+        self.hosts.iter().map(String::as_str)
+    }
+
+    /// The anchored collection ids, in sorted order.
+    pub fn collections(&self) -> impl Iterator<Item = &str> {
+        self.collections.iter().map(String::as_str)
+    }
+
+    // --- XML codec (wire v1) ------------------------------------------
+
+    /// Encodes the summary as an XML element with the given tag name.
+    pub fn to_xml(&self, tag: &str) -> XmlElement {
+        let mut el = XmlElement::new(tag);
+        if self.wildcard {
+            el.set_attr("wildcard", "true");
+            return el;
+        }
+        el.reserve_children(self.hosts.len() + self.collections.len());
+        for host in &self.hosts {
+            el.push_child(XmlElement::new("host").with_attr("name", host.as_str()));
+        }
+        for coll in &self.collections {
+            el.push_child(XmlElement::new("collection").with_attr("id", coll.as_str()));
+        }
+        el
+    }
+
+    /// Decodes a summary from the XML element produced by
+    /// [`InterestSummary::to_xml`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when an anchor child is missing its
+    /// attribute.
+    pub fn from_xml(el: &XmlElement) -> Result<Self, WireError> {
+        if el.attr("wildcard") == Some("true") {
+            return Ok(InterestSummary::wildcard());
+        }
+        let mut summary = InterestSummary::empty();
+        for child in el.elements() {
+            match child.name() {
+                "host" => {
+                    let name = child
+                        .attr("name")
+                        .ok_or_else(|| WireError::malformed("summary host without name"))?;
+                    summary.add_host(name);
+                }
+                "collection" => {
+                    let id = child
+                        .attr("id")
+                        .ok_or_else(|| WireError::malformed("summary collection without id"))?;
+                    summary.add_collection(id);
+                }
+                _ => {} // unknown anchors from newer peers are ignored
+            }
+        }
+        Ok(summary)
+    }
+
+    // --- binary codec (wire v2) ---------------------------------------
+
+    /// Appends the binary encoding: a wildcard flag byte, then the two
+    /// length-prefixed string sets.
+    pub fn write_binary(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(self.wildcard));
+        write_varint(buf, self.hosts.len() as u64);
+        for host in &self.hosts {
+            write_str(buf, host);
+        }
+        write_varint(buf, self.collections.len() as u64);
+        for coll in &self.collections {
+            write_str(buf, coll);
+        }
+    }
+
+    /// Exact length of [`InterestSummary::write_binary`]'s output.
+    pub fn binary_size(&self) -> usize {
+        1 + varint_len(self.hosts.len() as u64)
+            + self.hosts.iter().map(|h| str_len(h)).sum::<usize>()
+            + varint_len(self.collections.len() as u64)
+            + self.collections.iter().map(|c| str_len(c)).sum::<usize>()
+    }
+
+    /// Decodes a summary from its binary encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated or malformed input.
+    pub fn read_binary(r: &mut BinReader<'_>) -> Result<Self, WireError> {
+        let wildcard = r.read_u8()? != 0;
+        let mut summary = if wildcard {
+            InterestSummary::wildcard()
+        } else {
+            InterestSummary::empty()
+        };
+        let hosts = r.read_varint()?;
+        for _ in 0..hosts {
+            let host = r.read_string()?;
+            if !wildcard {
+                summary.add_host(host);
+            }
+        }
+        let collections = r.read_varint()?;
+        for _ in 0..collections {
+            let coll = r.read_string()?;
+            if !wildcard {
+                summary.add_collection(coll);
+            }
+        }
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InterestSummary {
+        let mut s = InterestSummary::empty();
+        s.add_host("Hamilton");
+        s.add_collection("London.E");
+        s.add_collection("Berlin.B");
+        s
+    }
+
+    #[test]
+    fn matching_semantics() {
+        let s = sample();
+        assert!(s.may_match("Hamilton", "Hamilton.D"));
+        assert!(s.may_match("London", "London.E"));
+        assert!(!s.may_match("London", "London.F"));
+        assert!(!s.may_match("Paris", "Paris.X"));
+        assert!(InterestSummary::wildcard().may_match("Anyone", "Any.Thing"));
+        assert!(!InterestSummary::empty().may_match("Anyone", "Any.Thing"));
+    }
+
+    #[test]
+    fn union_and_covers() {
+        let mut a = sample();
+        let mut b = InterestSummary::empty();
+        b.add_host("Auckland");
+        a.union_with(&b);
+        assert!(a.covers(&b));
+        assert!(a.covers(&sample()));
+        assert!(!b.covers(&a));
+        assert!(a.may_match("Auckland", "Auckland.Z"));
+
+        a.union_with(&InterestSummary::wildcard());
+        assert!(a.is_wildcard());
+        assert!(a.covers(&InterestSummary::wildcard()));
+        assert!(!sample().covers(&InterestSummary::wildcard()));
+        // Everything covers the empty summary.
+        assert!(InterestSummary::empty().covers(&InterestSummary::empty()));
+        assert!(sample().covers(&InterestSummary::empty()));
+    }
+
+    #[test]
+    fn wildcard_is_canonical() {
+        let mut s = sample();
+        s.make_wildcard();
+        assert_eq!(s, InterestSummary::wildcard());
+        assert!(s.is_wildcard() && !s.is_empty());
+    }
+
+    #[test]
+    fn xml_round_trip() {
+        for s in [InterestSummary::empty(), InterestSummary::wildcard(), sample()] {
+            let el = s.to_xml("gds:summary");
+            assert_eq!(InterestSummary::from_xml(&el).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn binary_round_trip_and_size() {
+        for s in [InterestSummary::empty(), InterestSummary::wildcard(), sample()] {
+            let mut buf = Vec::new();
+            s.write_binary(&mut buf);
+            assert_eq!(buf.len(), s.binary_size());
+            let back = InterestSummary::read_binary(&mut BinReader::new(&buf)).unwrap();
+            assert_eq!(back, s);
+            assert_eq!(BinReader::new(&buf[..buf.len()]).remaining(), buf.len());
+        }
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let mut buf = Vec::new();
+        sample().write_binary(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(InterestSummary::read_binary(&mut BinReader::new(&buf[..cut])).is_err());
+        }
+    }
+}

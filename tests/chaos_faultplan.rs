@@ -66,7 +66,7 @@ fn cell(seed: u64) -> ChaosCell {
     }
 }
 
-fn run(cell: &ChaosCell, reliable: bool) -> gsa_bench::Quality {
+fn run(cell: &ChaosCell, reliable: bool, pruned: bool) -> (gsa_bench::Quality, u64) {
     let outcome = run_scheme(
         Scheme::Hybrid,
         &cell.world,
@@ -78,6 +78,7 @@ fn run(cell: &ChaosCell, reliable: bool) -> gsa_bench::Quality {
             fanout: cell.fanout,
             drain: SimDuration::from_secs(40),
             reliable,
+            pruned,
             base_drop: 0.2,
             faults: Some(cell.faults.clone()),
         },
@@ -90,7 +91,7 @@ fn run(cell: &ChaosCell, reliable: bool) -> gsa_bench::Quality {
         &outcome.partitions,
         SimDuration::from_secs(5),
     );
-    oracle.classify(&outcome.deliveries)
+    (oracle.classify(&outcome.deliveries), outcome.pruned_edges)
 }
 
 #[test]
@@ -98,11 +99,30 @@ fn reliable_hybrid_is_perfect_under_seeded_chaos() {
     for seed in SEEDS {
         let cell = cell(seed);
         assert!(!cell.faults.is_empty(), "the plan actually schedules faults");
-        let q = run(&cell, true);
+        let (q, _) = run(&cell, true, false);
         assert!(q.expected > 0, "seed {seed}: workload produced deliveries");
         assert_eq!(q.false_negatives, 0, "seed {seed}: no lost notifications");
         assert_eq!(q.false_positives, 0, "seed {seed}: no spurious notifications");
         assert_eq!(q.duplicates, 0, "seed {seed}: no duplicate notifications");
+    }
+}
+
+/// Pruning must not dent the robustness claim: with summaries steering
+/// the flood *and* the full fault plan in force, the reliable hybrid
+/// still classifies perfectly against the same oracle.
+#[test]
+fn reliable_pruned_hybrid_is_perfect_under_seeded_chaos() {
+    for seed in SEEDS {
+        let cell = cell(seed);
+        let (q, pruned_edges) = run(&cell, true, true);
+        assert!(q.expected > 0, "seed {seed}: workload produced deliveries");
+        assert_eq!(q.false_negatives, 0, "seed {seed}: no lost notifications");
+        assert_eq!(q.false_positives, 0, "seed {seed}: no spurious notifications");
+        assert_eq!(q.duplicates, 0, "seed {seed}: no duplicate notifications");
+        assert!(
+            pruned_edges > 0,
+            "seed {seed}: pruning actually engaged under chaos"
+        );
     }
 }
 
@@ -111,7 +131,7 @@ fn best_effort_hybrid_measurably_fails_on_the_same_chaos() {
     let mut lost = 0;
     for seed in SEEDS {
         let cell = cell(seed);
-        lost += run(&cell, false).false_negatives;
+        lost += run(&cell, false, false).0.false_negatives;
     }
     assert!(
         lost > 0,

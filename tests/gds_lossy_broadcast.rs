@@ -19,10 +19,15 @@ fn doc(id: &str) -> SourceDocument {
 
 /// Figure 2 tree, one publisher (Hamilton on gds-4) and three watcher
 /// servers spread across different branches (gds-2, gds-5, gds-7), all
-/// edges reliable.
-fn lossy_world(seed: u64) -> (System, Vec<(&'static str, gsa_types::ClientId)>) {
+/// edges reliable. With `pruned` set, flood pruning is on and a fourth
+/// server (Oslo on gds-6) watches a host that never publishes, giving
+/// the summaries a subtree to actually cut.
+type Watchers = Vec<(&'static str, gsa_types::ClientId)>;
+
+fn lossy_world(seed: u64, pruned: bool) -> (System, Watchers, Option<gsa_types::ClientId>) {
     let mut system = System::new(seed);
     system.set_reliability(ReliabilityConfig::default());
+    system.set_pruning(pruned);
     system.add_gds_topology(&figure2_tree());
     system.add_server("Hamilton", "gds-4");
     let watchers = ["London", "Paris", "Berlin"];
@@ -38,9 +43,17 @@ fn lossy_world(seed: u64) -> (System, Vec<(&'static str, gsa_types::ClientId)>) 
             .unwrap();
         clients.push((host, client));
     }
+    let bystander = pruned.then(|| {
+        system.add_server("Oslo", "gds-6");
+        let bystander = system.add_client("Oslo");
+        system
+            .subscribe_text("Oslo", bystander, r#"host = "Nowhere""#)
+            .unwrap();
+        bystander
+    });
     // Setup traffic runs clean; loss starts with the workload.
     system.run_until_quiet(SimTime::from_secs(5));
-    (system, clients)
+    (system, clients, bystander)
 }
 
 #[test]
@@ -49,7 +62,7 @@ fn broadcast_is_exactly_once_under_loss() {
     let mut total_drops = 0;
     for seed in [1, 2, 3, 4, 5] {
         for drop in [0.1, 0.2, 0.3] {
-            let (mut system, clients) = lossy_world(seed);
+            let (mut system, clients, _) = lossy_world(seed, false);
             system.set_drop_probability(drop);
             system.rebuild("Hamilton", "D", vec![doc("d1")]).unwrap();
             system.run_until(SimTime::from_secs(20));
@@ -76,9 +89,57 @@ fn broadcast_is_exactly_once_under_loss() {
     );
 }
 
+/// The same exactly-once grid with pruning steering the flood: loss may
+/// strike the summary announcements as well as the events, yet every
+/// interested watcher still sees each event exactly once, the bystander
+/// stays silent, and the summaries demonstrably cut edges while the
+/// links were dropping traffic.
+#[test]
+fn pruned_broadcast_is_exactly_once_under_loss() {
+    let mut total_retransmits = 0;
+    let mut total_drops = 0;
+    let mut total_pruned = 0;
+    for seed in [1, 2, 3, 4, 5] {
+        for drop in [0.1, 0.2, 0.3] {
+            let (mut system, clients, bystander) = lossy_world(seed, true);
+            system.set_drop_probability(drop);
+            system.rebuild("Hamilton", "D", vec![doc("d1")]).unwrap();
+            system.run_until(SimTime::from_secs(20));
+            system.rebuild("Hamilton", "D", vec![doc("d2")]).unwrap();
+            system.run_until_quiet(SimTime::from_secs(90));
+            for (host, client) in clients {
+                let inbox = system.take_notifications(host, client);
+                assert_eq!(
+                    inbox.len(),
+                    2,
+                    "seed {seed} drop {drop}: {host} must see both rebuilds exactly once \
+                     with pruning on"
+                );
+            }
+            let silent = system.take_notifications("Oslo", bystander.unwrap());
+            assert!(
+                silent.is_empty(),
+                "seed {seed} drop {drop}: the uninterested bystander stays silent"
+            );
+            total_retransmits += system.metrics().counter("net.retransmits");
+            total_drops += system.metrics().counter("net.dropped");
+            total_pruned += system.metrics().counter("gds.pruned_edges");
+        }
+    }
+    assert!(total_drops > 0, "the lossy links actually lost traffic");
+    assert!(
+        total_retransmits > 0,
+        "deliveries were repaired by retransmission, not luck"
+    );
+    assert!(
+        total_pruned > 0,
+        "pruning engaged under loss — the grid is not testing a plain flood"
+    );
+}
+
 #[test]
 fn acks_flow_even_on_clean_links() {
-    let (mut system, clients) = lossy_world(9);
+    let (mut system, clients, _) = lossy_world(9, false);
     system.rebuild("Hamilton", "D", vec![doc("d1")]).unwrap();
     system.run_until_quiet(SimTime::from_secs(30));
     for (host, client) in clients {

@@ -1,0 +1,183 @@
+//! Delivery-equivalence oracle for subscription-aware flood pruning.
+//!
+//! The pruning contract is behavioural invisibility: for any workload,
+//! the pruned GDS tree delivers exactly the notification sets the full
+//! flood delivers — false positives in a *summary* merely cost a
+//! message, but a false negative would lose a notification, so the
+//! oracle runs every figure-style scenario twice (pruning off, then
+//! on) across five simulator seeds and demands identical per-client
+//! delivery sets, while also checking the pruned run actually pruned
+//! (the comparison must not be vacuous).
+
+use gsa_core::System;
+use gsa_gds::figure2_tree;
+use gsa_greenstone::{CollectionConfig, SubCollectionRef};
+use gsa_store::SourceDocument;
+use gsa_types::{ClientId, CollectionId, SimTime};
+use std::collections::BTreeMap;
+
+const SEEDS: [u64; 5] = [11, 12, 13, 14, 15];
+
+fn doc(id: &str) -> SourceDocument {
+    SourceDocument::new(id, "fresh content")
+}
+
+/// One watcher's delivered notifications, reduced to a comparable form:
+/// (profile, announced origin, event sequence, matched doc count),
+/// sorted so ordering differences between runs cannot matter. Each
+/// host carries exactly one watcher client in these scenarios.
+type Delivered = BTreeMap<String, Vec<(String, String, u64, usize)>>;
+
+fn drain(system: &mut System, watchers: &[(&'static str, ClientId)]) -> Delivered {
+    let mut out = Delivered::new();
+    for (host, client) in watchers {
+        let mut got: Vec<(String, String, u64, usize)> = system
+            .take_notifications(host, *client)
+            .into_iter()
+            .map(|n| {
+                (
+                    n.profile.to_string(),
+                    n.event.origin.to_string(),
+                    n.event.id.seq(),
+                    n.matched_docs.len(),
+                )
+            })
+            .collect();
+        got.sort();
+        out.insert(host.to_string(), got);
+    }
+    out
+}
+
+/// Figure-2 broadcast scenario: publishers on two branches, watchers
+/// with host-anchored, collection-anchored, unanchorable (wildcard)
+/// and never-matching profiles spread across the rest of the tree.
+fn broadcast_run(seed: u64, pruned: bool) -> (Delivered, u64, u64) {
+    let mut system = System::new(seed);
+    system.set_pruning(pruned);
+    system.add_gds_topology(&figure2_tree());
+    system.add_server("Hamilton", "gds-4");
+    system.add_server("London", "gds-2");
+    system.add_server("Paris", "gds-5");
+    system.add_server("Berlin", "gds-3");
+    system.add_server("Oslo", "gds-6");
+    system.add_server("Madrid", "gds-7");
+    system.add_collection("Hamilton", CollectionConfig::simple("D", "d"));
+    system.add_collection("London", CollectionConfig::simple("E", "e"));
+
+    let mut watchers = Vec::new();
+    for (host, profile) in [
+        ("Paris", r#"host = "Hamilton""#),
+        ("Berlin", r#"collection = "London.E""#),
+        ("Oslo", r#"kind = "collection-rebuilt""#),
+        ("Madrid", r#"host = "Nowhere""#),
+    ] {
+        let client = system.add_client(host);
+        system.subscribe_text(host, client, profile).unwrap();
+        watchers.push((host, client));
+    }
+    system.run_until_quiet(SimTime::from_secs(5));
+
+    let sent_before = system.metrics().counter("net.sent");
+    system.rebuild("Hamilton", "D", vec![doc("d1")]).unwrap();
+    system.run_until(SimTime::from_secs(20));
+    system.rebuild("London", "E", vec![doc("e1")]).unwrap();
+    system.run_until(SimTime::from_secs(35));
+    system.rebuild("Hamilton", "D", vec![doc("d2")]).unwrap();
+    system.run_until_quiet(SimTime::from_secs(120));
+
+    let delivered = drain(&mut system, &watchers);
+    let messages = system.metrics().counter("net.sent") - sent_before;
+    let pruned_edges = system.metrics().counter("gds.pruned_edges");
+    (delivered, messages, pruned_edges)
+}
+
+#[test]
+fn pruned_broadcast_delivers_exactly_the_flood_sets() {
+    for seed in SEEDS {
+        let (flood, flood_msgs, flood_pruned) = broadcast_run(seed, false);
+        let (pruned, pruned_msgs, pruned_edges) = broadcast_run(seed, true);
+        assert_eq!(
+            flood, pruned,
+            "seed {seed}: pruned delivery sets diverged from the full flood"
+        );
+        // Not vacuous: the expected matches arrived, the never-matching
+        // watcher stayed silent, and pruning actually cut edges.
+        let count = |host: &str| pruned[host].len();
+        assert_eq!(count("Paris"), 2, "seed {seed}: both Hamilton rebuilds");
+        assert_eq!(count("Berlin"), 1, "seed {seed}: the London rebuild");
+        assert_eq!(count("Oslo"), 3, "seed {seed}: wildcard watcher sees all");
+        assert_eq!(count("Madrid"), 0, "seed {seed}: no spurious deliveries");
+        assert_eq!(flood_pruned, 0, "seed {seed}: flood mode never prunes");
+        assert!(pruned_edges > 0, "seed {seed}: pruning must actually engage");
+        assert!(
+            pruned_msgs <= flood_msgs,
+            "seed {seed}: pruning may never add flood messages"
+        );
+    }
+}
+
+/// Figure-3 scenario under pruning: Hamilton.D includes London.E as a
+/// sub-collection, so a rebuild of E is announced twice — once with its
+/// original origin and once rewritten to the super-collection. The
+/// pruned tree must route the original to sub-collection watchers and
+/// the rewrite to super-collection watchers, and nothing anywhere else.
+fn aux_rewrite_run(seed: u64, pruned: bool) -> (Delivered, u64) {
+    let mut system = System::new(seed);
+    system.set_pruning(pruned);
+    system.add_gds_topology(&figure2_tree());
+    system.add_server("Hamilton", "gds-4");
+    system.add_server("London", "gds-2");
+    system.add_server("Berlin", "gds-3");
+    system.add_server("Paris", "gds-5");
+    system.add_server("Madrid", "gds-7");
+    system.add_collection("London", CollectionConfig::simple("E", "E"));
+    system.add_collection(
+        "Hamilton",
+        CollectionConfig::simple("D", "D").with_subcollection(SubCollectionRef::new(
+            "e",
+            CollectionId::new("London", "E"),
+        )),
+    );
+
+    let mut watchers = Vec::new();
+    for (host, profile) in [
+        ("Berlin", r#"collection = "Hamilton.D""#),
+        ("Paris", r#"collection = "London.E""#),
+        ("Madrid", r#"host = "Nowhere""#),
+    ] {
+        let client = system.add_client(host);
+        system.subscribe_text(host, client, profile).unwrap();
+        watchers.push((host, client));
+    }
+    system.run_until_quiet(SimTime::from_secs(5));
+
+    system.rebuild("London", "E", vec![doc("e1")]).unwrap();
+    system.run_until_quiet(SimTime::from_secs(90));
+
+    let delivered = drain(&mut system, &watchers);
+    let pruned_edges = system.metrics().counter("gds.pruned_edges");
+    (delivered, pruned_edges)
+}
+
+#[test]
+fn pruned_tree_routes_rewritten_events_to_super_collection_watchers() {
+    for seed in SEEDS {
+        let (flood, flood_pruned) = aux_rewrite_run(seed, false);
+        let (pruned, pruned_edges) = aux_rewrite_run(seed, true);
+        assert_eq!(
+            flood, pruned,
+            "seed {seed}: pruned aux-rewrite deliveries diverged from the flood"
+        );
+        let get = |host: &str| &pruned[host];
+        let berlin = get("Berlin");
+        assert_eq!(berlin.len(), 1, "seed {seed}: exactly the rewrite");
+        assert_eq!(berlin[0].1, "Hamilton.D", "seed {seed}: rewritten origin");
+        let paris = get("Paris");
+        assert_eq!(paris.len(), 1, "seed {seed}: exactly the original");
+        assert_eq!(paris[0].1, "London.E", "seed {seed}: original origin");
+        assert!(get("Madrid").is_empty(), "seed {seed}: no spurious deliveries");
+        assert_eq!(flood_pruned, 0, "seed {seed}: flood mode never prunes");
+        assert!(pruned_edges > 0, "seed {seed}: pruning must actually engage");
+    }
+}

@@ -207,6 +207,26 @@ proptest! {
     }
 }
 
+/// Replays the shrunk counterexample recorded in
+/// `wire_compatibility.proptest-regressions` (a one-document event
+/// whose title is a single space, once mangled by whitespace-trimming
+/// in the XML decoder). The vendored proptest shim does not read
+/// regression files, so every case recorded there is pinned as an
+/// explicit test like this one — see DESIGN.md.
+#[test]
+fn regression_single_space_title_round_trips() {
+    let mut event = Event::new(
+        EventId::new("A", 0),
+        CollectionId::new("A", "A"),
+        EventKind::ALL[0],
+        SimTime::from_micros(0),
+    );
+    let md: MetadataRecord = [(keys::TITLE, " ")].into_iter().collect();
+    event.docs = vec![DocSummary::new("doc-0").with_metadata(md).with_excerpt("")];
+    let body = through_envelope(event_to_xml(&event));
+    assert_eq!(event_from_xml(&body).unwrap(), event);
+}
+
 /// The sizes the simulator charges to the network are the sizes the
 /// wire actually produces, in both formats — the byte counters in the
 /// experiments are real serialization costs, not estimates.
