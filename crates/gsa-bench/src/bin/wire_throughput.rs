@@ -18,12 +18,13 @@
 //! runs a single tiny cell per variant for CI.
 
 use gsa_bench::Table;
-use gsa_core::{BatchConfig, ReliabilityConfig, System, WireConfig};
+use gsa_core::{AlertingCore, BatchConfig, ReliabilityConfig, System, WireConfig};
 use gsa_gds::{balanced_tree, figure2_tree, GdsMessage, GdsTopology};
 use gsa_types::{
-    keys, CollectionId, DocSummary, Event, EventId, EventKind, HostName, MessageId,
+    keys, ClientId, CollectionId, DocSummary, Event, EventId, EventKind, HostName, MessageId,
     MetadataRecord, SimDuration, SimTime,
 };
+use gsa_wire::binary::payload_bytes_from_xml;
 use gsa_wire::codec::event_to_xml;
 use gsa_wire::Payload;
 use std::fmt::Write as _;
@@ -242,6 +243,99 @@ fn run_cell(tree: &Tree, variant: &Variant, events: usize) -> Row {
     }
 }
 
+/// One deliver+filter cell: end-to-end cost of a GDS Deliver at a
+/// watcher server, from frozen v2 bytes to notification (or to a
+/// probe rejection), at a controlled match ratio.
+struct DeliveryRow {
+    match_pct: u32,
+    mode: &'static str,
+    events: usize,
+    notifications: usize,
+    wall_ms: f64,
+    events_per_sec: f64,
+    probe_skipped: u64,
+    probe_passed: u64,
+    decode_errors: u64,
+}
+
+/// Drives one `AlertingCore` directly with frozen binary Delivers —
+/// no simulator, no network — so the measured cost is exactly the
+/// delivery path this experiment compares: decode-always versus the
+/// zero-materialisation probe. `match_pct` of the events originate
+/// from the one host the hot profile watches; the rest are cold. A
+/// fan of 64 cold equality profiles makes the filter index realistic.
+fn run_delivery_cell(match_pct: u32, probe: bool, events: usize) -> DeliveryRow {
+    let mut core = AlertingCore::new("Watcher", "gds-1");
+    core.set_probe(probe);
+    for i in 0..64u64 {
+        let profile = format!(r#"host = "cold-{i}""#);
+        core.subscribe(
+            ClientId::from_raw(i),
+            gsa_profile::parse_profile(&profile).expect("valid profile"),
+        )
+        .expect("indexable profile");
+    }
+    let hot_client = ClientId::from_raw(64);
+    core.subscribe(
+        hot_client,
+        gsa_profile::parse_profile(r#"host = "Hamilton""#).expect("valid profile"),
+    )
+    .expect("indexable profile");
+
+    // Frozen payloads are pre-encoded: the timed loop pays only what a
+    // watcher pays after the frame is off the wire.
+    let gds = HostName::new("gds-1");
+    let messages: Vec<gsa_core::SysMessage> = (0..events as u64)
+        .map(|seq| {
+            let matches = match match_pct {
+                0 => false,
+                50 => seq % 2 == 0,
+                _ => seq % (100 / match_pct as u64) == 0,
+            };
+            let host = if matches { "Hamilton" } else { "Elsewhere" };
+            let event = Event::new(
+                EventId::new(host, seq),
+                CollectionId::new(host, "D"),
+                EventKind::DocumentsAdded,
+                SimTime::from_millis(seq),
+            )
+            .with_docs(vec![
+                DocSummary::new(format!("doc-{seq}a"))
+                    .with_metadata([(keys::TITLE, "Bulk import")].into_iter().collect())
+                    .with_excerpt("an excerpt of the imported document text"),
+                DocSummary::new(format!("doc-{seq}b")),
+            ]);
+            let bytes = payload_bytes_from_xml(&event_to_xml(&event));
+            gsa_core::SysMessage::Gds(GdsMessage::Deliver {
+                id: MessageId::from_raw(seq),
+                origin: host.into(),
+                payload: Payload::from_frozen(bytes.into()),
+            })
+        })
+        .collect();
+
+    let started = Instant::now();
+    let mut notifications = 0usize;
+    for msg in messages {
+        let eff = core.handle_message(&gds, msg, SimTime::ZERO);
+        notifications += eff.notifications.len();
+    }
+    let wall = started.elapsed();
+    let counters = core.take_counters();
+    let wall_secs = wall.as_secs_f64().max(1e-9);
+    DeliveryRow {
+        match_pct,
+        mode: if probe { "probe" } else { "decode" },
+        events,
+        notifications,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        events_per_sec: events as f64 / wall_secs,
+        probe_skipped: counters.probe_skipped,
+        probe_passed: counters.probe_passed,
+        decode_errors: counters.decode_errors,
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let events = if smoke { 32 } else { 400 };
@@ -300,15 +394,65 @@ fn main() {
         }
     }
 
+    // Deliver+filter sweep: end-to-end watcher cost per delivered
+    // binary event, decode-always versus attribute probe, at match
+    // ratios {0, 1, 50}%. The probe and decode runs of each ratio must
+    // produce the same notification count — a probe that was fast by
+    // dropping matches would be cheating.
+    let delivery_events = if smoke { 2_000 } else { 100_000 };
+    println!();
+    println!("E5-deliver: watcher delivery path (decode-always vs binary probe)");
+    println!("    events/cell={delivery_events}, 65 equality profiles, frozen v2 payloads");
+    println!();
+    let mut delivery: Vec<DeliveryRow> = Vec::new();
+    for match_pct in [0u32, 1, 50] {
+        let decode = run_delivery_cell(match_pct, false, delivery_events);
+        let probe = run_delivery_cell(match_pct, true, delivery_events);
+        assert_eq!(
+            decode.notifications, probe.notifications,
+            "match {match_pct}%: probe must deliver exactly the decode-always set"
+        );
+        delivery.push(decode);
+        delivery.push(probe);
+    }
+    let mut dtable = Table::new(vec![
+        "match%", "mode", "events", "notifs", "wall-ms", "ev/s", "skipped", "passed", "decode-err",
+    ]);
+    for r in &delivery {
+        dtable.row(vec![
+            r.match_pct.to_string(),
+            r.mode.to_string(),
+            r.events.to_string(),
+            r.notifications.to_string(),
+            format!("{:.1}", r.wall_ms),
+            format!("{:.0}", r.events_per_sec),
+            r.probe_skipped.to_string(),
+            r.probe_passed.to_string(),
+            r.decode_errors.to_string(),
+        ]);
+    }
+    println!("{dtable}");
+    for pair in delivery.chunks(2) {
+        if let [decode, probe] = pair {
+            println!(
+                "  match {:>2}%: probe {:>5.2}x ev/s over decode-always ({} of {} skipped)",
+                decode.match_pct,
+                probe.events_per_sec / decode.events_per_sec,
+                probe.probe_skipped,
+                probe.events,
+            );
+        }
+    }
+
     if !smoke {
-        let json = render_json(&rows, events);
+        let json = render_json(&rows, &delivery, events);
         let path = "BENCH_e5_wire.json";
         std::fs::write(path, &json).expect("write BENCH_e5_wire.json");
         println!("\nwrote {path}");
     }
 }
 
-fn render_json(rows: &[Row], events: usize) -> String {
+fn render_json(rows: &[Row], delivery: &[DeliveryRow], events: usize) -> String {
     let mut out = String::from("{\n  \"experiment\": \"e5_wire_throughput\",\n");
     let _ = writeln!(out, "  \"events_per_cell\": {events},");
     out.push_str("  \"rows\": [\n");
@@ -335,6 +479,27 @@ fn render_json(rows: &[Row], events: usize) -> String {
             r.batch_flushes,
             r.batch_coalesced,
             r.retransmits,
+            comma,
+        )
+        .expect("string write");
+    }
+    out.push_str("  ],\n  \"delivery\": [\n");
+    for (i, r) in delivery.iter().enumerate() {
+        let comma = if i + 1 == delivery.len() { "" } else { "," };
+        writeln!(
+            out,
+            "    {{\"match_pct\": {}, \"mode\": \"{}\", \"events\": {}, \
+             \"notifications\": {}, \"wall_ms\": {:.2}, \"events_per_sec\": {:.1}, \
+             \"probe_skipped\": {}, \"probe_passed\": {}, \"decode_errors\": {}}}{}",
+            r.match_pct,
+            r.mode,
+            r.events,
+            r.notifications,
+            r.wall_ms,
+            r.events_per_sec,
+            r.probe_skipped,
+            r.probe_passed,
+            r.decode_errors,
             comma,
         )
         .expect("string write");

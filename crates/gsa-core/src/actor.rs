@@ -478,6 +478,21 @@ impl AlertingActor {
         if !effects.dead_letters.is_empty() {
             ctx.count(metric::AUX_DEAD_LETTER, effects.dead_letters.len() as u64);
         }
+        let counters = self.core.take_counters();
+        if !counters.is_zero() {
+            if counters.decode_errors > 0 {
+                ctx.count(metric::CORE_DECODE_ERROR, counters.decode_errors);
+            }
+            if counters.probe_skipped > 0 {
+                ctx.count(metric::CORE_PROBE_SKIP, counters.probe_skipped);
+            }
+            if counters.probe_passed > 0 {
+                ctx.count(metric::CORE_PROBE_PASS, counters.probe_passed);
+            }
+            if counters.mirrored_docs > 0 {
+                ctx.count(metric::CORE_MIRRORED_DOCS, counters.mirrored_docs);
+            }
+        }
         self.completed_fetches.extend(effects.fetches);
         self.completed_searches.extend(effects.searches);
         self.resolved.extend(effects.resolved);

@@ -20,7 +20,7 @@ use gsa_types::{
     SimDuration, SimTime,
 };
 use gsa_wire::reliable::{Reliable, RetryPolicy};
-use gsa_wire::InterestSummary;
+use gsa_wire::{InterestSummary, Payload};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
@@ -90,6 +90,32 @@ impl CoreEffects {
     }
 }
 
+/// Monotonic delivery-path counters, accumulated by the core and
+/// drained by the actor layer into simulation metrics (see
+/// [`AlertingCore::take_counters`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreCounters {
+    /// Accepted deliveries whose payload failed to decode as an event.
+    /// Before this counter existed such payloads vanished silently.
+    pub decode_errors: u64,
+    /// Deliveries rejected by the binary attribute probe — no profile
+    /// could match, so no `Event` was ever materialised.
+    pub probe_skipped: u64,
+    /// Deliveries the probe passed through to the full decode + match
+    /// path (candidate postings, or conservative pass-through).
+    pub probe_passed: u64,
+    /// Documents mirrored into local super-collection stores from
+    /// delivered events (mirror ingest only).
+    pub mirrored_docs: u64,
+}
+
+impl CoreCounters {
+    /// Returns `true` when every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == CoreCounters::default()
+    }
+}
+
 /// The per-host alerting service state machine.
 pub struct AlertingCore {
     host: HostName,
@@ -114,6 +140,18 @@ pub struct AlertingCore {
     pruning: bool,
     /// The last summary announced, so no-op refreshes send nothing.
     last_summary: Option<InterestSummary>,
+    /// When true (the default), frozen binary deliveries are pre-filtered
+    /// by the zero-materialisation attribute probe and only decoded when
+    /// some profile could match. Semantics-preserving either way; off
+    /// exists for A/B measurement (decode-always).
+    probe: bool,
+    /// When true, delivered events whose origin is a sub-collection of a
+    /// local collection also feed that collection's document store
+    /// (format-native replica ingest). Off by default: purely local
+    /// state, no extra messages.
+    mirror_ingest: bool,
+    /// Delivery-path counters since the last [`take_counters`](Self::take_counters).
+    counters: CoreCounters,
 }
 
 impl fmt::Debug for AlertingCore {
@@ -154,6 +192,9 @@ impl AlertingCore {
             request_started: HashMap::new(),
             pruning: false,
             last_summary: None,
+            probe: true,
+            mirror_ingest: false,
+            counters: CoreCounters::default(),
             host,
         }
     }
@@ -163,6 +204,33 @@ impl AlertingCore {
     /// by its GDS node and always receives the full flood.
     pub fn set_pruning(&mut self, enabled: bool) {
         self.pruning = enabled;
+    }
+
+    /// Enables or disables the delivery-time attribute probe (on by
+    /// default). The probe never changes which notifications are
+    /// produced — disabling it exists so benches can measure the
+    /// decode-always baseline.
+    pub fn set_probe(&mut self, enabled: bool) {
+        self.probe = enabled;
+    }
+
+    /// Enables mirror ingest: delivered events whose origin is a
+    /// sub-collection target of a local collection feed that
+    /// collection's document store directly (off by default).
+    pub fn set_mirror_ingest(&mut self, enabled: bool) {
+        self.mirror_ingest = enabled;
+    }
+
+    /// The delivery-path counters accumulated since the last
+    /// [`take_counters`](Self::take_counters).
+    pub fn counters(&self) -> CoreCounters {
+        self.counters
+    }
+
+    /// Drains the delivery-path counters (the actor layer surfaces them
+    /// as simulation metrics after each message).
+    pub fn take_counters(&mut self) -> CoreCounters {
+        std::mem::take(&mut self.counters)
     }
 
     /// This host's name.
@@ -702,17 +770,124 @@ impl AlertingCore {
             return effects;
         }
         if let Some((_origin, payload)) = self.gds.accept(&msg) {
-            // Lazy decode: a frozen binary payload deserialises through
-            // the native event codec here, at filter time — the XML
-            // tree is never rebuilt on the v2 fast path.
-            if let Ok(event) = payload.decode_event() {
-                let event = Arc::new(event);
+            // Pre-filter: the attribute probe scans the frozen binary
+            // encoding in place. `false` is a proof that no stored
+            // profile matches, so the common non-matching delivery costs
+            // read-only index probes — no Event, no XML tree. XML
+            // payloads and probe errors fall through to decode-always.
+            let mut probe_rejected = false;
+            if self.probe {
+                if let Some(mut probe) = payload.probe_event() {
+                    if self.subs.could_match_probe(&mut probe) {
+                        self.counters.probe_passed += 1;
+                    } else {
+                        self.counters.probe_skipped += 1;
+                        probe_rejected = true;
+                    }
+                }
+            }
+            let mut decoded = None;
+            if !probe_rejected {
+                // Lazy decode: a frozen binary payload deserialises
+                // through the native event codec here, at filter time.
+                match payload.decode_event() {
+                    Ok(event) => decoded = Some(Arc::new(event)),
+                    Err(_) => self.counters.decode_errors += 1,
+                }
+            }
+            if let Some(event) = &decoded {
                 effects
                     .notifications
-                    .extend(self.subs.filter_event(&event, now));
+                    .extend(self.subs.filter_event(event, now));
+            }
+            if self.mirror_ingest {
+                self.mirror_delivery(&payload, decoded.as_deref());
             }
         }
         effects
+    }
+
+    /// Mirrors a delivered event's documents into every local collection
+    /// that lists the event's origin among its sub-collections. Frozen
+    /// binary payloads feed the stores through borrowed probe views; an
+    /// XML payload reuses the event the filter path already decoded.
+    fn mirror_delivery(&mut self, payload: &Payload, decoded: Option<&Event>) {
+        if let Some(mut probe) = payload.probe_event() {
+            let targets = self.mirror_targets(probe.origin_host(), probe.origin_name());
+            if targets.is_empty() {
+                return;
+            }
+            match probe.kind() {
+                EventKind::CollectionDeleted => {}
+                EventKind::DocumentsRemoved => {
+                    while let Ok(Some(doc)) = probe.next_doc() {
+                        for name in &targets {
+                            if let Some(c) = self.server.collection_mut(name) {
+                                c.evict_doc(doc.id());
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    while let Ok(Some(doc)) = probe.next_doc() {
+                        for name in &targets {
+                            if let Some(c) = self.server.collection_mut(name) {
+                                c.ingest_doc_parts(doc.id(), doc.metadata(), doc.excerpt());
+                            }
+                        }
+                        self.counters.mirrored_docs += 1;
+                    }
+                }
+            }
+        } else if let Some(event) = decoded {
+            let targets = self.mirror_targets(
+                event.origin.host().as_str(),
+                event.origin.name().as_str(),
+            );
+            if targets.is_empty() {
+                return;
+            }
+            match event.kind {
+                EventKind::CollectionDeleted => {}
+                EventKind::DocumentsRemoved => {
+                    for doc in &event.docs {
+                        for name in &targets {
+                            if let Some(c) = self.server.collection_mut(name) {
+                                c.evict_doc(doc.doc.as_str());
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    for doc in &event.docs {
+                        for name in &targets {
+                            if let Some(c) = self.server.collection_mut(name) {
+                                c.ingest_doc_parts(
+                                    doc.doc.as_str(),
+                                    doc.metadata.iter_flat().map(|(k, v)| (k.as_str(), v)),
+                                    &doc.excerpt,
+                                );
+                            }
+                        }
+                        self.counters.mirrored_docs += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Local collections that list `host.name` among their
+    /// sub-collection targets.
+    fn mirror_targets(&self, host: &str, name: &str) -> Vec<CollectionName> {
+        self.server
+            .collections()
+            .filter(|c| {
+                c.config().subcollections.iter().any(|s| {
+                    s.target.host().as_str() == host && s.target.name().as_str() == name
+                })
+            })
+            .map(|c| c.config().name.clone())
+            .collect()
     }
 
     fn handle_aux(&mut self, from: &HostName, payload: AuxPayload, now: SimTime) -> CoreEffects {
@@ -1312,5 +1487,225 @@ mod tests {
             SimTime::ZERO,
         );
         assert_eq!(eff, CoreEffects::default());
+    }
+
+    /// A Deliver carrying docs from `London.E`, as a frozen binary payload.
+    fn binary_deliver(seq: u64, docs: Vec<gsa_types::DocSummary>) -> GdsMessage {
+        let event = Event::new(
+            EventId::new("London", seq),
+            CollectionId::new("London", "E"),
+            EventKind::DocumentsAdded,
+            SimTime::ZERO,
+        )
+        .with_docs(docs);
+        let bytes =
+            gsa_wire::binary::payload_bytes_from_xml(&gsa_wire::codec::event_to_xml(&event));
+        GdsMessage::Deliver {
+            id: gsa_types::MessageId::from_raw(seq),
+            origin: "London".into(),
+            payload: Payload::from_frozen(bytes.into()),
+        }
+    }
+
+    #[test]
+    fn undecodable_delivery_counts_a_decode_error() {
+        let mut core = AlertingCore::new("A", "gds-1");
+        let deliver = GdsMessage::Deliver {
+            id: gsa_types::MessageId::from_raw(1),
+            origin: "B".into(),
+            payload: gsa_wire::XmlElement::new("not-an-event").into(),
+        };
+        let eff = core.handle_message(&HostName::new("gds-1"), SysMessage::Gds(deliver), SimTime::ZERO);
+        assert!(eff.notifications.is_empty());
+        assert_eq!(core.counters().decode_errors, 1);
+        // take_counters drains; the next read starts from zero.
+        assert_eq!(core.take_counters().decode_errors, 1);
+        assert!(core.counters().is_zero());
+    }
+
+    #[test]
+    fn probe_skips_decode_for_non_matching_binary_deliveries() {
+        let mut core = AlertingCore::new("A", "gds-1");
+        let client = ClientId::from_raw(1);
+        core.subscribe(client, parse_profile(r#"host = "Paris""#).unwrap())
+            .unwrap();
+        let eff = core.handle_message(
+            &HostName::new("gds-1"),
+            SysMessage::Gds(binary_deliver(1, vec![])),
+            SimTime::ZERO,
+        );
+        assert!(eff.notifications.is_empty());
+        let counters = core.take_counters();
+        assert_eq!(counters.probe_skipped, 1);
+        assert_eq!(counters.probe_passed, 0);
+        assert_eq!(counters.decode_errors, 0);
+    }
+
+    #[test]
+    fn probe_on_and_off_deliver_the_same_notifications() {
+        let mk = |probe: bool| {
+            let mut core = AlertingCore::new("A", "gds-1");
+            core.set_probe(probe);
+            let client = ClientId::from_raw(1);
+            core.subscribe(client, parse_profile(r#"host = "London""#).unwrap())
+                .unwrap();
+            let eff = core.handle_message(
+                &HostName::new("gds-1"),
+                SysMessage::Gds(binary_deliver(1, vec![])),
+                SimTime::ZERO,
+            );
+            eff.notifications
+        };
+        let with_probe = mk(true);
+        let without_probe = mk(false);
+        assert_eq!(with_probe.len(), 1);
+        assert_eq!(with_probe, without_probe);
+    }
+
+    #[test]
+    fn probe_counters_stay_zero_when_disabled() {
+        let mut core = AlertingCore::new("A", "gds-1");
+        core.set_probe(false);
+        let eff = core.handle_message(
+            &HostName::new("gds-1"),
+            SysMessage::Gds(binary_deliver(1, vec![])),
+            SimTime::ZERO,
+        );
+        assert!(eff.notifications.is_empty());
+        let counters = core.take_counters();
+        assert_eq!(counters.probe_skipped, 0);
+        assert_eq!(counters.probe_passed, 0);
+    }
+
+    #[test]
+    fn mirror_ingest_populates_the_supercollection_store() {
+        let (mut hamilton, _london, _eff) = hamilton_london();
+        hamilton.set_mirror_ingest(true);
+        let mut meta = gsa_types::MetadataRecord::new();
+        meta.add("Title", "Waiata");
+        let docs = vec![gsa_types::DocSummary::new("e1")
+            .with_metadata(meta)
+            .with_excerpt("he waiata tenei")];
+        // Delivered over the GDS from the sub-collection's host as a
+        // frozen binary payload: the probe path must feed the store.
+        hamilton.handle_message(
+            &HostName::new("gds-4"),
+            SysMessage::Gds(binary_deliver(1, docs)),
+            SimTime::ZERO,
+        );
+        let stored = hamilton
+            .server()
+            .collection(&"D".into())
+            .unwrap()
+            .store()
+            .document(&gsa_types::DocId::new("e1"))
+            .cloned()
+            .expect("mirrored doc lands in D");
+        assert_eq!(stored.text, "he waiata tenei");
+        assert_eq!(hamilton.take_counters().mirrored_docs, 1);
+        // build_seq is untouched: mirroring is replica state, not a build.
+        assert_eq!(
+            hamilton.server().collection(&"D".into()).unwrap().build_seq(),
+            0
+        );
+
+        // A removal event evicts the mirrored doc again.
+        let event = Event::new(
+            EventId::new("London", 2),
+            CollectionId::new("London", "E"),
+            EventKind::DocumentsRemoved,
+            SimTime::ZERO,
+        )
+        .with_docs(vec![gsa_types::DocSummary::new("e1")]);
+        let bytes =
+            gsa_wire::binary::payload_bytes_from_xml(&gsa_wire::codec::event_to_xml(&event));
+        hamilton.handle_message(
+            &HostName::new("gds-4"),
+            SysMessage::Gds(GdsMessage::Deliver {
+                id: gsa_types::MessageId::from_raw(2),
+                origin: "London".into(),
+                payload: Payload::from_frozen(bytes.into()),
+            }),
+            SimTime::ZERO,
+        );
+        assert!(hamilton
+            .server()
+            .collection(&"D".into())
+            .unwrap()
+            .store()
+            .document(&gsa_types::DocId::new("e1"))
+            .is_none());
+    }
+
+    #[test]
+    fn mirror_ingest_works_on_the_xml_fallback_path() {
+        let (mut hamilton, _london, _eff) = hamilton_london();
+        hamilton.set_mirror_ingest(true);
+        let event = Event::new(
+            EventId::new("London", 1),
+            CollectionId::new("London", "E"),
+            EventKind::DocumentsAdded,
+            SimTime::ZERO,
+        )
+        .with_docs(vec![gsa_types::DocSummary::new("e9").with_excerpt("kia ora")]);
+        hamilton.handle_message(
+            &HostName::new("gds-4"),
+            SysMessage::Gds(GdsMessage::Deliver {
+                id: gsa_types::MessageId::from_raw(1),
+                origin: "London".into(),
+                payload: gsa_wire::codec::event_to_xml(&event).into(),
+            }),
+            SimTime::ZERO,
+        );
+        let stored = hamilton
+            .server()
+            .collection(&"D".into())
+            .unwrap()
+            .store()
+            .document(&gsa_types::DocId::new("e9"))
+            .cloned()
+            .expect("mirrored doc lands in D via XML decode");
+        assert_eq!(stored.text, "kia ora");
+    }
+
+    #[test]
+    fn mirror_ingest_ignores_unrelated_origins_when_disabled_or_unmatched() {
+        let (mut hamilton, _london, _eff) = hamilton_london();
+        // Disabled: nothing is mirrored even for a matching origin.
+        hamilton.handle_message(
+            &HostName::new("gds-4"),
+            SysMessage::Gds(binary_deliver(1, vec![gsa_types::DocSummary::new("e1")])),
+            SimTime::ZERO,
+        );
+        assert_eq!(hamilton.take_counters().mirrored_docs, 0);
+        // Enabled, but the origin is no sub-collection of any local
+        // collection: still nothing.
+        hamilton.set_mirror_ingest(true);
+        let event = Event::new(
+            EventId::new("Paris", 1),
+            CollectionId::new("Paris", "Z"),
+            EventKind::DocumentsAdded,
+            SimTime::ZERO,
+        )
+        .with_docs(vec![gsa_types::DocSummary::new("z1")]);
+        let bytes =
+            gsa_wire::binary::payload_bytes_from_xml(&gsa_wire::codec::event_to_xml(&event));
+        hamilton.handle_message(
+            &HostName::new("gds-4"),
+            SysMessage::Gds(GdsMessage::Deliver {
+                id: gsa_types::MessageId::from_raw(3),
+                origin: "Paris".into(),
+                payload: Payload::from_frozen(bytes.into()),
+            }),
+            SimTime::ZERO,
+        );
+        assert_eq!(hamilton.take_counters().mirrored_docs, 0);
+        assert!(hamilton
+            .server()
+            .collection(&"D".into())
+            .unwrap()
+            .store()
+            .document(&gsa_types::DocId::new("z1"))
+            .is_none());
     }
 }

@@ -60,7 +60,7 @@ pub mod message;
 pub mod subs;
 pub mod system;
 
-pub use crate::core::{AlertingCore, CoreConfig, CoreEffects};
+pub use crate::core::{AlertingCore, CoreConfig, CoreCounters, CoreEffects};
 pub use actor::{
     AlertingActor, BatchConfig, Directory, GdsActor, ReliabilityConfig, ReliableLink, WireConfig,
     WireVersion,

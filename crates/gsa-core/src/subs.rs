@@ -139,6 +139,19 @@ impl SubscriptionManager {
         summary
     }
 
+    /// Conservative zero-materialisation pre-filter over a frozen binary
+    /// event: `false` proves no stored profile can match, so the caller
+    /// may skip decoding entirely. `true` (including probe errors, which
+    /// pass through so the decode path reports them) means "decode and
+    /// run [`filter_event`](Self::filter_event)". Shares the manager's
+    /// warm [`MatchScratch`], so after warm-up a rejected event costs no
+    /// heap allocation.
+    pub fn could_match_probe(&mut self, probe: &mut gsa_wire::EventProbe<'_>) -> bool {
+        self.engine
+            .probe_matches(probe, &mut self.scratch)
+            .unwrap_or(true)
+    }
+
     /// Filters an event against every stored profile, queueing a
     /// notification per matching profile. Returns the notifications
     /// produced.

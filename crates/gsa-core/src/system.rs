@@ -32,6 +32,7 @@ pub struct System {
     reliability: Option<ReliabilityConfig>,
     wire: WireConfig,
     pruning: bool,
+    probe: bool,
 }
 
 impl fmt::Debug for System {
@@ -57,6 +58,7 @@ impl System {
             reliability: None,
             wire: WireConfig::default(),
             pruning: false,
+            probe: true,
         }
     }
 
@@ -116,6 +118,20 @@ impl System {
     /// Whether new nodes get flood pruning.
     pub fn pruning(&self) -> bool {
         self.pruning
+    }
+
+    /// Enables or disables the delivery-time attribute probe for every
+    /// server added *after* this call (on by default). The probe never
+    /// changes which notifications are produced; turning it off forces
+    /// the decode-always delivery path, the A/B baseline for the
+    /// deliver+filter bench.
+    pub fn set_probe(&mut self, enabled: bool) {
+        self.probe = enabled;
+    }
+
+    /// Whether new servers pre-filter deliveries with the attribute probe.
+    pub fn probe(&self) -> bool {
+        self.probe
     }
 
     /// Overrides one already-added host's wire configuration — the
@@ -209,6 +225,7 @@ impl System {
     ) -> NodeId {
         let mut core = AlertingCore::with_config(host, gds_server, config);
         core.set_pruning(self.pruning);
+        core.set_probe(self.probe);
         let mut actor = AlertingActor::new(core, self.directory.clone(), self.tick);
         if let Some(cfg) = &self.reliability {
             actor.enable_reliability(cfg.clone(), self.jitter_seed());

@@ -13,6 +13,8 @@ use crate::intern::{FxHashMap, Symbol, SymbolTable};
 use gsa_profile::{AttrValue, Literal, Predicate, ProfileAttr, ProfileExpr};
 use gsa_store::Query;
 use gsa_types::{DocSummary, Event, ProfileId};
+use gsa_wire::probe::{DocProbe, EventProbe};
+use gsa_wire::WireError;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::fmt::Write as _;
@@ -569,6 +571,118 @@ impl FilterEngine {
             verify(ci, !0);
         }
     }
+
+    /// Conservative zero-materialisation pre-filter: could any profile
+    /// match the event behind `probe`?
+    ///
+    /// Runs exactly the counting phase of
+    /// [`matches_into`](FilterEngine::matches_into) against the borrowed
+    /// attribute slices of an [`EventProbe`] — no `Event`, no metadata
+    /// record, no interning (values are looked up read-only; a value
+    /// never seen by any profile cannot be in the index). Residual
+    /// predicates are *not* verified: a conjunction whose indexed mask is
+    /// complete counts as a hit, and any scan-only conjunction (wildcards,
+    /// filter queries, pure negations) makes every event a hit. `false`
+    /// therefore proves `matches_into` would return nothing, while `true`
+    /// only means the caller must materialise the event and run the full
+    /// match.
+    ///
+    /// With warm `scratch` buffers this performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WireError`] from walking the encoded documents;
+    /// callers treat an error like `true` (decode and let the ordinary
+    /// path report the problem).
+    pub fn probe_matches(
+        &self,
+        probe: &mut EventProbe<'_>,
+        scratch: &mut MatchScratch,
+    ) -> Result<bool, WireError> {
+        if !self.scan.is_empty() {
+            return Ok(true);
+        }
+        if self.eq_index.is_empty() {
+            return Ok(false);
+        }
+        scratch.ensure(self.conjs.len(), self.pslot_high as usize);
+
+        let host = self.postings(self.attr_host, probe.origin_host());
+        scratch.collection_key.clear();
+        let _ = write!(
+            scratch.collection_key,
+            "{}.{}",
+            probe.origin_host(),
+            probe.origin_name()
+        );
+        let collection = self.postings(self.attr_collection, &scratch.collection_key);
+        let kind = self.postings(self.attr_kind, probe.kind().as_str());
+        let event_postings = [host, collection, kind];
+
+        if probe.remaining_docs() == 0 {
+            return Ok(self.probe_context(&event_postings, None, scratch));
+        }
+        while let Some(doc) = probe.next_doc()? {
+            if self.probe_context(&event_postings, Some(&doc), scratch) {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// One counting context of [`probe_matches`]: returns `true` when
+    /// any conjunction's indexed mask is completed by this context.
+    fn probe_context(
+        &self,
+        event_postings: &[Option<&[Posting]>; 3],
+        doc: Option<&DocProbe<'_>>,
+        scratch: &mut MatchScratch,
+    ) -> bool {
+        scratch.generation += 1;
+        let gen = scratch.generation;
+        scratch.touched.clear();
+        let MatchScratch {
+            counters, touched, ..
+        } = scratch;
+
+        let mut bump = |postings: &[Posting]| {
+            for p in postings {
+                let slot = &mut counters[p.conj as usize];
+                if slot.0 == gen {
+                    slot.1 |= p.mask;
+                } else {
+                    *slot = (gen, p.mask);
+                    touched.push(p.conj);
+                }
+            }
+        };
+        for postings in event_postings.iter().flatten() {
+            bump(postings);
+        }
+        if let Some(doc) = doc {
+            if let Some(postings) = self.postings(self.attr_doc, doc.id()) {
+                bump(postings);
+            }
+            for (key, value) in doc.metadata() {
+                let Some(attr) = self.symbols.lookup(key) else {
+                    continue;
+                };
+                let Some(val) = self.symbols.lookup(value) else {
+                    continue;
+                };
+                if let Some(postings) = self.eq_index.get(&(attr, val)) {
+                    bump(postings);
+                }
+            }
+        }
+
+        touched.iter().any(|&ci| {
+            let entry = self.conjs[ci as usize]
+                .as_ref()
+                .expect("indexed conjunction is live");
+            counters[ci as usize].1 & entry.required == entry.required
+        })
+    }
 }
 
 #[cfg(test)]
@@ -801,5 +915,98 @@ mod tests {
         let e = FilterEngine::new();
         assert!(e.is_empty());
         assert!(e.matches(&event("London", "E", "x", "")).is_empty());
+    }
+
+    /// Opens a probe over the event's frozen binary payload encoding.
+    fn probed(event: &Event, f: impl FnOnce(&mut gsa_wire::EventProbe<'_>) -> bool) -> bool {
+        let bytes =
+            gsa_wire::binary::payload_bytes_from_xml(&gsa_wire::codec::event_to_xml(event));
+        let mut probe = gsa_wire::EventProbe::from_payload(&bytes).unwrap().unwrap();
+        f(&mut probe)
+    }
+
+    fn probe_hit(e: &FilterEngine, ev: &Event) -> bool {
+        probed(ev, |probe| {
+            e.probe_matches(probe, &mut MatchScratch::new()).unwrap()
+        })
+    }
+
+    #[test]
+    fn probe_rejects_what_cannot_match_and_passes_what_can() {
+        let e = engine_with(&[
+            (1, r#"host = "London" AND dc.Subject = "dl""#),
+            (2, r#"doc = "d1" AND kind = "collection-rebuilt""#),
+        ]);
+        assert!(probe_hit(&e, &event("London", "E", "dl", "")));
+        assert!(!probe_hit(&e, &event("London", "E", "other", "")), "mask incomplete");
+        assert!(!probe_hit(&e, &event("Paris", "E", "dl", "")), "wrong host");
+        // d1 present but kind differs: no conjunction completes.
+        assert!(!probe_hit(&e, &event("Berlin", "E", "x", "")));
+    }
+
+    #[test]
+    fn probe_is_conservative_for_scan_profiles() {
+        // Wildcards, filter queries and pure negations are scan-only:
+        // every event passes the probe and is verified after decode.
+        for text in [r#"text ~ "*digital*""#, r#"text ? (digital)"#, r#"NOT host = "X""#] {
+            let e = engine_with(&[(1, text)]);
+            assert!(probe_hit(&e, &event("Anywhere", "C", "x", "nope")), "{text}");
+        }
+    }
+
+    #[test]
+    fn probe_passes_candidates_with_failing_residuals() {
+        // Indexed mask completes, residual fails: the probe must still
+        // pass the event through (it never verifies residuals).
+        let e = engine_with(&[(1, r#"host = "London" AND text ? (digital)"#)]);
+        assert!(probe_hit(&e, &event("London", "E", "x", "analog stuff")));
+        assert!(!probe_hit(&e, &event("Paris", "E", "x", "digital stuff")));
+    }
+
+    #[test]
+    fn probe_agrees_with_matches_on_docless_events() {
+        let e = engine_with(&[(1, r#"collection = "London.E""#), (2, r#"doc = "d1""#)]);
+        let deleted = Event::new(
+            EventId::new("London", 9),
+            CollectionId::new("London", "E"),
+            EventKind::CollectionDeleted,
+            SimTime::ZERO,
+        );
+        assert!(probe_hit(&e, &deleted));
+        let other = Event::new(
+            EventId::new("Paris", 9),
+            CollectionId::new("Paris", "E"),
+            EventKind::CollectionDeleted,
+            SimTime::ZERO,
+        );
+        assert!(!probe_hit(&e, &other));
+    }
+
+    #[test]
+    fn probe_empty_engine_rejects_everything() {
+        let e = FilterEngine::new();
+        assert!(!probe_hit(&e, &event("London", "E", "dl", "")));
+    }
+
+    #[test]
+    fn probe_never_false_negative_across_profile_shapes() {
+        // For every profile shape and a spread of events: probe=false
+        // must imply matches=empty.
+        let e = engine_with(&[
+            (1, r#"host = "London""#),
+            (2, r#"dc.Subject in ["dl", "pubsub"]"#),
+            (3, r#"collection = "Paris.E" AND kind = "documents-added""#),
+            (4, r#"doc = "d1" AND dc.Subject = "dl""#),
+        ]);
+        for ev in [
+            event("London", "E", "dl", "t"),
+            event("Paris", "E", "pubsub", "t"),
+            event("Berlin", "C", "none", "t"),
+            event("Paris", "E", "x", "t"),
+        ] {
+            let full = e.matches(&ev);
+            let hit = probe_hit(&e, &ev);
+            assert!(hit || full.is_empty(), "probe false negative on {ev:?}");
+        }
     }
 }

@@ -538,10 +538,18 @@ impl GdsNode {
         effects: &mut GdsEffects,
     ) {
         let anchor = if self.pruning && !self.edge_summaries.is_empty() {
-            payload
-                .decode_event()
-                .ok()
-                .map(|event| (event.origin.host().as_str().to_string(), event.origin.to_string()))
+            // The prune anchor needs only the origin header. On frozen
+            // binary payloads the attribute probe reads it in place —
+            // no per-hop Event (and per-doc metadata) materialisation.
+            match payload.probe_event() {
+                Some(probe) => Some((
+                    probe.origin_host().to_string(),
+                    format!("{}.{}", probe.origin_host(), probe.origin_name()),
+                )),
+                None => payload.decode_event().ok().map(|event| {
+                    (event.origin.host().as_str().to_string(), event.origin.to_string())
+                }),
+            }
         } else {
             None
         };

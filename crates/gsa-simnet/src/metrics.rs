@@ -42,6 +42,17 @@ pub mod names {
     pub const GDS_PRUNED_EDGES: &str = "gds.pruned_edges";
     /// Interest-summary updates accepted by GDS nodes.
     pub const GDS_SUMMARY_UPDATES: &str = "gds.summary_updates";
+    /// Accepted deliveries whose payload failed to decode as an event
+    /// (previously dropped silently at the delivery boundary).
+    pub const CORE_DECODE_ERROR: &str = "core.decode_error";
+    /// Deliveries rejected by the binary attribute probe without
+    /// materialising an event.
+    pub const CORE_PROBE_SKIP: &str = "core.probe_skip";
+    /// Deliveries the probe passed to the full decode + match path.
+    pub const CORE_PROBE_PASS: &str = "core.probe_pass";
+    /// Documents mirrored into local super-collection stores from
+    /// delivered events.
+    pub const CORE_MIRRORED_DOCS: &str = "core.mirrored_docs";
 }
 
 /// A histogram of `u64` samples with on-demand quantiles.

@@ -94,9 +94,18 @@ impl Classifier {
     /// Classifies one document, adding it to the appropriate buckets. A
     /// document appears once per distinct matching value.
     pub fn add(&mut self, id: &DocId, metadata: &MetadataRecord) {
-        let spec = self.spec().clone();
-        for value in metadata.all(&spec.key) {
-            let bucket = spec.rule.bucket_for(value);
+        let values = metadata.all(&self.spec().key);
+        self.add_values(id, values.iter().map(|v| v.as_str()));
+    }
+
+    /// Classifies one document from the values of its classified key,
+    /// already extracted — the borrowed-view twin of [`add`](Self::add)
+    /// for callers holding `&str` slices (e.g. a frozen wire buffer)
+    /// rather than a built [`MetadataRecord`].
+    pub fn add_values<'a>(&mut self, id: &DocId, values: impl IntoIterator<Item = &'a str>) {
+        let rule = self.spec().rule;
+        for value in values {
+            let bucket = rule.bucket_for(value);
             let docs = self.buckets.entry(bucket).or_default();
             if !docs.contains(id) {
                 docs.push(id.clone());

@@ -63,15 +63,28 @@ impl InvertedIndex {
     /// Indexes `text` under `id`, replacing any previous document with the
     /// same id.
     pub fn add(&mut self, id: DocId, text: &str) {
+        self.add_segments(id, std::iter::once(text));
+    }
+
+    /// Indexes a sequence of text segments under `id`, replacing any
+    /// previous document with the same id. Equivalent to [`add`](Self::add)
+    /// on the segments joined with a separator: segment boundaries are
+    /// token boundaries either way, so callers holding borrowed slices
+    /// (multi-valued metadata, frozen wire buffers) can feed them without
+    /// first concatenating into an owned string.
+    pub fn add_segments<'a>(&mut self, id: DocId, segments: impl IntoIterator<Item = &'a str>) {
         self.remove(&id);
         let ord = self.docs.len() as u32;
-        let tokens = tokenize(text);
         let mut counts: HashMap<String, u32> = HashMap::new();
-        for t in &tokens {
-            *counts.entry(t.clone()).or_default() += 1;
+        let mut len = 0u32;
+        for segment in segments {
+            for t in tokenize(segment) {
+                len += 1;
+                *counts.entry(t).or_default() += 1;
+            }
         }
         self.docs.push(id.clone());
-        self.doc_len.push(tokens.len() as u32);
+        self.doc_len.push(len);
         self.by_id.insert(id, ord);
         for (term, tf) in counts {
             self.terms.entry(term).or_default().push(Posting { doc: ord, tf });
@@ -296,5 +309,33 @@ mod tests {
         let mut idx = InvertedIndex::new();
         idx.add("a".into(), "x x y");
         assert_eq!(idx.term_count(), 2);
+    }
+
+    #[test]
+    fn add_segments_equals_add_on_joined_text() {
+        let values = ["Digital Libraries", "alerting-service", "2005"];
+        let mut joined = InvertedIndex::new();
+        joined.add("d".into(), &values.join(" "));
+        let mut segmented = InvertedIndex::new();
+        segmented.add_segments("d".into(), values);
+        for term in ["digital", "libraries", "alerting", "service", "2005"] {
+            assert_eq!(
+                joined.execute(&Query::term(term)),
+                segmented.execute(&Query::term(term)),
+                "term {term}"
+            );
+        }
+        assert_eq!(joined.ranked(&["digital"]), segmented.ranked(&["digital"]));
+        assert_eq!(joined.term_count(), segmented.term_count());
+    }
+
+    #[test]
+    fn add_segments_replaces_previous_document() {
+        let mut idx = InvertedIndex::new();
+        idx.add("d".into(), "old words");
+        idx.add_segments("d".into(), ["new"]);
+        assert!(idx.execute(&Query::term("old")).is_empty());
+        assert_eq!(idx.execute(&Query::term("new")), vec![DocId::new("d")]);
+        assert_eq!(idx.len(), 1);
     }
 }

@@ -167,8 +167,10 @@ impl MetadataRecord {
     }
 
     /// Iterates over every `(key, value)` pair, flattening multi-values.
+    /// The iterator is `Clone` so borrowed-view ingest paths can walk
+    /// the pairs once per index without collecting them.
     #[inline]
-    pub fn iter_flat(&self) -> impl Iterator<Item = (&MetaKey, &str)> {
+    pub fn iter_flat(&self) -> impl Iterator<Item = (&MetaKey, &str)> + Clone {
         self.entries
             .iter()
             .flat_map(|(k, vs)| vs.iter().map(move |v| (k, v.as_str())))

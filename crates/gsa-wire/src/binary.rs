@@ -147,7 +147,11 @@ pub fn str_len(s: &str) -> usize {
 }
 
 /// A cursor over binary frame bytes.
-#[derive(Debug)]
+///
+/// Cloning is cheap (a slice and an offset) and lets a caller bookmark a
+/// position — the attribute probe ([`crate::probe`]) clones the cursor to
+/// re-walk a document's metadata pairs without re-parsing the preamble.
+#[derive(Debug, Clone)]
 pub struct BinReader<'a> {
     buf: &'a [u8],
     pos: usize,
@@ -214,17 +218,37 @@ impl<'a> BinReader<'a> {
         Ok(s)
     }
 
+    /// Reads a length-prefixed UTF-8 string as a borrowed slice of the
+    /// underlying buffer — the zero-copy primitive the attribute probe
+    /// ([`crate::probe`]) is built on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation or invalid UTF-8.
+    pub fn read_str(&mut self) -> Result<&'a str, WireError> {
+        let len = self.read_varint()? as usize;
+        let bytes = self.read_slice(len)?;
+        std::str::from_utf8(bytes).map_err(|_| WireError::malformed("string is not valid UTF-8"))
+    }
+
     /// Reads a length-prefixed UTF-8 string.
     ///
     /// # Errors
     ///
     /// Returns [`WireError`] on truncation or invalid UTF-8.
     pub fn read_string(&mut self) -> Result<String, WireError> {
+        self.read_str().map(str::to_owned)
+    }
+
+    /// Advances past a length-prefixed string without validating UTF-8.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation.
+    pub fn skip_string(&mut self) -> Result<(), WireError> {
         let len = self.read_varint()? as usize;
-        let bytes = self.read_slice(len)?;
-        std::str::from_utf8(bytes)
-            .map(str::to_owned)
-            .map_err(|_| WireError::malformed("string is not valid UTF-8"))
+        self.read_slice(len)?;
+        Ok(())
     }
 }
 
@@ -470,8 +494,8 @@ pub fn event_from_binary(r: &mut BinReader<'_>) -> Result<Event, WireError> {
 
 // --- payload bytes (tagged: native event or generic XML) --------------
 
-const PAYLOAD_XML: u8 = 0;
-const PAYLOAD_EVENT: u8 = 1;
+pub(crate) const PAYLOAD_XML: u8 = 0;
+pub(crate) const PAYLOAD_EVENT: u8 = 1;
 
 /// Encodes a message payload element: a tag byte, then either the
 /// native event codec (when the element is a well-formed event — the

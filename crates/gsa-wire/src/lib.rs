@@ -20,6 +20,10 @@
 //!   fallback for everything else,
 //! * [`payload`] — the dual-representation [`Payload`] carrier that
 //!   makes encode-once flood forwarding and lazy decode possible,
+//! * [`probe`] — zero-materialisation attribute probes ([`EventProbe`])
+//!   that scan a frozen event's filterable attributes in place, so a
+//!   delivery-time pre-filter can reject a non-matching event without
+//!   decoding it,
 //! * [`summary`] — conservative subtree interest summaries
 //!   ([`InterestSummary`]) used by the GDS flood-pruning layer, with
 //!   both XML and binary codecs.
@@ -45,6 +49,7 @@ pub mod binary;
 pub mod codec;
 pub mod envelope;
 pub mod payload;
+pub mod probe;
 pub mod reliable;
 pub mod summary;
 pub mod xml;
@@ -52,6 +57,7 @@ pub mod xml;
 pub use binary::{FrozenBytes, WireFormat};
 pub use envelope::Envelope;
 pub use payload::Payload;
+pub use probe::{DocProbe, EventProbe, MetaProbe};
 pub use summary::InterestSummary;
 pub use reliable::{Reliable, RetransmitQueue, RetryPolicy};
 pub use xml::{parse_document, WireError, XmlElement, XmlNode};

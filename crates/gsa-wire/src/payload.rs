@@ -132,6 +132,18 @@ impl Payload {
         let xml = self.xml.as_ref().expect("payload has a representation");
         event_from_xml(xml)
     }
+
+    /// Opens a zero-materialisation attribute probe over the frozen
+    /// binary encoding. Returns `None` when no binary representation is
+    /// materialised, when the payload took the generic XML fallback
+    /// encoding, or when the event header is malformed — in every such
+    /// case the caller falls back to [`decode_event`](Self::decode_event),
+    /// which reports (or recovers from) the problem exactly as it did
+    /// before probes existed.
+    pub fn probe_event(&self) -> Option<crate::probe::EventProbe<'_>> {
+        let bin = self.bin.as_ref()?;
+        crate::probe::EventProbe::from_payload(bin).ok().flatten()
+    }
 }
 
 impl From<XmlElement> for Payload {
