@@ -4,13 +4,14 @@
 use crate::core::{AlertingCore, CoreEffects};
 use crate::message::SysMessage;
 use gsa_gds::{GdsEffects, GdsMessage, GdsNode, GdsOutbound};
-use gsa_simnet::metrics::names as metric;
+use gsa_simnet::metrics::{names as metric, CounterId};
 use gsa_simnet::{Actor, Ctx, NodeId, TimerId};
-use gsa_types::{HostName, SimDuration};
+use gsa_types::{FxHashMap, HostName, SimDuration};
 use gsa_wire::reliable::{Reliable, RetransmitQueue, RetryPolicy};
 use gsa_wire::WireFormat;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A shared host-name → node-id directory, the simulation's stand-in for
@@ -18,6 +19,10 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
     inner: Arc<RwLock<DirectoryInner>>,
+    /// Bumped on every [`Directory::insert`]; lets per-actor caches
+    /// detect staleness with one atomic load instead of taking the
+    /// read lock on every message.
+    version: Arc<AtomicU64>,
 }
 
 #[derive(Debug, Default)]
@@ -37,6 +42,36 @@ impl Directory {
         let mut inner = self.inner.write();
         inner.by_name.insert(name.clone(), node);
         inner.by_node.insert(node, name);
+        // Bumped while the write lock is held, so a reader that
+        // observes the new version and then takes the read lock is
+        // guaranteed to see the insert.
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// The current change counter; advances on every insert.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Copies the current contents into a cache's tables.
+    fn snapshot_into(
+        &self,
+        by_name: &mut FxHashMap<HostName, NodeId>,
+        by_node: &mut Vec<Option<HostName>>,
+    ) {
+        let inner = self.inner.read();
+        by_name.clear();
+        by_node.clear();
+        for (name, node) in &inner.by_name {
+            by_name.insert(name.clone(), *node);
+        }
+        for (node, name) in &inner.by_node {
+            let idx = node.as_u32() as usize;
+            if by_node.len() <= idx {
+                by_node.resize(idx + 1, None);
+            }
+            by_node[idx] = Some(name.clone());
+        }
     }
 
     /// Resolves a host name to its node.
@@ -57,6 +92,43 @@ impl Directory {
     /// Returns `true` when no names are registered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// A per-actor snapshot of the shared [`Directory`], refreshed only
+/// when the directory's change counter moves. The directory is
+/// insert-only and effectively frozen once a topology is built, so the
+/// per-message name↔node translations hit these local tables — no lock,
+/// no SipHash — after the first message following any change.
+#[derive(Debug, Default)]
+struct DirectoryCache {
+    /// Directory version the tables were copied at.
+    version: u64,
+    by_name: FxHashMap<HostName, NodeId>,
+    by_node: Vec<Option<HostName>>,
+}
+
+impl DirectoryCache {
+    /// Refreshes the tables when the directory has changed since the
+    /// last call.
+    fn sync(&mut self, directory: &Directory) {
+        let version = directory.version();
+        if version != self.version {
+            directory.snapshot_into(&mut self.by_name, &mut self.by_node);
+            self.version = version;
+        }
+    }
+
+    /// Cached equivalent of [`Directory::lookup`].
+    fn lookup(&mut self, directory: &Directory, name: &HostName) -> Option<NodeId> {
+        self.sync(directory);
+        self.by_name.get(name).copied()
+    }
+
+    /// Cached equivalent of [`Directory::name_of`].
+    fn name_of(&mut self, directory: &Directory, node: NodeId) -> Option<&HostName> {
+        self.sync(directory);
+        self.by_node.get(node.as_u32() as usize).and_then(Option::as_ref)
     }
 }
 
@@ -157,8 +229,9 @@ fn batchable(msg: &GdsMessage) -> bool {
 struct WireLink {
     config: WireConfig,
     /// Edges proven (via hello/hello-ack) to understand the binary
-    /// codec. Absent edges ride XML — always safe.
-    peer_fmt: HashMap<NodeId, WireFormat>,
+    /// codec. Absent edges ride XML — always safe. Insert/probe only,
+    /// so the fast hasher cannot leak an order into behaviour.
+    peer_fmt: FxHashMap<NodeId, WireFormat>,
     /// Per-edge buffered flood messages awaiting a flush.
     pending: HashMap<NodeId, Vec<GdsMessage>>,
     /// A `BATCH_TAG` timer is outstanding.
@@ -169,7 +242,7 @@ impl WireLink {
     fn new(config: WireConfig) -> Self {
         WireLink {
             config,
-            peer_fmt: HashMap::new(),
+            peer_fmt: FxHashMap::default(),
             pending: HashMap::new(),
             timer_armed: false,
         }
@@ -254,7 +327,11 @@ impl WireLink {
     /// Flushes every buffered edge (the `BATCH_TAG` timer body).
     fn flush_all(&mut self, ctx: &mut Ctx<'_, SysMessage>, mut link: Option<&mut ReliableLink>) {
         self.timer_armed = false;
-        let edges: Vec<NodeId> = self.pending.keys().copied().collect();
+        let mut edges: Vec<NodeId> = self.pending.keys().copied().collect();
+        // The map's iteration order is seeded per instance; it must not
+        // steer the send order (and with it the link RNG draw order),
+        // or same-seed runs stop replaying bit-identically.
+        edges.sort_unstable();
         for node in edges {
             self.flush_edge(ctx, node, link.as_deref_mut());
         }
@@ -411,6 +488,7 @@ fn rides_plain(msg: &GdsMessage) -> bool {
 pub struct AlertingActor {
     core: AlertingCore,
     directory: Directory,
+    dir_cache: DirectoryCache,
     tick: SimDuration,
     /// Locally-initiated distributed fetches that completed (drained by
     /// the [`System`](crate::System) driver).
@@ -430,6 +508,7 @@ impl AlertingActor {
         AlertingActor {
             core,
             directory,
+            dir_cache: DirectoryCache::default(),
             tick,
             completed_fetches: Vec::new(),
             completed_searches: Vec::new(),
@@ -470,10 +549,10 @@ impl AlertingActor {
     /// counters.
     pub fn apply(&mut self, effects: CoreEffects, ctx: &mut Ctx<'_, SysMessage>) {
         if !effects.notifications.is_empty() {
-            ctx.count("alert.notifications", effects.notifications.len() as u64);
+            ctx.count_id(CounterId::ALERT_NOTIFICATIONS, effects.notifications.len() as u64);
         }
         if !effects.published.is_empty() {
-            ctx.count("alert.events_published", effects.published.len() as u64);
+            ctx.count_id(CounterId::ALERT_EVENTS_PUBLISHED, effects.published.len() as u64);
         }
         if !effects.dead_letters.is_empty() {
             ctx.count(metric::AUX_DEAD_LETTER, effects.dead_letters.len() as u64);
@@ -496,8 +575,14 @@ impl AlertingActor {
         self.completed_fetches.extend(effects.fetches);
         self.completed_searches.extend(effects.searches);
         self.resolved.extend(effects.resolved);
+        let legacy = ctx.seed_equivalent_path();
         for (to, msg) in effects.outbound {
-            let Some(node) = self.directory.lookup(&to) else {
+            let node = if legacy {
+                self.directory.lookup(&to)
+            } else {
+                self.dir_cache.lookup(&self.directory, &to)
+            };
+            let Some(node) = node else {
                 ctx.count("alert.unknown_host", 1);
                 continue;
             };
@@ -576,18 +661,19 @@ impl Actor<SysMessage> for AlertingActor {
             .directory
             .name_of(from)
             .unwrap_or_else(|| HostName::new(format!("unknown-{from}")));
-        // A batch from the directory node unbatches here; each item is
-        // processed exactly as if it had arrived in its own frame.
-        let items = match msg {
-            SysMessage::Gds(GdsMessage::Batch(items)) => {
-                items.into_iter().map(SysMessage::Gds).collect()
-            }
-            other => vec![other],
-        };
-        for item in items {
-            let effects = self.core.handle_message(&from_host, item, ctx.now());
+        // A batch from the directory node drains through one core call:
+        // accept, probe and mirror run per item in arrival order, then a
+        // single filter pass matches every surviving event — through the
+        // sharded engine when one is configured. Effects (and hence
+        // notification order, counters and outbound sends) are exactly
+        // what per-item frames would have produced.
+        if let SysMessage::Gds(GdsMessage::Batch(items)) = msg {
+            let effects = self.core.handle_gds_batch(items, ctx.now());
             self.apply(effects, ctx);
+            return;
         }
+        let effects = self.core.handle_message(&from_host, msg, ctx.now());
+        self.apply(effects, ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, SysMessage>, _timer: TimerId, tag: u64) {
@@ -635,8 +721,13 @@ struct GdsReliability {
 pub struct GdsActor {
     node: GdsNode,
     directory: Directory,
+    dir_cache: DirectoryCache,
     reliability: Option<GdsReliability>,
     wire: WireLink,
+    /// Reused effects buffer for the per-message hot path; capacity
+    /// survives between frames so steady-state handling allocates
+    /// nothing.
+    scratch: GdsEffects,
 }
 
 impl GdsActor {
@@ -646,8 +737,10 @@ impl GdsActor {
         GdsActor {
             node,
             directory,
+            dir_cache: DirectoryCache::default(),
             reliability: None,
             wire: WireLink::new(WireConfig::default()),
+            scratch: GdsEffects::default(),
         }
     }
 
@@ -693,7 +786,7 @@ impl GdsActor {
         &mut self.node
     }
 
-    fn apply(&mut self, effects: GdsEffects, ctx: &mut Ctx<'_, SysMessage>) {
+    fn apply(&mut self, effects: &mut GdsEffects, ctx: &mut Ctx<'_, SysMessage>) {
         if !effects.undeliverable.is_empty() {
             ctx.count("gds.undeliverable", effects.undeliverable.len() as u64);
         }
@@ -704,8 +797,17 @@ impl GdsActor {
         if updates > 0 {
             ctx.count(metric::GDS_SUMMARY_UPDATES, updates);
         }
-        for out in effects.outbound {
-            let Some(node) = self.directory.lookup(&out.to) else {
+        let legacy = ctx.seed_equivalent_path();
+        for out in effects.outbound.drain(..) {
+            // The seed-era actor resolved every outbound edge through
+            // the shared directory's lock; the fast path hits the
+            // version-gated local cache instead.
+            let node = if legacy {
+                self.directory.lookup(&out.to)
+            } else {
+                self.dir_cache.lookup(&self.directory, &out.to)
+            };
+            let Some(node) = node else {
                 ctx.count("gds.unknown_host", 1);
                 continue;
             };
@@ -771,7 +873,7 @@ impl GdsActor {
         if let Some(out) = self.node.summary_announcement() {
             let mut effects = GdsEffects::default();
             effects.outbound.push(out);
-            self.apply(effects, ctx);
+            self.apply(&mut effects, ctx);
         }
         ctx.set_timer(interval, HEARTBEAT_TAG);
     }
@@ -815,7 +917,7 @@ impl GdsActor {
         // any stale edge summary); tell it what we actually cover so
         // pruning resumes on the healed edge.
         effects.outbound.extend(self.node.summary_announcement());
-        self.apply(effects, ctx);
+        self.apply(&mut effects, ctx);
         // The new parent is an unknown quantity: renegotiate the edge
         // from the XML-safe default.
         self.say_hello(ctx, &new_parent);
@@ -902,16 +1004,37 @@ impl Actor<SysMessage> for GdsActor {
             }
             _ => {}
         }
-        let from_host = self
-            .directory
-            .name_of(from)
-            .unwrap_or_else(|| HostName::new(format!("unknown-{from}")));
-        ctx.count("gds.messages", 1);
+        let legacy = ctx.seed_equivalent_path();
+        let from_host = if legacy {
+            // Seed-era resolution: read lock + hash probe per frame.
+            self.directory.name_of(from)
+        } else {
+            self.dir_cache.name_of(&self.directory, from).cloned()
+        }
+        .unwrap_or_else(|| HostName::new(format!("unknown-{from}")));
+        ctx.count_id(CounterId::GDS_MESSAGES, 1);
         if let GdsMessage::Batch(ref items) = msg {
             ctx.count(metric::WIRE_BATCH_RECEIVED, items.len() as u64);
         }
-        let effects = self.node.handle_message(&from_host, msg);
-        self.apply(effects, ctx);
+        if legacy {
+            // Seed-era frame handling: a fresh effects buffer per
+            // message, grown by its pushes and freed after transmit.
+            // (Flood-hop string costs live in the node's seed-cost
+            // mirrors; the resolved sender name was one more owned
+            // string per frame.)
+            std::hint::black_box(from_host.as_str().to_owned());
+            let mut effects = self.node.handle_message(&from_host, msg);
+            self.apply(&mut effects, ctx);
+        } else {
+            // Steady-state frames reuse one effects buffer: take it,
+            // handle into it, transmit, put it back with its capacity
+            // intact.
+            let mut effects = std::mem::take(&mut self.scratch);
+            effects.clear();
+            self.node.handle_message_into(&from_host, msg, &mut effects);
+            self.apply(&mut effects, ctx);
+            self.scratch = effects;
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, SysMessage>, _timer: TimerId, tag: u64) {

@@ -214,6 +214,15 @@ impl AlertingCore {
         self.probe = enabled;
     }
 
+    /// Partitions the subscription-matching backend into `shards`
+    /// independently matched engines (`1`, the default, keeps the
+    /// single engine). Sharding never changes which notifications are
+    /// produced; it lets a batched delivery drain through all shards
+    /// in one fan-out.
+    pub fn set_filter_shards(&mut self, shards: usize) {
+        self.subs.set_shards(shards);
+    }
+
     /// Enables mirror ingest: delivered events whose origin is a
     /// sub-collection target of a local collection feed that
     /// collection's document store directly (off by default).
@@ -765,6 +774,9 @@ impl AlertingCore {
 
     fn handle_gds(&mut self, msg: GdsMessage, now: SimTime) -> CoreEffects {
         let mut effects = CoreEffects::default();
+        if let GdsMessage::Batch(items) = msg {
+            return self.handle_gds_batch(items, now);
+        }
         if let GdsMessage::ResolveResponse { token, result, .. } = &msg {
             effects.resolved.push((*token, result.clone()));
             return effects;
@@ -803,6 +815,60 @@ impl AlertingCore {
             if self.mirror_ingest {
                 self.mirror_delivery(&payload, decoded.as_deref());
             }
+        }
+        effects
+    }
+
+    /// Handles a wire-batched run of GDS messages through one filter
+    /// pass.
+    ///
+    /// Accept, probe, decode and mirror run per item in arrival order,
+    /// exactly as unbatching into [`handle_message`](Self::handle_message)
+    /// calls would; only the profile match is deferred, so every event
+    /// that survives the probe crosses the subscription manager — and a
+    /// sharded engine's thread fan-out — in a single batched call.
+    /// Notifications come back in the same (event, ascending-profile)
+    /// order either way.
+    pub fn handle_gds_batch(&mut self, items: Vec<GdsMessage>, now: SimTime) -> CoreEffects {
+        let mut effects = CoreEffects::default();
+        let mut batch: Vec<Arc<Event>> = Vec::with_capacity(items.len());
+        for msg in items {
+            if let GdsMessage::ResolveResponse { token, result, .. } = &msg {
+                effects.resolved.push((*token, result.clone()));
+                continue;
+            }
+            let Some((_origin, payload)) = self.gds.accept(&msg) else {
+                continue;
+            };
+            let mut probe_rejected = false;
+            if self.probe {
+                if let Some(mut probe) = payload.probe_event() {
+                    if self.subs.could_match_probe(&mut probe) {
+                        self.counters.probe_passed += 1;
+                    } else {
+                        self.counters.probe_skipped += 1;
+                        probe_rejected = true;
+                    }
+                }
+            }
+            let mut decoded = None;
+            if !probe_rejected {
+                match payload.decode_event() {
+                    Ok(event) => decoded = Some(Arc::new(event)),
+                    Err(_) => self.counters.decode_errors += 1,
+                }
+            }
+            if self.mirror_ingest {
+                self.mirror_delivery(&payload, decoded.as_deref());
+            }
+            if let Some(event) = decoded {
+                batch.push(event);
+            }
+        }
+        if !batch.is_empty() {
+            effects
+                .notifications
+                .extend(self.subs.filter_events(&batch, now));
         }
         effects
     }

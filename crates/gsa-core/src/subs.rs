@@ -6,7 +6,7 @@
 //! always a local operation, which is what rules out dangling *user*
 //! profiles by construction.
 
-use gsa_filter::{FilterEngine, MatchScratch};
+use gsa_filter::{FilterEngine, MatchScratch, ShardedFilterEngine};
 use gsa_profile::{DnfError, Profile, ProfileExpr};
 use gsa_types::{ClientId, DocId, Event, ProfileId, SimTime};
 use gsa_wire::InterestSummary;
@@ -45,11 +45,77 @@ impl fmt::Display for Notification {
     }
 }
 
+/// The matching backend: one equality-preferred engine, or the same
+/// engine partitioned by profile id into shards matched in parallel
+/// when a batch of deliveries drains at once. The two agree exactly on
+/// semantics (a property test in `gsa-filter` pins that), so switching
+/// backends never changes which notifications are produced.
+#[derive(Debug)]
+// One engine per server, never stored in collections — the size gap
+// between variants costs nothing, while boxing would cost a deref on
+// every match.
+#[allow(clippy::large_enum_variant)]
+enum MatchEngine {
+    Single(FilterEngine),
+    Sharded(ShardedFilterEngine),
+}
+
+impl Default for MatchEngine {
+    fn default() -> Self {
+        MatchEngine::Single(FilterEngine::new())
+    }
+}
+
+impl MatchEngine {
+    fn insert(
+        &mut self,
+        id: ProfileId,
+        expr: &ProfileExpr,
+    ) -> Result<(), DnfError> {
+        match self {
+            MatchEngine::Single(e) => e.insert(id, expr),
+            MatchEngine::Sharded(e) => e.insert(id, expr),
+        }
+    }
+
+    fn remove(&mut self, id: ProfileId) {
+        match self {
+            MatchEngine::Single(e) => {
+                e.remove(id);
+            }
+            MatchEngine::Sharded(e) => {
+                e.remove(id);
+            }
+        }
+    }
+
+    fn probe_matches(
+        &self,
+        probe: &mut gsa_wire::EventProbe<'_>,
+        scratch: &mut MatchScratch,
+    ) -> Result<bool, gsa_wire::WireError> {
+        match self {
+            MatchEngine::Single(e) => e.probe_matches(probe, scratch),
+            MatchEngine::Sharded(e) => e.probe_matches(probe, scratch),
+        }
+    }
+
+    fn matches_into(&self, event: &Event, scratch: &mut MatchScratch, out: &mut Vec<ProfileId>) {
+        match self {
+            MatchEngine::Single(e) => e.matches_into(event, scratch, out),
+            MatchEngine::Sharded(e) => {
+                out.clear();
+                out.extend(e.matches(event));
+            }
+        }
+    }
+}
+
 /// Stores one server's client profiles and filters events against them
 /// with the equality-preferred engine.
 #[derive(Debug, Default)]
 pub struct SubscriptionManager {
-    engine: FilterEngine,
+    engine: MatchEngine,
     profiles: HashMap<ProfileId, Profile>,
     next_profile: u64,
     mailboxes: HashMap<ClientId, Vec<Notification>>,
@@ -63,6 +129,33 @@ impl SubscriptionManager {
     /// Creates an empty manager.
     pub fn new() -> Self {
         SubscriptionManager::default()
+    }
+
+    /// Repartitions the matching backend into `shards` independently
+    /// matched engines (`1` restores the single engine). Every stored
+    /// profile is re-indexed into its home shard; match results are
+    /// unchanged — only batch drains fan out across the shards.
+    pub fn set_shards(&mut self, shards: usize) {
+        let mut engine = if shards <= 1 {
+            MatchEngine::Single(FilterEngine::new())
+        } else {
+            MatchEngine::Sharded(ShardedFilterEngine::new(shards))
+        };
+        for profile in self.profiles.values() {
+            engine
+                .insert(profile.id(), profile.expr())
+                .expect("previously indexed profile re-indexes");
+        }
+        self.engine = engine;
+    }
+
+    /// Number of shards in the matching backend (1 for the single
+    /// engine).
+    pub fn shards(&self) -> usize {
+        match &self.engine {
+            MatchEngine::Single(_) => 1,
+            MatchEngine::Sharded(e) => e.shard_count(),
+        }
     }
 
     /// Number of stored profiles.
@@ -156,31 +249,73 @@ impl SubscriptionManager {
     /// notification per matching profile. Returns the notifications
     /// produced.
     pub fn filter_event(&mut self, event: &Arc<Event>, now: SimTime) -> Vec<Notification> {
-        self.engine
-            .matches_into(event, &mut self.scratch, &mut self.matched);
-        let mut out = Vec::with_capacity(self.matched.len());
-        for &id in &self.matched {
-            let profile = &self.profiles[&id];
-            let matched_docs: Vec<DocId> = profile
-                .expr()
-                .matching_docs(event)
-                .into_iter()
-                .cloned()
-                .collect();
-            let notification = Notification {
-                profile: id,
-                client: profile.owner(),
-                event: Arc::clone(event),
-                matched_docs,
-                at: now,
-            };
-            self.mailboxes
-                .entry(profile.owner())
-                .or_default()
-                .push(notification.clone());
-            out.push(notification);
+        let mut matched = std::mem::take(&mut self.matched);
+        self.engine.matches_into(event, &mut self.scratch, &mut matched);
+        let mut out = Vec::with_capacity(matched.len());
+        for &id in &matched {
+            self.notify(id, event, now, &mut out);
+        }
+        self.matched = matched;
+        out
+    }
+
+    /// Filters a batch of events in one pass, queueing notifications
+    /// exactly as per-event [`filter_event`](Self::filter_event) calls
+    /// would, in event order. With a sharded backend the whole batch
+    /// crosses the shard fan-out once instead of once per event.
+    pub fn filter_events(&mut self, events: &[Arc<Event>], now: SimTime) -> Vec<Notification> {
+        let per_event: Vec<Vec<ProfileId>> = match &self.engine {
+            MatchEngine::Sharded(sharded) if events.len() > 1 => {
+                let refs: Vec<&Event> = events.iter().map(Arc::as_ref).collect();
+                sharded.matches_batch_refs(&refs)
+            }
+            _ => {
+                let mut per = Vec::with_capacity(events.len());
+                let mut matched = std::mem::take(&mut self.matched);
+                for event in events {
+                    self.engine.matches_into(event, &mut self.scratch, &mut matched);
+                    per.push(matched.clone());
+                }
+                self.matched = matched;
+                per
+            }
+        };
+        let mut out = Vec::new();
+        for (event, ids) in events.iter().zip(per_event) {
+            for id in ids {
+                self.notify(id, event, now, &mut out);
+            }
         }
         out
+    }
+
+    /// Builds and queues the notification for one matched profile.
+    fn notify(
+        &mut self,
+        id: ProfileId,
+        event: &Arc<Event>,
+        now: SimTime,
+        out: &mut Vec<Notification>,
+    ) {
+        let profile = &self.profiles[&id];
+        let matched_docs: Vec<DocId> = profile
+            .expr()
+            .matching_docs(event)
+            .into_iter()
+            .cloned()
+            .collect();
+        let notification = Notification {
+            profile: id,
+            client: profile.owner(),
+            event: Arc::clone(event),
+            matched_docs,
+            at: now,
+        };
+        self.mailboxes
+            .entry(profile.owner())
+            .or_default()
+            .push(notification.clone());
+        out.push(notification);
     }
 
     /// Drains a client's mailbox.
@@ -306,6 +441,64 @@ mod tests {
         subs.unsubscribe(p);
         let s = subs.interest_summary();
         assert!(!s.may_match("A", "A.X") && s.may_match("B", "B.C"));
+    }
+
+    #[test]
+    fn filter_events_batch_equals_per_event_calls() {
+        let build = || {
+            let mut subs = SubscriptionManager::new();
+            subs.subscribe(client(1), parse_profile(r#"host = "A""#).unwrap()).unwrap();
+            subs.subscribe(client(2), parse_profile(r#"text ~ "*""#).unwrap()).unwrap();
+            subs
+        };
+        let events = vec![event("A", "d1"), event("B", "d2"), event("A", "d3")];
+        let mut per_event = build();
+        let mut batched = build();
+        let singles: Vec<Notification> = events
+            .iter()
+            .flat_map(|e| per_event.filter_event(e, SimTime::ZERO))
+            .collect();
+        let batch = batched.filter_events(&events, SimTime::ZERO);
+        assert_eq!(singles, batch);
+        assert_eq!(per_event.queued_notifications(), batched.queued_notifications());
+    }
+
+    #[test]
+    fn sharded_backend_matches_like_single() {
+        let build = |shards| {
+            let mut subs = SubscriptionManager::new();
+            for c in 0..3u64 {
+                let text = format!(r#"host = "H{c}""#);
+                subs.subscribe(client(c), parse_profile(&text).unwrap()).unwrap();
+            }
+            subs.subscribe(client(9), parse_profile(r#"text ~ "*""#).unwrap()).unwrap();
+            subs.set_shards(shards);
+            subs
+        };
+        let events: Vec<_> = ["H0", "H1", "H2", "H9"]
+            .iter()
+            .map(|h| event(h, "d"))
+            .collect();
+        let mut single = build(1);
+        let mut sharded = build(4);
+        assert_eq!(single.shards(), 1);
+        assert_eq!(sharded.shards(), 4);
+        // Batch drain across shards, per-event drain on the single
+        // engine: byte-identical notification streams.
+        let a: Vec<Notification> = events
+            .iter()
+            .flat_map(|e| single.filter_event(e, SimTime::ZERO))
+            .collect();
+        let b = sharded.filter_events(&events, SimTime::ZERO);
+        assert_eq!(a, b);
+        // Single-event drains agree too.
+        assert_eq!(
+            single.filter_event(&events[0], SimTime::ZERO),
+            sharded.filter_event(&events[0], SimTime::ZERO)
+        );
+        // Unsubscribing routes to the home shard.
+        assert!(sharded.unsubscribe(ProfileId::from_raw(3)));
+        assert!(sharded.filter_events(&[event("Zzz", "d")], SimTime::ZERO).is_empty());
     }
 
     #[test]

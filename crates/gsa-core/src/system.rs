@@ -33,6 +33,7 @@ pub struct System {
     wire: WireConfig,
     pruning: bool,
     probe: bool,
+    filter_shards: usize,
 }
 
 impl fmt::Debug for System {
@@ -59,7 +60,32 @@ impl System {
             wire: WireConfig::default(),
             pruning: false,
             probe: true,
+            filter_shards: 1,
         }
+    }
+
+    /// Switches the simulator between its zero-allocation hot path
+    /// (default) and the seed-equivalent cost model used as the A/B
+    /// baseline by the scale benches. Values, RNG draws and event
+    /// ordering are identical either way — only the per-message cost
+    /// differs.
+    pub fn set_seed_equivalent_path(&mut self, enabled: bool) {
+        self.sim.set_seed_equivalent_path(enabled);
+    }
+
+    /// Partitions the subscription-matching backend of every server
+    /// added *after* this call into `shards` independently matched
+    /// engines (`1`, the default, keeps the single engine). Sharding
+    /// never changes which notifications are produced; batched
+    /// deliveries drain through all shards in one fan-out. Call before
+    /// [`System::add_server`].
+    pub fn set_filter_shards(&mut self, shards: usize) {
+        self.filter_shards = shards.max(1);
+    }
+
+    /// The shard count new servers receive.
+    pub fn filter_shards(&self) -> usize {
+        self.filter_shards
     }
 
     /// Sets the default link characteristics (latency/jitter/loss).
@@ -199,6 +225,9 @@ impl System {
         }
         actor.set_wire(self.wire.clone());
         actor.set_pruning(self.pruning);
+        actor
+            .node_mut()
+            .set_seed_costs(self.sim.seed_equivalent_path());
         let id = self.sim.add_node(name.as_str(), actor);
         self.directory.insert(name, id);
         id
@@ -226,6 +255,9 @@ impl System {
         let mut core = AlertingCore::with_config(host, gds_server, config);
         core.set_pruning(self.pruning);
         core.set_probe(self.probe);
+        if self.filter_shards > 1 {
+            core.set_filter_shards(self.filter_shards);
+        }
         let mut actor = AlertingActor::new(core, self.directory.clone(), self.tick);
         if let Some(cfg) = &self.reliability {
             actor.enable_reliability(cfg.clone(), self.jitter_seed());

@@ -488,6 +488,24 @@ impl FilterEngine {
             .collect()
     }
 
+    /// [`FilterEngine::matches_batch`] for events held by reference —
+    /// callers that keep events behind `Arc`s (the delivery pipeline)
+    /// batch without cloning a single event.
+    pub fn matches_batch_refs(
+        &self,
+        events: &[&Event],
+        scratch: &mut MatchScratch,
+    ) -> Vec<Vec<ProfileId>> {
+        events
+            .iter()
+            .map(|event| {
+                let mut out = Vec::new();
+                self.matches_into(event, scratch, &mut out);
+                out
+            })
+            .collect()
+    }
+
     fn match_context(
         &self,
         event: &Event,

@@ -10,6 +10,7 @@
 use crate::engine::{FilterEngine, FilterStats, MatchScratch};
 use gsa_profile::{DnfError, ProfileExpr};
 use gsa_types::{Event, ProfileId};
+use gsa_wire::{EventProbe, WireError};
 use std::thread;
 
 /// A filter engine partitioned into independently matched shards.
@@ -106,9 +107,17 @@ impl ShardedFilterEngine {
     /// spawned once per *batch*, and each shard thread reuses one
     /// [`MatchScratch`] across the whole batch.
     pub fn matches_batch(&self, events: &[Event]) -> Vec<Vec<ProfileId>> {
+        let refs: Vec<&Event> = events.iter().collect();
+        self.matches_batch_refs(&refs)
+    }
+
+    /// [`ShardedFilterEngine::matches_batch`] for events held by
+    /// reference — the delivery pipeline batches `Arc`-shared events
+    /// through the shard fan-out without cloning any of them.
+    pub fn matches_batch_refs(&self, events: &[&Event]) -> Vec<Vec<ProfileId>> {
         if self.shards.len() == 1 {
             let mut scratch = MatchScratch::new();
-            return self.shards[0].matches_batch(events, &mut scratch);
+            return self.shards[0].matches_batch_refs(events, &mut scratch);
         }
         let per_shard = thread::scope(|scope| {
             let handles: Vec<_> = self
@@ -117,7 +126,7 @@ impl ShardedFilterEngine {
                 .map(|shard| {
                     scope.spawn(move || {
                         let mut scratch = MatchScratch::new();
-                        shard.matches_batch(events, &mut scratch)
+                        shard.matches_batch_refs(events, &mut scratch)
                     })
                 })
                 .collect();
@@ -136,6 +145,34 @@ impl ShardedFilterEngine {
             ids.sort_unstable();
         }
         merged
+    }
+
+    /// Conservative pre-filter across all shards: `Ok(false)` proves no
+    /// shard holds a profile that could match the frozen binary event.
+    ///
+    /// Shards probe sequentially — a probe is a cheap cursor over the
+    /// frozen bytes (cloning one copies offsets, not payload), and the
+    /// first shard that cannot rule the event out short-circuits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] when the frozen encoding is malformed;
+    /// callers treat an error as "may match" so the decode path reports
+    /// it.
+    pub fn probe_matches(
+        &self,
+        probe: &mut EventProbe<'_>,
+        scratch: &mut MatchScratch,
+    ) -> Result<bool, WireError> {
+        if self.shards.len() == 1 {
+            return self.shards[0].probe_matches(probe, scratch);
+        }
+        for shard in &self.shards {
+            if shard.probe_matches(&mut probe.clone(), scratch)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
     }
 }
 
@@ -203,6 +240,44 @@ mod tests {
         assert_eq!(e.shard_count(), 1);
         assert!(e.is_empty());
         assert!(e.matches(&event("X")).is_empty());
+    }
+
+    #[test]
+    fn batch_refs_agrees_with_owned_batch() {
+        let e = sharded_with(
+            3,
+            &[(0, r#"host = "A""#), (1, r#"host = "B""#), (2, r#"text ~ "*""#)],
+        );
+        let events = vec![event("A"), event("B"), event("C")];
+        let refs: Vec<&Event> = events.iter().collect();
+        assert_eq!(e.matches_batch_refs(&refs), e.matches_batch(&events));
+    }
+
+    #[test]
+    fn sharded_probe_agrees_with_single_engine() {
+        let profiles: &[(u64, &str)] = &[
+            (0, r#"host = "A""#),
+            (1, r#"host = "B""#),
+            (2, r#"host = "C" AND kind = "collection-rebuilt""#),
+        ];
+        let sharded = sharded_with(3, profiles);
+        let mut single = FilterEngine::new();
+        for (id, text) in profiles {
+            single.insert(pid(*id), &parse_profile(text).unwrap()).unwrap();
+        }
+        let mut scratch = MatchScratch::new();
+        for host in ["A", "B", "C", "Z"] {
+            let ev = event(host);
+            let bytes =
+                gsa_wire::binary::payload_bytes_from_xml(&gsa_wire::codec::event_to_xml(&ev));
+            let mut probe = EventProbe::from_payload(&bytes).unwrap().unwrap();
+            let sharded_verdict = sharded
+                .probe_matches(&mut probe.clone(), &mut scratch)
+                .unwrap();
+            let single_verdict = single.probe_matches(&mut probe, &mut scratch).unwrap();
+            assert_eq!(sharded_verdict, single_verdict, "host {host}");
+            assert_eq!(sharded_verdict, matches!(host, "A" | "B"), "host {host}");
+        }
     }
 
     #[test]

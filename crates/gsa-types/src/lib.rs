@@ -25,11 +25,13 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fxhash;
 pub mod id;
 pub mod meta;
 pub mod time;
 
 pub use event::{DocSummary, Event, EventId, EventKind};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use id::{
     ClientId, CollectionId, CollectionName, DocId, DocumentRef, HostName, MessageId, ProfileId,
 };
