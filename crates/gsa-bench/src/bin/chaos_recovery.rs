@@ -10,6 +10,13 @@
 //! best-effort schemes lose notifications whenever a fault window
 //! swallows a broadcast.
 //!
+//! Two strictly harder cells add hard *server* crashes (volatile state
+//! wiped, not just a transient outage) to the same plan:
+//! `hybrid+durable` runs with the journal+snapshot state store and must
+//! keep recall 1.0 with zero lost subscriptions; `hybrid+memstate`
+//! takes the same crashes without durability and shows the honest
+//! damage (lost subscriptions, missed notifications after restart).
+//!
 //! Writes `BENCH_e4_chaos.json` in the working directory (the repo root
 //! when run via `cargo run --release --bin chaos_recovery`).
 
@@ -40,6 +47,8 @@ fn intensities(horizon: SimDuration, base_drop: f64) -> Vec<Intensity> {
                 crash_outage: SimDuration::from_secs(8),
                 partition_waves: 1,
                 partition_length: SimDuration::from_secs(6),
+                server_crashes: 1,
+                server_outage: SimDuration::from_secs(8),
             },
         },
         Intensity {
@@ -53,6 +62,8 @@ fn intensities(horizon: SimDuration, base_drop: f64) -> Vec<Intensity> {
                 crash_outage: SimDuration::from_secs(10),
                 partition_waves: 2,
                 partition_length: SimDuration::from_secs(8),
+                server_crashes: 2,
+                server_outage: SimDuration::from_secs(10),
             },
         },
     ]
@@ -64,33 +75,61 @@ fn intensities(horizon: SimDuration, base_drop: f64) -> Vec<Intensity> {
 struct Variant {
     scheme: Scheme,
     reliable: bool,
+    /// Journal+snapshot state store on every server (hybrid only).
+    durable: bool,
+    /// Replay the strictly harder plan that adds hard server crashes.
+    crash_servers: bool,
     label: &'static str,
 }
 
-const VARIANTS: [Variant; 5] = [
+const VARIANTS: [Variant; 7] = [
     Variant {
         scheme: Scheme::Hybrid,
         reliable: true,
+        durable: false,
+        crash_servers: false,
         label: "hybrid+reliable",
     },
     Variant {
         scheme: Scheme::Hybrid,
         reliable: false,
+        durable: false,
+        crash_servers: false,
         label: "hybrid-besteffort",
+    },
+    Variant {
+        scheme: Scheme::Hybrid,
+        reliable: true,
+        durable: true,
+        crash_servers: true,
+        label: "hybrid+durable",
+    },
+    Variant {
+        scheme: Scheme::Hybrid,
+        reliable: true,
+        durable: false,
+        crash_servers: true,
+        label: "hybrid+memstate",
     },
     Variant {
         scheme: Scheme::GsFlood,
         reliable: false,
+        durable: false,
+        crash_servers: false,
         label: "gs-flood",
     },
     Variant {
         scheme: Scheme::ProfileFlood,
         reliable: false,
+        durable: false,
+        crash_servers: false,
         label: "profile-flood",
     },
     Variant {
         scheme: Scheme::Rendezvous,
         reliable: false,
+        durable: false,
+        crash_servers: false,
         label: "rendezvous",
     },
 ];
@@ -107,6 +146,7 @@ struct Row {
     retransmits: u64,
     reparents: u64,
     dropped: u64,
+    lost_subscriptions: usize,
     p50_ms: u64,
     p95_ms: u64,
     p99_ms: u64,
@@ -167,15 +207,22 @@ fn main() {
             levels.truncate(1); // calm only
         }
         for intensity in levels {
-            let faults = FaultPlan::generate(
-                300 + (drop * 100.0) as u64,
+            let seed = 300 + (drop * 100.0) as u64;
+            let faults =
+                FaultPlan::generate(seed, &crashable, &partitionable, &intensity.params);
+            // The strictly harder plan: same seed, same faults, plus
+            // hard server crashes drawn from the workload servers.
+            let server_faults = FaultPlan::generate_with_servers(
+                seed,
                 &crashable,
+                &world.hosts,
                 &partitionable,
                 &intensity.params,
             );
-            // Smoke mode compares just the two hybrids — the pair whose
-            // contrast (perfect vs lossy delivery) the full run pins.
-            let variants = if smoke { &VARIANTS[..2] } else { &VARIANTS[..] };
+            // Smoke mode compares the four hybrids — the pairs whose
+            // contrasts (perfect vs lossy delivery, durable vs wiped
+            // state) the full run pins.
+            let variants = if smoke { &VARIANTS[..4] } else { &VARIANTS[..] };
             for &variant in variants {
                 let cfg = RunConfig {
                     seed: 204,
@@ -184,7 +231,12 @@ fn main() {
                     reliable: variant.reliable,
                     pruned: false,
                     base_drop: drop,
-                    faults: Some(faults.clone()),
+                    faults: Some(if variant.crash_servers {
+                        server_faults.clone()
+                    } else {
+                        faults.clone()
+                    }),
+                    durable: variant.durable,
                 };
                 let outcome =
                     run_scheme(variant.scheme, &world, &population, &schedule, &[], &cfg);
@@ -211,6 +263,10 @@ fn main() {
                     retransmits: outcome.retransmits,
                     reparents: outcome.reparents,
                     dropped: outcome.dropped,
+                    lost_subscriptions: outcome
+                        .subscribed
+                        .saturating_sub(outcome.cancels.len())
+                        .saturating_sub(outcome.stored_client_profiles),
                     p50_ms: percentile(&ms, 0.50),
                     p95_ms: percentile(&ms, 0.95),
                     p99_ms: percentile(&ms, 0.99),
@@ -221,7 +277,7 @@ fn main() {
 
     let mut table = Table::new(vec![
         "drop", "faults", "scheme", "expected", "delivered", "false-neg", "false-pos", "dup",
-        "retx", "reparent", "net-drop", "p50ms", "p95ms", "p99ms",
+        "retx", "reparent", "net-drop", "lost-subs", "p50ms", "p95ms", "p99ms",
     ]);
     for r in &rows {
         table.row(vec![
@@ -236,6 +292,7 @@ fn main() {
             r.retransmits.to_string(),
             r.reparents.to_string(),
             r.dropped.to_string(),
+            r.lost_subscriptions.to_string(),
             r.p50_ms.to_string(),
             r.p95_ms.to_string(),
             r.p99_ms.to_string(),
@@ -262,8 +319,8 @@ fn render_json(rows: &[Row]) -> String {
             "    {{\"drop\": {:.2}, \"faults\": \"{}\", \"scheme\": \"{}\", \
              \"expected\": {}, \"delivered\": {}, \"false_negatives\": {}, \
              \"false_positives\": {}, \"duplicates\": {}, \"retransmits\": {}, \
-             \"reparents\": {}, \"net_dropped\": {}, \"delay_p50_ms\": {}, \
-             \"delay_p95_ms\": {}, \"delay_p99_ms\": {}}}{}",
+             \"reparents\": {}, \"net_dropped\": {}, \"lost_subscriptions\": {}, \
+             \"delay_p50_ms\": {}, \"delay_p95_ms\": {}, \"delay_p99_ms\": {}}}{}",
             r.drop,
             r.intensity,
             r.label,
@@ -275,6 +332,7 @@ fn render_json(rows: &[Row]) -> String {
             r.retransmits,
             r.reparents,
             r.dropped,
+            r.lost_subscriptions,
             r.p50_ms,
             r.p95_ms,
             r.p99_ms,

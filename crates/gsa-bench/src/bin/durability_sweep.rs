@@ -1,0 +1,274 @@
+//! Experiment E8 — durable-state recovery cost.
+//!
+//! The paper has no persistence story: a crashed alerting server simply
+//! loses its subscription registry. This experiment prices the repair we
+//! add in two parts:
+//!
+//! * **Part A** times [`JournalStateStore`] recovery directly (no
+//!   simulation) over journal length × snapshot cadence. Cadence 0
+//!   (never snapshot) replays the whole journal; tighter cadences trade
+//!   snapshot writes during normal operation for a shorter replay at
+//!   restart.
+//! * **Part B** is a small end-to-end sanity cell: the same workload and
+//!   server-crash fault plan run through the hybrid scheme with the
+//!   journal backend and with the volatile default, showing recovered
+//!   vs lost subscriptions.
+//!
+//! Recovery times are host wall-clock (`std::time::Instant`), the one
+//! measurement here that cannot come from the deterministic simulator;
+//! the medium is in-memory, so the numbers isolate decode+replay CPU
+//! cost from disk speed.
+//!
+//! Writes `BENCH_e8_durability.json` in the working directory (the repo
+//! root when run via `cargo run --release --bin durability_sweep`).
+
+use gsa_bench::{run_scheme, Oracle, RunConfig, Scheme, Table};
+use gsa_profile::parse_profile;
+use gsa_state::{JournalConfig, JournalStateStore, MemMedium, StateStore};
+use gsa_types::{ClientId, ProfileId, SimDuration};
+use gsa_workload::{
+    FaultPlan, FaultPlanParams, GsWorld, ProfileMix, ProfilePopulation, RebuildSchedule,
+    WorldParams,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct RecoveryRow {
+    records: usize,
+    cadence: usize,
+    snapshot_bytes: usize,
+    journal_bytes: usize,
+    replayed: u64,
+    profiles: usize,
+    recover_us: u128,
+}
+
+/// Writes `records` state changes (a realistic mix of subscribes,
+/// occasional unsubscribes and summary-version bumps) through a journal
+/// store with the given snapshot cadence, then returns the crashed
+/// medium.
+fn fill_store(records: usize, cadence: usize) -> MemMedium {
+    let medium = MemMedium::new();
+    let config = JournalConfig {
+        fsync_every: 1,
+        snapshot_every: cadence,
+    };
+    let mut store = JournalStateStore::new(medium.clone(), config);
+    let exprs: Vec<_> = (0..16)
+        .map(|i| parse_profile(&format!(r#"host = "host-{i}""#)).expect("static profile"))
+        .collect();
+    for i in 0..records as u64 {
+        match i % 10 {
+            // i-9 lands on an i%10==0 slot, so the target was subscribed.
+            9 if i > 10 => store.record_unsubscribe(ProfileId::from_raw(i - 9)),
+            8 => store.record_summary_version(i / 8),
+            _ => store.record_subscribe(
+                ProfileId::from_raw(i),
+                ClientId::from_raw(i % 64),
+                &exprs[(i % 16) as usize],
+            ),
+        }
+    }
+    medium
+}
+
+/// Median wall-clock recovery time over `reps` fresh stores opened on
+/// clones of the same medium, plus the last recovery's shape.
+fn time_recovery(medium: &MemMedium, cadence: usize, reps: usize) -> (u128, u64, usize) {
+    let config = JournalConfig {
+        fsync_every: 1,
+        snapshot_every: cadence,
+    };
+    let mut times = Vec::with_capacity(reps);
+    let mut replayed = 0;
+    let mut profiles = 0;
+    for _ in 0..reps {
+        let mut store = JournalStateStore::new(medium.clone(), config);
+        let started = Instant::now();
+        let recovered = store.recover();
+        times.push(started.elapsed().as_micros());
+        profiles = recovered.profiles.len();
+        replayed = store.take_counters().replay_records;
+    }
+    times.sort_unstable();
+    (times[times.len() / 2], replayed, profiles)
+}
+
+struct SanityRow {
+    label: &'static str,
+    expected: usize,
+    delivered: usize,
+    false_negatives: usize,
+    lost_subscriptions: usize,
+}
+
+/// Part B: one small chaos cell with hard server crashes, durable vs
+/// volatile.
+fn sanity_cells(smoke: bool) -> Vec<SanityRow> {
+    let params = WorldParams {
+        servers: if smoke { 8 } else { 16 },
+        ..WorldParams::small(801)
+    };
+    let world = GsWorld::generate(&params);
+    let profiles = if smoke { 16 } else { 40 };
+    let population = ProfilePopulation::generate(802, &world, profiles, &ProfileMix::default());
+    let horizon = SimDuration::from_secs(if smoke { 30 } else { 60 });
+    let rebuilds = if smoke { 6 } else { 16 };
+    let schedule = RebuildSchedule::generate(803, &world, rebuilds, horizon, 3);
+    let fault_params = FaultPlanParams {
+        horizon,
+        loss_bursts: 0,
+        crashes: 0,
+        partition_waves: 0,
+        server_crashes: 2,
+        server_outage: SimDuration::from_secs(8),
+        ..FaultPlanParams::default()
+    };
+    let faults =
+        FaultPlan::generate_with_servers(804, &[], &world.hosts, &[], &fault_params);
+
+    let mut rows = Vec::new();
+    for (label, durable) in [("hybrid+durable", true), ("hybrid+memstate", false)] {
+        let cfg = RunConfig {
+            seed: 805,
+            drain: SimDuration::from_secs(30),
+            reliable: true,
+            faults: Some(faults.clone()),
+            durable,
+            ..RunConfig::default()
+        };
+        let outcome = run_scheme(Scheme::Hybrid, &world, &population, &schedule, &[], &cfg);
+        let oracle = Oracle::build(
+            &world,
+            &population,
+            &schedule,
+            &outcome.cancels,
+            &outcome.partitions,
+            SimDuration::from_secs(5),
+        );
+        let q = oracle.classify(&outcome.deliveries);
+        rows.push(SanityRow {
+            label,
+            expected: q.expected,
+            delivered: q.delivered,
+            false_negatives: q.false_negatives,
+            lost_subscriptions: outcome
+                .subscribed
+                .saturating_sub(outcome.cancels.len())
+                .saturating_sub(outcome.stored_client_profiles),
+        });
+    }
+    rows
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let lengths: &[usize] = if smoke {
+        &[100, 500]
+    } else {
+        &[1_000, 10_000, 50_000]
+    };
+    let cadences: &[usize] = &[0, 256, 4096];
+    let reps = if smoke { 3 } else { 5 };
+
+    println!("E8: durable-state recovery cost (journal length x snapshot cadence)");
+    println!();
+
+    let mut rows: Vec<RecoveryRow> = Vec::new();
+    for &records in lengths {
+        for &cadence in cadences {
+            let medium = fill_store(records, cadence);
+            let (recover_us, replayed, profiles) = time_recovery(&medium, cadence, reps);
+            rows.push(RecoveryRow {
+                records,
+                cadence,
+                snapshot_bytes: medium.snapshot_len(),
+                journal_bytes: medium.journal_len(),
+                replayed,
+                profiles,
+                recover_us,
+            });
+        }
+    }
+
+    let mut table = Table::new(vec![
+        "records", "cadence", "snap-bytes", "journal-bytes", "replayed", "profiles",
+        "recover-us",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.records.to_string(),
+            if r.cadence == 0 {
+                "never".to_string()
+            } else {
+                r.cadence.to_string()
+            },
+            r.snapshot_bytes.to_string(),
+            r.journal_bytes.to_string(),
+            r.replayed.to_string(),
+            r.profiles.to_string(),
+            r.recover_us.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!("(cadence = journal records between snapshots; 'never' replays everything)");
+    println!();
+
+    let sanity = sanity_cells(smoke);
+    let mut stable = Table::new(vec![
+        "scheme", "expected", "delivered", "false-neg", "lost-subs",
+    ]);
+    for r in &sanity {
+        stable.row(vec![
+            r.label.to_string(),
+            r.expected.to_string(),
+            r.delivered.to_string(),
+            r.false_negatives.to_string(),
+            r.lost_subscriptions.to_string(),
+        ]);
+    }
+    println!("two hard server crashes, reliable transport, same plan:");
+    println!("{stable}");
+
+    if !smoke {
+        let json = render_json(&rows, &sanity);
+        let path = "BENCH_e8_durability.json";
+        std::fs::write(path, &json).expect("write BENCH_e8_durability.json");
+        println!("\nwrote {path}");
+    }
+}
+
+fn render_json(rows: &[RecoveryRow], sanity: &[SanityRow]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"e8_durability\",\n  \"recovery\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            out,
+            "    {{\"records\": {}, \"snapshot_cadence\": {}, \"snapshot_bytes\": {}, \
+             \"journal_bytes\": {}, \"replayed_records\": {}, \"recovered_profiles\": {}, \
+             \"recover_us\": {}}}{}",
+            r.records,
+            r.cadence,
+            r.snapshot_bytes,
+            r.journal_bytes,
+            r.replayed,
+            r.profiles,
+            r.recover_us,
+            comma,
+        )
+        .expect("string write");
+    }
+    out.push_str("  ],\n  \"crash_sanity\": [\n");
+    for (i, r) in sanity.iter().enumerate() {
+        let comma = if i + 1 == sanity.len() { "" } else { "," };
+        writeln!(
+            out,
+            "    {{\"scheme\": \"{}\", \"expected\": {}, \"delivered\": {}, \
+             \"false_negatives\": {}, \"lost_subscriptions\": {}}}{}",
+            r.label, r.expected, r.delivered, r.false_negatives, r.lost_subscriptions, comma,
+        )
+        .expect("string write");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -82,6 +82,10 @@ pub struct RunConfig {
     pub faults: Option<FaultPlan>,
     /// Turn on subscription-aware flood pruning (hybrid only).
     pub pruned: bool,
+    /// Give every hybrid server a journal+snapshot state store, so
+    /// hard server crashes ([`FaultAction::CrashServer`]) recover
+    /// their subscriptions on restart (hybrid only).
+    pub durable: bool,
 }
 
 impl Default for RunConfig {
@@ -94,6 +98,7 @@ impl Default for RunConfig {
             base_drop: 0.0,
             faults: None,
             pruned: false,
+            durable: false,
         }
     }
 }
@@ -133,6 +138,13 @@ pub struct RunOutcome {
     /// Flood edges skipped by subscription-aware pruning (pruned hybrid
     /// only, else 0).
     pub pruned_edges: u64,
+    /// Profiles successfully subscribed at the start of the run.
+    pub subscribed: usize,
+    /// Client subscriptions still registered server-side at the end
+    /// (excluding auxiliary forwarding profiles). With `subscribed`
+    /// and `cancels` this exposes subscriptions lost to server
+    /// crashes: `subscribed - cancels - stored_client_profiles`.
+    pub stored_client_profiles: usize,
 }
 
 /// Deterministic per-rebuild document batches, shared by every scheme and
@@ -247,6 +259,7 @@ fn run_hybrid(
         system.set_reliability(ReliabilityConfig::default());
     }
     system.set_pruning(cfg.pruned);
+    system.set_durability(cfg.durable);
     system.add_gds_topology(&topo);
     for (host, gds) in &assignment {
         system.add_server(host.as_str(), gds.as_str());
@@ -274,6 +287,11 @@ fn run_hybrid(
 
     let mut cancels = HashMap::new();
     let mut tracker = PartitionTracker::default();
+    // Server-crash downtime is tracked apart from partitions so a
+    // network-wide Heal cannot close a crash window early; the windows
+    // merge into the oracle's don't-care intervals at the end.
+    let mut crash_open: HashMap<HostName, SimTime> = HashMap::new();
+    let mut crash_windows: HashMap<HostName, Vec<(SimTime, SimTime)>> = HashMap::new();
     if cfg.base_drop > 0.0 {
         system.set_drop_probability(cfg.base_drop);
     }
@@ -319,6 +337,20 @@ fn run_hybrid(
                 system.heal_network();
                 tracker.heal_all(at);
             }
+            Action::Fault(FaultAction::CrashServer { host, .. }) => {
+                if system.directory().lookup(host).is_some() {
+                    system.crash_server(host.as_str());
+                    crash_open.entry(host.clone()).or_insert(at);
+                }
+            }
+            Action::Fault(FaultAction::RestartServer { host, .. }) => {
+                if system.directory().lookup(host).is_some() {
+                    system.restart_server(host.as_str());
+                    if let Some(start) = crash_open.remove(host) {
+                        crash_windows.entry(host.clone()).or_default().push((start, at));
+                    }
+                }
+            }
         }
     }
     let end = system.now() + cfg.drain;
@@ -342,10 +374,22 @@ fn run_hybrid(
     }
 
     let mut stored = 0;
+    let mut stored_client = 0;
     for host in &world.hosts {
-        stored += system.inspect_core(host.as_str(), |core| {
-            core.subscriptions().len() + core.aux_store().len()
+        let (subs, aux) = system.inspect_core(host.as_str(), |core| {
+            (core.subscriptions().len(), core.aux_store().len())
         });
+        stored += subs + aux;
+        stored_client += subs;
+    }
+    let subscribed = handles.len();
+
+    let mut partitions = tracker.finish(end);
+    for (host, start) in crash_open {
+        crash_windows.entry(host).or_default().push((start, end));
+    }
+    for (host, windows) in crash_windows {
+        partitions.entry(host).or_default().extend(windows);
     }
 
     RunOutcome {
@@ -356,12 +400,14 @@ fn run_hybrid(
         orphan_profiles: 0,
         load: system.metrics().receive_load_imbalance(),
         cancels,
-        partitions: tracker.finish(end),
+        partitions,
         delays,
         retransmits: system.metrics().counter("net.retransmits"),
         reparents: system.metrics().counter("gds.reparent"),
         dropped: system.metrics().counter("net.dropped"),
         pruned_edges: system.metrics().counter("gds.pruned_edges"),
+        subscribed,
+        stored_client_profiles: stored_client,
     }
 }
 
@@ -414,9 +460,14 @@ fn run_gsflood(
             Action::Fault(FaultAction::SetDropProbability { p, .. }) => {
                 sys.sim_mut().set_drop_probability(*p);
             }
-            // Baselines have no directory tier: a GDS-node crash has no
-            // counterpart here and is skipped.
-            Action::Fault(FaultAction::SetNodeUp { .. }) => {}
+            // Baselines have no directory tier or durable state: GDS
+            // crashes and hard server crashes have no counterpart here
+            // and are skipped.
+            Action::Fault(
+                FaultAction::SetNodeUp { .. }
+                | FaultAction::CrashServer { .. }
+                | FaultAction::RestartServer { .. },
+            ) => {}
         }
     }
     let end = sys.sim_mut().now() + cfg.drain;
@@ -434,6 +485,8 @@ fn run_gsflood(
         delays.push(d.at.since(schedule.rebuilds[k].at));
     }
     RunOutcome {
+        subscribed: population.len(),
+        stored_client_profiles: population.len() - cancels.len(),
         deliveries,
         messages: sys.metrics().counter("net.sent"),
         bytes: sys.metrics().counter("net.bytes"),
@@ -497,8 +550,13 @@ fn run_profileflood(
             Action::Fault(FaultAction::SetDropProbability { p, .. }) => {
                 sys.sim_mut().set_drop_probability(*p);
             }
-            // No directory tier to crash in this baseline.
-            Action::Fault(FaultAction::SetNodeUp { .. }) => {}
+            // No directory tier or durable state to crash in this
+            // baseline.
+            Action::Fault(
+                FaultAction::SetNodeUp { .. }
+                | FaultAction::CrashServer { .. }
+                | FaultAction::RestartServer { .. },
+            ) => {}
         }
     }
     let end = sys.sim_mut().now() + cfg.drain;
@@ -517,6 +575,8 @@ fn run_profileflood(
     let stored = sys.stored_profiles();
     let orphans = sys.orphan_profiles();
     RunOutcome {
+        subscribed: population.len(),
+        stored_client_profiles: population.len() - cancels.len(),
         deliveries,
         messages: sys.metrics().counter("net.sent"),
         bytes: sys.metrics().counter("net.bytes"),
@@ -586,8 +646,13 @@ fn run_rendezvous(
             Action::Fault(FaultAction::SetDropProbability { p, .. }) => {
                 sys.sim_mut().set_drop_probability(*p);
             }
-            // No directory tier to crash in this baseline.
-            Action::Fault(FaultAction::SetNodeUp { .. }) => {}
+            // No directory tier or durable state to crash in this
+            // baseline.
+            Action::Fault(
+                FaultAction::SetNodeUp { .. }
+                | FaultAction::CrashServer { .. }
+                | FaultAction::RestartServer { .. },
+            ) => {}
         }
     }
     let end = sys.sim_mut().now() + cfg.drain;
@@ -605,6 +670,8 @@ fn run_rendezvous(
     }
     let stored: usize = sys.stored_profiles_per_host().values().sum();
     RunOutcome {
+        subscribed: population.len(),
+        stored_client_profiles: population.len() - cancels.len(),
         deliveries,
         messages: sys.metrics().counter("net.sent"),
         bytes: sys.metrics().counter("net.bytes"),

@@ -571,6 +571,18 @@ impl AlertingActor {
             if counters.mirrored_docs > 0 {
                 ctx.count(metric::CORE_MIRRORED_DOCS, counters.mirrored_docs);
             }
+            if counters.journal_appends > 0 {
+                ctx.count(metric::STATE_JOURNAL_APPENDS, counters.journal_appends);
+            }
+            if counters.snapshot_writes > 0 {
+                ctx.count(metric::STATE_SNAPSHOT_WRITES, counters.snapshot_writes);
+            }
+            if counters.replay_records > 0 {
+                ctx.count(metric::STATE_REPLAY_RECORDS, counters.replay_records);
+            }
+            if counters.journal_corrupt > 0 {
+                ctx.count(metric::STATE_JOURNAL_CORRUPT, counters.journal_corrupt);
+            }
         }
         self.completed_fetches.extend(effects.fetches);
         self.completed_searches.extend(effects.searches);

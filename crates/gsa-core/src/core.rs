@@ -14,6 +14,7 @@ use gsa_greenstone::{
     BuildReport, CollectionConfig, GsError, GsMessage, RequestId, Server, SubCollectionRef,
 };
 use gsa_profile::{DnfError, ProfileExpr};
+use gsa_state::{MemoryStateStore, StateStore};
 use gsa_store::{Query, SourceDocument};
 use gsa_types::{
     ClientId, CollectionId, CollectionName, Event, EventId, EventKind, HostName, ProfileId,
@@ -107,6 +108,15 @@ pub struct CoreCounters {
     /// Documents mirrored into local super-collection stores from
     /// delivered events (mirror ingest only).
     pub mirrored_docs: u64,
+    /// Records appended to the durable state journal (journal backend
+    /// only; always zero for the default in-memory store).
+    pub journal_appends: u64,
+    /// Durable state snapshots written (compactions).
+    pub snapshot_writes: u64,
+    /// Journal records applied during crash recovery replay.
+    pub replay_records: u64,
+    /// Mid-journal (or snapshot) corruption events observed by recovery.
+    pub journal_corrupt: u64,
 }
 
 impl CoreCounters {
@@ -152,6 +162,15 @@ pub struct AlertingCore {
     mirror_ingest: bool,
     /// Delivery-path counters since the last [`take_counters`](Self::take_counters).
     counters: CoreCounters,
+    /// The durable state backend. The default [`MemoryStateStore`]
+    /// makes every record call a no-op, so the paper-figure scenarios
+    /// pay nothing for the seam's existence.
+    store: Box<dyn StateStore>,
+    /// Set when the store (or a crash) may have left durable state to
+    /// replay; the next [`startup`](Self::startup) recovers exactly
+    /// once. Transient down/up transitions re-run startup without
+    /// re-wiping, so this gate keeps them from double-replaying.
+    recovery_pending: bool,
 }
 
 impl fmt::Debug for AlertingCore {
@@ -195,6 +214,8 @@ impl AlertingCore {
             probe: true,
             mirror_ingest: false,
             counters: CoreCounters::default(),
+            store: Box::new(MemoryStateStore),
+            recovery_pending: false,
             host,
         }
     }
@@ -230,6 +251,39 @@ impl AlertingCore {
         self.mirror_ingest = enabled;
     }
 
+    /// Replaces the durable state backend (the default in-memory store
+    /// persists nothing). Subscribe / unsubscribe / summary-version
+    /// changes are recorded through it from now on, and the next
+    /// [`startup`](Self::startup) replays whatever the backing medium
+    /// already holds — so install the store before the actor starts.
+    pub fn set_state_store(&mut self, store: Box<dyn StateStore>) {
+        self.store = store;
+        self.recovery_pending = true;
+    }
+
+    /// Whether the installed state backend survives crashes.
+    pub fn is_durable(&self) -> bool {
+        self.store.is_durable()
+    }
+
+    /// Models a server crash for the chaos harness: everything the
+    /// paper keeps in volatile memory is lost — profiles, the filter
+    /// index, the profile-id allocator, the last announced summary and
+    /// the announcement version sequence. Deliberately kept: client
+    /// mailboxes (client-side inboxes), the auxiliary-profile store and
+    /// pending-op log (exercised by their own chaos scenarios, not this
+    /// one), the event-sequence counter (avoids re-minting old event
+    /// ids) and the GDS duplicate-suppression set (reliability-layer
+    /// redeliveries arriving after restart must still dedup). The next
+    /// [`startup`](Self::startup) recovers whatever the state store can
+    /// replay — nothing, for the in-memory default.
+    pub fn crash_wipe(&mut self) {
+        self.subs.wipe_for_crash();
+        self.gds.crash_reset();
+        self.last_summary = None;
+        self.recovery_pending = true;
+    }
+
     /// The delivery-path counters accumulated since the last
     /// [`take_counters`](Self::take_counters).
     pub fn counters(&self) -> CoreCounters {
@@ -237,9 +291,16 @@ impl AlertingCore {
     }
 
     /// Drains the delivery-path counters (the actor layer surfaces them
-    /// as simulation metrics after each message).
+    /// as simulation metrics after each message), folding in whatever
+    /// the durable state backend accumulated since the last drain.
     pub fn take_counters(&mut self) -> CoreCounters {
-        std::mem::take(&mut self.counters)
+        let mut counters = std::mem::take(&mut self.counters);
+        let state = self.store.take_counters();
+        counters.journal_appends += state.journal_appends;
+        counters.snapshot_writes += state.snapshot_writes;
+        counters.replay_records += state.replay_records;
+        counters.journal_corrupt += state.journal_corrupt;
+        counters
     }
 
     /// This host's name.
@@ -288,6 +349,10 @@ impl AlertingCore {
     /// Startup effects: register with the GDS and plant auxiliary profiles
     /// for every remote sub-collection already configured.
     pub fn startup(&mut self, now: SimTime) -> CoreEffects {
+        if self.recovery_pending {
+            self.recovery_pending = false;
+            self.recover_from_store();
+        }
         let mut effects = CoreEffects::default();
         let reg = self.gds.register();
         effects.send(reg.to, reg.msg);
@@ -311,6 +376,26 @@ impl AlertingCore {
         effects
     }
 
+    /// Rebuilds the subscription manager and filter index from the
+    /// state store, and resumes the summary-version sequence from the
+    /// persisted value so the post-recovery re-announcement is not
+    /// discarded as stale by PR 5's version-monotonic acceptance.
+    fn recover_from_store(&mut self) {
+        let recovered = self.store.recover();
+        for (id, client, expr) in recovered.profiles {
+            // An expression that indexed before the crash indexes
+            // again; restore() bypasses the store so replay is never
+            // re-journaled.
+            let _ = self.subs.restore(id, client, expr);
+        }
+        self.subs.set_next_profile_at_least(recovered.next_profile);
+        self.gds.resume_summary_version(recovered.summary_version);
+        // Whatever we believe we announced pre-crash, the GDS node may
+        // have reset it on Unregister or child timeout: always treat
+        // the next refresh as a fresh announcement.
+        self.last_summary = None;
+    }
+
     /// Announces this server's interest summary to its GDS node when
     /// pruning is on and the digest changed since the last announcement
     /// (subscribe, unsubscribe, startup). Empty effects otherwise.
@@ -325,6 +410,7 @@ impl AlertingCore {
         }
         self.last_summary = Some(summary.clone());
         let out = self.gds.summary_update(summary);
+        self.store.record_summary_version(self.gds.summary_version());
         effects.send(out.to, out.msg);
         effects
     }
@@ -483,12 +569,23 @@ impl AlertingCore {
         client: ClientId,
         expr: ProfileExpr,
     ) -> Result<ProfileId, DnfError> {
-        self.subs.subscribe(client, expr)
+        let id = self.subs.subscribe(client, expr)?;
+        if let Some(profile) = self.subs.profile(id) {
+            // With the default in-memory store this is a no-op; the
+            // journal backend makes the subscription durable before the
+            // caller sees the ack.
+            self.store.record_subscribe(id, client, profile.expr());
+        }
+        Ok(id)
     }
 
     /// Cancels a profile — local and immediate.
     pub fn unsubscribe(&mut self, profile: ProfileId) -> bool {
-        self.subs.unsubscribe(profile)
+        let existed = self.subs.unsubscribe(profile);
+        if existed {
+            self.store.record_unsubscribe(profile);
+        }
+        existed
     }
 
     /// Drains a client's notification mailbox.

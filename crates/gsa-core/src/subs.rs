@@ -185,6 +185,53 @@ impl SubscriptionManager {
         Ok(id)
     }
 
+    /// Re-registers a recovered profile under its original id (the
+    /// durable-state replay path). Unlike [`subscribe`](Self::subscribe)
+    /// the id is the caller's: recovery must reproduce the pre-crash id
+    /// space so persisted unsubscribe records and client-held handles
+    /// keep meaning the same profile. Bumps the id allocator past `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnfError`] when the expression is too large to index
+    /// (cannot happen for expressions that indexed before the crash).
+    pub fn restore(
+        &mut self,
+        id: ProfileId,
+        client: ClientId,
+        expr: ProfileExpr,
+    ) -> Result<(), DnfError> {
+        self.engine.insert(id, &expr)?;
+        self.profiles.insert(id, Profile::new(id, client, expr));
+        self.set_next_profile_at_least(id.as_u64() + 1);
+        Ok(())
+    }
+
+    /// Ensures the next assigned profile id is at least `n` (recovery
+    /// resumes the allocator from the persisted high-water mark, which
+    /// can sit above every live profile when the newest ones were
+    /// unsubscribed before the crash).
+    pub fn set_next_profile_at_least(&mut self, n: u64) {
+        self.next_profile = self.next_profile.max(n);
+    }
+
+    /// Models a server crash: every profile, the filter index and the
+    /// id allocator vanish — exactly what an in-memory server loses.
+    /// Client mailboxes survive deliberately: they model the *client
+    /// side* inbox of already-produced notifications, not server state.
+    /// The shard count is preserved (it is deployment configuration,
+    /// not data).
+    pub fn wipe_for_crash(&mut self) {
+        let shards = self.shards();
+        self.engine = if shards <= 1 {
+            MatchEngine::Single(FilterEngine::new())
+        } else {
+            MatchEngine::Sharded(ShardedFilterEngine::new(shards))
+        };
+        self.profiles.clear();
+        self.next_profile = 0;
+    }
+
     /// Cancels a profile. Local and immediate (research problem 4).
     /// Returns `true` when it existed.
     pub fn unsubscribe(&mut self, profile: ProfileId) -> bool {
@@ -499,6 +546,49 @@ mod tests {
         // Unsubscribing routes to the home shard.
         assert!(sharded.unsubscribe(ProfileId::from_raw(3)));
         assert!(sharded.filter_events(&[event("Zzz", "d")], SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn wipe_then_restore_reproduces_the_id_space() {
+        let mut subs = SubscriptionManager::new();
+        let p1 = subs.subscribe(client(1), parse_profile(r#"host = "A""#).unwrap()).unwrap();
+        let p2 = subs.subscribe(client(2), parse_profile(r#"host = "B""#).unwrap()).unwrap();
+        subs.unsubscribe(p2);
+        subs.filter_event(&event("A", "d"), SimTime::ZERO);
+        assert_eq!(subs.queued_notifications(), 1);
+
+        subs.wipe_for_crash();
+        assert!(subs.is_empty());
+        assert!(subs.filter_event(&event("A", "d"), SimTime::ZERO).is_empty());
+        // Mailboxes are client-side state and survive the crash.
+        assert_eq!(subs.queued_notifications(), 1);
+
+        // Replay what durable state would hand back.
+        subs.restore(p1, client(1), parse_profile(r#"host = "A""#).unwrap()).unwrap();
+        subs.set_next_profile_at_least(2);
+        assert_eq!(subs.profile(p1).unwrap().owner(), client(1));
+        assert_eq!(subs.filter_event(&event("A", "d"), SimTime::ZERO).len(), 1);
+        // The allocator resumes past the unsubscribed-high-water mark.
+        let p3 = subs.subscribe(client(3), parse_profile(r#"host = "C""#).unwrap()).unwrap();
+        assert_ne!(p3, p1);
+        assert_ne!(p3, p2);
+    }
+
+    #[test]
+    fn wipe_for_crash_preserves_shard_count() {
+        let mut subs = SubscriptionManager::new();
+        subs.subscribe(client(1), parse_profile(r#"host = "A""#).unwrap()).unwrap();
+        subs.set_shards(4);
+        subs.wipe_for_crash();
+        assert_eq!(subs.shards(), 4);
+        assert!(subs.is_empty());
+        subs.restore(
+            ProfileId::from_raw(0),
+            client(1),
+            parse_profile(r#"host = "A""#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(subs.filter_event(&event("A", "d"), SimTime::ZERO).len(), 1);
     }
 
     #[test]

@@ -13,10 +13,12 @@ use gsa_greenstone::server::{FetchResult, SearchResult};
 use gsa_greenstone::{BuildReport, CollectionConfig, GsError, SubCollectionRef};
 use gsa_profile::{parse_profile, DnfError, ParseProfileError, ProfileExpr};
 use gsa_simnet::{LinkConfig, Metrics, NodeId, Sim};
+use gsa_state::{JournalConfig, JournalStateStore, MemMedium};
 use gsa_store::{Query, SourceDocument};
 use gsa_types::{
     ClientId, CollectionName, HostName, ProfileId, SimDuration, SimTime,
 };
+use std::collections::HashMap;
 use std::fmt;
 
 /// A whole simulated deployment: GDS tree + Greenstone servers + clients.
@@ -34,6 +36,10 @@ pub struct System {
     pruning: bool,
     probe: bool,
     filter_shards: usize,
+    durability: Option<JournalConfig>,
+    /// The simulated disk of every durable server, held by the harness
+    /// so crash injection can reach storage after the core is wiped.
+    media: HashMap<HostName, MemMedium>,
 }
 
 impl fmt::Debug for System {
@@ -61,6 +67,8 @@ impl System {
             pruning: false,
             probe: true,
             filter_shards: 1,
+            durability: None,
+            media: HashMap::new(),
         }
     }
 
@@ -160,6 +168,35 @@ impl System {
         self.probe
     }
 
+    /// Gives every server added *after* this call a durable state
+    /// backend: an append-only journal + snapshot store over a
+    /// simulated disk that survives [`crash_server`](Self::crash_server).
+    /// Off by default — the paper's in-memory behaviour, message for
+    /// message (with the default in-memory store the persistence seam
+    /// records nothing and paper-figure counts are untouched). Call
+    /// before [`System::add_server`].
+    pub fn set_durability(&mut self, enabled: bool) {
+        self.set_durability_config(enabled.then(JournalConfig::default));
+    }
+
+    /// Like [`set_durability`](Self::set_durability) with explicit
+    /// journal tuning (fsync batching, snapshot cadence).
+    pub fn set_durability_config(&mut self, config: Option<JournalConfig>) {
+        self.durability = config;
+    }
+
+    /// Whether new servers get the durable journal backend.
+    pub fn durability(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The simulated disk of a durable server (a shared handle — fault
+    /// injection mutates the same storage the server's store reads).
+    /// `None` for servers added while durability was off.
+    pub fn storage_of(&self, host: &str) -> Option<MemMedium> {
+        self.media.get(&HostName::new(host)).cloned()
+    }
+
     /// Overrides one already-added host's wire configuration — the
     /// mixed-version-deployment knob (e.g. pin a single directory node
     /// to v1 in an otherwise v2 tree). Call before the first run so
@@ -257,6 +294,11 @@ impl System {
         core.set_probe(self.probe);
         if self.filter_shards > 1 {
             core.set_filter_shards(self.filter_shards);
+        }
+        if let Some(journal) = self.durability {
+            let medium = MemMedium::new();
+            self.media.insert(HostName::new(host), medium.clone());
+            core.set_state_store(Box::new(JournalStateStore::new(medium, journal)));
         }
         let mut actor = AlertingActor::new(core, self.directory.clone(), self.tick);
         if let Some(cfg) = &self.reliability {
@@ -620,6 +662,42 @@ impl System {
         self.sim.set_node_up(node, up);
     }
 
+    /// Crashes a Greenstone server: its volatile state (profiles,
+    /// filter index, announcement sequence) is wiped, unsynced bytes on
+    /// its simulated disk are lost, and the node goes down. Contrast
+    /// with [`set_host_up`](Self::set_host_up)`(host, false)`, which
+    /// models a frozen-but-intact node (a partition of one). Restart
+    /// with [`restart_server`](Self::restart_server); what comes back
+    /// is whatever the server's state store can replay — nothing, for
+    /// the default in-memory backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `host` is unknown or not a Greenstone server.
+    pub fn crash_server(&mut self, host: &str) {
+        let node = self.node(host);
+        self.sim
+            .with_actor::<AlertingActor, ()>(node, |actor, _| actor.core_mut().crash_wipe())
+            .unwrap_or_else(|| panic!("{host:?} is not a Greenstone server"));
+        if let Some(medium) = self.media.get(&HostName::new(host)) {
+            medium.crash();
+        }
+        self.sim.set_node_up(node, false);
+    }
+
+    /// Restarts a crashed server: the node comes back up and re-runs
+    /// its startup path — state-store recovery (replaying snapshot +
+    /// journal into a rebuilt subscription index), GDS re-registration
+    /// and an interest-summary re-announcement at the resumed version.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `host` is unknown.
+    pub fn restart_server(&mut self, host: &str) {
+        let node = self.node(host);
+        self.sim.set_node_up(node, true);
+    }
+
     /// The accumulated metrics.
     pub fn metrics(&self) -> &Metrics {
         self.sim.metrics()
@@ -867,5 +945,135 @@ mod tests {
         assert!(system.metrics().counter("net.bytes") > 0);
         assert_eq!(system.metrics().counter("alert.notifications"), 1);
         assert!(system.metrics().counter("alert.events_published") >= 1);
+    }
+
+    /// Shared shape of the crash/restart tests: build the figure
+    /// world (durable or not), subscribe London to Hamilton events,
+    /// crash + restart London, then publish and count notifications.
+    fn crash_restart_notifications(durable: bool) -> usize {
+        let mut system = System::new(42);
+        system.set_durability(durable);
+        system.add_gds_topology(&figure2_tree());
+        system.add_server("Hamilton", "gds-4");
+        system.add_server("London", "gds-2");
+        system.add_collection("London", CollectionConfig::simple("E", "e"));
+        system.add_collection("Hamilton", CollectionConfig::simple("D", "d"));
+        system.run_until_quiet(SimTime::from_secs(5));
+
+        let client = system.add_client("London");
+        system
+            .subscribe_text("London", client, r#"host = "Hamilton""#)
+            .unwrap();
+        system.run_until_quiet(system.now() + SimDuration::from_secs(2));
+
+        system.crash_server("London");
+        system.run_for(SimDuration::from_secs(2));
+        system.restart_server("London");
+        system.run_until_quiet(system.now() + SimDuration::from_secs(5));
+
+        system.rebuild("Hamilton", "D", vec![doc("d1", "x")]).unwrap();
+        system.run_until_quiet(system.now() + SimDuration::from_secs(30));
+        system.take_notifications("London", client).len()
+    }
+
+    #[test]
+    fn durable_server_survives_crash_and_restart() {
+        assert_eq!(crash_restart_notifications(true), 1);
+    }
+
+    #[test]
+    fn memory_server_loses_subscriptions_on_crash() {
+        // The honest baseline: without durability the crash really does
+        // lose the subscription — the notification never arrives.
+        assert_eq!(crash_restart_notifications(false), 0);
+    }
+
+    #[test]
+    fn durable_recovery_counts_surface_as_state_metrics() {
+        let mut system = System::new(7);
+        system.set_durability(true);
+        system.add_gds_topology(&figure2_tree());
+        system.add_server("Hamilton", "gds-4");
+        system.add_collection("Hamilton", CollectionConfig::simple("D", "d"));
+        system.run_until_quiet(SimTime::from_secs(5));
+        let client = system.add_client("Hamilton");
+        for host in ["A", "B", "C"] {
+            system
+                .subscribe_text("Hamilton", client, &format!(r#"host = "{host}""#))
+                .unwrap();
+        }
+        system.run_until_quiet(system.now() + SimDuration::from_secs(2));
+        assert!(system.metrics().counter("state.journal_appends") >= 3);
+
+        system.crash_server("Hamilton");
+        system.restart_server("Hamilton");
+        system.run_until_quiet(system.now() + SimDuration::from_secs(5));
+        assert!(system.metrics().counter("state.replay_records") >= 3);
+        assert_eq!(system.metrics().counter("state.journal_corrupt"), 0);
+        assert_eq!(
+            system.inspect_core("Hamilton", |core| core.subscriptions().len()),
+            3
+        );
+    }
+
+    #[test]
+    fn durable_restart_reannounces_at_a_version_pruning_accepts() {
+        // Pruning + durability: after crash+restart the re-announced
+        // summary must not be dropped as stale, or the recovered
+        // server's events stop flowing (a false negative PR 5 forbids).
+        let mut system = System::new(9);
+        system.set_pruning(true);
+        system.set_durability(true);
+        system.add_gds_topology(&figure2_tree());
+        system.add_server("Hamilton", "gds-4");
+        system.add_server("London", "gds-2");
+        system.add_collection("Hamilton", CollectionConfig::simple("D", "d"));
+        system.run_until_quiet(SimTime::from_secs(5));
+
+        let client = system.add_client("London");
+        system
+            .subscribe_text("London", client, r#"host = "Hamilton""#)
+            .unwrap();
+        system.run_until_quiet(system.now() + SimDuration::from_secs(2));
+
+        system.crash_server("London");
+        system.run_for(SimDuration::from_secs(2));
+        system.restart_server("London");
+        system.run_until_quiet(system.now() + SimDuration::from_secs(5));
+
+        // The recovered announcement must reach gds-2 with a version
+        // above the pre-crash one, so the flood still turns toward
+        // London's branch.
+        system.rebuild("Hamilton", "D", vec![doc("d1", "x")]).unwrap();
+        system.run_until_quiet(system.now() + SimDuration::from_secs(30));
+        assert_eq!(system.take_notifications("London", client).len(), 1);
+    }
+
+    #[test]
+    fn torn_storage_never_panics_and_never_forges_subscriptions() {
+        let mut system = System::new(11);
+        system.set_durability(true);
+        system.add_gds_topology(&figure2_tree());
+        system.add_server("Hamilton", "gds-4");
+        system.add_collection("Hamilton", CollectionConfig::simple("D", "d"));
+        system.run_until_quiet(SimTime::from_secs(5));
+        let client = system.add_client("Hamilton");
+        for host in ["A", "B"] {
+            system
+                .subscribe_text("Hamilton", client, &format!(r#"host = "{host}""#))
+                .unwrap();
+        }
+        system.run_until_quiet(system.now() + SimDuration::from_secs(2));
+
+        // Tear bytes off the durable journal, then crash + restart:
+        // recovery must come back with a subset of the real
+        // subscriptions and no panic anywhere.
+        let storage = system.storage_of("Hamilton").expect("durable server");
+        storage.tear_tail(3);
+        system.crash_server("Hamilton");
+        system.restart_server("Hamilton");
+        system.run_until_quiet(system.now() + SimDuration::from_secs(5));
+        let recovered = system.inspect_core("Hamilton", |core| core.subscriptions().len());
+        assert_eq!(recovered, 1, "the torn record drops, the intact one survives");
     }
 }

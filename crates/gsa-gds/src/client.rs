@@ -187,6 +187,33 @@ impl GdsClient {
     pub fn seen_count(&self) -> usize {
         self.seen.len()
     }
+
+    /// The version the last [`summary_update`](Self::summary_update)
+    /// announced at (0 before the first announcement). Persisted by the
+    /// durable state layer so a recovered server resumes the sequence.
+    pub fn summary_version(&self) -> u64 {
+        self.next_summary_version
+    }
+
+    /// Resume the announcement sequence at (at least) `version`: the
+    /// next [`summary_update`](Self::summary_update) will announce
+    /// `version + 1` or later. Takes the max so resuming can never move
+    /// the sequence backwards — announcing below a version the GDS tree
+    /// has already seen would be silently ignored as stale, and the
+    /// re-announcement after crash recovery must not be.
+    pub fn resume_summary_version(&mut self, version: u64) {
+        self.next_summary_version = self.next_summary_version.max(version);
+    }
+
+    /// Model a server crash as the GDS layers see it: the announcement
+    /// sequence restarts at 0 (to be resumed from durable state, or
+    /// not). The duplicate-suppression set deliberately survives — it
+    /// models the client-side inbox, and the reliability layer may
+    /// redeliver in-flight messages after the restart; forgetting the
+    /// set would turn those redeliveries into duplicate notifications.
+    pub fn crash_reset(&mut self) {
+        self.next_summary_version = 0;
+    }
 }
 
 #[cfg(test)]
@@ -312,6 +339,48 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         };
         assert!(version_of(&second) > version_of(&first));
+    }
+
+    #[test]
+    fn crash_reset_and_resume_keep_versions_monotonic() {
+        let mut c = client();
+        let mut summary = InterestSummary::empty();
+        summary.add_host("London");
+        c.summary_update(summary.clone());
+        c.summary_update(summary.clone());
+        assert_eq!(c.summary_version(), 2);
+
+        // Crash without durability: the sequence restarts at 0 and the
+        // next announcement (version 1) would be dropped as stale —
+        // conservative over-delivery, never a false negative.
+        c.crash_reset();
+        assert_eq!(c.summary_version(), 0);
+
+        // Crash with durability: resume from the persisted version.
+        c.resume_summary_version(2);
+        let out = c.summary_update(summary.clone());
+        match out.msg {
+            GdsMessage::SummaryUpdate { version, .. } => assert_eq!(version, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Resuming backwards is a no-op.
+        c.resume_summary_version(1);
+        assert_eq!(c.summary_version(), 3);
+    }
+
+    #[test]
+    fn crash_reset_keeps_the_duplicate_suppression_set() {
+        let mut c = client();
+        let deliver = GdsMessage::Deliver {
+            id: MessageId::from_raw(5),
+            origin: "London".into(),
+            payload: XmlElement::new("event").into(),
+        };
+        assert!(c.accept(&deliver).is_some());
+        c.crash_reset();
+        // A reliability-layer redelivery after restart is still a dup.
+        assert!(c.accept(&deliver).is_none());
     }
 
     #[test]

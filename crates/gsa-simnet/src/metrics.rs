@@ -68,6 +68,14 @@ pub mod names {
     /// Documents mirrored into local super-collection stores from
     /// delivered events.
     pub const CORE_MIRRORED_DOCS: &str = "core.mirrored_docs";
+    /// Records appended to the durable state journal.
+    pub const STATE_JOURNAL_APPENDS: &str = "state.journal_appends";
+    /// Durable state snapshots written (compactions).
+    pub const STATE_SNAPSHOT_WRITES: &str = "state.snapshot_writes";
+    /// Journal records applied during crash-recovery replay.
+    pub const STATE_REPLAY_RECORDS: &str = "state.replay_records";
+    /// Mid-journal corruption events observed during recovery.
+    pub const STATE_JOURNAL_CORRUPT: &str = "state.journal_corrupt";
     /// Delivery latency histogram, one sample per delivered message.
     pub const NET_LATENCY_US: &str = "net.latency_us";
 }
@@ -76,7 +84,7 @@ pub mod names {
 /// [`CounterId`] values are indices into this table, which is what lets
 /// snapshot iteration merge the fixed slots with the string-keyed
 /// fallback map in one sorted pass.
-const WELL_KNOWN: [&str; 34] = [
+const WELL_KNOWN: [&str; 38] = [
     "alert.events_published",
     "alert.notifications",
     "alert.unknown_host",
@@ -108,6 +116,10 @@ const WELL_KNOWN: [&str; 34] = [
     "rendezvous.filtered_events",
     "rendezvous.spurious",
     "rendezvous.stored_profiles",
+    "state.journal_appends",
+    "state.journal_corrupt",
+    "state.replay_records",
+    "state.snapshot_writes",
     "wire.batch.coalesced",
     "wire.batch.flushes",
     "wire.batch.received",

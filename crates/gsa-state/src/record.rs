@@ -1,0 +1,427 @@
+//! CRC-framed journal records and the snapshot codec.
+//!
+//! Every journal record is framed as
+//! `varint(body_len) ++ body ++ crc32(body) as 4 LE bytes`, reusing the
+//! v2 binary primitives from `gsa-wire`. Profile expressions travel in
+//! their existing XML-tree binary encoding (`expr_to_xml` →
+//! `xml_to_binary`), so the journal never invents a second expression
+//! codec.
+//!
+//! Replay is torn-tail tolerant by construction: a record that fails
+//! its CRC (or runs past the end of the buffer) at the very end of the
+//! journal is the torn final append a crash legitimately leaves behind
+//! and is dropped silently; a CRC failure *with bytes after it* is
+//! mid-journal corruption — replay stops at the last good record and
+//! reports [`ReplayStop::Corrupt`] so the store can count it.
+
+use gsa_profile::xml::{expr_from_xml, expr_to_xml};
+use gsa_profile::ProfileExpr;
+use gsa_types::{ClientId, ProfileId};
+use gsa_wire::binary::{crc32, write_varint, xml_from_binary, xml_to_binary, BinReader};
+
+/// One durable state mutation, as written to the journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateRecord {
+    /// A profile was registered.
+    Subscribe {
+        /// The profile id the subscription manager assigned.
+        id: ProfileId,
+        /// The owning client.
+        client: ClientId,
+        /// The profile expression, replayed into the filter index.
+        expr: ProfileExpr,
+    },
+    /// A profile was cancelled.
+    Unsubscribe {
+        /// The profile id being removed.
+        id: ProfileId,
+    },
+    /// The server announced an interest summary at this version.
+    SummaryVersion {
+        /// The announced (monotonic, per-server) version.
+        version: u64,
+    },
+}
+
+const TAG_SUBSCRIBE: u8 = 1;
+const TAG_UNSUBSCRIBE: u8 = 2;
+const TAG_SUMMARY_VERSION: u8 = 3;
+
+/// Snapshot magic byte (`Z` — "the state so far").
+const SNAP_MAGIC: u8 = 0x5A;
+/// Snapshot format version.
+const SNAP_VERSION: u8 = 1;
+
+fn encode_body(rec: &StateRecord, buf: &mut Vec<u8>) {
+    match rec {
+        StateRecord::Subscribe { id, client, expr } => {
+            buf.push(TAG_SUBSCRIBE);
+            write_varint(buf, id.as_u64());
+            write_varint(buf, client.as_u64());
+            xml_to_binary(&expr_to_xml(expr), buf);
+        }
+        StateRecord::Unsubscribe { id } => {
+            buf.push(TAG_UNSUBSCRIBE);
+            write_varint(buf, id.as_u64());
+        }
+        StateRecord::SummaryVersion { version } => {
+            buf.push(TAG_SUMMARY_VERSION);
+            write_varint(buf, *version);
+        }
+    }
+}
+
+fn decode_body(body: &[u8]) -> Option<StateRecord> {
+    let mut r = BinReader::new(body);
+    let rec = match r.read_u8().ok()? {
+        TAG_SUBSCRIBE => {
+            let id = ProfileId::from_raw(r.read_varint().ok()?);
+            let client = ClientId::from_raw(r.read_varint().ok()?);
+            let expr = expr_from_xml(&xml_from_binary(&mut r).ok()?).ok()?;
+            StateRecord::Subscribe { id, client, expr }
+        }
+        TAG_UNSUBSCRIBE => StateRecord::Unsubscribe {
+            id: ProfileId::from_raw(r.read_varint().ok()?),
+        },
+        TAG_SUMMARY_VERSION => StateRecord::SummaryVersion {
+            version: r.read_varint().ok()?,
+        },
+        _ => return None,
+    };
+    // Trailing garbage inside a CRC-valid body is structural corruption.
+    (r.remaining() == 0).then_some(rec)
+}
+
+/// Append one CRC-framed record to `buf`.
+pub fn encode_record(rec: &StateRecord, buf: &mut Vec<u8>) {
+    let mut body = Vec::with_capacity(32);
+    encode_body(rec, &mut body);
+    write_varint(buf, body.len() as u64);
+    buf.extend_from_slice(&body);
+    buf.extend_from_slice(&crc32(&body).to_le_bytes());
+}
+
+/// Decode exactly one framed record from the front of `bytes`,
+/// returning it with the number of bytes consumed. `None` means the
+/// frame is incomplete or fails its CRC — callers wanting the
+/// torn-vs-corrupt distinction should use [`replay_journal`].
+pub fn decode_record(bytes: &[u8]) -> Option<(StateRecord, usize)> {
+    let mut r = BinReader::new(bytes);
+    let len = r.read_varint().ok()? as usize;
+    if r.remaining() < len.checked_add(4)? {
+        return None;
+    }
+    let body = r.read_slice(len).ok()?;
+    let crc = u32::from_le_bytes(r.read_slice(4).ok()?.try_into().ok()?);
+    if crc32(body) != crc {
+        return None;
+    }
+    let rec = decode_body(body)?;
+    Some((rec, bytes.len() - r.remaining()))
+}
+
+/// How a journal replay ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayStop {
+    /// Every byte decoded as a valid record.
+    Clean,
+    /// The final record was truncated or failed its CRC with nothing
+    /// after it — the torn tail of an interrupted append. Dropped
+    /// silently; everything before it was applied.
+    TornTail,
+    /// A record failed mid-journal (CRC mismatch or an undecodable
+    /// CRC-valid body with bytes following). Replay stopped at the
+    /// last good record; the store surfaces this via
+    /// `state.journal_corrupt`.
+    Corrupt,
+}
+
+/// Kept for API symmetry with [`ReplayStop`]; replay itself never
+/// fails — it degrades to a shorter prefix.
+pub type ReplayError = std::convert::Infallible;
+
+/// Replay every intact record in `bytes`, in order, through `apply`.
+/// Returns the number of records applied and how the scan ended.
+/// Never panics, whatever the input.
+pub fn replay_journal(bytes: &[u8], mut apply: impl FnMut(StateRecord)) -> (u64, ReplayStop) {
+    let mut offset = 0usize;
+    let mut applied = 0u64;
+    loop {
+        if offset == bytes.len() {
+            return (applied, ReplayStop::Clean);
+        }
+        let rest = &bytes[offset..];
+        let mut r = BinReader::new(rest);
+        let Ok(len) = r.read_varint() else {
+            // The length prefix itself runs off the end of the buffer.
+            return (applied, ReplayStop::TornTail);
+        };
+        let len = len as usize;
+        if (r.remaining() as u64) < len as u64 + 4 {
+            // The claimed frame extends past the end of the journal —
+            // byte-for-byte indistinguishable from an interrupted append.
+            return (applied, ReplayStop::TornTail);
+        }
+        let body = r.read_slice(len).expect("length checked above");
+        let crc_bytes = r.read_slice(4).expect("length checked above");
+        let crc = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte slice"));
+        if crc32(body) != crc {
+            let stop = if r.remaining() == 0 {
+                ReplayStop::TornTail
+            } else {
+                ReplayStop::Corrupt
+            };
+            return (applied, stop);
+        }
+        match decode_body(body) {
+            Some(rec) => {
+                apply(rec);
+                applied += 1;
+                offset = bytes.len() - r.remaining();
+            }
+            // CRC-valid but undecodable: not a torn write (the frame
+            // checksummed), so always structural corruption.
+            None => return (applied, ReplayStop::Corrupt),
+        }
+    }
+}
+
+/// The state a snapshot captures: everything needed to rebuild a
+/// server's subscription index without the journal records the
+/// snapshot folded in.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotState {
+    /// Last announced interest-summary version.
+    pub summary_version: u64,
+    /// Next profile id the subscription manager would assign.
+    pub next_profile: u64,
+    /// Every live profile: `(id, owner, expression)`.
+    pub profiles: Vec<(ProfileId, ClientId, ProfileExpr)>,
+}
+
+/// Encode a snapshot: magic + format version + one CRC-framed body.
+pub fn encode_snapshot(state: &SnapshotState) -> Vec<u8> {
+    let mut body = Vec::with_capacity(16 + state.profiles.len() * 32);
+    write_varint(&mut body, state.summary_version);
+    write_varint(&mut body, state.next_profile);
+    write_varint(&mut body, state.profiles.len() as u64);
+    for (id, client, expr) in &state.profiles {
+        write_varint(&mut body, id.as_u64());
+        write_varint(&mut body, client.as_u64());
+        xml_to_binary(&expr_to_xml(expr), &mut body);
+    }
+    let mut out = Vec::with_capacity(body.len() + 8);
+    out.push(SNAP_MAGIC);
+    out.push(SNAP_VERSION);
+    write_varint(&mut out, body.len() as u64);
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out
+}
+
+/// Decode a snapshot. Empty input is the no-snapshot-yet case and
+/// yields the default (empty) state; any framing, CRC or structural
+/// failure yields `None` — the store counts it as corruption, starts
+/// from an empty snapshot and lets journal replay recover what it can.
+pub fn decode_snapshot(bytes: &[u8]) -> Option<SnapshotState> {
+    if bytes.is_empty() {
+        return Some(SnapshotState::default());
+    }
+    let mut r = BinReader::new(bytes);
+    if r.read_u8().ok()? != SNAP_MAGIC || r.read_u8().ok()? != SNAP_VERSION {
+        return None;
+    }
+    let len = r.read_varint().ok()? as usize;
+    if r.remaining() != len.checked_add(4)? {
+        return None;
+    }
+    let body = r.read_slice(len).ok()?;
+    let crc = u32::from_le_bytes(r.read_slice(4).ok()?.try_into().ok()?);
+    if crc32(body) != crc {
+        return None;
+    }
+    let mut b = BinReader::new(body);
+    let summary_version = b.read_varint().ok()?;
+    let next_profile = b.read_varint().ok()?;
+    let count = b.read_varint().ok()? as usize;
+    let mut profiles = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let id = ProfileId::from_raw(b.read_varint().ok()?);
+        let client = ClientId::from_raw(b.read_varint().ok()?);
+        let expr = expr_from_xml(&xml_from_binary(&mut b).ok()?).ok()?;
+        profiles.push((id, client, expr));
+    }
+    (b.remaining() == 0).then_some(SnapshotState {
+        summary_version,
+        next_profile,
+        profiles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsa_profile::{Predicate, ProfileAttr};
+
+    fn expr(host: &str) -> ProfileExpr {
+        ProfileExpr::Pred(Predicate::equals(ProfileAttr::Host, host))
+    }
+
+    fn sample_records() -> Vec<StateRecord> {
+        vec![
+            StateRecord::Subscribe {
+                id: ProfileId::from_raw(0),
+                client: ClientId::from_raw(7),
+                expr: expr("hamilton.nz"),
+            },
+            StateRecord::SummaryVersion { version: 1 },
+            StateRecord::Subscribe {
+                id: ProfileId::from_raw(1),
+                client: ClientId::from_raw(9),
+                expr: expr("london.uk"),
+            },
+            StateRecord::Unsubscribe {
+                id: ProfileId::from_raw(0),
+            },
+            StateRecord::SummaryVersion { version: 2 },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip_through_the_frame() {
+        for rec in sample_records() {
+            let mut buf = Vec::new();
+            encode_record(&rec, &mut buf);
+            let (back, used) = decode_record(&buf).expect("intact frame decodes");
+            assert_eq!(back, rec);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn replay_applies_every_record_in_order() {
+        let recs = sample_records();
+        let mut buf = Vec::new();
+        for rec in &recs {
+            encode_record(rec, &mut buf);
+        }
+        let mut seen = Vec::new();
+        let (n, stop) = replay_journal(&buf, |r| seen.push(r));
+        assert_eq!(stop, ReplayStop::Clean);
+        assert_eq!(n, recs.len() as u64);
+        assert_eq!(seen, recs);
+    }
+
+    #[test]
+    fn truncated_tail_drops_only_the_final_record() {
+        let recs = sample_records();
+        let mut buf = Vec::new();
+        let mut boundaries = Vec::new();
+        for rec in &recs {
+            encode_record(rec, &mut buf);
+            boundaries.push(buf.len());
+        }
+        // Chop anywhere strictly inside the final record's frame.
+        let last_start = boundaries[boundaries.len() - 2];
+        for cut in last_start..buf.len() {
+            let mut seen = Vec::new();
+            let (n, stop) = replay_journal(&buf[..cut], |r| seen.push(r));
+            if cut == last_start {
+                assert_eq!(stop, ReplayStop::Clean, "clean boundary is a clean stop");
+            } else {
+                assert_eq!(stop, ReplayStop::TornTail, "cut at byte {cut}");
+            }
+            assert_eq!(n, (recs.len() - 1) as u64);
+            assert_eq!(seen, recs[..recs.len() - 1]);
+        }
+    }
+
+    #[test]
+    fn flipped_trailing_byte_is_a_silent_torn_tail() {
+        let recs = sample_records();
+        let mut buf = Vec::new();
+        for rec in &recs {
+            encode_record(rec, &mut buf);
+        }
+        // Flip the final CRC byte: the last record fails with nothing
+        // after it — a torn write, not corruption.
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF;
+        let mut seen = 0u64;
+        let (n, stop) = replay_journal(&buf, |_| seen += 1);
+        assert_eq!(stop, ReplayStop::TornTail);
+        assert_eq!(n, (recs.len() - 1) as u64);
+        assert_eq!(seen, n);
+    }
+
+    #[test]
+    fn mid_journal_flip_is_corruption_and_stops_at_last_good_record() {
+        let recs = sample_records();
+        let mut buf = Vec::new();
+        let mut boundaries = Vec::new();
+        for rec in &recs {
+            encode_record(rec, &mut buf);
+            boundaries.push(buf.len());
+        }
+        // Flip a body byte of record 2 (0-indexed): its CRC fails with
+        // records 3 and 4 still behind it.
+        let idx = boundaries[1] + 3;
+        buf[idx] ^= 0xFF;
+        let mut seen = Vec::new();
+        let (n, stop) = replay_journal(&buf, |r| seen.push(r));
+        assert_eq!(stop, ReplayStop::Corrupt);
+        assert_eq!(n, 2);
+        assert_eq!(seen, recs[..2]);
+    }
+
+    #[test]
+    fn replay_of_arbitrary_garbage_never_panics() {
+        let garbage: &[&[u8]] = &[
+            &[0xFF],
+            &[0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF],
+            &[0x00],
+            &[0x05, 1, 2, 3],
+            &[0x80, 0x80, 0x80],
+        ];
+        for bytes in garbage {
+            let (n, _) = replay_journal(bytes, |_| {});
+            assert_eq!(n, 0);
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let state = SnapshotState {
+            summary_version: 42,
+            next_profile: 3,
+            profiles: vec![
+                (ProfileId::from_raw(1), ClientId::from_raw(7), expr("a.nz")),
+                (ProfileId::from_raw(2), ClientId::from_raw(8), expr("b.uk")),
+            ],
+        };
+        let bytes = encode_snapshot(&state);
+        assert_eq!(decode_snapshot(&bytes), Some(state));
+        assert_eq!(decode_snapshot(&[]), Some(SnapshotState::default()));
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_rejected_not_misparsed() {
+        let state = SnapshotState {
+            summary_version: 1,
+            next_profile: 1,
+            profiles: vec![(ProfileId::from_raw(0), ClientId::from_raw(1), expr("x"))],
+        };
+        let clean = encode_snapshot(&state);
+        for i in 0..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[i] ^= 0xFF;
+            // Any single-byte corruption must fail closed. (Magic,
+            // version, length, CRC and body flips are all covered.)
+            assert_eq!(decode_snapshot(&bytes), None, "flip at byte {i}");
+        }
+        // Truncations fail closed too.
+        for cut in 1..clean.len() {
+            assert_eq!(decode_snapshot(&clean[..cut]), None, "truncated at {cut}");
+        }
+    }
+}

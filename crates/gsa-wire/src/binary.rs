@@ -252,6 +252,25 @@ impl<'a> BinReader<'a> {
     }
 }
 
+// --- CRC-32 -----------------------------------------------------------
+
+/// The CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of a byte
+/// slice — the integrity check framing durable journal records
+/// (`gsa-state`). Table-free bitwise form: the journal is written and
+/// replayed off the hot path, so 8 shifts per byte is the right trade
+/// against 1 KiB of table in every binary.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
 // --- generic XML-tree codec -------------------------------------------
 
 const NODE_ELEMENT: u8 = 0;
@@ -627,6 +646,26 @@ mod tests {
         buf.truncate(3);
         assert!(BinReader::new(&buf).read_string().is_err());
         assert!(BinReader::new(&[]).read_u8().is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check values (RFC 3720 appendix / zlib).
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let mut bytes = b"journal record body".to_vec();
+        let clean = crc32(&bytes);
+        for i in 0..bytes.len() {
+            bytes[i] ^= 0x40;
+            assert_ne!(crc32(&bytes), clean, "flip at byte {i} must change the CRC");
+            bytes[i] ^= 0x40;
+        }
+        assert_eq!(crc32(&bytes), clean);
     }
 
     #[test]

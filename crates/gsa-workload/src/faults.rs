@@ -44,6 +44,23 @@ pub enum FaultAction {
         /// When.
         at: SimTime,
     },
+    /// Hard-crash an alerting server: volatile state is wiped and the
+    /// node goes down. What survives depends on the server's state
+    /// store — nothing in memory mode, the journal in durable mode.
+    CrashServer {
+        /// When.
+        at: SimTime,
+        /// Which server host.
+        host: HostName,
+    },
+    /// Bring a crashed server back up; it recovers whatever its state
+    /// store persisted and re-announces its interest summary.
+    RestartServer {
+        /// When.
+        at: SimTime,
+        /// Which server host.
+        host: HostName,
+    },
 }
 
 impl FaultAction {
@@ -53,7 +70,9 @@ impl FaultAction {
             FaultAction::SetDropProbability { at, .. }
             | FaultAction::SetNodeUp { at, .. }
             | FaultAction::Partition { at, .. }
-            | FaultAction::Heal { at } => *at,
+            | FaultAction::Heal { at }
+            | FaultAction::CrashServer { at, .. }
+            | FaultAction::RestartServer { at, .. } => *at,
         }
     }
 }
@@ -79,6 +98,14 @@ pub struct FaultPlanParams {
     pub partition_waves: usize,
     /// How long a partition wave lasts.
     pub partition_length: SimDuration,
+    /// Number of hard server crashes (state-wiping, drawn from the
+    /// server set passed to [`FaultPlan::generate_with_servers`]).
+    /// Zero — the default — draws no extra randomness, so plans
+    /// generated without server crashes are byte-identical to plans
+    /// from before this knob existed.
+    pub server_crashes: usize,
+    /// How long a hard-crashed server stays down before restarting.
+    pub server_outage: SimDuration,
 }
 
 impl Default for FaultPlanParams {
@@ -92,6 +119,8 @@ impl Default for FaultPlanParams {
             crash_outage: SimDuration::from_secs(8),
             partition_waves: 1,
             partition_length: SimDuration::from_secs(6),
+            server_crashes: 0,
+            server_outage: SimDuration::from_secs(10),
         }
     }
 }
@@ -113,6 +142,21 @@ impl FaultPlan {
     pub fn generate(
         seed: u64,
         crashable: &[HostName],
+        partitionable: &[HostName],
+        params: &FaultPlanParams,
+    ) -> Self {
+        Self::generate_with_servers(seed, crashable, &[], partitionable, params)
+    }
+
+    /// Like [`FaultPlan::generate`], but additionally draws
+    /// `params.server_crashes` hard server crash/restart pairs from
+    /// `servers`. Server-crash randomness is drawn after every other
+    /// fault class, so a plan with `server_crashes: 0` (or an empty
+    /// server set) is byte-identical to the plain `generate` output.
+    pub fn generate_with_servers(
+        seed: u64,
+        crashable: &[HostName],
+        servers: &[HostName],
         partitionable: &[HostName],
         params: &FaultPlanParams,
     ) -> Self {
@@ -167,6 +211,22 @@ impl FaultPlan {
                 });
                 actions.push(FaultAction::Heal {
                     at: SimTime::from_micros(end),
+                });
+            }
+        }
+
+        if !servers.is_empty() {
+            for _ in 0..params.server_crashes {
+                let host = servers[rng.random_range(0..servers.len())].clone();
+                let at = rng.random_range(0..start_window);
+                let end = (at + params.server_outage.as_micros()).min(repair_by);
+                actions.push(FaultAction::CrashServer {
+                    at: SimTime::from_micros(at),
+                    host: host.clone(),
+                });
+                actions.push(FaultAction::RestartServer {
+                    at: SimTime::from_micros(end),
+                    host,
                 });
             }
         }
@@ -277,6 +337,62 @@ mod tests {
             .filter(|a| matches!(a, FaultAction::SetNodeUp { up: false, .. }))
             .count();
         assert_eq!(crashes, 4);
+    }
+
+    #[test]
+    fn server_crash_draws_do_not_perturb_existing_plans() {
+        let c = hosts(&["gds-2", "gds-3"]);
+        let p = hosts(&["London"]);
+        let params = FaultPlanParams::default();
+        let plain = FaultPlan::generate(9, &c, &p, &params);
+        let with_empty =
+            FaultPlan::generate_with_servers(9, &c, &[], &p, &params);
+        assert_eq!(plain, with_empty, "empty server set is a no-op");
+        // Even with servers listed, zero requested crashes draw nothing.
+        let with_zero = FaultPlan::generate_with_servers(
+            9,
+            &c,
+            &hosts(&["London", "Hamilton"]),
+            &p,
+            &params,
+        );
+        assert_eq!(plain, with_zero, "server_crashes: 0 draws no randomness");
+    }
+
+    #[test]
+    fn server_crashes_pair_up_and_repair_in_window() {
+        let c = hosts(&["gds-2"]);
+        let s = hosts(&["London", "Hamilton"]);
+        let params = FaultPlanParams {
+            server_crashes: 3,
+            ..FaultPlanParams::default()
+        };
+        let plan = FaultPlan::generate_with_servers(5, &c, &s, &[], &params);
+        let crashes: Vec<&HostName> = plan
+            .actions
+            .iter()
+            .filter_map(|a| match a {
+                FaultAction::CrashServer { host, .. } => Some(host),
+                _ => None,
+            })
+            .collect();
+        let restarts: Vec<&HostName> = plan
+            .actions
+            .iter()
+            .filter_map(|a| match a {
+                FaultAction::RestartServer { host, .. } => Some(host),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crashes.len(), 3);
+        assert_eq!(restarts.len(), 3);
+        let mut c1 = crashes.clone();
+        let mut r1 = restarts.clone();
+        c1.sort();
+        r1.sort();
+        assert_eq!(c1, r1, "every crashed server restarts");
+        let ninety = SimTime::from_micros(params.horizon.as_micros() * 9 / 10);
+        assert!(plan.end() <= ninety, "restarts land inside the horizon");
     }
 
     #[test]

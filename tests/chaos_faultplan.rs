@@ -55,6 +55,8 @@ fn cell(seed: u64) -> ChaosCell {
             crash_outage: SimDuration::from_secs(6),
             partition_waves: 1,
             partition_length: SimDuration::from_secs(5),
+            server_crashes: 0,
+            server_outage: SimDuration::from_secs(8),
         },
     );
     ChaosCell {
@@ -81,6 +83,7 @@ fn run(cell: &ChaosCell, reliable: bool, pruned: bool) -> (gsa_bench::Quality, u
             pruned,
             base_drop: 0.2,
             faults: Some(cell.faults.clone()),
+            durable: false,
         },
     );
     let oracle = Oracle::build(

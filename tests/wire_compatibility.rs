@@ -207,12 +207,12 @@ proptest! {
     }
 }
 
-/// Replays the shrunk counterexample recorded in
-/// `wire_compatibility.proptest-regressions` (a one-document event
+/// Replays a shrunk proptest counterexample (a one-document event
 /// whose title is a single space, once mangled by whitespace-trimming
 /// in the XML decoder). The vendored proptest shim does not read
-/// regression files, so every case recorded there is pinned as an
-/// explicit test like this one — see DESIGN.md.
+/// `.proptest-regressions` files, so recorded counterexamples are
+/// pinned as explicit tests like this one and the seed file is then
+/// removed — see DESIGN.md.
 #[test]
 fn regression_single_space_title_round_trips() {
     let mut event = Event::new(
