@@ -93,6 +93,7 @@ fn main() {
         subject_equals: 0.55,
         text_query: 0.15,
         title_wildcard: 0.05,
+        kind_equals: 0.0,
     };
     let shards = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)

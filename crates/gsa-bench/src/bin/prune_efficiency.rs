@@ -1,23 +1,29 @@
-//! Experiment E6-prune — flood cost with subscription-aware multicast
-//! pruning: {clustered, uniform} watcher locality × tree depth ×
-//! {flood, pruned}.
+//! Experiment E6-prune — flood cost under four delivery modes:
+//! {clustered, uniform} watcher locality × tree size × {flood, prune,
+//! attr-prune, rendezvous}.
 //!
 //! Each cell attaches one watcher server per directory node and a
-//! publisher at the deepest node, floods an event storm twice — once
-//! with the paper's full GDS flood and once with interest-summary
-//! pruning — and compares messages per event. Watcher interests are
-//! either *clustered* (only the root-child subtree holding the
-//! publisher subscribes to it; everyone else watches an unrelated
-//! host) or *uniform* (interested watchers alternate across the whole
-//! tree), so the sweep shows where pruning pays: whole subtrees of
-//! disinterest.
+//! publisher at the deepest node, floods a `documents-added` event
+//! storm four times — the paper's full GDS flood, anchors-only
+//! interest summaries (PR 5), attribute-tightened summaries, and
+//! attribute summaries plus rendezvous routing — and compares messages
+//! per event, bytes per event and mean delivery latency. Watchers come
+//! in three classes: *matching* (anchored to the publisher and to the
+//! storm's event kind), *wrong-attribute* (anchored to the publisher
+//! but tightened to a kind the storm never produces — prunable only
+//! once summaries carry digests), and *uninterested* (anchored to a
+//! host that never publishes). Interest locality is either *clustered*
+//! (matching watchers fill exactly the root-child subtree holding the
+//! publisher, making that subtree a rendezvous candidate) or *uniform*
+//! (matching watchers alternate across the whole tree, so no subtree
+//! is exclusive and rendezvous cannot engage).
 //!
-//! Every pruned cell is pinned to its flood twin: the per-watcher
+//! Every cell is pinned to its flood twin: the per-watcher
 //! notification counts must be identical (zero false negatives, zero
 //! new deliveries) before a number is reported.
 //!
 //! Writes `BENCH_e6_prune.json` in the working directory. `--smoke`
-//! runs a single tiny cell per locality for CI.
+//! runs the figure-2 tree only, 16 events per cell, for CI.
 
 use gsa_bench::Table;
 use gsa_core::System;
@@ -30,11 +36,16 @@ use gsa_wire::codec::event_to_xml;
 use gsa_wire::Payload;
 use std::fmt::Write as _;
 
-/// One swept tree.
+/// One swept tree. `events` is per-cell storm size — smaller for the
+/// scale row so the sweep stays minutes, not hours.
 struct Tree {
     label: &'static str,
     topo: GdsTopology,
     depth: u8,
+    events: usize,
+    /// Scale rows only run the clustered cell (the uniform twin adds
+    /// no information at 1000 nodes: rendezvous provably cannot engage).
+    clustered_only: bool,
 }
 
 fn trees(smoke: bool) -> Vec<Tree> {
@@ -43,6 +54,8 @@ fn trees(smoke: bool) -> Vec<Tree> {
             label: "figure2",
             topo: figure2_tree(),
             depth: 3,
+            events: 16,
+            clustered_only: false,
         }];
     }
     vec![
@@ -50,27 +63,41 @@ fn trees(smoke: bool) -> Vec<Tree> {
             label: "figure2",
             topo: figure2_tree(),
             depth: 3,
+            events: 200,
+            clustered_only: false,
         },
         Tree {
             label: "bal-2x4",
             topo: balanced_tree(2, 4),
             depth: 4,
+            events: 200,
+            clustered_only: false,
         },
         Tree {
             label: "bal-3x4",
             topo: balanced_tree(3, 4),
             depth: 4,
+            events: 200,
+            clustered_only: false,
+        },
+        Tree {
+            label: "bal-3x7",
+            topo: balanced_tree(3, 7),
+            depth: 7,
+            events: 32,
+            clustered_only: true,
         },
     ]
 }
 
 #[derive(Clone, Copy, PartialEq)]
 enum Locality {
-    /// Interested watchers fill exactly the root-child subtree that
-    /// holds the publisher; the rest of the tree watches another host.
+    /// Matching watchers fill exactly the root-child subtree that
+    /// holds the publisher; the rest of the tree splits between
+    /// wrong-attribute and uninterested watchers.
     Clustered,
-    /// Interested watchers alternate across the spec order, so every
-    /// subtree holds at least some interest.
+    /// Matching watchers alternate across the spec order, so every
+    /// subtree holds at least some matching interest.
     Uniform,
 }
 
@@ -83,8 +110,72 @@ impl Locality {
     }
 }
 
-/// The same realistic rebuild payload the wire benchmark floods.
-fn event_payload(publisher: &HostName, seq: u64) -> Payload {
+/// The four delivery modes, each layered on the previous one.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// The paper's full flood — no summaries at all.
+    Flood,
+    /// PR 5 anchors-only summaries (attribute digests stripped).
+    Prune,
+    /// Attribute-tightened summaries.
+    AttrPrune,
+    /// Attribute summaries plus rendezvous routing.
+    Rendezvous,
+}
+
+const MODES: [Mode; 4] = [Mode::Flood, Mode::Prune, Mode::AttrPrune, Mode::Rendezvous];
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Flood => "flood",
+            Mode::Prune => "prune",
+            Mode::AttrPrune => "attr-prune",
+            Mode::Rendezvous => "rendezvous",
+        }
+    }
+
+    fn configure(self, system: &mut System) {
+        match self {
+            Mode::Flood => {}
+            Mode::Prune => {
+                system.set_pruning(true);
+                system.set_attr_summaries(false);
+            }
+            Mode::AttrPrune => system.set_pruning(true),
+            Mode::Rendezvous => {
+                system.set_pruning(true);
+                system.set_rendezvous(true);
+            }
+        }
+    }
+}
+
+/// What one watcher subscribes to.
+#[derive(Clone, Copy, PartialEq)]
+enum Want {
+    /// Anchored to the publisher and to the storm's event kind.
+    Match,
+    /// Anchored to the publisher but tightened to a kind the storm
+    /// never produces — anchors alone cannot prune this watcher.
+    WrongAttr,
+    /// Anchored to a host that never publishes.
+    Nothing,
+}
+
+impl Want {
+    fn profile(self) -> &'static str {
+        match self {
+            Want::Match => r#"host = "Hamilton" AND kind = "documents-added""#,
+            Want::WrongAttr => r#"host = "Hamilton" AND kind = "collection-rebuilt""#,
+            Want::Nothing => r#"host = "Nowhere" AND kind = "collection-rebuilt""#,
+        }
+    }
+}
+
+/// The same realistic import payload the wire benchmark floods, issued
+/// at the injection instant so delivery latency is measurable.
+fn event_payload(publisher: &HostName, seq: u64, issued_at: SimTime) -> Payload {
     let mut md = MetadataRecord::new();
     md.add(keys::TITLE, format!("Bulk import {seq}"));
     md.add(keys::CREATOR, "Witten, I.");
@@ -92,7 +183,7 @@ fn event_payload(publisher: &HostName, seq: u64) -> Payload {
         EventId::new(publisher.clone(), seq),
         CollectionId::new(publisher.clone(), "D"),
         EventKind::DocumentsAdded,
-        SimTime::from_millis(seq),
+        issued_at,
     )
     .with_docs(vec![DocSummary::new(format!("doc-{seq}"))
         .with_metadata(md)
@@ -110,12 +201,11 @@ fn deepest_node(topo: &GdsTopology) -> HostName {
         .clone()
 }
 
-/// The set of nodes whose watchers subscribe to the publisher.
-fn interested_nodes(topo: &GdsTopology, locality: Locality) -> Vec<HostName> {
-    match locality {
+/// Assigns every non-publisher node a watcher class per the locality.
+fn watcher_classes(topo: &GdsTopology, locality: Locality) -> Vec<(HostName, Want)> {
+    let deepest = deepest_node(topo);
+    let cluster: Vec<HostName> = match locality {
         Locality::Clustered => {
-            // The root-child subtree holding the publisher's node.
-            let deepest = deepest_node(topo);
             let root = topo
                 .specs()
                 .iter()
@@ -130,61 +220,67 @@ fn interested_nodes(topo: &GdsTopology, locality: Locality) -> Vec<HostName> {
                 .find(|subtree| subtree.contains(&deepest))
                 .expect("publisher sits under some root child")
         }
-        Locality::Uniform => topo
-            .specs()
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i % 2 == 0)
-            .map(|(_, s)| s.name.clone())
-            .collect(),
-    }
+        Locality::Uniform => Vec::new(),
+    };
+    topo.specs()
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.name != deepest)
+        .map(|(i, s)| {
+            let want = match locality {
+                Locality::Clustered if cluster.contains(&s.name) => Want::Match,
+                Locality::Clustered if i % 2 == 0 => Want::WrongAttr,
+                Locality::Clustered => Want::Nothing,
+                Locality::Uniform if i % 2 == 0 => Want::Match,
+                Locality::Uniform if i % 4 == 1 => Want::WrongAttr,
+                Locality::Uniform => Want::Nothing,
+            };
+            (s.name.clone(), want)
+        })
+        .collect()
 }
 
 struct Cell {
     notifications: usize,
     /// Per-watcher notification counts, in spec order — the delivery
-    /// set the pruned twin must reproduce exactly.
+    /// set every other mode must reproduce exactly.
     per_watcher: Vec<(String, usize)>,
     messages: u64,
     msgs_per_event: f64,
+    bytes_per_event: f64,
+    /// Mean publish-to-notification latency in milliseconds.
+    latency_ms: f64,
     pruned_edges: u64,
     summary_updates: u64,
+    confined: u64,
+    grants: u64,
 }
 
-/// Runs one cell: full flood or pruned, same workload either way.
-fn run_cell(tree: &Tree, locality: Locality, pruned: bool, events: usize) -> Cell {
+/// Runs one cell: the same workload under one delivery mode.
+fn run_cell(tree: &Tree, locality: Locality, mode: Mode) -> Cell {
+    let events = tree.events;
     let mut system = System::new(611);
-    system.set_pruning(pruned);
+    mode.configure(&mut system);
     system.add_gds_topology(&tree.topo);
 
     let deepest = deepest_node(&tree.topo);
     let publisher = HostName::new("Hamilton");
     system.add_server(publisher.as_str(), deepest.as_str());
 
-    let interested = interested_nodes(&tree.topo, locality);
+    let classes = watcher_classes(&tree.topo, locality);
     let mut watchers = Vec::new();
-    for spec in tree.topo.specs() {
-        if spec.name == deepest {
-            continue;
-        }
-        let host = format!("watcher-{}", spec.name.as_str());
-        system.add_server(&host, spec.name.as_str());
+    for (node, want) in &classes {
+        let host = format!("watcher-{}", node.as_str());
+        system.add_server(&host, node.as_str());
         let client = system.add_client(&host);
-        // Uninterested watchers still subscribe — to a host that never
-        // publishes — so pruning has real negative interest to skip
-        // rather than empty servers.
-        let profile = if interested.contains(&spec.name) {
-            r#"host = "Hamilton""#
-        } else {
-            r#"host = "Nowhere""#
-        };
         system
-            .subscribe_text(&host, client, profile)
+            .subscribe_text(&host, client, want.profile())
             .expect("valid profile");
-        watchers.push((host, client, interested.contains(&spec.name)));
+        watchers.push((host, client, *want));
     }
-    // Settle registrations and the interest-summary exchange.
-    system.run_until_quiet(SimTime::from_secs(5));
+    // Settle registrations, the interest-summary exchange and (in
+    // rendezvous mode) the grant election.
+    system.run_until_quiet(SimTime::from_secs(10));
 
     let publisher_node = system
         .directory()
@@ -192,7 +288,9 @@ fn run_cell(tree: &Tree, locality: Locality, pruned: bool, events: usize) -> Cel
         .expect("publisher registered");
     let origin_node = system.directory().lookup(&deepest).expect("gds node");
     let sent_before = system.metrics().counter("net.sent");
+    let bytes_before = system.metrics().counter("net.bytes");
     let pruned_before = system.metrics().counter("gds.pruned_edges");
+    let confined_before = system.metrics().counter("gds.rendezvous_confined");
 
     let mut seq = 0u64;
     while (seq as usize) < events {
@@ -201,12 +299,13 @@ fn run_cell(tree: &Tree, locality: Locality, pruned: bool, events: usize) -> Cel
                 break;
             }
             seq += 1;
+            let payload = event_payload(&publisher, seq, system.now());
             system.sim_mut().inject(
                 publisher_node,
                 origin_node,
                 gsa_core::SysMessage::Gds(GdsMessage::Publish {
                     id: MessageId::from_raw(seq),
-                    payload: event_payload(&publisher, seq),
+                    payload,
                 }),
             );
         }
@@ -218,28 +317,38 @@ fn run_cell(tree: &Tree, locality: Locality, pruned: bool, events: usize) -> Cel
 
     let mut notifications = 0usize;
     let mut per_watcher = Vec::new();
-    for (host, client, wants) in &watchers {
-        let got = system.take_notifications(host, *client).len();
-        let expected = if *wants { events } else { 0 };
+    let mut latency_total = 0.0f64;
+    for (host, client, want) in &watchers {
+        let got = system.take_notifications(host, *client);
+        let expected = if *want == Want::Match { events } else { 0 };
         assert_eq!(
-            got, expected,
+            got.len(),
+            expected,
             "cell {}/{}/{}: watcher {host} expected {expected} notifications",
             tree.label,
             locality.label(),
-            if pruned { "pruned" } else { "flood" },
+            mode.label(),
         );
-        notifications += got;
-        per_watcher.push((host.clone(), got));
+        for n in &got {
+            latency_total += (n.at - n.event.issued_at).as_secs_f64() * 1_000.0;
+        }
+        notifications += got.len();
+        per_watcher.push((host.clone(), got.len()));
     }
 
     let messages = system.metrics().counter("net.sent") - sent_before;
+    let bytes = system.metrics().counter("net.bytes") - bytes_before;
     Cell {
         notifications,
         per_watcher,
         messages,
         msgs_per_event: messages as f64 / events as f64,
+        bytes_per_event: bytes as f64 / events as f64,
+        latency_ms: latency_total / (notifications.max(1) as f64),
         pruned_edges: system.metrics().counter("gds.pruned_edges") - pruned_before,
         summary_updates: system.metrics().counter("gds.summary_updates"),
+        confined: system.metrics().counter("gds.rendezvous_confined") - confined_before,
+        grants: system.metrics().counter("gds.rendezvous_grants"),
     }
 }
 
@@ -249,125 +358,191 @@ struct Row {
     depth: u8,
     locality: &'static str,
     events: usize,
-    flood: Cell,
-    pruned: Cell,
-    reduction: f64,
+    /// Cells in MODES order: flood, prune, attr-prune, rendezvous.
+    cells: Vec<Cell>,
+}
+
+impl Row {
+    fn cell(&self, mode: Mode) -> &Cell {
+        &self.cells[MODES.iter().position(|m| *m == mode).expect("known mode")]
+    }
+
+    fn reduction(&self, mode: Mode) -> f64 {
+        1.0 - self.cell(mode).messages as f64 / self.cell(Mode::Flood).messages as f64
+    }
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let events = if smoke { 16 } else { 200 };
 
-    println!("E6-prune: flood cost with subscription-aware pruning");
-    println!("    events/cell={events}, one watcher server per directory node");
+    println!("E6-prune: flood cost under four delivery modes");
+    println!("    one watcher server per directory node; storm kind = documents-added");
     println!();
 
     let mut rows: Vec<Row> = Vec::new();
     for tree in trees(smoke) {
         for locality in [Locality::Clustered, Locality::Uniform] {
-            let flood = run_cell(&tree, locality, false, events);
-            let pruned = run_cell(&tree, locality, true, events);
-            // The oracle pin: pruning must not change a single
-            // watcher's delivery count.
-            assert_eq!(
-                flood.per_watcher, pruned.per_watcher,
-                "{}/{}: pruned deliveries diverged from the full flood",
-                tree.label,
-                locality.label(),
-            );
-            assert!(
-                pruned.messages <= flood.messages,
-                "{}/{}: pruning may never cost flood messages",
-                tree.label,
-                locality.label(),
-            );
-            let reduction = 1.0 - pruned.messages as f64 / flood.messages as f64;
+            if tree.clustered_only && locality != Locality::Clustered {
+                continue;
+            }
+            let cells: Vec<Cell> = MODES
+                .iter()
+                .map(|mode| run_cell(&tree, locality, *mode))
+                .collect();
+            // The oracle pin: no mode may change a single watcher's
+            // delivery count.
+            for (mode, cell) in MODES.iter().zip(&cells) {
+                assert_eq!(
+                    cells[0].per_watcher,
+                    cell.per_watcher,
+                    "{}/{}: {} deliveries diverged from the full flood",
+                    tree.label,
+                    locality.label(),
+                    mode.label(),
+                );
+            }
             rows.push(Row {
                 tree: tree.label,
                 nodes: tree.topo.len(),
                 depth: tree.depth,
                 locality: locality.label(),
-                events,
-                flood,
-                pruned,
-                reduction,
+                events: tree.events,
+                cells,
             });
         }
     }
 
     let mut table = Table::new(vec![
-        "tree", "nodes", "depth", "locality", "events", "flood-msgs", "pruned-msgs",
-        "flood-m/ev", "pruned-m/ev", "edges-cut", "reduction",
+        "tree", "nodes", "locality", "events", "flood-m/ev", "prune-m/ev", "attr-m/ev",
+        "rdv-m/ev", "rdv-kB/ev", "lat-ms", "edges-cut", "confined", "red-attr", "red-rdv",
     ]);
     for r in &rows {
         table.row(vec![
             r.tree.to_string(),
             r.nodes.to_string(),
-            r.depth.to_string(),
             r.locality.to_string(),
             r.events.to_string(),
-            r.flood.messages.to_string(),
-            r.pruned.messages.to_string(),
-            format!("{:.1}", r.flood.msgs_per_event),
-            format!("{:.1}", r.pruned.msgs_per_event),
-            r.pruned.pruned_edges.to_string(),
-            format!("{:.0}%", 100.0 * r.reduction),
+            format!("{:.1}", r.cell(Mode::Flood).msgs_per_event),
+            format!("{:.1}", r.cell(Mode::Prune).msgs_per_event),
+            format!("{:.1}", r.cell(Mode::AttrPrune).msgs_per_event),
+            format!("{:.1}", r.cell(Mode::Rendezvous).msgs_per_event),
+            format!("{:.1}", r.cell(Mode::Rendezvous).bytes_per_event / 1024.0),
+            format!("{:.1}", r.cell(Mode::Rendezvous).latency_ms),
+            r.cell(Mode::AttrPrune).pruned_edges.to_string(),
+            r.cell(Mode::Rendezvous).confined.to_string(),
+            format!("{:.0}%", 100.0 * r.reduction(Mode::AttrPrune)),
+            format!("{:.0}%", 100.0 * r.reduction(Mode::Rendezvous)),
         ]);
     }
     println!("{table}");
 
-    // The headline claim: clustered interest at depth >= 3 saves at
-    // least 30% of flood messages without losing a delivery.
     for r in &rows {
-        if r.locality == "clustered" && r.depth >= 3 {
+        let flood = r.cell(Mode::Flood);
+        let prune = r.cell(Mode::Prune);
+        let attr = r.cell(Mode::AttrPrune);
+        let rdv = r.cell(Mode::Rendezvous);
+        // Monotone layering, everywhere: each mode may never cost
+        // messages over the one below it.
+        assert!(
+            prune.messages <= flood.messages && attr.messages <= prune.messages,
+            "{}/{}: mode layering must be monotone",
+            r.tree,
+            r.locality,
+        );
+        assert!(
+            rdv.messages <= attr.messages,
+            "{}/{}: rendezvous may never cost messages over attr-prune",
+            r.tree,
+            r.locality,
+        );
+        if r.locality == "clustered" {
+            // The tentpole claims, strict where the workload is shaped
+            // for them: digests out-prune anchors, and the rendezvous
+            // point confines the hot subgroup's events to its subtree.
             assert!(
-                r.reduction >= 0.30,
-                "{}/{}: clustered reduction {:.0}% below the 30% bar",
+                attr.messages < prune.messages,
+                "{}/clustered: attr digests must strictly out-prune anchors \
+                 ({} vs {})",
                 r.tree,
-                r.locality,
-                100.0 * r.reduction,
+                attr.messages,
+                prune.messages,
             );
+            assert!(
+                rdv.messages < attr.messages,
+                "{}/clustered: rendezvous must strictly out-prune attr digests \
+                 ({} vs {})",
+                r.tree,
+                rdv.messages,
+                attr.messages,
+            );
+            assert!(
+                rdv.confined > 0 && rdv.grants > 0,
+                "{}/clustered: the rendezvous machinery must actually engage",
+                r.tree,
+            );
+            // The headline claim: clustered interest at depth >= 3
+            // saves at least 30% of flood messages without losing a
+            // delivery.
+            if r.depth >= 3 {
+                assert!(
+                    r.reduction(Mode::AttrPrune) >= 0.30,
+                    "{}/clustered: reduction {:.0}% below the 30% bar",
+                    r.tree,
+                    100.0 * r.reduction(Mode::AttrPrune),
+                );
+            }
         }
+        assert_eq!(flood.confined, 0, "{}: flood mode never confines", r.tree);
+        assert_eq!(attr.confined, 0, "{}: attr mode never confines", r.tree);
     }
-    println!("clustered cells at depth >= 3 all clear the 30% reduction bar");
+    println!("clustered cells: attr < prune < flood and rdv < attr, all strict; 30% bar clear");
 
     if !smoke {
-        let json = render_json(&rows, events);
+        let json = render_json(&rows);
         let path = "BENCH_e6_prune.json";
         std::fs::write(path, &json).expect("write BENCH_e6_prune.json");
         println!("\nwrote {path}");
     }
 }
 
-fn render_json(rows: &[Row], events: usize) -> String {
+fn render_json(rows: &[Row]) -> String {
     let mut out = String::from("{\n  \"experiment\": \"e6_prune_efficiency\",\n");
-    let _ = writeln!(out, "  \"events_per_cell\": {events},");
+    out.push_str("  \"modes\": [\"flood\", \"prune\", \"attr_prune\", \"rendezvous\"],\n");
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
-        writeln!(
+        let _ = writeln!(
             out,
             "    {{\"tree\": \"{}\", \"nodes\": {}, \"depth\": {}, \"locality\": \"{}\", \
-             \"events\": {}, \"notifications\": {}, \"flood_messages\": {}, \
-             \"pruned_messages\": {}, \"flood_msgs_per_event\": {:.2}, \
-             \"pruned_msgs_per_event\": {:.2}, \"pruned_edges\": {}, \
-             \"summary_updates\": {}, \"reduction\": {:.3}, \"false_negatives\": 0}}{}",
-            r.tree,
-            r.nodes,
-            r.depth,
-            r.locality,
-            r.events,
-            r.pruned.notifications,
-            r.flood.messages,
-            r.pruned.messages,
-            r.flood.msgs_per_event,
-            r.pruned.msgs_per_event,
-            r.pruned.pruned_edges,
-            r.pruned.summary_updates,
-            r.reduction,
+             \"events\": {}, \"notifications\": {},",
+            r.tree, r.nodes, r.depth, r.locality, r.events, r.cells[0].notifications,
+        );
+        for (mode, key) in MODES.iter().zip(["flood", "prune", "attr_prune", "rendezvous"]) {
+            let c = r.cell(*mode);
+            let _ = writeln!(
+                out,
+                "     \"{key}\": {{\"messages\": {}, \"msgs_per_event\": {:.2}, \
+                 \"bytes_per_event\": {:.0}, \"latency_ms\": {:.2}, \"pruned_edges\": {}, \
+                 \"summary_updates\": {}, \"confined\": {}, \"grants\": {}}},",
+                c.messages,
+                c.msgs_per_event,
+                c.bytes_per_event,
+                c.latency_ms,
+                c.pruned_edges,
+                c.summary_updates,
+                c.confined,
+                c.grants,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "     \"reduction_prune\": {:.3}, \"reduction_attr\": {:.3}, \
+             \"reduction_rendezvous\": {:.3}, \"false_negatives\": 0}}{}",
+            r.reduction(Mode::Prune),
+            r.reduction(Mode::AttrPrune),
+            r.reduction(Mode::Rendezvous),
             comma,
-        )
-        .expect("string write");
+        );
     }
     out.push_str("  ]\n}\n");
     out

@@ -140,6 +140,13 @@ const RELIABLE_TAG: u64 = 2;
 const HEARTBEAT_TAG: u64 = 3;
 /// Timer tag for the per-edge batch flush (batching on).
 const BATCH_TAG: u64 = 4;
+/// Timer tag for the coalesced summary-announcement flush (pruning on).
+const ANNOUNCE_TAG: u64 = 5;
+
+/// How long a GDS node sits on a dirty aggregate before announcing it
+/// upward: long enough to coalesce a registration burst arriving in one
+/// actor frame, short against the heartbeat re-announce cadence.
+const ANNOUNCE_DELAY: SimDuration = SimDuration::from_millis(1);
 
 /// Tunables of the per-edge event batcher: flood traffic buffered per
 /// neighbour and flushed as one [`GdsMessage::Batch`] frame when either
@@ -740,6 +747,8 @@ pub struct GdsActor {
     /// survives between frames so steady-state handling allocates
     /// nothing.
     scratch: GdsEffects,
+    /// An `ANNOUNCE_TAG` timer is outstanding (deferred announcements).
+    announce_armed: bool,
 }
 
 impl GdsActor {
@@ -753,6 +762,7 @@ impl GdsActor {
             reliability: None,
             wire: WireLink::new(WireConfig::default()),
             scratch: GdsEffects::default(),
+            announce_armed: false,
         }
     }
 
@@ -764,8 +774,18 @@ impl GdsActor {
     }
 
     /// Enables subscription-aware flood pruning on the wrapped node.
+    /// Under the actor, upward announcements are deferred and coalesced:
+    /// a burst of registrations in one frame produces one announce when
+    /// the `ANNOUNCE_TAG` timer fires, not one per registration.
     pub fn set_pruning(&mut self, enabled: bool) {
         self.node.set_pruning(enabled);
+        self.node.set_deferred_announce(enabled);
+    }
+
+    /// Enables rendezvous placement on the wrapped node (construction-
+    /// time knob; requires pruning for grants to mean anything).
+    pub fn set_rendezvous(&mut self, enabled: bool) {
+        self.node.set_rendezvous(enabled);
     }
 
     /// Turns on reliable per-edge delivery and the heartbeat failure
@@ -802,12 +822,22 @@ impl GdsActor {
         if !effects.undeliverable.is_empty() {
             ctx.count("gds.undeliverable", effects.undeliverable.len() as u64);
         }
-        let (pruned, updates) = self.node.take_counters();
-        if pruned > 0 {
-            ctx.count(metric::GDS_PRUNED_EDGES, pruned);
+        let counters = self.node.take_counters();
+        if counters.pruned_edges > 0 {
+            ctx.count(metric::GDS_PRUNED_EDGES, counters.pruned_edges);
         }
-        if updates > 0 {
-            ctx.count(metric::GDS_SUMMARY_UPDATES, updates);
+        if counters.summary_updates > 0 {
+            ctx.count(metric::GDS_SUMMARY_UPDATES, counters.summary_updates);
+        }
+        if counters.rendezvous_confined > 0 {
+            ctx.count(metric::GDS_RENDEZVOUS_CONFINED, counters.rendezvous_confined);
+        }
+        if counters.rendezvous_grants > 0 {
+            ctx.count(metric::GDS_RENDEZVOUS_GRANTS, counters.rendezvous_grants);
+        }
+        if self.node.announce_pending() && !self.announce_armed {
+            self.announce_armed = true;
+            ctx.set_timer(ANNOUNCE_DELAY, ANNOUNCE_TAG);
         }
         let legacy = ctx.seed_equivalent_path();
         for out in effects.outbound.drain(..) {
@@ -929,6 +959,11 @@ impl GdsActor {
         // any stale edge summary); tell it what we actually cover so
         // pruning resumes on the healed edge.
         effects.outbound.extend(self.node.summary_announcement());
+        // set_parent dropped the grants held from the old parent, so
+        // grants delegated to children lost their upward cover: revoke
+        // them in the same batch (the new parent re-grants over its own
+        // heartbeat/announce cycle once summaries settle).
+        self.node.refresh_rendezvous(&mut effects);
         self.apply(&mut effects, ctx);
         // The new parent is an unknown quantity: renegotiate the edge
         // from the XML-safe default.
@@ -1064,6 +1099,16 @@ impl Actor<SysMessage> for GdsActor {
             BATCH_TAG => {
                 let link = self.reliability.as_mut().map(|r| &mut r.link);
                 self.wire.flush_all(ctx, link);
+            }
+            ANNOUNCE_TAG => {
+                self.announce_armed = false;
+                if let Some(out) = self.node.flush_deferred_announcement() {
+                    let mut effects = std::mem::take(&mut self.scratch);
+                    effects.clear();
+                    effects.outbound.push(out);
+                    self.apply(&mut effects, ctx);
+                    self.scratch = effects;
+                }
             }
             _ => {}
         }

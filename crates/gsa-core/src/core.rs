@@ -148,6 +148,10 @@ pub struct AlertingCore {
     /// When true, the core announces its interest summary to its GDS
     /// node (subscription-aware flood pruning). Off by default.
     pruning: bool,
+    /// When true (the default), announced summaries carry the bounded
+    /// equality-attribute digests; off strips them to the PR 5
+    /// anchors-only shape — the A/B baseline for the prune bench.
+    attr_summaries: bool,
     /// The last summary announced, so no-op refreshes send nothing.
     last_summary: Option<InterestSummary>,
     /// When true (the default), frozen binary deliveries are pre-filtered
@@ -210,6 +214,7 @@ impl AlertingCore {
             dead_letters: Vec::new(),
             request_started: HashMap::new(),
             pruning: false,
+            attr_summaries: true,
             last_summary: None,
             probe: true,
             mirror_ingest: false,
@@ -225,6 +230,14 @@ impl AlertingCore {
     /// by its GDS node and always receives the full flood.
     pub fn set_pruning(&mut self, enabled: bool) {
         self.pruning = enabled;
+    }
+
+    /// Enables or disables attribute digests on announced summaries (on
+    /// by default). Disabling reverts announcements to the anchors-only
+    /// shape, the collection-level-pruning baseline; which notifications
+    /// are produced never changes either way.
+    pub fn set_attr_summaries(&mut self, enabled: bool) {
+        self.attr_summaries = enabled;
     }
 
     /// Enables or disables the delivery-time attribute probe (on by
@@ -404,7 +417,10 @@ impl AlertingCore {
         if !self.pruning {
             return effects;
         }
-        let summary = self.subs.interest_summary();
+        let mut summary = self.subs.interest_summary();
+        if !self.attr_summaries {
+            summary.clear_attrs();
+        }
         if self.last_summary.as_ref() == Some(&summary) {
             return effects;
         }

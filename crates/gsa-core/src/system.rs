@@ -34,6 +34,8 @@ pub struct System {
     reliability: Option<ReliabilityConfig>,
     wire: WireConfig,
     pruning: bool,
+    attr_summaries: bool,
+    rendezvous: bool,
     probe: bool,
     filter_shards: usize,
     durability: Option<JournalConfig>,
@@ -65,6 +67,8 @@ impl System {
             reliability: None,
             wire: WireConfig::default(),
             pruning: false,
+            attr_summaries: true,
+            rendezvous: false,
             probe: true,
             filter_shards: 1,
             durability: None,
@@ -152,6 +156,38 @@ impl System {
     /// Whether new nodes get flood pruning.
     pub fn pruning(&self) -> bool {
         self.pruning
+    }
+
+    /// Enables or disables attribute digests on the summaries announced
+    /// by servers added *after* this call (on by default, but inert
+    /// until [`set_pruning`](Self::set_pruning) turns announcements on).
+    /// With digests, GDS nodes can also skip edges whose subtree
+    /// subscribes to the right collection but provably not the event's
+    /// attribute values. Off reverts to anchors-only summaries — the
+    /// collection-level-pruning baseline, message for message.
+    pub fn set_attr_summaries(&mut self, enabled: bool) {
+        self.attr_summaries = enabled;
+    }
+
+    /// Whether new servers announce attribute digests.
+    pub fn attr_summaries(&self) -> bool {
+        self.attr_summaries
+    }
+
+    /// Enables rendezvous routing for GDS nodes added *after* this
+    /// call: nodes that can prove a hot (attribute, value) subgroup
+    /// lives entirely under one child edge grant that edge a rendezvous
+    /// point, and matching events are confined to the subtree instead
+    /// of flooding through the root. Off by default — the paper's
+    /// flood-to-root behaviour, message for message. Requires pruning
+    /// and attribute summaries to have any effect.
+    pub fn set_rendezvous(&mut self, enabled: bool) {
+        self.rendezvous = enabled;
+    }
+
+    /// Whether new GDS nodes run rendezvous routing.
+    pub fn rendezvous(&self) -> bool {
+        self.rendezvous
     }
 
     /// Enables or disables the delivery-time attribute probe for every
@@ -262,6 +298,7 @@ impl System {
         }
         actor.set_wire(self.wire.clone());
         actor.set_pruning(self.pruning);
+        actor.set_rendezvous(self.rendezvous);
         actor
             .node_mut()
             .set_seed_costs(self.sim.seed_equivalent_path());
@@ -291,6 +328,7 @@ impl System {
     ) -> NodeId {
         let mut core = AlertingCore::with_config(host, gds_server, config);
         core.set_pruning(self.pruning);
+        core.set_attr_summaries(self.attr_summaries);
         core.set_probe(self.probe);
         if self.filter_shards > 1 {
             core.set_filter_shards(self.filter_shards);

@@ -280,6 +280,24 @@ impl FilterEngine {
         self.symbols.len()
     }
 
+    /// The distinct `(attribute, value)` equality pairs currently held
+    /// by the index, resolved back to strings and sorted — a read-only
+    /// export for the interest-summary layer. Every positive equality
+    /// predicate any indexed profile can match on appears here, so an
+    /// attribute digest derived per profile expression may only name
+    /// pairs this set contains (the oracle the digest tests check
+    /// against). Postings for removed profiles are pruned eagerly, so
+    /// the export never names a pair no live profile uses.
+    pub fn equality_digest(&self) -> Vec<(&str, &str)> {
+        let mut pairs: Vec<(&str, &str)> = self
+            .eq_index
+            .keys()
+            .map(|&(attr, value)| (self.symbols.resolve(attr), self.symbols.resolve(value)))
+            .collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
     #[cfg(test)]
     fn conj_slot_capacity(&self) -> usize {
         self.conjs.len()
@@ -789,6 +807,45 @@ mod tests {
         // Profile reported once even when both branches match.
         let e = engine_with(&[(1, r#"host = "London" OR kind = "documents-added""#)]);
         assert_eq!(e.matches(&event("London", "E", "x", "")), vec![pid(1)]);
+    }
+
+    #[test]
+    fn equality_digest_exports_live_pairs_the_summary_layer_respects() {
+        let mut e = engine_with(&[
+            (1, r#"kind = "documents-added" AND host = "London""#),
+            (2, r#"dc.Language = "mi""#),
+        ]);
+        let digest = e.equality_digest();
+        for pair in [
+            ("kind", "documents-added"),
+            ("host", "London"),
+            ("dc.Language", "mi"),
+        ] {
+            assert!(digest.contains(&pair), "index lacks {pair:?}");
+        }
+        // The announcement-layer attribute digest may only name pairs
+        // this index holds: a summary claiming an interest the matcher
+        // cannot satisfy would make upstream pruning unsound.
+        for text in [
+            r#"kind = "documents-added" AND host = "London""#,
+            r#"dc.Language = "mi""#,
+        ] {
+            let summary = gsa_profile::interests_of(&parse_profile(text).unwrap());
+            for (key, values) in summary.attrs() {
+                let attr = key.strip_prefix(gsa_wire::ATTR_META_PREFIX).unwrap_or(key);
+                for value in values {
+                    assert!(
+                        digest.contains(&(attr, value.as_str())),
+                        "summary names unindexed pair {attr}={value}"
+                    );
+                }
+            }
+        }
+        // Removal prunes the export along with the postings.
+        assert!(e.remove(pid(2)));
+        let digest = e.equality_digest();
+        assert!(!digest.contains(&("dc.Language", "mi")));
+        assert!(digest.contains(&("host", "London")));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use gsa_wire::binary::{
 use gsa_wire::codec::event_to_xml;
 use gsa_wire::{FrozenBytes, InterestSummary, Payload, WireError, XmlElement};
 use gsa_types::Event;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Correlates a naming-service resolution with its answer.
@@ -159,6 +160,24 @@ pub enum GdsMessage {
         /// The conservative interest digest of the sender's subtree.
         summary: InterestSummary,
     },
+    /// A parent grants its child rendezvous authority for a set of
+    /// `(attribute, value)` subgroups: the parent has proved, from its
+    /// aggregated edge summaries, that no live interest in those
+    /// subgroups exists outside the child's subtree. An event inside
+    /// the subtree that provably belongs to a granted subgroup need not
+    /// climb past the child — it is confined and floods down from the
+    /// rendezvous point instead of from the root. The grant set is a
+    /// full replacement at a per-sender monotonic version (stale or
+    /// replayed grants are ignored, like summary updates), and is
+    /// re-sent on heartbeat receipt as an idempotent heal.
+    RendezvousGrant {
+        /// The granting parent.
+        from: HostName,
+        /// Monotonic per-sender version; stale grants are ignored.
+        version: u64,
+        /// `attribute key → granted values`; empty revokes everything.
+        grants: BTreeMap<String, BTreeSet<String>>,
+    },
 }
 
 impl GdsMessage {
@@ -297,6 +316,25 @@ impl GdsMessage {
                 .to_xml("gds:summary")
                 .with_attr("from", from.as_str())
                 .with_attr("version", version.to_string()),
+            GdsMessage::RendezvousGrant {
+                from,
+                version,
+                grants,
+            } => {
+                let mut el = XmlElement::new("gds:rendezvous-grant")
+                    .with_attr("from", from.as_str())
+                    .with_attr("version", version.to_string());
+                el.reserve_children(grants.len());
+                for (key, values) in grants {
+                    let mut grant = XmlElement::new("grant").with_attr("key", key.as_str());
+                    grant.reserve_children(values.len());
+                    for v in values {
+                        grant.push_child(XmlElement::new("value").with_text(v.as_str()));
+                    }
+                    el.push_child(grant);
+                }
+                el
+            }
         }
     }
 
@@ -402,6 +440,27 @@ impl GdsMessage {
                     .ok_or_else(|| WireError::malformed("missing summary version"))?,
                 summary: InterestSummary::from_xml(el)?,
             }),
+            "gds:rendezvous-grant" => {
+                let mut grants = BTreeMap::new();
+                for grant in el.children_named("grant") {
+                    let key = grant
+                        .attr("key")
+                        .ok_or_else(|| WireError::malformed("grant without key"))?;
+                    let values: BTreeSet<String> = grant
+                        .children_named("value")
+                        .map(|v| v.text().to_owned())
+                        .collect();
+                    grants.insert(key.to_owned(), values);
+                }
+                Ok(GdsMessage::RendezvousGrant {
+                    from: host("from")?,
+                    version: el
+                        .attr("version")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .ok_or_else(|| WireError::malformed("missing grant version"))?,
+                    grants,
+                })
+            }
             other => Err(WireError::malformed(format!("unknown GDS message <{other}>"))),
         }
     }
@@ -570,6 +629,23 @@ impl GdsMessage {
                 write_varint(buf, *version);
                 summary.write_binary(buf);
             }
+            GdsMessage::RendezvousGrant {
+                from,
+                version,
+                grants,
+            } => {
+                buf.push(opcode::RENDEZVOUS_GRANT);
+                write_str(buf, from.as_str());
+                write_varint(buf, *version);
+                write_varint(buf, grants.len() as u64);
+                for (key, values) in grants {
+                    write_str(buf, key);
+                    write_varint(buf, values.len() as u64);
+                    for v in values {
+                        write_str(buf, v);
+                    }
+                }
+            }
         }
     }
 
@@ -639,6 +715,23 @@ impl GdsMessage {
                 version,
                 summary,
             } => str_len(from.as_str()) + varint_len(*version) + summary.binary_size(),
+            GdsMessage::RendezvousGrant {
+                from,
+                version,
+                grants,
+            } => {
+                str_len(from.as_str())
+                    + varint_len(*version)
+                    + varint_len(grants.len() as u64)
+                    + grants
+                        .iter()
+                        .map(|(key, values)| {
+                            str_len(key)
+                                + varint_len(values.len() as u64)
+                                + values.iter().map(|v| str_len(v)).sum::<usize>()
+                        })
+                        .sum::<usize>()
+            }
         }
     }
 
@@ -733,6 +826,26 @@ impl GdsMessage {
                 version: r.read_varint()?,
                 summary: InterestSummary::read_binary(r)?,
             }),
+            opcode::RENDEZVOUS_GRANT => {
+                let from = read_host(r)?;
+                let version = r.read_varint()?;
+                let keys = r.read_varint()? as usize;
+                let mut grants = BTreeMap::new();
+                for _ in 0..keys {
+                    let key = r.read_string()?;
+                    let count = r.read_varint()? as usize;
+                    let mut values = BTreeSet::new();
+                    for _ in 0..count {
+                        values.insert(r.read_string()?);
+                    }
+                    grants.insert(key, values);
+                }
+                Ok(GdsMessage::RendezvousGrant {
+                    from,
+                    version,
+                    grants,
+                })
+            }
             other => Err(WireError::malformed(format!("unknown GDS opcode {other}"))),
         }
     }
@@ -760,6 +873,7 @@ mod opcode {
     pub const HELLO_ACK: u8 = 16;
     pub const BATCH: u8 = 17;
     pub const SUMMARY_UPDATE: u8 = 18;
+    pub const RENDEZVOUS_GRANT: u8 = 19;
 }
 
 fn write_hosts(buf: &mut Vec<u8>, hosts: &[HostName]) {
@@ -908,17 +1022,51 @@ mod tests {
         summary
     }
 
+    fn attr_summary() -> InterestSummary {
+        let mut summary = sample_summary();
+        summary.constrain_attr("kind", ["documents-added".to_owned()]);
+        summary.constrain_attr("meta:Language", ["en".to_owned(), "mi".to_owned()]);
+        summary
+    }
+
     #[test]
     fn summary_updates_round_trip_in_both_formats() {
         for summary in [
             InterestSummary::empty(),
             InterestSummary::wildcard(),
             sample_summary(),
+            attr_summary(),
         ] {
             let msg = GdsMessage::SummaryUpdate {
                 from: "gds-4".into(),
                 version: 7,
                 summary,
+            };
+            round_trip(msg.clone());
+            binary_round_trip(msg);
+        }
+    }
+
+    fn sample_grants() -> BTreeMap<String, BTreeSet<String>> {
+        let mut grants = BTreeMap::new();
+        grants.insert(
+            "kind".to_owned(),
+            ["documents-added".to_owned()].into_iter().collect(),
+        );
+        grants.insert(
+            "meta:Language".to_owned(),
+            ["en".to_owned(), "mi".to_owned()].into_iter().collect(),
+        );
+        grants
+    }
+
+    #[test]
+    fn rendezvous_grants_round_trip_in_both_formats() {
+        for grants in [BTreeMap::new(), sample_grants()] {
+            let msg = GdsMessage::RendezvousGrant {
+                from: "gds-2".into(),
+                version: 4,
+                grants,
             };
             round_trip(msg.clone());
             binary_round_trip(msg);
@@ -1011,7 +1159,12 @@ mod tests {
             GdsMessage::SummaryUpdate {
                 from: "gds-4".into(),
                 version: 3,
-                summary: sample_summary(),
+                summary: attr_summary(),
+            },
+            GdsMessage::RendezvousGrant {
+                from: "gds-2".into(),
+                version: 4,
+                grants: sample_grants(),
             },
         ] {
             binary_round_trip(msg);

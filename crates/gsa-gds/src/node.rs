@@ -2,7 +2,7 @@
 
 use crate::message::GdsMessage;
 use gsa_types::{FxHashSet, HostName};
-use gsa_wire::{InterestSummary, Payload};
+use gsa_wire::{InterestSummary, Payload, ATTR_KEY_KIND, ATTR_META_PREFIX};
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 use std::fmt;
 use std::hint::black_box;
@@ -12,6 +12,31 @@ use std::hint::black_box;
 /// an event older than that already reached the child through its former
 /// parent (per-edge delivery is reliable when the layer is on).
 const RECENT_CAP: usize = 128;
+
+/// Most `(attribute, value)` subgroup grants a node hands to one child.
+/// Grants are routing state replicated down an edge; the cap keeps a
+/// pathological subscription mix from turning every heartbeat heal into
+/// a bulk state transfer. Excess candidates simply stay ungranted —
+/// events for them flood from the root as before, which is always safe.
+const MAX_GRANTS: usize = 8;
+
+/// A grant set: attribute key → values the holder owns exclusively.
+type GrantMap = BTreeMap<String, BTreeSet<String>>;
+
+/// Counters a [`GdsNode`] accumulates between [`GdsNode::take_counters`]
+/// drains (the actor layer turns them into metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GdsCounters {
+    /// Flood edges skipped thanks to interest summaries.
+    pub pruned_edges: u64,
+    /// Summary updates accepted from direct edges.
+    pub summary_updates: u64,
+    /// Upward flood hops skipped because a held rendezvous grant proved
+    /// the event's subgroup has no interest outside this subtree.
+    pub rendezvous_confined: u64,
+    /// Rendezvous grant messages issued to children.
+    pub rendezvous_grants: u64,
+}
 
 /// A message to be sent to another network participant (GDS node or
 /// Greenstone server — both are addressed by host name).
@@ -91,10 +116,43 @@ pub struct GdsNode {
     /// wildcard-by-absence default already covers us, so an initial
     /// wildcard aggregate is never sent.
     last_sent_summary: Option<InterestSummary>,
+    /// Union of digest keys across all edge summaries, rebuilt whenever
+    /// an edge summary changes. The flood fast path checks this set: when
+    /// it is empty (and no grants are held) the attribute machinery is
+    /// provably a no-op and the flood takes exactly the PR 5 code path.
+    attr_keys: BTreeSet<String>,
+    /// Opt-in rendezvous placement (off by default — the paper's flood).
+    rendezvous: bool,
+    /// Grants this node holds from its parent: for every `(key, value)`
+    /// listed here the parent proved no interest exists outside this
+    /// node's subtree, so matching events need not be forwarded upward.
+    held_grants: GrantMap,
+    /// Version of the newest grant accepted from the parent. Reset on
+    /// reparent (versions are per-granter).
+    held_grant_version: u64,
+    /// Grants currently extended to each child (dedup of no-op re-sends).
+    granted: BTreeMap<HostName, GrantMap>,
+    /// Version counter for outgoing grants (monotonic per this node).
+    grant_version: u64,
+    /// Popularity of each `(attribute, value)` subgroup, counted from
+    /// accepted summary aggregations; ranks grant candidates so the
+    /// [`MAX_GRANTS`] budget goes to the hottest subgroups first.
+    hot_hits: BTreeMap<String, BTreeMap<String, u64>>,
+    /// When true, summary refreshes triggered by registrations and edge
+    /// updates only mark `announce_dirty`; the actor flushes at most one
+    /// announcement per frame via
+    /// [`GdsNode::flush_deferred_announcement`].
+    deferred_announce: bool,
+    /// A deferred upward announcement is pending.
+    announce_dirty: bool,
     /// Flood edges skipped thanks to summaries (drained by the actor).
     pruned_edges: u64,
     /// Summary updates accepted from direct edges (drained by the actor).
     summary_updates: u64,
+    /// Upward hops confined by a held grant (drained by the actor).
+    rendezvous_confined: u64,
+    /// Grant messages issued to children (drained by the actor).
+    rendezvous_grants: u64,
     /// Seed-equivalent cost mirrors, maintained only when
     /// [`GdsNode::set_seed_costs`] is on. The pre-interning runtime
     /// deduplicated floods in a SipHash set keyed by owned strings and
@@ -139,8 +197,19 @@ impl GdsNode {
             edge_summaries: BTreeMap::new(),
             agg_version: 0,
             last_sent_summary: None,
+            attr_keys: BTreeSet::new(),
+            rendezvous: false,
+            held_grants: GrantMap::new(),
+            held_grant_version: 0,
+            granted: BTreeMap::new(),
+            grant_version: 0,
+            hot_hits: BTreeMap::new(),
+            deferred_announce: false,
+            announce_dirty: false,
             pruned_edges: 0,
             summary_updates: 0,
+            rendezvous_confined: 0,
+            rendezvous_grants: 0,
             seen_uninterned: HashSet::new(),
             recent_uninterned: VecDeque::new(),
             seed_costs: false,
@@ -206,13 +275,40 @@ impl GdsNode {
         agg
     }
 
-    /// Drains the `(pruned_edges, summary_updates)` counters accumulated
-    /// since the last call (the actor layer turns them into metrics).
-    pub fn take_counters(&mut self) -> (u64, u64) {
-        (
-            std::mem::take(&mut self.pruned_edges),
-            std::mem::take(&mut self.summary_updates),
-        )
+    /// Drains the counters accumulated since the last call (the actor
+    /// layer turns them into metrics).
+    pub fn take_counters(&mut self) -> GdsCounters {
+        GdsCounters {
+            pruned_edges: std::mem::take(&mut self.pruned_edges),
+            summary_updates: std::mem::take(&mut self.summary_updates),
+            rendezvous_confined: std::mem::take(&mut self.rendezvous_confined),
+            rendezvous_grants: std::mem::take(&mut self.rendezvous_grants),
+        }
+    }
+
+    /// Builds the upward `SummaryUpdate` for `agg`, bumping the version.
+    /// When the aggregate equals what was last announced, the previously
+    /// sent summary object is reused so its frozen binary encoding (one
+    /// `Arc`'d buffer) is shared instead of re-serialised — heartbeat and
+    /// reparent re-announcements are byte-identical by definition.
+    fn announce(&mut self, agg: InterestSummary) -> Option<GdsOutbound> {
+        let parent = self.parent.clone()?;
+        self.agg_version += 1;
+        let summary = match &self.last_sent_summary {
+            Some(prev) if *prev == agg => prev.clone(),
+            _ => {
+                self.last_sent_summary = Some(agg.clone());
+                agg
+            }
+        };
+        Some(GdsOutbound {
+            to: parent,
+            msg: GdsMessage::SummaryUpdate {
+                from: self.name.clone(),
+                version: self.agg_version,
+                summary,
+            },
+        })
     }
 
     /// An unconditional re-announcement of the current aggregate to the
@@ -226,38 +322,210 @@ impl GdsNode {
         if !self.pruning {
             return None;
         }
-        let parent = self.parent.clone()?;
+        self.parent.as_ref()?;
         let agg = self.aggregate_summary();
         if self.last_sent_summary.is_none() && agg.is_wildcard() {
             return None;
         }
-        self.agg_version += 1;
-        self.last_sent_summary = Some(agg.clone());
-        Some(GdsOutbound {
-            to: parent,
-            msg: GdsMessage::SummaryUpdate {
-                from: self.name.clone(),
-                version: self.agg_version,
-                summary: agg,
-            },
-        })
+        self.announce(agg)
     }
 
     /// Re-announces the aggregate upward when it changed since the last
     /// announcement. Called whenever an edge summary is (in)validated.
+    /// In deferred mode the change is only flagged; the actor drains it
+    /// once per frame via [`GdsNode::flush_deferred_announcement`].
     fn refresh_parent_summary(&mut self, effects: &mut GdsEffects) {
         if !self.pruning || self.parent.is_none() {
             return;
         }
+        if self.deferred_announce {
+            self.announce_dirty = true;
+            return;
+        }
+        if let Some(out) = self.changed_announcement() {
+            effects.send(out.to, out.msg);
+        }
+    }
+
+    /// The announcement to send if the aggregate changed since the last
+    /// one, else `None`.
+    fn changed_announcement(&mut self) -> Option<GdsOutbound> {
         let agg = self.aggregate_summary();
         if self.last_sent_summary.as_ref() == Some(&agg)
             || (self.last_sent_summary.is_none() && agg.is_wildcard())
         {
+            return None;
+        }
+        self.announce(agg)
+    }
+
+    /// Enables announcement coalescing: summary refreshes triggered by
+    /// registration/update bursts are deferred and the actor flushes at
+    /// most one upward announcement per frame.
+    pub fn set_deferred_announce(&mut self, enabled: bool) {
+        self.deferred_announce = enabled;
+    }
+
+    /// Whether a deferred announcement is waiting to be flushed.
+    pub fn announce_pending(&self) -> bool {
+        self.announce_dirty
+    }
+
+    /// Flushes a pending deferred announcement: at most one upward
+    /// `SummaryUpdate` no matter how many edge changes marked the node
+    /// dirty since the last flush (and none at all if the burst cancelled
+    /// out to the already-announced aggregate).
+    pub fn flush_deferred_announcement(&mut self) -> Option<GdsOutbound> {
+        if !std::mem::take(&mut self.announce_dirty) {
+            return None;
+        }
+        if !self.pruning || self.parent.is_none() {
+            return None;
+        }
+        self.changed_announcement()
+    }
+
+    /// Opt-in rendezvous placement (construction-time knob; default off).
+    /// With it off the node neither issues grants nor honours held ones,
+    /// so message counts match the paper's flood exactly.
+    pub fn set_rendezvous(&mut self, enabled: bool) {
+        self.rendezvous = enabled;
+        if !enabled {
+            self.held_grants.clear();
+            self.held_grant_version = 0;
+        }
+    }
+
+    /// Whether rendezvous placement is enabled.
+    pub fn rendezvous(&self) -> bool {
+        self.rendezvous
+    }
+
+    /// The grants currently held from the parent (test/inspection hook).
+    pub fn held_grants(&self) -> &BTreeMap<String, BTreeSet<String>> {
+        &self.held_grants
+    }
+
+    /// The grants currently extended to `child`, if any.
+    pub fn granted_to(&self, child: &HostName) -> Option<&BTreeMap<String, BTreeSet<String>>> {
+        self.granted.get(child)
+    }
+
+    /// Re-derives everything downstream of an edge-summary change: the
+    /// digest-key cache, the children's rendezvous grants (revocations
+    /// ride the same effects batch as the change that caused them), and
+    /// the upward announcement.
+    fn interest_changed(&mut self, effects: &mut GdsEffects) {
+        self.rebuild_attr_keys();
+        self.recompute_grants(effects);
+        self.refresh_parent_summary(effects);
+    }
+
+    fn rebuild_attr_keys(&mut self) {
+        self.attr_keys.clear();
+        for (_, summary) in self.edge_summaries.values() {
+            for (key, _) in summary.attrs() {
+                if !self.attr_keys.contains(key) {
+                    self.attr_keys.insert(key.to_owned());
+                }
+            }
+        }
+    }
+
+    /// Recomputes and (re)issues grants for every child whose entitled
+    /// set changed. Safe under loss/reorder because a grant only ever
+    /// *narrows* delivery when it is provably exclusive right now; any
+    /// widening of interest elsewhere immediately revokes in the same
+    /// effects batch, and heartbeats re-send current grants as a heal.
+    fn recompute_grants(&mut self, effects: &mut GdsEffects) {
+        if !self.rendezvous || !self.pruning {
             return;
         }
-        if let Some(out) = self.summary_announcement() {
-            effects.send(out.to, out.msg);
+        let children: Vec<HostName> = self.children.iter().cloned().collect();
+        for child in children {
+            let grants = self.grants_for(&child);
+            let unchanged = self
+                .granted
+                .get(&child)
+                .map_or(grants.is_empty(), |g| *g == grants);
+            if unchanged {
+                continue;
+            }
+            self.grant_version += 1;
+            self.rendezvous_grants += 1;
+            effects.send(
+                child.clone(),
+                GdsMessage::RendezvousGrant {
+                    from: self.name.clone(),
+                    version: self.grant_version,
+                    grants: grants.clone(),
+                },
+            );
+            if grants.is_empty() {
+                self.granted.remove(&child);
+            } else {
+                self.granted.insert(child, grants);
+            }
         }
+    }
+
+    /// The `(attribute, value)` subgroups `child` is entitled to own:
+    /// pairs its own summary digests declare interest in, where every
+    /// *other* downward edge provably excludes the value and the upward
+    /// side is covered (this node is the root, or it holds the pair from
+    /// its own parent — exclusivity is transitive). Hottest subgroups
+    /// first, capped at [`MAX_GRANTS`].
+    fn grants_for(&self, child: &HostName) -> GrantMap {
+        let Some((_, child_summary)) = self.edge_summaries.get(child) else {
+            return GrantMap::new();
+        };
+        let mut candidates: Vec<(&str, &str)> = Vec::new();
+        for (key, values) in child_summary.attrs() {
+            for value in values {
+                candidates.push((key, value.as_str()));
+            }
+        }
+        candidates.retain(|(key, value)| {
+            let outside_excluded = self
+                .local
+                .iter()
+                .chain(self.children.iter())
+                .filter(|edge| *edge != child)
+                .all(|edge| match self.edge_summaries.get(edge) {
+                    Some((_, summary)) => summary.excludes_value(key, value),
+                    None => false,
+                });
+            let upward_covered = self.parent.is_none()
+                || self
+                    .held_grants
+                    .get(*key)
+                    .is_some_and(|values| values.contains(*value));
+            outside_excluded && upward_covered
+        });
+        let hits = |pair: &(&str, &str)| -> u64 {
+            self.hot_hits
+                .get(pair.0)
+                .and_then(|per_value| per_value.get(pair.1))
+                .copied()
+                .unwrap_or(0)
+        };
+        candidates.sort_by(|a, b| hits(b).cmp(&hits(a)).then_with(|| a.cmp(b)));
+        candidates.truncate(MAX_GRANTS);
+        let mut grants = GrantMap::new();
+        for (key, value) in candidates {
+            grants
+                .entry(key.to_owned())
+                .or_default()
+                .insert(value.to_owned());
+        }
+        grants
+    }
+
+    /// Recomputes children's grants outside a message context (the actor
+    /// calls this after a reparent so revocations implied by the new
+    /// topology go out immediately).
+    pub fn refresh_rendezvous(&mut self, effects: &mut GdsEffects) {
+        self.recompute_grants(effects);
     }
 
     /// Remembers a flooded event for replay to later-adopted children.
@@ -307,12 +575,18 @@ impl GdsNode {
         self.children.remove(child);
         self.subtree.retain(|_, via| via != child);
         self.edge_summaries.remove(child);
+        self.granted.remove(child);
     }
 
     /// Changes the node's parent (reparenting after a failure). Use
     /// [`GdsNode::reregistrations`] to rebuild the new parent's view.
+    /// Grants held from the old parent are dropped — their exclusivity
+    /// proof was relative to the old position in the tree — and grant
+    /// versions restart because they are per-granter.
     pub fn set_parent(&mut self, parent: Option<HostName>) {
         self.parent = parent;
+        self.held_grants.clear();
+        self.held_grant_version = 0;
     }
 
     /// The Greenstone servers registered directly here.
@@ -388,7 +662,7 @@ impl GdsNode {
                         },
                     );
                 }
-                self.refresh_parent_summary(effects);
+                self.interest_changed(effects);
             }
             GdsMessage::Unregister { gs_host } => {
                 self.local.remove(&gs_host);
@@ -397,7 +671,7 @@ impl GdsNode {
                 if let Some(parent) = &self.parent {
                     effects.send(parent.clone(), GdsMessage::UnregisterUp { gs_host });
                 }
-                self.refresh_parent_summary(effects);
+                self.interest_changed(effects);
             }
             GdsMessage::RegisterUp { gs_host, via } => {
                 self.subtree.insert(gs_host.clone(), via);
@@ -512,6 +786,24 @@ impl GdsNode {
                 // Liveness probe from a child; answering is all the
                 // parent owes (the child's detector does the timing).
                 effects.send(from.clone(), GdsMessage::HeartbeatAck);
+                // Rendezvous heal: re-send the child's current grants
+                // (full replacement, fresh version) so a lost grant or a
+                // restarted child converges on the next heartbeat, the
+                // same way summaries re-announce.
+                if self.rendezvous {
+                    if let Some(grants) = self.granted.get(from).cloned() {
+                        self.grant_version += 1;
+                        self.rendezvous_grants += 1;
+                        effects.send(
+                            from.clone(),
+                            GdsMessage::RendezvousGrant {
+                                from: self.name.clone(),
+                                version: self.grant_version,
+                                grants,
+                            },
+                        );
+                    }
+                }
             }
             GdsMessage::Adopt { child } => {
                 // A grandchild lost its parent and re-parents here.
@@ -536,14 +828,14 @@ impl GdsNode {
                 // wildcard-by-absence until the child announces afresh.
                 self.edge_summaries.remove(&child);
                 self.add_child(child);
-                self.refresh_parent_summary(effects);
+                self.interest_changed(effects);
             }
             GdsMessage::Detach { child } => {
                 // An old child re-parented elsewhere; drop the edge and
                 // everything routed through it (re-registrations via the
                 // new path rebuild the subtree view).
                 self.remove_child(&child);
-                self.refresh_parent_summary(effects);
+                self.interest_changed(effects);
             }
             GdsMessage::Batch(items) => {
                 // The per-edge batcher coalesced several messages into
@@ -566,9 +858,43 @@ impl GdsNode {
                     .get(&edge)
                     .is_none_or(|(v, _)| version > *v);
                 if newer {
+                    // Count subgroup popularity for rendezvous ranking:
+                    // every aggregation that mentions an (attr, value)
+                    // pair is one "hit" for that subgroup.
+                    for (key, values) in summary.attrs() {
+                        for value in values {
+                            *self
+                                .hot_hits
+                                .entry(key.to_owned())
+                                .or_default()
+                                .entry(value.clone())
+                                .or_insert(0) += 1;
+                        }
+                    }
                     self.edge_summaries.insert(edge, (version, summary));
                     self.summary_updates += 1;
-                    self.refresh_parent_summary(effects);
+                    self.interest_changed(effects);
+                }
+            }
+            GdsMessage::RendezvousGrant {
+                from: granter,
+                version,
+                grants,
+            } => {
+                // Full-replacement grant set from the parent; accepted
+                // only from the *current* parent and only when strictly
+                // newer (per-granter monotonic versions, like summaries).
+                // With rendezvous off the node ignores grants entirely —
+                // mixed trees degrade to plain pruning, never to loss.
+                if self.rendezvous
+                    && Some(&granter) == self.parent.as_ref()
+                    && version > self.held_grant_version
+                {
+                    self.held_grant_version = version;
+                    self.held_grants = grants;
+                    // Our own exclusivity proof feeds the children's:
+                    // re-derive what we can delegate further down.
+                    self.recompute_grants(effects);
                 }
             }
             // Final deliveries, resolve answers, heartbeat replies and
@@ -604,27 +930,75 @@ impl GdsNode {
         came_from: Option<&HostName>,
         effects: &mut GdsEffects,
     ) {
-        let anchor = if self.pruning && !self.edge_summaries.is_empty() {
+        // Attribute digests and held grants only matter when some edge
+        // summary (or the parent) actually mentions them; with both sets
+        // empty — always the case with the features off — the flood below
+        // is exactly the PR 5 anchor-only path, allocation for allocation.
+        let confinable = self.rendezvous && !self.held_grants.is_empty();
+        let needs_attrs = !self.attr_keys.is_empty() || confinable;
+        let mut event_attrs: Vec<(String, Vec<String>)> = Vec::new();
+        let anchor = if self.pruning && (!self.edge_summaries.is_empty() || confinable) {
             // The prune anchor needs only the origin header. On frozen
             // binary payloads the attribute probe reads it in place —
             // no per-hop Event (and per-doc metadata) materialisation.
+            // Attribute values (event kind, per-doc metadata) are only
+            // gathered when a digest or grant could use them.
+            let requested: Vec<&str> = if needs_attrs {
+                let mut keys: BTreeSet<&str> =
+                    self.attr_keys.iter().map(String::as_str).collect();
+                if confinable {
+                    keys.extend(self.held_grants.keys().map(String::as_str));
+                }
+                keys.into_iter().collect()
+            } else {
+                Vec::new()
+            };
             match payload.probe_event() {
-                Some(probe) => Some((
-                    probe.origin_host().to_string(),
-                    format!("{}.{}", probe.origin_host(), probe.origin_name()),
-                )),
+                Some(probe) => {
+                    let host = probe.origin_host().to_string();
+                    let coll = format!("{}.{}", probe.origin_host(), probe.origin_name());
+                    if needs_attrs {
+                        // A probe failure mid-docs leaves `event_attrs`
+                        // empty: no attribute pruning, no confinement —
+                        // the conservative fallback, same as the anchor.
+                        event_attrs = probe_attr_values(probe, &requested).unwrap_or_default();
+                    }
+                    Some((host, coll))
+                }
                 None => payload.decode_event().ok().map(|event| {
+                    if needs_attrs {
+                        event_attrs = event_attr_values(&event, &requested);
+                    }
                     (event.origin.host().as_str().to_string(), event.origin.to_string())
                 }),
             }
         } else {
             None
         };
+        // Whether the event may be confined to this subtree: some held
+        // grant key where the event has values and *all* of them are
+        // granted to us (a partially granted value set must still go up —
+        // the ungranted values may have interest elsewhere).
+        let confined = confinable
+            && !event_attrs.is_empty()
+            && event_attrs.iter().any(|(key, values)| {
+                !values.is_empty()
+                    && self
+                        .held_grants
+                        .get(key)
+                        .is_some_and(|granted| values.iter().all(|v| granted.contains(v)))
+            });
         let mut pruned = 0u64;
         let summaries = &self.edge_summaries;
+        let event_attrs = &event_attrs;
         let mut prunable = |edge: &HostName| -> bool {
             let skip = match (&anchor, summaries.get(edge)) {
-                (Some((host, coll)), Some((_, summary))) => !summary.may_match(host, coll),
+                (Some((host, coll)), Some((_, summary))) => {
+                    !summary.may_match(host, coll)
+                        || (!event_attrs.is_empty()
+                            && summary.has_attrs()
+                            && excluded_by_digests(summary, event_attrs))
+                }
                 _ => false,
             };
             pruned += u64::from(skip);
@@ -661,13 +1035,22 @@ impl GdsNode {
             origin: origin.clone(),
             payload,
         };
+        let mut confined_hops = 0u64;
         if let Some(parent) = &self.parent {
             if Some(parent) != came_from {
-                if seed_costs {
-                    charge(parent);
-                    charge(origin);
+                if confined {
+                    // A held grant proves no interest in this event's
+                    // subgroup exists outside our subtree: the upward
+                    // hop (and the flood it would seed across the rest
+                    // of the tree) is skipped entirely.
+                    confined_hops += 1;
+                } else {
+                    if seed_costs {
+                        charge(parent);
+                        charge(origin);
+                    }
+                    effects.send(parent.clone(), forward.clone());
                 }
-                effects.send(parent.clone(), forward.clone());
             }
         }
         for child in &self.children {
@@ -680,6 +1063,7 @@ impl GdsNode {
             }
         }
         self.pruned_edges += pruned;
+        self.rendezvous_confined += confined_hops;
     }
 
     /// Targeted routing along the tree using the subtree registry.
@@ -739,6 +1123,82 @@ impl GdsNode {
             }
         }
     }
+}
+
+/// Whether an edge summary's attribute digests rule the event out: some
+/// digested key where none of the event's values is in the allowed set.
+/// An event that *lacks* a digested attribute entirely (empty values) is
+/// also excluded — every interest behind the digest demands a positive
+/// equality on it. `event_attrs` covers every key any edge digests, so a
+/// missing entry cannot mean "not extracted" here (extraction failure
+/// leaves the whole list empty and the caller skips this test).
+fn excluded_by_digests(summary: &InterestSummary, event_attrs: &[(String, Vec<String>)]) -> bool {
+    event_attrs.iter().any(|(key, values)| {
+        summary
+            .attr_constraint(key)
+            .is_some_and(|allowed| !values.iter().any(|v| allowed.contains(v)))
+    })
+}
+
+/// Collects the event's values for each requested digest key by probing
+/// the frozen payload in place: the event kind for [`ATTR_KEY_KIND`],
+/// and the union across documents of metadata values for `meta:`-prefixed
+/// keys. Returns one entry per requested key — an empty value list means
+/// the event provably lacks that attribute. `None` on a malformed doc
+/// section (callers fall back to no attribute knowledge).
+fn probe_attr_values(
+    mut probe: gsa_wire::EventProbe<'_>,
+    requested: &[&str],
+) -> Option<Vec<(String, Vec<String>)>> {
+    let mut out: Vec<(String, Vec<String>)> = requested
+        .iter()
+        .map(|key| ((*key).to_owned(), Vec::new()))
+        .collect();
+    let mut wants_meta = false;
+    for (key, values) in &mut out {
+        if key == ATTR_KEY_KIND {
+            values.push(probe.kind().as_str().to_owned());
+        } else if key.starts_with(ATTR_META_PREFIX) {
+            wants_meta = true;
+        }
+    }
+    if wants_meta {
+        while let Some(doc) = probe.next_doc().ok()? {
+            for (key, values) in &mut out {
+                let Some(target) = key.strip_prefix(ATTR_META_PREFIX) else {
+                    continue;
+                };
+                for (meta_key, meta_value) in doc.metadata() {
+                    if meta_key == target && !values.iter().any(|v| v == meta_value) {
+                        values.push(meta_value.to_owned());
+                    }
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Decoded-event twin of [`probe_attr_values`] for XML (v1) payloads.
+fn event_attr_values(event: &gsa_types::Event, requested: &[&str]) -> Vec<(String, Vec<String>)> {
+    requested
+        .iter()
+        .map(|key| {
+            let mut values: Vec<String> = Vec::new();
+            if *key == ATTR_KEY_KIND {
+                values.push(event.kind.as_str().to_owned());
+            } else if let Some(target) = key.strip_prefix(ATTR_META_PREFIX) {
+                for doc in &event.docs {
+                    for value in doc.metadata.all(target) {
+                        if !values.iter().any(|v| v == value) {
+                            values.push(value.clone());
+                        }
+                    }
+                }
+            }
+            ((*key).to_owned(), values)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -1111,7 +1571,7 @@ mod tests {
         );
         let recipients: Vec<String> = deliveries.iter().map(|(to, _)| to.to_string()).collect();
         assert_eq!(recipients, vec!["gs-6"], "only the interested server is reached");
-        let pruned: u64 = nodes.values_mut().map(|n| n.take_counters().0).sum();
+        let pruned: u64 = nodes.values_mut().map(|n| n.take_counters().pruned_edges).sum();
         assert!(pruned > 0, "some edges must have been pruned");
     }
 
@@ -1234,6 +1694,400 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         };
         assert!(version_of(&second) > version_of(&first));
+    }
+
+    fn kind_event_payload(host: &str, seq: u64, kind: gsa_types::EventKind) -> Payload {
+        let mut event = gsa_types::Event::new(
+            gsa_types::EventId::new(host, seq),
+            gsa_types::CollectionId::new(host, "D"),
+            kind,
+            gsa_types::SimTime::from_millis(1),
+        );
+        event.docs = vec![gsa_types::DocSummary::new("doc-1").with_metadata(
+            [("Language", "mi")].into_iter().collect::<gsa_types::MetadataRecord>(),
+        )];
+        gsa_wire::codec::event_to_xml(&event).into()
+    }
+
+    fn kind_summary(host: &str, kind: gsa_types::EventKind) -> InterestSummary {
+        let mut s = host_summary(host);
+        s.constrain_attr(
+            gsa_wire::ATTR_KEY_KIND.to_owned(),
+            vec![kind.as_str().to_owned()],
+        );
+        s
+    }
+
+    /// pruned_figure2 but gs-6's interest carries a kind digest: events
+    /// from gs-5, and only documents-added ones.
+    fn attr_pruned_figure2() -> BTreeMap<HostName, GdsNode> {
+        let mut nodes = figure2();
+        for node in nodes.values_mut() {
+            node.set_pruning(true);
+        }
+        for i in 1..=7 {
+            let gds = HostName::new(format!("gds-{i}"));
+            let gs = HostName::new(format!("gs-{i}"));
+            let summary = if i == 6 {
+                kind_summary("gs-5", gsa_types::EventKind::DocumentsAdded)
+            } else {
+                InterestSummary::empty()
+            };
+            pump(
+                &mut nodes,
+                &gds,
+                &gs,
+                GdsMessage::SummaryUpdate { from: gs.clone(), version: 1, summary },
+            );
+        }
+        nodes
+    }
+
+    #[test]
+    fn attr_digests_prune_within_an_interested_collection() {
+        let mut nodes = attr_pruned_figure2();
+        // A collection-rebuilt event from gs-5: the collection anchor
+        // matches gs-6's interest but the kind digest rules it out —
+        // the whole gds-3 subtree is skipped.
+        let (deliveries, _) = pump(
+            &mut nodes,
+            &"gds-5".into(),
+            &"gs-5".into(),
+            GdsMessage::Publish {
+                id: MessageId::from_raw(1),
+                payload: kind_event_payload("gs-5", 1, gsa_types::EventKind::CollectionRebuilt),
+            },
+        );
+        assert!(deliveries.is_empty(), "kind digest must prune: {deliveries:?}");
+        // A documents-added event still gets through.
+        let (deliveries, _) = pump(
+            &mut nodes,
+            &"gds-5".into(),
+            &"gs-5".into(),
+            GdsMessage::Publish {
+                id: MessageId::from_raw(2),
+                payload: kind_event_payload("gs-5", 2, gsa_types::EventKind::DocumentsAdded),
+            },
+        );
+        let recipients: Vec<String> = deliveries.iter().map(|(to, _)| to.to_string()).collect();
+        assert_eq!(recipients, vec!["gs-6"]);
+    }
+
+    #[test]
+    fn attr_digests_prune_on_the_frozen_probe_path_too() {
+        let mut nodes = attr_pruned_figure2();
+        for node in nodes.values_mut() {
+            node.set_encode_once(true);
+        }
+        let (deliveries, _) = pump(
+            &mut nodes,
+            &"gds-5".into(),
+            &"gs-5".into(),
+            GdsMessage::Publish {
+                id: MessageId::from_raw(3),
+                payload: kind_event_payload("gs-5", 3, gsa_types::EventKind::CollectionRebuilt),
+            },
+        );
+        assert!(deliveries.is_empty(), "probe path must see the kind: {deliveries:?}");
+        let (deliveries, _) = pump(
+            &mut nodes,
+            &"gds-5".into(),
+            &"gs-5".into(),
+            GdsMessage::Publish {
+                id: MessageId::from_raw(4),
+                payload: kind_event_payload("gs-5", 4, gsa_types::EventKind::DocumentsAdded),
+            },
+        );
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].0, HostName::new("gs-6"));
+    }
+
+    #[test]
+    fn meta_digests_prune_events_lacking_the_attribute() {
+        let mut nodes = figure2();
+        for node in nodes.values_mut() {
+            node.set_pruning(true);
+        }
+        let mut wants_maori = host_summary("gs-5");
+        wants_maori.constrain_attr("meta:Language".to_owned(), vec!["mi".to_owned()]);
+        for i in 1..=7 {
+            let gds = HostName::new(format!("gds-{i}"));
+            let gs = HostName::new(format!("gs-{i}"));
+            let summary = if i == 6 { wants_maori.clone() } else { InterestSummary::empty() };
+            pump(
+                &mut nodes,
+                &gds,
+                &gs,
+                GdsMessage::SummaryUpdate { from: gs.clone(), version: 1, summary },
+            );
+        }
+        // kind_event_payload docs carry Language=mi → delivered.
+        let (deliveries, _) = pump(
+            &mut nodes,
+            &"gds-5".into(),
+            &"gs-5".into(),
+            GdsMessage::Publish {
+                id: MessageId::from_raw(1),
+                payload: kind_event_payload("gs-5", 1, gsa_types::EventKind::DocumentsAdded),
+            },
+        );
+        assert_eq!(deliveries.len(), 1);
+        // An event with no Language metadata at all provably cannot
+        // satisfy the positive-equality digest → pruned.
+        let (deliveries, _) = pump(
+            &mut nodes,
+            &"gds-5".into(),
+            &"gs-5".into(),
+            GdsMessage::Publish { id: MessageId::from_raw(2), payload: event_payload("gs-5", 2) },
+        );
+        assert!(deliveries.is_empty(), "missing digested attribute must prune");
+    }
+
+    /// attr_pruned_figure2 with rendezvous enabled everywhere: the
+    /// (kind, documents-added) subgroup is exclusive to the gds-3 →
+    /// gds-6 chain, so grants flow root → gds-3 → gds-6.
+    fn rendezvous_figure2() -> BTreeMap<HostName, GdsNode> {
+        let mut nodes = figure2();
+        for node in nodes.values_mut() {
+            node.set_pruning(true);
+            node.set_rendezvous(true);
+        }
+        for i in 1..=7 {
+            let gds = HostName::new(format!("gds-{i}"));
+            let gs = HostName::new(format!("gs-{i}"));
+            let summary = if i == 6 {
+                kind_summary("gs-5", gsa_types::EventKind::DocumentsAdded)
+            } else {
+                InterestSummary::empty()
+            };
+            pump(
+                &mut nodes,
+                &gds,
+                &gs,
+                GdsMessage::SummaryUpdate { from: gs.clone(), version: 1, summary },
+            );
+        }
+        nodes
+    }
+
+    #[test]
+    fn rendezvous_grants_flow_down_the_exclusive_chain() {
+        let nodes = rendezvous_figure2();
+        let granted = |name: &str, child: &str| {
+            nodes[&HostName::new(name)]
+                .granted_to(&child.into())
+                .cloned()
+                .unwrap_or_default()
+        };
+        let expect: BTreeMap<String, BTreeSet<String>> = [(
+            "kind".to_owned(),
+            ["documents-added".to_owned()].into_iter().collect(),
+        )]
+        .into_iter()
+        .collect();
+        assert_eq!(granted("gds-1", "gds-3"), expect);
+        assert_eq!(granted("gds-3", "gds-6"), expect);
+        assert_eq!(nodes[&HostName::new("gds-6")].held_grants(), &expect);
+        // The uninterested subtree holds nothing.
+        assert!(nodes[&HostName::new("gds-5")].held_grants().is_empty());
+    }
+
+    #[test]
+    fn held_grants_confine_matching_floods_to_the_subtree() {
+        let mut nodes = rendezvous_figure2();
+        // A documents-added event *originating at gs-6* stays inside
+        // gds-6: the grant proves nobody outside wants the subgroup.
+        let (deliveries, _) = pump(
+            &mut nodes,
+            &"gds-6".into(),
+            &"gs-6".into(),
+            GdsMessage::Publish {
+                id: MessageId::from_raw(1),
+                payload: kind_event_payload("gs-6", 1, gsa_types::EventKind::DocumentsAdded),
+            },
+        );
+        assert!(deliveries.is_empty());
+        let confined = nodes
+            .get_mut(&HostName::new("gds-6"))
+            .unwrap()
+            .take_counters()
+            .rendezvous_confined;
+        assert_eq!(confined, 1, "the upward hop must be confined");
+        // An event of a different kind is NOT confined and floods up.
+        let (_, _) = pump(
+            &mut nodes,
+            &"gds-6".into(),
+            &"gs-6".into(),
+            GdsMessage::Publish {
+                id: MessageId::from_raw(2),
+                payload: kind_event_payload("gs-6", 2, gsa_types::EventKind::CollectionRebuilt),
+            },
+        );
+        let counters = nodes.get_mut(&HostName::new("gds-6")).unwrap().take_counters();
+        assert_eq!(counters.rendezvous_confined, 0);
+        // The root saw it (dedup now suppresses a replay through it).
+        let root = nodes.get_mut(&HostName::new("gds-1")).unwrap();
+        let effects = root.handle_message(
+            &"gds-3".into(),
+            GdsMessage::Broadcast {
+                id: MessageId::from_raw(2),
+                origin: "gs-6".into(),
+                payload: kind_event_payload("gs-6", 2, gsa_types::EventKind::CollectionRebuilt),
+            },
+        );
+        assert!(effects.outbound.is_empty(), "root must have seen the unconfined flood");
+    }
+
+    #[test]
+    fn new_interest_elsewhere_revokes_grants_in_the_same_batch() {
+        let mut nodes = rendezvous_figure2();
+        // gs-7 now also wants documents-added events: the subgroup is no
+        // longer exclusive to gds-6, so the grant must be revoked.
+        pump(
+            &mut nodes,
+            &"gds-7".into(),
+            &"gs-7".into(),
+            GdsMessage::SummaryUpdate {
+                from: "gs-7".into(),
+                version: 2,
+                summary: kind_summary("gs-5", gsa_types::EventKind::DocumentsAdded),
+            },
+        );
+        assert!(
+            nodes[&HostName::new("gds-6")].held_grants().is_empty(),
+            "grant must be revoked once exclusivity is lost"
+        );
+        // And the flood leaves the subtree again (no confinement).
+        pump(
+            &mut nodes,
+            &"gds-6".into(),
+            &"gs-6".into(),
+            GdsMessage::Publish {
+                id: MessageId::from_raw(3),
+                payload: kind_event_payload("gs-6", 3, gsa_types::EventKind::DocumentsAdded),
+            },
+        );
+        let counters = nodes.get_mut(&HostName::new("gds-6")).unwrap().take_counters();
+        assert_eq!(counters.rendezvous_confined, 0, "revoked grant must not confine");
+        let root = nodes.get_mut(&HostName::new("gds-1")).unwrap();
+        let effects = root.handle_message(
+            &"gds-3".into(),
+            GdsMessage::Broadcast {
+                id: MessageId::from_raw(3),
+                origin: "gs-6".into(),
+                payload: kind_event_payload("gs-6", 3, gsa_types::EventKind::DocumentsAdded),
+            },
+        );
+        assert!(effects.outbound.is_empty(), "root must have seen the flood after revocation");
+    }
+
+    #[test]
+    fn mixed_trees_with_rendezvous_off_upstream_never_confine() {
+        // Same network, but the root keeps the feature off: nobody can
+        // prove upward exclusivity, so no grants exist anywhere and the
+        // flood is plain digest-pruned.
+        let mut nodes = figure2();
+        for (name, node) in nodes.iter_mut() {
+            node.set_pruning(true);
+            node.set_rendezvous(name != &HostName::new("gds-1"));
+        }
+        for i in 1..=7 {
+            let gds = HostName::new(format!("gds-{i}"));
+            let gs = HostName::new(format!("gs-{i}"));
+            let summary = if i == 6 {
+                kind_summary("gs-5", gsa_types::EventKind::DocumentsAdded)
+            } else {
+                InterestSummary::empty()
+            };
+            pump(
+                &mut nodes,
+                &gds,
+                &gs,
+                GdsMessage::SummaryUpdate { from: gs.clone(), version: 1, summary },
+            );
+        }
+        for node in nodes.values() {
+            assert!(node.held_grants().is_empty());
+        }
+        let (_, _) = pump(
+            &mut nodes,
+            &"gds-6".into(),
+            &"gs-6".into(),
+            GdsMessage::Publish {
+                id: MessageId::from_raw(1),
+                payload: kind_event_payload("gs-6", 1, gsa_types::EventKind::DocumentsAdded),
+            },
+        );
+        let confined: u64 = nodes
+            .values_mut()
+            .map(|n| n.take_counters().rendezvous_confined)
+            .sum();
+        assert_eq!(confined, 0, "no grants, no confinement");
+    }
+
+    #[test]
+    fn reparenting_drops_held_grants() {
+        let mut nodes = rendezvous_figure2();
+        let node6 = nodes.get_mut(&HostName::new("gds-6")).unwrap();
+        assert!(!node6.held_grants().is_empty());
+        node6.set_parent(Some("gds-1".into()));
+        assert!(node6.held_grants().is_empty(), "grants are per-position in the tree");
+    }
+
+    #[test]
+    fn heartbeats_heal_lost_grants() {
+        let mut nodes = rendezvous_figure2();
+        // Simulate a grant lost in transit: wipe it via a reparent round
+        // trip back to the same parent (versions reset with it).
+        let node6 = nodes.get_mut(&HostName::new("gds-6")).unwrap();
+        node6.set_parent(Some("gds-3".into()));
+        assert!(node6.held_grants().is_empty());
+        // The child's next heartbeat triggers a re-grant from the parent.
+        pump(&mut nodes, &"gds-3".into(), &"gds-6".into(), GdsMessage::Heartbeat);
+        assert!(
+            !nodes[&HostName::new("gds-6")].held_grants().is_empty(),
+            "heartbeat must re-send current grants"
+        );
+    }
+
+    #[test]
+    fn deferred_announcements_coalesce_a_burst_into_one_update() {
+        let mut node = GdsNode::new("gds-9", 2, Some(HostName::new("gds-1")));
+        node.set_pruning(true);
+        node.set_deferred_announce(true);
+        let mut updates = 0;
+        for (i, gs) in ["gs-a", "gs-b", "gs-c"].iter().enumerate() {
+            let effects = node.handle_message(
+                &HostName::new(*gs),
+                GdsMessage::SummaryUpdate {
+                    from: HostName::new(*gs),
+                    version: 1,
+                    summary: host_summary(&format!("gs-{i}")),
+                },
+            );
+            node.handle_message(&HostName::new(*gs), GdsMessage::Register { gs_host: HostName::new(*gs) });
+            updates += effects
+                .outbound
+                .iter()
+                .filter(|o| matches!(o.msg, GdsMessage::SummaryUpdate { .. }))
+                .count();
+        }
+        assert_eq!(updates, 0, "deferred mode must not announce inline");
+        assert!(node.announce_pending());
+        let flushed = node.flush_deferred_announcement().expect("one coalesced announce");
+        assert!(matches!(flushed.msg, GdsMessage::SummaryUpdate { .. }));
+        assert!(node.flush_deferred_announcement().is_none(), "burst collapses to one");
+        // A no-op burst (same aggregate re-announced) flushes to nothing.
+        node.handle_message(
+            &"gs-a".into(),
+            GdsMessage::SummaryUpdate {
+                from: "gs-a".into(),
+                version: 2,
+                summary: host_summary("gs-0"),
+            },
+        );
+        assert!(node.announce_pending());
+        assert!(node.flush_deferred_announcement().is_none(), "unchanged aggregate is dropped");
     }
 
     #[test]

@@ -6,6 +6,12 @@
 //! announced interest matches the event — false positives (extra
 //! forwarding) are allowed, false negatives never are.
 //!
+//! Summaries may be attribute-tightened (a `kind` equality digest), and
+//! each run draws a per-node rendezvous mask, so the same invariant is
+//! exercised over anchors-only trees, digest-tightened trees, fully
+//! rendezvous-routed trees and mixed deployments where only some nodes
+//! understand grants.
+//!
 //! A crash is modelled as the sans-IO layers see it: the server
 //! vanishes from its node (`Unregister`) and re-registers somewhere
 //! else, re-announcing its interests with its next summary version.
@@ -13,11 +19,12 @@
 use gsa_gds::{GdsMessage, GdsNode};
 use gsa_types::{CollectionId, Event, EventId, EventKind, HostName, MessageId, SimTime};
 use gsa_wire::codec::event_to_xml;
-use gsa_wire::InterestSummary;
+use gsa_wire::{InterestSummary, ATTR_KEY_KIND};
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 
 const ANCHORS: [&str; 5] = ["A", "B", "C", "D", "E"];
+const KINDS: [EventKind; 2] = [EventKind::CollectionRebuilt, EventKind::DocumentsAdded];
 const SERVERS: usize = 7;
 
 #[derive(Debug, Clone)]
@@ -26,13 +33,18 @@ enum Op {
     Subscribe { server: usize, anchor: usize },
     /// Server drops interest in an anchor host and re-announces.
     Unsubscribe { server: usize, anchor: usize },
+    /// Server admits one more event kind into its digest (the first
+    /// such op turns an unconstrained interest into `kind ∈ {k}`).
+    ConstrainKind { server: usize, kind: usize },
+    /// Server drops its kind digest, back to kind-unconstrained.
+    RelaxKinds { server: usize },
     /// Node `gds-(node+2)` detaches from its parent and is adopted by
     /// the root (the failure-recovery move; root keeps it cycle-free).
     Reparent { node: usize },
     /// Server crashes away from its node and re-registers at another.
     Crash { server: usize, to: usize },
     /// A probe event for an anchor host floods from a publisher.
-    Flood { publisher: usize, anchor: usize },
+    Flood { publisher: usize, anchor: usize, kind: usize },
 }
 
 fn op_strategy() -> BoxedStrategy<Op> {
@@ -41,10 +53,13 @@ fn op_strategy() -> BoxedStrategy<Op> {
             .prop_map(|(server, anchor)| Op::Subscribe { server, anchor }),
         (0usize..SERVERS, 0usize..ANCHORS.len())
             .prop_map(|(server, anchor)| Op::Unsubscribe { server, anchor }),
+        (0usize..SERVERS, 0usize..KINDS.len())
+            .prop_map(|(server, kind)| Op::ConstrainKind { server, kind }),
+        (0usize..SERVERS).prop_map(|server| Op::RelaxKinds { server }),
         (0usize..6).prop_map(|node| Op::Reparent { node }),
         (0usize..SERVERS, 0usize..SERVERS).prop_map(|(server, to)| Op::Crash { server, to }),
-        (0usize..SERVERS, 0usize..ANCHORS.len())
-            .prop_map(|(publisher, anchor)| Op::Flood { publisher, anchor }),
+        (0usize..SERVERS, 0usize..ANCHORS.len(), 0usize..KINDS.len())
+            .prop_map(|(publisher, anchor, kind)| Op::Flood { publisher, anchor, kind }),
     ]
 }
 
@@ -88,6 +103,8 @@ struct Harness {
     nodes: BTreeMap<HostName, GdsNode>,
     /// Per-server interest model: which anchors it has announced.
     anchors: Vec<BTreeSet<usize>>,
+    /// Per-server kind digest: empty = unconstrained (any kind).
+    kinds: Vec<BTreeSet<usize>>,
     versions: Vec<u64>,
     /// Which node each server is currently registered at.
     node_of: Vec<HostName>,
@@ -97,7 +114,10 @@ struct Harness {
 }
 
 impl Harness {
-    fn new() -> Self {
+    /// Builds the tree; bit `i` of `rendezvous_mask` turns rendezvous
+    /// routing on for node `gds-(i+1)`, so runs range over anchors-only,
+    /// fully-routed and mixed deployments.
+    fn new(rendezvous_mask: u8) -> Self {
         let spec: &[(&str, u8, Option<&str>, &[&str])] = &[
             ("gds-1", 1, None, &["gds-2", "gds-3", "gds-4"]),
             ("gds-2", 2, Some("gds-1"), &["gds-5"]),
@@ -109,9 +129,10 @@ impl Harness {
         ];
         let mut nodes = BTreeMap::new();
         let mut parent_of = BTreeMap::new();
-        for (name, stratum, parent, children) in spec {
+        for (i, (name, stratum, parent, children)) in spec.iter().enumerate() {
             let mut node = GdsNode::new(*name, *stratum, parent.map(HostName::new));
             node.set_pruning(true);
+            node.set_rendezvous(rendezvous_mask & (1 << i) != 0);
             for c in *children {
                 node.add_child(*c);
             }
@@ -121,6 +142,7 @@ impl Harness {
         let mut harness = Harness {
             nodes,
             anchors: vec![BTreeSet::new(); SERVERS],
+            kinds: vec![BTreeSet::new(); SERVERS],
             versions: vec![0; SERVERS],
             node_of: (0..SERVERS).map(gds).collect(),
             parent_of,
@@ -143,6 +165,12 @@ impl Harness {
         let mut summary = InterestSummary::empty();
         for &a in &self.anchors[server] {
             summary.add_host(ANCHORS[a]);
+        }
+        if !summary.is_empty() && !self.kinds[server].is_empty() {
+            summary.constrain_attr(
+                ATTR_KEY_KIND,
+                self.kinds[server].iter().map(|&k| KINDS[k].as_str().to_owned()),
+            );
         }
         summary
     }
@@ -179,6 +207,12 @@ impl Harness {
         members
     }
 
+    /// Does the model say server `s` matches an `(anchor, kind)` event?
+    fn interested(&self, s: usize, anchor: usize, kind: usize) -> bool {
+        self.anchors[s].contains(&anchor)
+            && (self.kinds[s].is_empty() || self.kinds[s].contains(&kind))
+    }
+
     fn apply(&mut self, op: &Op) -> Result<(), TestCaseError> {
         match *op {
             Op::Subscribe { server, anchor } => {
@@ -187,6 +221,14 @@ impl Harness {
             }
             Op::Unsubscribe { server, anchor } => {
                 self.anchors[server].remove(&anchor);
+                self.announce(server);
+            }
+            Op::ConstrainKind { server, kind } => {
+                self.kinds[server].insert(kind);
+                self.announce(server);
+            }
+            Op::RelaxKinds { server } => {
+                self.kinds[server].clear();
                 self.announce(server);
             }
             Op::Reparent { node } => {
@@ -237,13 +279,13 @@ impl Harness {
                 );
                 self.announce(server);
             }
-            Op::Flood { publisher, anchor } => {
+            Op::Flood { publisher, anchor, kind } => {
                 self.seq += 1;
                 let origin_host = ANCHORS[anchor];
                 let event = Event::new(
                     EventId::new(origin_host, self.seq),
                     CollectionId::new(origin_host, "C"),
-                    EventKind::CollectionRebuilt,
+                    KINDS[kind],
                     SimTime::from_millis(self.seq),
                 );
                 let to = self.node_of[publisher].clone();
@@ -261,15 +303,16 @@ impl Harness {
                 .map(|(to, _)| to)
                 .collect();
                 for s in 0..SERVERS {
-                    if s == publisher || !self.anchors[s].contains(&anchor) {
+                    if s == publisher || !self.interested(s, anchor, kind) {
                         continue;
                     }
                     prop_assert!(
                         delivered.contains(&gs(s)),
-                        "false negative: {} announced interest in {} but missed \
-                         event {} (delivered: {:?})",
+                        "false negative: {} announced interest in {}/{:?} but \
+                         missed event {} (delivered: {:?})",
                         gs(s),
                         origin_host,
+                        KINDS[kind],
                         self.seq,
                         delivered,
                     );
@@ -301,18 +344,54 @@ impl Harness {
         }
         Ok(())
     }
+
+    /// Every grant a node holds must be provably exclusive: no live
+    /// server outside that node's subtree may currently match the
+    /// granted `(attribute, value)` pair (here, a kind digest value).
+    fn check_grant_exclusivity(&self) -> Result<(), TestCaseError> {
+        for (name, node) in &self.nodes {
+            let members = self.subtree(name);
+            for (key, values) in node.held_grants() {
+                if key != ATTR_KEY_KIND {
+                    continue;
+                }
+                for value in values {
+                    let kind = KINDS.iter().position(|k| k.as_str() == value);
+                    let Some(kind) = kind else { continue };
+                    for s in 0..SERVERS {
+                        if members.contains(&self.node_of[s]) {
+                            continue;
+                        }
+                        for anchor in 0..ANCHORS.len() {
+                            prop_assert!(
+                                !self.interested(s, anchor, kind),
+                                "{} holds a grant for kind={} but {} outside \
+                                 its subtree matches that kind",
+                                name,
+                                value,
+                                gs(s),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
     #[test]
     fn summaries_stay_supersets_of_live_subtree_interests(
+        rendezvous_mask in 0u8..128,
         ops in prop::collection::vec(op_strategy(), 1..40),
     ) {
-        let mut harness = Harness::new();
+        let mut harness = Harness::new(rendezvous_mask);
         for op in &ops {
             harness.apply(op)?;
             harness.check_superset()?;
+            harness.check_grant_exclusivity()?;
         }
     }
 }

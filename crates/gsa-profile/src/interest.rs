@@ -27,7 +27,7 @@
 use crate::attr::{AttrValue, ProfileAttr};
 use crate::dnf::{to_dnf, Conjunction};
 use crate::expr::ProfileExpr;
-use gsa_wire::InterestSummary;
+use gsa_wire::{InterestSummary, ATTR_KEY_KIND, ATTR_META_PREFIX};
 
 /// Collects the exact values of an Equals/OneOf literal into `out`.
 fn anchor_values(value: &AttrValue, out: &mut Vec<String>) -> bool {
@@ -82,6 +82,31 @@ fn anchor_conjunction(conj: &Conjunction, summary: &mut InterestSummary) -> bool
     }
 }
 
+/// Folds one conjunction's equality-attribute digests into its summary
+/// part. Only *positive* Equals/OneOf literals on `kind` or a metadata
+/// key tighten; everything else (negations, wildcards, filter queries,
+/// doc-id/text predicates) contributes nothing and the key stays
+/// unconstrained. A repeated key takes the first literal only —
+/// `constrain_attr` is first-write-wins, because intersecting two
+/// literal sets would claim a tighter constraint than a multi-valued
+/// metadata attribute actually imposes.
+fn digest_conjunction(conj: &Conjunction, part: &mut InterestSummary) {
+    for literal in &conj.literals {
+        if !literal.positive {
+            continue;
+        }
+        let key = match &literal.predicate.attr {
+            ProfileAttr::Kind => ATTR_KEY_KIND.to_owned(),
+            ProfileAttr::Meta(key) => format!("{ATTR_META_PREFIX}{key}"),
+            _ => continue,
+        };
+        let mut values = Vec::new();
+        if anchor_values(&literal.predicate.value, &mut values) {
+            part.constrain_attr(key, values);
+        }
+    }
+}
+
 /// The conservative interest summary of one profile expression.
 ///
 /// Expressions too large to normalise (a [`crate::DnfError`]) digest to
@@ -95,9 +120,15 @@ pub fn interests_of(expr: &ProfileExpr) -> InterestSummary {
     // and so does the empty summary.
     let mut summary = InterestSummary::empty();
     for conj in &conjunctions {
-        if !anchor_conjunction(conj, &mut summary) {
+        // Each conjunction digests independently (anchors plus
+        // attribute constraints), then the union rule reconciles them:
+        // anchors union, digest keys intersect.
+        let mut part = InterestSummary::empty();
+        if !anchor_conjunction(conj, &mut part) {
             return InterestSummary::wildcard();
         }
+        digest_conjunction(conj, &mut part);
+        summary.union_with(&part);
     }
     summary
 }
@@ -166,18 +197,94 @@ mod tests {
         assert!(!s.may_match("B", "B.Y"));
     }
 
+    #[test]
+    fn equality_literals_tighten_anchored_conjunctions() {
+        let s = interests(r#"host = "A" AND kind = "documents-added""#);
+        assert!(s.may_match("A", "A.X"));
+        let kinds = s.attr_constraint(ATTR_KEY_KIND).unwrap();
+        assert!(kinds.contains("documents-added") && kinds.len() == 1);
+
+        let s = interests(r#"collection = "A.X" AND dc.Title in ["a", "b"]"#);
+        let titles = s.attr_constraint("meta:dc.Title").unwrap();
+        assert_eq!(titles.iter().collect::<Vec<_>>(), ["a", "b"]);
+    }
+
+    #[test]
+    fn non_equality_and_negated_literals_do_not_tighten() {
+        for text in [
+            r#"host = "A" AND dc.Title ~ "x*""#,
+            r#"host = "A" AND NOT kind = "documents-added""#,
+            r#"host = "A" AND text ~ "*digital*""#,
+        ] {
+            let s = interests(text);
+            assert!(!s.has_attrs(), "{text} must not digest attributes");
+            assert!(s.may_match("A", "A.X"));
+        }
+    }
+
+    #[test]
+    fn disjunction_keeps_only_shared_digest_keys() {
+        // Both branches constrain kind: the union keeps the key with
+        // both values.
+        let s = interests(
+            r#"(host = "A" AND kind = "documents-added")
+               OR (host = "B" AND kind = "collection-rebuilt")"#,
+        );
+        let kinds = s.attr_constraint(ATTR_KEY_KIND).unwrap();
+        assert_eq!(
+            kinds.iter().collect::<Vec<_>>(),
+            ["collection-rebuilt", "documents-added"]
+        );
+        // Only one branch constrains kind: the union must drop it.
+        let s = interests(r#"(host = "A" AND kind = "documents-added") OR host = "B""#);
+        assert!(s.attr_constraint(ATTR_KEY_KIND).is_none());
+        assert!(s.may_match("B", "B.Y"));
+    }
+
+    #[test]
+    fn repeated_key_in_one_conjunction_takes_first_literal_only() {
+        // dc.Title is multi-valued: a doc carrying both "a" and "b"
+        // satisfies both literals, so intersecting them to ∅ would be a
+        // false negative. First write wins instead.
+        let s = interests(r#"host = "A" AND dc.Title = "a" AND dc.Title = "b""#);
+        let titles = s.attr_constraint("meta:dc.Title").unwrap();
+        assert_eq!(titles.iter().collect::<Vec<_>>(), ["a"]);
+    }
+
+    /// The attribute-prune view of an event, mirroring what a GDS node
+    /// extracts at flood time: `kind` is the event kind, `meta:K` is
+    /// the union of values of metadata key `K` across the event's docs.
+    fn event_attr_values<'a>(event: &'a Event, key: &str) -> Vec<&'a str> {
+        if key == ATTR_KEY_KIND {
+            return vec![event.kind.as_str()];
+        }
+        let Some(meta_key) = key.strip_prefix(ATTR_META_PREFIX) else {
+            return Vec::new();
+        };
+        event
+            .docs
+            .iter()
+            .flat_map(|d| d.metadata.all(meta_key))
+            .map(String::as_str)
+            .collect()
+    }
+
     proptest! {
         /// Soundness: whenever a profile matches an event, the digest
-        /// claims interest in that event's origin — over random
-        /// profiles (anchored and unanchored shapes) and random events.
+        /// claims interest in that event's origin *and* no attribute
+        /// digest excludes the event's attribute values — over random
+        /// profiles (anchored, unanchored and attribute-tightened
+        /// shapes) and random events.
         #[test]
         fn summary_never_misses_a_matching_event(
             profile_host in "[A-C]",
             profile_name in "[X-Z]",
-            shape in 0usize..6,
+            shape in 0usize..9,
             event_host in "[A-D]",
             event_name in "[W-Z]",
+            event_kind_choice in 0usize..2,
             title in "[a-c]",
+            profile_title in "[a-c]",
         ) {
             let text = match shape {
                 0 => format!(r#"host = "{profile_host}""#),
@@ -185,14 +292,27 @@ mod tests {
                 2 => format!(r#"host = "{profile_host}" AND dc.Title = "a""#),
                 3 => format!(r#"host = "{profile_host}" OR collection = "B.{profile_name}""#),
                 4 => format!(r#"NOT host = "{profile_host}""#),
+                5 => format!(r#"host = "{profile_host}" AND kind = "documents-added""#),
+                6 => format!(
+                    r#"host = "{profile_host}" AND dc.Title in ["{profile_title}", "z"]"#
+                ),
+                7 => format!(
+                    r#"(host = "{profile_host}" AND kind = "collection-rebuilt")
+                       OR (collection = "B.{profile_name}" AND kind = "documents-added")"#
+                ),
                 _ => format!(r#"dc.Title = "{title}""#),
             };
             let expr = parse_profile(&text).unwrap();
             let summary = interests_of(&expr);
+            let kind = if event_kind_choice == 0 {
+                EventKind::CollectionRebuilt
+            } else {
+                EventKind::DocumentsAdded
+            };
             let event = Event::new(
                 EventId::new(event_host.as_str(), 1),
                 CollectionId::new(event_host.as_str(), event_name.as_str()),
-                EventKind::CollectionRebuilt,
+                kind,
                 SimTime::ZERO,
             )
             .with_docs(vec![DocSummary::new("d1").with_metadata(
@@ -206,6 +326,13 @@ mod tests {
                     ),
                     "profile {text} matched an event its summary excludes"
                 );
+                for (key, allowed) in summary.attrs() {
+                    let values = event_attr_values(&event, key);
+                    prop_assert!(
+                        values.iter().any(|v| allowed.contains(*v)),
+                        "profile {text} matched an event its {key} digest excludes"
+                    );
+                }
             }
         }
     }

@@ -57,6 +57,12 @@ pub mod names {
     pub const GDS_PRUNED_EDGES: &str = "gds.pruned_edges";
     /// Interest-summary updates accepted by GDS nodes.
     pub const GDS_SUMMARY_UPDATES: &str = "gds.summary_updates";
+    /// Upward flood hops skipped because a held rendezvous grant proved
+    /// the event's (attribute, value) subgroup has no interest outside
+    /// the node's subtree.
+    pub const GDS_RENDEZVOUS_CONFINED: &str = "gds.rendezvous_confined";
+    /// Rendezvous grant messages issued by GDS nodes to children.
+    pub const GDS_RENDEZVOUS_GRANTS: &str = "gds.rendezvous_grants";
     /// Accepted deliveries whose payload failed to decode as an event
     /// (previously dropped silently at the delivery boundary).
     pub const CORE_DECODE_ERROR: &str = "core.decode_error";

@@ -13,22 +13,57 @@
 //! exact origin host or collection collapses the summary to
 //! [`InterestSummary::wildcard`], which matches everything.
 //!
+//! On top of the host/collection anchors a summary may carry a bounded
+//! set of *equality-attribute digests*: an entry `(key, values)` states
+//! that **every** interest in the scope requires the event's `key`
+//! attribute to take a value in `values` (established by a positive
+//! equality or one-of literal). A flood can therefore skip an edge
+//! whose subtree subscribes to the event's collection but provably not
+//! its attribute values. Absence of a key means "unconstrained" — the
+//! conservative default — so digests can only ever tighten, never
+//! widen, and any profile shape the extractor cannot analyse simply
+//! contributes no digest. Both the key count and the per-key value
+//! count are bounded ([`InterestSummary::MAX_ATTR_DIGESTS`],
+//! [`InterestSummary::MAX_ATTR_VALUES`]); exceeding a bound drops the
+//! digest, which widens toward "forward anyway" and stays sound.
+//!
 //! Summaries travel inside `gds:summary` messages, so this module also
 //! provides the XML (v1) and binary (v2) codec halves, following the
-//! same conventions as the rest of the wire layer.
+//! same conventions as the rest of the wire layer. Because an
+//! aggregated summary is re-announced verbatim on heartbeats and
+//! reparents, the binary encoding is computed once per distinct value
+//! and frozen (same encode-once pattern as flood payloads): clones
+//! share the buffer, mutation detaches it.
 
-use crate::binary::{str_len, varint_len, write_str, write_varint, BinReader};
+use crate::binary::{write_str, write_varint, BinReader};
 use crate::xml::{WireError, XmlElement};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, OnceLock};
+
+/// Digest key naming the event kind attribute.
+pub const ATTR_KEY_KIND: &str = "kind";
+
+/// Digest key prefix for document metadata attributes: metadata key `K`
+/// digests under `meta:K`, so a metadata key literally named "kind"
+/// cannot collide with [`ATTR_KEY_KIND`].
+pub const ATTR_META_PREFIX: &str = "meta:";
+
+/// The lazily-frozen binary encoding of a summary. Clones share the
+/// buffer (it is part of no summary's *value*, so equality and the
+/// codecs ignore it); any mutation replaces the slot so stale bytes can
+/// never be re-sent.
+#[derive(Debug, Clone, Default)]
+struct FrozenEncoding(Arc<OnceLock<Box<[u8]>>>);
 
 /// A conservative digest of subscription interests: the set of exact
 /// origin hosts and origin collections ("Host.Name") that profiles
-/// below some edge are anchored to, or *wildcard* when at least one
-/// profile could match events from anywhere.
+/// below some edge are anchored to, plus optional equality-attribute
+/// digests tightening them — or *wildcard* when at least one profile
+/// could match events from anywhere.
 ///
 /// The empty (non-wildcard) summary matches nothing — the digest of a
 /// scope with no subscribers at all.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct InterestSummary {
     /// When set, the summary matches every event (some interest below
     /// this edge could not be anchored to an exact origin).
@@ -37,9 +72,37 @@ pub struct InterestSummary {
     hosts: BTreeSet<String>,
     /// Exact origin collection ids (`Host.Name`) of anchored interests.
     collections: BTreeSet<String>,
+    /// Equality-attribute digests: `key → values` means every interest
+    /// in scope requires the event's `key` attribute to take one of
+    /// `values`. Keys absent from the map are unconstrained. Only
+    /// meaningful alongside anchors (wildcard and empty summaries carry
+    /// none — the canonical forms).
+    attrs: BTreeMap<String, BTreeSet<String>>,
+    /// Frozen binary encoding (encode-once; excluded from equality).
+    frozen: FrozenEncoding,
 }
 
+impl PartialEq for InterestSummary {
+    fn eq(&self, other: &Self) -> bool {
+        self.wildcard == other.wildcard
+            && self.hosts == other.hosts
+            && self.collections == other.collections
+            && self.attrs == other.attrs
+    }
+}
+
+impl Eq for InterestSummary {}
+
 impl InterestSummary {
+    /// Most distinct attribute keys a summary will carry; inserting
+    /// beyond the bound is ignored (the extra key stays unconstrained).
+    pub const MAX_ATTR_DIGESTS: usize = 4;
+
+    /// Most values per attribute digest; a larger set drops the whole
+    /// digest (truncating the set would claim a *tighter* constraint
+    /// than real and could prune a wanted event).
+    pub const MAX_ATTR_VALUES: usize = 8;
+
     /// The empty summary: no interests, matches nothing.
     pub fn empty() -> Self {
         InterestSummary::default()
@@ -49,8 +112,7 @@ impl InterestSummary {
     pub fn wildcard() -> Self {
         InterestSummary {
             wildcard: true,
-            hosts: BTreeSet::new(),
-            collections: BTreeSet::new(),
+            ..InterestSummary::default()
         }
     }
 
@@ -64,41 +126,158 @@ impl InterestSummary {
         !self.wildcard && self.hosts.is_empty() && self.collections.is_empty()
     }
 
+    /// Drops any frozen encoding; called by every mutator so stale
+    /// bytes are never re-sent. Replaces (rather than clears) the slot
+    /// because clones share it.
+    fn touch(&mut self) {
+        self.frozen = FrozenEncoding::default();
+    }
+
     /// Records an interest anchored to an exact origin host.
     pub fn add_host(&mut self, host: impl Into<String>) {
         self.hosts.insert(host.into());
+        self.touch();
     }
 
     /// Records an interest anchored to an exact origin collection
     /// (`Host.Name`).
     pub fn add_collection(&mut self, collection: impl Into<String>) {
         self.collections.insert(collection.into());
+        self.touch();
     }
 
     /// Widens this summary to match everything.
     pub fn make_wildcard(&mut self) {
         self.wildcard = true;
-        // Anchors are redundant under the wildcard; dropping them keeps
-        // the encoding minimal and equality canonical.
+        // Anchors and digests are redundant under the wildcard;
+        // dropping them keeps the encoding minimal and equality
+        // canonical.
         self.hosts.clear();
         self.collections.clear();
+        self.attrs.clear();
+        self.touch();
+    }
+
+    /// Records an equality-attribute digest: every interest in this
+    /// scope requires the event's `key` attribute to take a value in
+    /// `values`. First write per key wins (a repeated literal on the
+    /// same key in one conjunction must *not* intersect — an event can
+    /// satisfy both through different values of a multi-valued
+    /// attribute). An empty or oversize value set, or a key beyond the
+    /// digest bound, is skipped: the key just stays unconstrained.
+    pub fn constrain_attr(
+        &mut self,
+        key: impl Into<String>,
+        values: impl IntoIterator<Item = String>,
+    ) {
+        if self.wildcard {
+            return;
+        }
+        let key = key.into();
+        if self.attrs.contains_key(&key) || self.attrs.len() >= Self::MAX_ATTR_DIGESTS {
+            return;
+        }
+        let values: BTreeSet<String> = values.into_iter().collect();
+        if values.is_empty() || values.len() > Self::MAX_ATTR_VALUES {
+            return;
+        }
+        self.attrs.insert(key, values);
+        self.touch();
+    }
+
+    /// Drops every attribute digest, widening the summary back to its
+    /// anchor-only (PR 5) form. Used to publish baseline summaries when
+    /// attribute tightening is disabled.
+    pub fn clear_attrs(&mut self) {
+        if !self.attrs.is_empty() {
+            self.attrs.clear();
+            self.touch();
+        }
+    }
+
+    /// `true` when the summary carries at least one attribute digest.
+    pub fn has_attrs(&self) -> bool {
+        !self.attrs.is_empty()
+    }
+
+    /// The attribute digests, in sorted key order.
+    pub fn attrs(&self) -> impl Iterator<Item = (&str, &BTreeSet<String>)> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The digest for one attribute key, when constrained.
+    pub fn attr_constraint(&self, key: &str) -> Option<&BTreeSet<String>> {
+        self.attrs.get(key)
+    }
+
+    /// `true` when this summary provably matches no event carrying
+    /// `value` for attribute `key`: either nothing is subscribed at
+    /// all, or every interest requires `key` to take some *other*
+    /// value. The rendezvous election uses this to prove an
+    /// `(attribute, value)` subgroup has no members below an edge.
+    pub fn excludes_value(&self, key: &str, value: &str) -> bool {
+        if self.wildcard {
+            return false;
+        }
+        if self.is_empty() {
+            return true;
+        }
+        self.attrs.get(key).is_some_and(|vals| !vals.contains(value))
+    }
+
+    /// Keeps the digests canonical: attribute constraints are only
+    /// meaningful alongside anchors and never under the wildcard, and
+    /// both bounds hold. Decoders funnel through this so a hand-crafted
+    /// frame cannot smuggle an out-of-contract summary in.
+    fn canonicalize(&mut self) {
+        if self.wildcard || self.is_empty() {
+            self.attrs.clear();
+            return;
+        }
+        self.attrs
+            .retain(|_, vals| !vals.is_empty() && vals.len() <= Self::MAX_ATTR_VALUES);
+        while self.attrs.len() > Self::MAX_ATTR_DIGESTS {
+            self.attrs.pop_last();
+        }
     }
 
     /// Unions another summary into this one.
+    ///
+    /// Anchors union as sets. Digests *intersect by key and union by
+    /// value*: a key constrains the union only when both sides
+    /// constrain it (an unconstrained side may hold interests in any
+    /// value), and then any value either side accepts must be kept. The
+    /// empty summary is the identity — it holds no interests, so it
+    /// neither adds anchors nor weakens digests.
     pub fn union_with(&mut self, other: &InterestSummary) {
-        if self.wildcard {
+        if self.wildcard || other.is_empty() {
             return;
         }
         if other.wildcard {
             self.make_wildcard();
             return;
         }
-        self.hosts.extend(other.hosts.iter().cloned());
-        self.collections.extend(other.collections.iter().cloned());
+        if self.is_empty() {
+            self.hosts.clone_from(&other.hosts);
+            self.collections.clone_from(&other.collections);
+            self.attrs.clone_from(&other.attrs);
+        } else {
+            self.hosts.extend(other.hosts.iter().cloned());
+            self.collections.extend(other.collections.iter().cloned());
+            self.attrs.retain(|key, _| other.attrs.contains_key(key));
+            for (key, vals) in &mut self.attrs {
+                vals.extend(other.attrs[key].iter().cloned());
+            }
+        }
+        self.canonicalize();
+        self.touch();
     }
 
     /// Can an event with this exact origin host and origin collection
-    /// (`Host.Name`) match any interest in the summary?
+    /// (`Host.Name`) match any interest in the summary? Anchor check
+    /// only — attribute digests are applied separately
+    /// ([`InterestSummary::attr_constraint`]) because they need the
+    /// event's attribute values, not just its origin.
     pub fn may_match(&self, origin_host: &str, origin_collection: &str) -> bool {
         self.wildcard
             || self.hosts.contains(origin_host)
@@ -107,7 +286,11 @@ impl InterestSummary {
 
     /// `true` when every event this `other` summary matches is also
     /// matched by `self` — the superset/no-false-negative invariant the
-    /// property tests pin.
+    /// property tests pin. With digests the direction flips: `self`
+    /// covers `other` only when each of `self`'s constraints is at
+    /// least as *loose* as a constraint `other` states (`other`'s
+    /// digest set ⊆ `self`'s), so anything `other` lets through,
+    /// `self` lets through too.
     pub fn covers(&self, other: &InterestSummary) -> bool {
         if self.wildcard {
             return true;
@@ -115,7 +298,15 @@ impl InterestSummary {
         if other.wildcard {
             return false;
         }
-        other.hosts.is_subset(&self.hosts) && other.collections.is_subset(&self.collections)
+        if other.is_empty() {
+            return true;
+        }
+        other.hosts.is_subset(&self.hosts)
+            && other.collections.is_subset(&self.collections)
+            && self
+                .attrs
+                .iter()
+                .all(|(key, vals)| other.attrs.get(key).is_some_and(|o| o.is_subset(vals)))
     }
 
     /// The anchored host names, in sorted order.
@@ -137,12 +328,22 @@ impl InterestSummary {
             el.set_attr("wildcard", "true");
             return el;
         }
-        el.reserve_children(self.hosts.len() + self.collections.len());
+        el.reserve_children(self.hosts.len() + self.collections.len() + self.attrs.len());
         for host in &self.hosts {
             el.push_child(XmlElement::new("host").with_attr("name", host.as_str()));
         }
         for coll in &self.collections {
             el.push_child(XmlElement::new("collection").with_attr("id", coll.as_str()));
+        }
+        // A v1 (pre-digest) peer ignores unknown children, so digests
+        // degrade to anchor-only pruning on mixed-version edges.
+        for (key, vals) in &self.attrs {
+            let mut attr = XmlElement::new("attr").with_attr("key", key.as_str());
+            attr.reserve_children(vals.len());
+            for v in vals {
+                attr.push_child(XmlElement::new("value").with_text(v.as_str()));
+            }
+            el.push_child(attr);
         }
         el
     }
@@ -173,17 +374,37 @@ impl InterestSummary {
                         .ok_or_else(|| WireError::malformed("summary collection without id"))?;
                     summary.add_collection(id);
                 }
+                "attr" => {
+                    let key = child
+                        .attr("key")
+                        .ok_or_else(|| WireError::malformed("summary attr without key"))?;
+                    let values = child
+                        .children_named("value")
+                        .map(|v| v.text().to_owned())
+                        .collect::<Vec<_>>();
+                    summary.constrain_attr(key, values);
+                }
                 _ => {} // unknown anchors from newer peers are ignored
             }
         }
+        summary.canonicalize();
         Ok(summary)
     }
 
     // --- binary codec (wire v2) ---------------------------------------
 
-    /// Appends the binary encoding: a wildcard flag byte, then the two
-    /// length-prefixed string sets.
-    pub fn write_binary(&self, buf: &mut Vec<u8>) {
+    /// The frozen binary encoding, computed on first use and shared by
+    /// clones from then on — a summary re-announced on every heartbeat
+    /// serializes exactly once.
+    fn frozen_bytes(&self) -> &[u8] {
+        self.frozen.0.get_or_init(|| {
+            let mut buf = Vec::new();
+            self.encode_binary(&mut buf);
+            buf.into_boxed_slice()
+        })
+    }
+
+    fn encode_binary(&self, buf: &mut Vec<u8>) {
         buf.push(u8::from(self.wildcard));
         write_varint(buf, self.hosts.len() as u64);
         for host in &self.hosts {
@@ -193,14 +414,27 @@ impl InterestSummary {
         for coll in &self.collections {
             write_str(buf, coll);
         }
+        write_varint(buf, self.attrs.len() as u64);
+        for (key, vals) in &self.attrs {
+            write_str(buf, key);
+            write_varint(buf, vals.len() as u64);
+            for v in vals {
+                write_str(buf, v);
+            }
+        }
+    }
+
+    /// Appends the binary encoding: a wildcard flag byte, the two
+    /// length-prefixed anchor sets, then the attribute digests. The
+    /// bytes come from the frozen buffer, so repeated announcements of
+    /// an unchanged summary are a memcpy, not a re-serialization.
+    pub fn write_binary(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(self.frozen_bytes());
     }
 
     /// Exact length of [`InterestSummary::write_binary`]'s output.
     pub fn binary_size(&self) -> usize {
-        1 + varint_len(self.hosts.len() as u64)
-            + self.hosts.iter().map(|h| str_len(h)).sum::<usize>()
-            + varint_len(self.collections.len() as u64)
-            + self.collections.iter().map(|c| str_len(c)).sum::<usize>()
+        self.frozen_bytes().len()
     }
 
     /// Decodes a summary from its binary encoding.
@@ -229,6 +463,19 @@ impl InterestSummary {
                 summary.add_collection(coll);
             }
         }
+        let attrs = r.read_varint()?;
+        for _ in 0..attrs {
+            let key = r.read_string()?;
+            let count = r.read_varint()? as usize;
+            let mut values = Vec::with_capacity(count.min(Self::MAX_ATTR_VALUES + 1));
+            for _ in 0..count {
+                values.push(r.read_string()?);
+            }
+            if !wildcard {
+                summary.constrain_attr(key, values);
+            }
+        }
+        summary.canonicalize();
         Ok(summary)
     }
 }
@@ -242,6 +489,16 @@ mod tests {
         s.add_host("Hamilton");
         s.add_collection("London.E");
         s.add_collection("Berlin.B");
+        s
+    }
+
+    fn attr_sample() -> InterestSummary {
+        let mut s = sample();
+        s.constrain_attr("kind", ["documents-added".to_owned()]);
+        s.constrain_attr(
+            "meta:Language",
+            ["en".to_owned(), "de".to_owned()],
+        );
         s
     }
 
@@ -274,19 +531,120 @@ mod tests {
         // Everything covers the empty summary.
         assert!(InterestSummary::empty().covers(&InterestSummary::empty()));
         assert!(sample().covers(&InterestSummary::empty()));
+        assert!(attr_sample().covers(&InterestSummary::empty()));
     }
 
     #[test]
     fn wildcard_is_canonical() {
-        let mut s = sample();
+        let mut s = attr_sample();
         s.make_wildcard();
         assert_eq!(s, InterestSummary::wildcard());
         assert!(s.is_wildcard() && !s.is_empty());
+        assert!(!s.has_attrs());
+    }
+
+    #[test]
+    fn attr_digests_constrain_and_bound() {
+        let mut s = sample();
+        s.constrain_attr("kind", ["thesis".to_owned(), "report".to_owned()]);
+        // First write wins: a second literal on the same key must not
+        // tighten (an event can satisfy both via different values of a
+        // multi-valued attribute).
+        s.constrain_attr("kind", ["thesis".to_owned()]);
+        assert_eq!(
+            s.attr_constraint("kind").unwrap().iter().collect::<Vec<_>>(),
+            ["report", "thesis"]
+        );
+        // Empty sets are skipped, oversize sets are skipped.
+        s.constrain_attr("meta:Empty", []);
+        assert!(s.attr_constraint("meta:Empty").is_none());
+        let many = (0..=InterestSummary::MAX_ATTR_VALUES)
+            .map(|i| format!("v{i}"))
+            .collect::<Vec<_>>();
+        s.constrain_attr("meta:Many", many);
+        assert!(s.attr_constraint("meta:Many").is_none());
+        // The key-count bound drops later keys, keeps earlier ones.
+        for i in 0..2 * InterestSummary::MAX_ATTR_DIGESTS {
+            s.constrain_attr(format!("meta:K{i}"), [format!("x{i}")]);
+        }
+        assert_eq!(s.attrs().count(), InterestSummary::MAX_ATTR_DIGESTS);
+        assert!(s.attr_constraint("kind").is_some());
+    }
+
+    #[test]
+    fn union_intersects_digest_keys_and_unions_values() {
+        let mut a = sample();
+        a.constrain_attr("kind", ["thesis".to_owned()]);
+        a.constrain_attr("meta:Language", ["en".to_owned()]);
+        let mut b = InterestSummary::empty();
+        b.add_host("Auckland");
+        b.constrain_attr("kind", ["report".to_owned()]);
+        // b does not constrain Language, so the union must not either.
+        a.union_with(&b);
+        assert_eq!(
+            a.attr_constraint("kind").unwrap().iter().collect::<Vec<_>>(),
+            ["report", "thesis"]
+        );
+        assert!(a.attr_constraint("meta:Language").is_none());
+
+        // The empty summary is the identity: it holds no interests and
+        // must not weaken digests.
+        let before = a.clone();
+        a.union_with(&InterestSummary::empty());
+        assert_eq!(a, before);
+
+        // Unioning into the empty summary copies digests over.
+        let mut c = InterestSummary::empty();
+        c.union_with(&before);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn covers_respects_digests() {
+        let tight = attr_sample();
+        let loose = sample();
+        // The digest-free summary lets more events through: it covers
+        // the tightened one, not vice versa.
+        assert!(loose.covers(&tight));
+        assert!(!tight.covers(&loose));
+        assert!(tight.covers(&tight.clone()));
+
+        // A wider value set covers a narrower one on the same key.
+        let mut wider = attr_sample();
+        wider.union_with(&{
+            let mut s = sample();
+            s.constrain_attr("kind", ["collection-rebuilt".to_owned()]);
+            s.constrain_attr(
+                "meta:Language",
+                ["en".to_owned(), "de".to_owned(), "fr".to_owned()],
+            );
+            s
+        });
+        assert!(wider.covers(&tight));
+        assert!(!tight.covers(&wider));
+    }
+
+    #[test]
+    fn excludes_value_is_exact() {
+        let s = attr_sample();
+        assert!(s.excludes_value("kind", "collection-rebuilt"));
+        assert!(!s.excludes_value("kind", "documents-added"));
+        // Unconstrained key: could hold interests in anything.
+        assert!(!s.excludes_value("meta:Creator", "Hinze"));
+        // No subscribers at all: everything is excluded.
+        assert!(InterestSummary::empty().excludes_value("kind", "anything"));
+        // Wildcard: nothing is excluded.
+        assert!(!InterestSummary::wildcard().excludes_value("kind", "anything"));
     }
 
     #[test]
     fn xml_round_trip() {
-        for s in [InterestSummary::empty(), InterestSummary::wildcard(), sample()] {
+        for s in [
+            InterestSummary::empty(),
+            InterestSummary::wildcard(),
+            sample(),
+            attr_sample(),
+        ] {
             let el = s.to_xml("gds:summary");
             assert_eq!(InterestSummary::from_xml(&el).unwrap(), s);
         }
@@ -294,7 +652,12 @@ mod tests {
 
     #[test]
     fn binary_round_trip_and_size() {
-        for s in [InterestSummary::empty(), InterestSummary::wildcard(), sample()] {
+        for s in [
+            InterestSummary::empty(),
+            InterestSummary::wildcard(),
+            sample(),
+            attr_sample(),
+        ] {
             let mut buf = Vec::new();
             s.write_binary(&mut buf);
             assert_eq!(buf.len(), s.binary_size());
@@ -307,9 +670,38 @@ mod tests {
     #[test]
     fn binary_rejects_truncation() {
         let mut buf = Vec::new();
-        sample().write_binary(&mut buf);
+        attr_sample().write_binary(&mut buf);
         for cut in 0..buf.len() {
             assert!(InterestSummary::read_binary(&mut BinReader::new(&buf[..cut])).is_err());
         }
+    }
+
+    #[test]
+    fn encoding_freezes_once_and_detaches_on_mutation() {
+        let s = attr_sample();
+        let _ = s.binary_size(); // freeze
+        let shared = s.clone();
+        // The clone shares the frozen buffer.
+        assert!(Arc::ptr_eq(&s.frozen.0, &shared.frozen.0));
+        assert_eq!(
+            s.frozen_bytes().as_ptr(),
+            shared.frozen_bytes().as_ptr(),
+            "clone re-uses the same frozen bytes"
+        );
+        // Mutating the clone detaches it and re-encodes correctly.
+        let mut changed = shared.clone();
+        changed.add_host("Auckland");
+        assert!(!Arc::ptr_eq(&s.frozen.0, &changed.frozen.0));
+        let mut buf = Vec::new();
+        changed.write_binary(&mut buf);
+        let back = InterestSummary::read_binary(&mut BinReader::new(&buf)).unwrap();
+        assert_eq!(back, changed);
+        // The original's bytes are untouched.
+        let mut orig = Vec::new();
+        s.write_binary(&mut orig);
+        assert_eq!(
+            InterestSummary::read_binary(&mut BinReader::new(&orig)).unwrap(),
+            s
+        );
     }
 }

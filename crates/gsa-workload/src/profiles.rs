@@ -21,6 +21,12 @@ pub struct ProfileMix {
     pub text_query: f64,
     /// `dc.Title ~ "term*"` — a wildcard over titles.
     pub title_wildcard: f64,
+    /// `collection = "host.name" AND kind = "..."` — an anchored
+    /// interest tightened to one event kind. These are the profiles the
+    /// attribute-digest pruning layer can act on: the announced summary
+    /// carries a `kind` equality digest, so a directory node can skip a
+    /// subtree for events of any other kind.
+    pub kind_equals: f64,
 }
 
 impl Default for ProfileMix {
@@ -31,6 +37,7 @@ impl Default for ProfileMix {
             subject_equals: 0.25,
             text_query: 0.15,
             title_wildcard: 0.1,
+            kind_equals: 0.0,
         }
     }
 }
@@ -44,6 +51,22 @@ impl ProfileMix {
             subject_equals: 0.3,
             text_query: 0.0,
             title_wildcard: 0.0,
+            kind_equals: 0.0,
+        }
+    }
+
+    /// A mix dominated by kind-tightened interests — the clustered
+    /// attribute workload of the prune-efficiency experiment, where
+    /// most subscribers care about one event kind of their topic and
+    /// summaries therefore carry digests worth pruning on.
+    pub fn attr_clustered() -> Self {
+        ProfileMix {
+            watch_collection: 0.2,
+            watch_host: 0.0,
+            subject_equals: 0.1,
+            text_query: 0.0,
+            title_wildcard: 0.0,
+            kind_equals: 0.7,
         }
     }
 
@@ -53,8 +76,13 @@ impl ProfileMix {
             + self.subject_equals
             + self.text_query
             + self.title_wildcard
+            + self.kind_equals
     }
 }
+
+/// The event kinds the `kind_equals` class draws from, by weight: most
+/// kind-scoped interests watch for new documents.
+const KINDS: [&str; 2] = ["documents-added", "collection-rebuilt"];
 
 /// A generated population of profiles, each tagged with the host its
 /// owner registers at and a *topic* (the collection it observes, used by
@@ -97,9 +125,20 @@ impl ProfilePopulation {
             {
                 let term = format!("term{:05}", rng.random_range(0..200));
                 format!(r#"collection = "{topic}" AND text ? ({term})"#)
-            } else {
+            } else if roll
+                < mix.watch_collection
+                    + mix.watch_host
+                    + mix.subject_equals
+                    + mix.text_query
+                    + mix.title_wildcard
+            {
                 let prefix = format!("term{:03}", rng.random_range(0..99));
                 format!(r#"collection = "{topic}" AND dc.Title ~ "*{prefix}*""#)
+            } else {
+                // Skewed 3:1 toward documents-added — the hot subgroup
+                // the rendezvous election is meant to find.
+                let kind = KINDS[usize::from(rng.random_range(0..4u8) == 3)];
+                format!(r#"collection = "{topic}" AND kind = "{kind}""#)
             };
             let expr = parse_profile(&text).expect("generated profile parses");
             profiles.push((subscriber, topic, expr));
@@ -161,6 +200,34 @@ mod tests {
         }
         assert_eq!(p.len(), 50);
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn attr_clustered_mix_produces_kind_digestible_profiles() {
+        let w = world();
+        let p = ProfilePopulation::generate(3, &w, 60, &ProfileMix::attr_clustered());
+        let kind_scoped = p
+            .profiles
+            .iter()
+            .filter(|(_, _, expr)| expr.to_string().contains("kind ="))
+            .count();
+        assert!(
+            kind_scoped >= 60 / 2,
+            "attr-clustered mix should be dominated by kind-scoped \
+             profiles, got {kind_scoped}/60"
+        );
+        // Every kind-scoped profile digests to a summary with a kind
+        // constraint — the pruning layer's raw material.
+        for (_, _, expr) in &p.profiles {
+            if !expr.to_string().contains("kind =") {
+                continue;
+            }
+            let summary = gsa_profile::interests_of(expr);
+            assert!(
+                summary.attr_constraint("kind").is_some(),
+                "kind-scoped profile lost its digest: {expr}"
+            );
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use gsa_core::System;
 use gsa_gds::figure2_tree;
 use gsa_greenstone::{CollectionConfig, SubCollectionRef};
 use gsa_store::SourceDocument;
-use gsa_types::{ClientId, CollectionId, SimTime};
+use gsa_types::{keys, ClientId, CollectionId, MetadataRecord, SimTime};
 use std::collections::BTreeMap;
 
 const SEEDS: [u64; 5] = [11, 12, 13, 14, 15];
@@ -115,6 +115,197 @@ fn pruned_broadcast_delivers_exactly_the_flood_sets() {
             "seed {seed}: pruning may never add flood messages"
         );
     }
+}
+
+/// The four delivery modes the prune bench compares. Each is layered on
+/// the previous one and must be behaviourally invisible: identical
+/// notification sets, fewer messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Paper baseline: full flood, no summaries.
+    Flood,
+    /// PR 5: anchors-only summaries (attribute digests stripped).
+    Prune,
+    /// Attribute-tightened summaries (kind + metadata digests).
+    AttrPrune,
+    /// Attribute summaries plus rendezvous routing for hot subgroups.
+    Rendezvous,
+}
+
+impl Mode {
+    fn configure(self, system: &mut System) {
+        match self {
+            Mode::Flood => {}
+            Mode::Prune => {
+                system.set_pruning(true);
+                system.set_attr_summaries(false);
+            }
+            Mode::AttrPrune => system.set_pruning(true),
+            Mode::Rendezvous => {
+                system.set_pruning(true);
+                system.set_rendezvous(true);
+            }
+        }
+    }
+}
+
+/// A clustered-attribute workload on the figure-2 tree: every watcher
+/// of Oslo's `documents-added` events lives in the gds-3 subtree, so a
+/// rendezvous point can be elected there, while Paris (gds-5) anchors
+/// to Oslo with a digest that provably excludes that kind — prunable
+/// only once summaries carry attributes.
+fn attr_mode_run(seed: u64, mode: Mode) -> (Delivered, u64, u64, u64, u64) {
+    let mut system = System::new(seed);
+    mode.configure(&mut system);
+    system.add_gds_topology(&figure2_tree());
+    system.add_server("Hamilton", "gds-4");
+    system.add_server("Oslo", "gds-6");
+    system.add_server("London", "gds-2");
+    system.add_server("Paris", "gds-5");
+    system.add_server("Berlin", "gds-3");
+    system.add_server("Madrid", "gds-7");
+    system.add_collection("Hamilton", CollectionConfig::simple("D", "d"));
+    system.add_collection("Oslo", CollectionConfig::simple("X", "x"));
+
+    let mut watchers = Vec::new();
+    for (host, profiles) in [
+        (
+            "Paris",
+            &[
+                r#"host = "Hamilton" AND kind = "collection-rebuilt""#,
+                r#"host = "Oslo" AND kind = "collection-rebuilt""#,
+            ][..],
+        ),
+        ("London", &[r#"host = "Nowhere" AND kind = "collection-rebuilt""#][..]),
+        ("Madrid", &[r#"host = "Oslo" AND kind = "documents-added""#][..]),
+        (
+            "Berlin",
+            &[r#"host = "Oslo" AND kind = "documents-added" AND dc.Language = "mi""#][..],
+        ),
+    ] {
+        let client = system.add_client(host);
+        for profile in profiles {
+            system.subscribe_text(host, client, profile).unwrap();
+        }
+        watchers.push((host, client));
+    }
+    system.run_until_quiet(SimTime::from_secs(5));
+
+    let mi_doc = |id: &str| {
+        let md: MetadataRecord = [(keys::LANGUAGE, "mi")].into_iter().collect();
+        SourceDocument::new(id, "he whakaaturanga").with_metadata(md)
+    };
+    let sent_before = system.metrics().counter("net.sent");
+    system.rebuild("Hamilton", "D", vec![doc("d1")]).unwrap();
+    system.run_until(SimTime::from_secs(20));
+    system.rebuild("Oslo", "X", vec![mi_doc("x0")]).unwrap();
+    system.run_until(SimTime::from_secs(35));
+    for (i, at) in [(1u64, 50u64), (2, 65), (3, 80)] {
+        system.import("Oslo", "X", vec![mi_doc(&format!("x{i}"))]).unwrap();
+        system.run_until(SimTime::from_secs(at));
+    }
+    system.run_until_quiet(SimTime::from_secs(180));
+
+    let delivered = drain(&mut system, &watchers);
+    let messages = system.metrics().counter("net.sent") - sent_before;
+    let pruned_edges = system.metrics().counter("gds.pruned_edges");
+    let confined = system.metrics().counter("gds.rendezvous_confined");
+    let grants = system.metrics().counter("gds.rendezvous_grants");
+    (delivered, messages, pruned_edges, confined, grants)
+}
+
+#[test]
+fn attr_and_rendezvous_modes_deliver_exactly_the_flood_sets() {
+    for seed in SEEDS {
+        let (flood, flood_msgs, _, flood_confined, flood_grants) =
+            attr_mode_run(seed, Mode::Flood);
+        let (prune, prune_msgs, prune_edges, _, _) = attr_mode_run(seed, Mode::Prune);
+        let (attr, attr_msgs, attr_edges, attr_confined, _) =
+            attr_mode_run(seed, Mode::AttrPrune);
+        let (rdv, rdv_msgs, _, rdv_confined, rdv_grants) =
+            attr_mode_run(seed, Mode::Rendezvous);
+
+        for (name, got) in [("prune", &prune), ("attr-prune", &attr), ("rendezvous", &rdv)] {
+            assert_eq!(
+                &flood, got,
+                "seed {seed}: {name} delivery sets diverged from the full flood"
+            );
+        }
+        // Not vacuous: the clustered watchers saw their events.
+        assert_eq!(flood["Paris"].len(), 2, "seed {seed}: both rebuilds");
+        assert_eq!(flood["Madrid"].len(), 3, "seed {seed}: all three imports");
+        assert_eq!(flood["Berlin"].len(), 3, "seed {seed}: all three mi imports");
+        assert_eq!(flood["London"].len(), 0, "seed {seed}: no spurious deliveries");
+
+        // Each layer must pay for itself, strictly on this workload:
+        // digests prune edges anchors cannot, rendezvous confines hops
+        // digests still forward.
+        assert!(prune_msgs < flood_msgs, "seed {seed}: pruning saves messages");
+        assert!(
+            attr_msgs < prune_msgs,
+            "seed {seed}: attr digests must out-prune anchors \
+             ({attr_msgs} vs {prune_msgs})"
+        );
+        assert!(
+            rdv_msgs < attr_msgs,
+            "seed {seed}: rendezvous must out-prune attr digests \
+             ({rdv_msgs} vs {attr_msgs})"
+        );
+        assert!(
+            attr_edges > prune_edges,
+            "seed {seed}: attr digests prune strictly more edges"
+        );
+        assert_eq!(flood_confined, 0, "seed {seed}: flood never confines");
+        assert_eq!(flood_grants, 0, "seed {seed}: flood never grants");
+        assert_eq!(attr_confined, 0, "seed {seed}: attr mode never confines");
+        assert!(rdv_confined > 0, "seed {seed}: rendezvous actually confined");
+        assert!(rdv_grants > 0, "seed {seed}: rendezvous actually granted");
+    }
+}
+
+/// Satellite pin: a burst of subscriptions landing on a GDS node in one
+/// actor frame coalesces into a single upward re-announcement. The
+/// global `gds.summary_updates` counter sees one acceptance per
+/// burst member at the leaf (unavoidable — each carries a new version)
+/// plus O(1), not O(burst), acceptances at the parent.
+#[test]
+fn announcement_bursts_coalesce_upward() {
+    const BURST: u64 = 8;
+    let mut system = System::new(21);
+    system.set_pruning(true);
+    system.add_gds_topology(&figure2_tree());
+    system.add_server("London", "gds-2");
+    system.run_until_quiet(SimTime::from_secs(5));
+    let before = system.metrics().counter("gds.summary_updates");
+
+    let client = system.add_client("London");
+    for i in 0..BURST {
+        system
+            .subscribe_text("London", client, &format!(r#"host = "h{i}""#))
+            .unwrap();
+    }
+    let deadline = system.now() + gsa_types::SimDuration::from_secs(5);
+    system.run_until_quiet(deadline);
+
+    let updates = system.metrics().counter("gds.summary_updates") - before;
+    // Each update carries the complete digest, so jittered arrival
+    // already drops stale versions at the leaf; what this pins is the
+    // upward direction — the node re-announces once per frame, not once
+    // per accepted update.
+    assert!(
+        updates >= 2,
+        "the burst must reach the leaf and re-announce upward (saw {updates})"
+    );
+    assert!(
+        updates <= BURST + 2,
+        "upward announcements must coalesce: expected ≤ {} total summary \
+         acceptances for a burst of {BURST}, saw {updates}",
+        BURST + 2
+    );
+    // The aggregated interest still converged to the full burst: the
+    // last host subscribed is routable end-to-end.
+    let aggregate = system.inspect_gds("gds-1", |node| node.aggregate_summary());
+    assert!(aggregate.may_match("h7", "h7.c"), "digest converged upward");
 }
 
 /// Figure-3 scenario under pruning: Hamilton.D includes London.E as a
