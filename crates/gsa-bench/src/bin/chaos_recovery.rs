@@ -237,6 +237,7 @@ fn main() {
                         faults.clone()
                     }),
                     durable: variant.durable,
+                    ..RunConfig::default()
                 };
                 let outcome =
                     run_scheme(variant.scheme, &world, &population, &schedule, &[], &cfg);

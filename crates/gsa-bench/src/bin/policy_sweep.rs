@@ -1,0 +1,184 @@
+//! Experiment E9 — alert-lifecycle delivery policies.
+//!
+//! The paper's service is fire-and-forget: every matched event becomes a
+//! notification, however noisy the collection. This experiment prices
+//! the opt-in policy layer (`System::set_alert_policies`) on a workload
+//! built to be noisy — a small world whose rebuild schedule hammers the
+//! same public collections over and over, so the same (profile,
+//! collection, kind) fingerprints re-fire continually:
+//!
+//! * **observe** — instances tracked, nothing gated: the control row;
+//!   must deliver exactly the baseline count (the equivalence the
+//!   `policy_equivalence` oracle pins per-client).
+//! * **dedup** — an already-firing fingerprint is suppressed until it
+//!   resolves; the suppression ratio is the headline number.
+//! * **throttle b/60s** — token bucket per fingerprint, budget `b` per
+//!   minute, no dedup: the suppression ratio scales with the budget.
+//! * **digest 60s** — per-collection batching: deliveries arrive, but
+//!   late and bundled (digested counts them).
+//!
+//! Suppression never touches the *instance* table — every variant opens
+//! the same alert instances — so `firing` is constant down the table
+//! while `delivered` and `suppressed` trade off. Run with `--smoke` for
+//! the CI-sized sweep; the full run writes `BENCH_e9_policy.json` in
+//! the working directory.
+
+use gsa_bench::{run_scheme, RunConfig, Scheme, Table};
+use gsa_core::{AlertPolicyConfig, DigestConfig, ThrottleConfig};
+use gsa_types::SimDuration;
+use gsa_workload::{GsWorld, ProfileMix, ProfilePopulation, RebuildSchedule, WorldParams};
+use std::fmt::Write as _;
+
+struct Row {
+    label: String,
+    delivered: usize,
+    firing: u64,
+    suppressed: u64,
+    digested: u64,
+    suppression_ratio: f64,
+}
+
+fn variants() -> Vec<(String, Option<AlertPolicyConfig>)> {
+    let mut out = vec![
+        ("baseline".to_string(), None),
+        (
+            "observe".to_string(),
+            Some(AlertPolicyConfig::observe_only()),
+        ),
+        ("dedup".to_string(), Some(AlertPolicyConfig::dedup_only())),
+    ];
+    for budget in [1u32, 2, 4] {
+        out.push((
+            format!("throttle {budget}/60s"),
+            Some(AlertPolicyConfig {
+                throttle: Some(ThrottleConfig {
+                    budget,
+                    window: SimDuration::from_secs(60),
+                }),
+                ..AlertPolicyConfig::default()
+            }),
+        ));
+    }
+    out.push((
+        "digest 60s".to_string(),
+        Some(AlertPolicyConfig {
+            digest: Some(DigestConfig {
+                interval: SimDuration::from_secs(60),
+            }),
+            ..AlertPolicyConfig::default()
+        }),
+    ));
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    // Few collections, many rebuilds: maximal fingerprint re-firing.
+    let params = WorldParams {
+        servers: if smoke { 6 } else { 12 },
+        collections_per_server: 1,
+        ..WorldParams::small(901)
+    };
+    let world = GsWorld::generate(&params);
+    let profiles = if smoke { 12 } else { 32 };
+    let population = ProfilePopulation::generate(902, &world, profiles, &ProfileMix::default());
+    let horizon = SimDuration::from_secs(if smoke { 120 } else { 300 });
+    let rebuilds = if smoke { 24 } else { 96 };
+    let schedule = RebuildSchedule::generate(903, &world, rebuilds, horizon, 2);
+
+    println!("E9: delivery-policy sweep (suppression ratio x throttle budget)");
+    println!(
+        "    {} servers, {} profiles, {} rebuilds over {}s",
+        params.servers,
+        profiles,
+        rebuilds,
+        horizon.as_secs_f64()
+    );
+    println!();
+
+    let mut rows = Vec::new();
+    for (label, policies) in variants() {
+        let cfg = RunConfig {
+            seed: 904,
+            drain: SimDuration::from_secs(90),
+            reliable: true,
+            policies,
+            ..RunConfig::default()
+        };
+        let outcome = run_scheme(Scheme::Hybrid, &world, &population, &schedule, &[], &cfg);
+        let delivered = outcome.deliveries.len();
+        let gated = outcome.alerts_suppressed + outcome.alerts_digested;
+        let observed = delivered as u64 + gated;
+        rows.push(Row {
+            label,
+            delivered,
+            firing: outcome.alerts_firing,
+            suppressed: outcome.alerts_suppressed,
+            digested: outcome.alerts_digested,
+            suppression_ratio: if observed == 0 {
+                0.0
+            } else {
+                outcome.alerts_suppressed as f64 / observed as f64
+            },
+        });
+    }
+
+    let baseline = rows[0].delivered;
+    let mut table = Table::new(vec![
+        "policy",
+        "delivered",
+        "firing",
+        "suppressed",
+        "digested",
+        "supp-ratio",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.label.clone(),
+            r.delivered.to_string(),
+            r.firing.to_string(),
+            r.suppressed.to_string(),
+            r.digested.to_string(),
+            format!("{:.3}", r.suppression_ratio),
+        ]);
+    }
+    println!("{table}");
+    println!("(supp-ratio = suppressed / (delivered + suppressed + digested))");
+
+    // The control rows are load-bearing: a broken policy layer that
+    // quietly gated (or duplicated) baseline traffic should fail the
+    // smoke run, not just the oracle test.
+    assert_eq!(
+        rows[1].delivered, baseline,
+        "observe-only must deliver exactly the baseline count"
+    );
+    assert_eq!(rows[0].firing, 0, "policies off must open no instances");
+    assert!(
+        rows[2].suppressed > 0,
+        "the noisy schedule must give dedup something to suppress"
+    );
+
+    if !smoke {
+        let json = render_json(&rows);
+        let path = "BENCH_e9_policy.json";
+        std::fs::write(path, &json).expect("write BENCH_e9_policy.json");
+        println!("\nwrote {path}");
+    }
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"e9_policy\",\n  \"sweep\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            out,
+            "    {{\"policy\": \"{}\", \"delivered\": {}, \"firing\": {}, \
+             \"suppressed\": {}, \"digested\": {}, \"suppression_ratio\": {:.4}}}{}",
+            r.label, r.delivered, r.firing, r.suppressed, r.digested, r.suppression_ratio, comma,
+        )
+        .expect("string write");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

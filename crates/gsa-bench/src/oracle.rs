@@ -14,6 +14,14 @@
 //!   while the subscription is cancelled, publisher or subscriber
 //!   partitioned around publish time) are *don't-care*: they count
 //!   neither as false positives nor as false negatives.
+//!
+//! Don't-care windows are keyed on **publish time only** — a fault
+//! window (partition or merged `CrashServer` downtime) voids a pair
+//! only when it overlaps `rebuild.at ± grace`. Deliveries themselves
+//! carry no timestamp into classification, so a notification whose
+//! *delivery* is deferred past the fault — a digest flush, a throttle
+//! release, a retry after restart — is still judged against the full
+//! contract rather than excused by a window it never published into.
 
 use crate::runners::rebuild_docs;
 use gsa_types::{CollectionId, Event, EventId, EventKind, HostName, SimDuration, SimTime};
@@ -375,6 +383,50 @@ mod tests {
         let q = oracle.classify(&[]);
         assert_eq!(q.false_negatives, 0);
         assert_eq!(q.recall(), 1.0);
+    }
+
+    #[test]
+    fn crash_window_over_the_digest_flush_does_not_void_a_due_pair() {
+        // Regression: crash windows merge into the same don't-care map
+        // as partitions, and that map must stay keyed on publish time.
+        // A CrashServer window that overlaps only the *digest flush*
+        // (minutes after the rebuild published cleanly) must neither
+        // demote the pair to don't-care nor excuse a missing delivery.
+        let (world, pop, schedule) = setup();
+        let grace = SimDuration::from_secs(2);
+        let clean = Oracle::build(
+            &world,
+            &pop,
+            &schedule,
+            &HashMap::new(),
+            &HashMap::new(),
+            grace,
+        );
+        let (p, k, origin) = clean.expected_iter().next().cloned().unwrap();
+        let publish = schedule.rebuilds[k].at;
+        // The digest interval dwarfs the grace window, so a crash that
+        // swallows the flush timer is far clear of publish ± grace.
+        let flush_at = publish + SimDuration::from_secs(300);
+        let partitions: HashMap<HostName, Vec<(SimTime, SimTime)>> = world
+            .hosts
+            .iter()
+            .map(|h| (h.clone(), vec![(flush_at, flush_at + SimDuration::from_secs(8))]))
+            .collect();
+        let oracle = Oracle::build(&world, &pop, &schedule, &HashMap::new(), &partitions, grace);
+        assert!(
+            oracle.is_expected(p, k, &origin),
+            "a pair published cleanly stays expected"
+        );
+        // Delivered (late, out of the flushed digest): judged as a hit.
+        let q = oracle.classify(&[(p, k, origin.clone())]);
+        assert_eq!(q.delivered, 1, "the late digest delivery counts");
+        assert_eq!(q.dont_care, 0, "the crash window must not absorb it");
+        // Never delivered: judged as a miss, not excused.
+        let q = oracle.classify(&[]);
+        assert!(
+            q.false_negatives >= 1,
+            "dropping the due digest is a real false negative"
+        );
     }
 
     #[test]

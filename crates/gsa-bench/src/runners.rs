@@ -6,7 +6,7 @@
 //! tables report.
 
 use gsa_baselines::{GsFloodSystem, ProfileFloodSystem, RendezvousSystem};
-use gsa_core::{ReliabilityConfig, System};
+use gsa_core::{AlertPolicyConfig, ReliabilityConfig, System};
 use gsa_types::{
     ClientId, CollectionId, Event, EventId, EventKind, HostName, ProfileId, SimDuration, SimTime,
 };
@@ -86,6 +86,10 @@ pub struct RunConfig {
     /// hard server crashes ([`FaultAction::CrashServer`]) recover
     /// their subscriptions on restart (hybrid only).
     pub durable: bool,
+    /// Optional alert delivery policies applied to every hybrid server
+    /// (hybrid only; `None` keeps the paper-faithful fire-and-forget
+    /// path byte-identical).
+    pub policies: Option<AlertPolicyConfig>,
 }
 
 impl Default for RunConfig {
@@ -99,6 +103,7 @@ impl Default for RunConfig {
             faults: None,
             pruned: false,
             durable: false,
+            policies: None,
         }
     }
 }
@@ -145,6 +150,13 @@ pub struct RunOutcome {
     /// and `cancels` this exposes subscriptions lost to server
     /// crashes: `subscribed - cancels - stored_client_profiles`.
     pub stored_client_profiles: usize,
+    /// Alert instances opened by the lifecycle engine (hybrid with
+    /// [`RunConfig::policies`] only, else 0).
+    pub alerts_firing: u64,
+    /// Notifications suppressed by dedup or throttle (ditto).
+    pub alerts_suppressed: u64,
+    /// Notifications deferred into digest batches (ditto).
+    pub alerts_digested: u64,
 }
 
 /// Deterministic per-rebuild document batches, shared by every scheme and
@@ -260,6 +272,7 @@ fn run_hybrid(
     }
     system.set_pruning(cfg.pruned);
     system.set_durability(cfg.durable);
+    system.set_alert_policies(cfg.policies.clone());
     system.add_gds_topology(&topo);
     for (host, gds) in &assignment {
         system.add_server(host.as_str(), gds.as_str());
@@ -408,6 +421,9 @@ fn run_hybrid(
         pruned_edges: system.metrics().counter("gds.pruned_edges"),
         subscribed,
         stored_client_profiles: stored_client,
+        alerts_firing: system.metrics().counter("alerts.firing"),
+        alerts_suppressed: system.metrics().counter("alerts.suppressed"),
+        alerts_digested: system.metrics().counter("alerts.digested"),
     }
 }
 
@@ -500,6 +516,7 @@ fn run_gsflood(
         reparents: 0,
         dropped: sys.metrics().counter("net.dropped"),
         pruned_edges: 0,
+        ..Default::default()
     }
 }
 
@@ -590,6 +607,7 @@ fn run_profileflood(
         reparents: 0,
         dropped: sys.metrics().counter("net.dropped"),
         pruned_edges: 0,
+        ..Default::default()
     }
 }
 
@@ -685,6 +703,7 @@ fn run_rendezvous(
         reparents: 0,
         dropped: sys.metrics().counter("net.dropped"),
         pruned_edges: 0,
+        ..Default::default()
     }
 }
 

@@ -590,6 +590,24 @@ impl AlertingActor {
             if counters.journal_corrupt > 0 {
                 ctx.count(metric::STATE_JOURNAL_CORRUPT, counters.journal_corrupt);
             }
+            if counters.alerts_firing > 0 {
+                ctx.count_id(CounterId::ALERTS_FIRING, counters.alerts_firing);
+            }
+            if counters.alerts_acked > 0 {
+                ctx.count_id(CounterId::ALERTS_ACKED, counters.alerts_acked);
+            }
+            if counters.alerts_resolved > 0 {
+                ctx.count_id(CounterId::ALERTS_RESOLVED, counters.alerts_resolved);
+            }
+            if counters.alerts_stale > 0 {
+                ctx.count_id(CounterId::ALERTS_STALE, counters.alerts_stale);
+            }
+            if counters.alerts_suppressed > 0 {
+                ctx.count_id(CounterId::ALERTS_SUPPRESSED, counters.alerts_suppressed);
+            }
+            if counters.alerts_digested > 0 {
+                ctx.count_id(CounterId::ALERTS_DIGESTED, counters.alerts_digested);
+            }
         }
         self.completed_fetches.extend(effects.fetches);
         self.completed_searches.extend(effects.searches);

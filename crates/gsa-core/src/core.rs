@@ -8,6 +8,9 @@
 use crate::aux::{forward_event_payload, AuxStore, PendingOps};
 use crate::message::{AuxPayload, SysMessage};
 use crate::subs::{Notification, SubscriptionManager};
+use gsa_alerts::{
+    fingerprint, AlertEngine, AlertPolicyConfig, AlertState, LabelKey, Outcome as AlertOutcome,
+};
 use gsa_gds::{GdsClient, GdsMessage, ResolveToken};
 use gsa_greenstone::server::{FetchResult, SearchResult};
 use gsa_greenstone::{
@@ -117,6 +120,19 @@ pub struct CoreCounters {
     pub replay_records: u64,
     /// Mid-journal (or snapshot) corruption events observed by recovery.
     pub journal_corrupt: u64,
+    /// Alert instances that transitioned into `Firing` (policy engine
+    /// only; always zero while alert policies are off).
+    pub alerts_firing: u64,
+    /// Alert instances that transitioned into `Acked`.
+    pub alerts_acked: u64,
+    /// Alert instances that transitioned into `Resolved`.
+    pub alerts_resolved: u64,
+    /// Alert instances that went `Stale` on the quiescence timeout.
+    pub alerts_stale: u64,
+    /// Notifications dropped by dedup or throttle.
+    pub alerts_suppressed: u64,
+    /// Notifications buffered into digests instead of sent immediately.
+    pub alerts_digested: u64,
 }
 
 impl CoreCounters {
@@ -124,6 +140,21 @@ impl CoreCounters {
     pub fn is_zero(&self) -> bool {
         *self == CoreCounters::default()
     }
+}
+
+/// The stable alert fingerprint of one notification under a policy
+/// configuration: profile id plus the configured label values.
+fn fingerprint_of(config: &AlertPolicyConfig, n: &Notification) -> u64 {
+    let labels: Vec<String> = config
+        .labels
+        .iter()
+        .map(|key| match key {
+            LabelKey::Collection => n.event.origin.to_string(),
+            LabelKey::Kind => n.event.kind.as_str().to_string(),
+            LabelKey::OriginHost => n.event.origin.host().as_str().to_string(),
+        })
+        .collect();
+    fingerprint(n.profile.as_u64(), labels.iter().map(String::as_str))
 }
 
 /// The per-host alerting service state machine.
@@ -175,6 +206,12 @@ pub struct AlertingCore {
     /// once. Transient down/up transitions re-run startup without
     /// re-wiping, so this gate keeps them from double-replaying.
     recovery_pending: bool,
+    /// The stateful-lifecycle / delivery-policy engine. `None` (the
+    /// default) keeps the fire-and-forget paper behaviour byte for
+    /// byte; when set, every matched notification runs through the
+    /// dedup / throttle / digest pipeline and alert instances are
+    /// tracked per fingerprint.
+    alerts: Option<AlertEngine<Notification>>,
 }
 
 impl fmt::Debug for AlertingCore {
@@ -221,6 +258,7 @@ impl AlertingCore {
             counters: CoreCounters::default(),
             store: Box::new(MemoryStateStore),
             recovery_pending: false,
+            alerts: None,
             host,
         }
     }
@@ -264,6 +302,106 @@ impl AlertingCore {
         self.mirror_ingest = enabled;
     }
 
+    /// Installs (or removes, with `None`) the stateful alert-lifecycle
+    /// engine. Off by default: without an engine every matched event is
+    /// one notification, exactly the paper's behaviour. With one,
+    /// matched notifications are fingerprinted into alert instances and
+    /// run through the configured dedup / throttle / digest policies;
+    /// lifecycle transitions are journaled through the state store so a
+    /// durable host recovers acknowledgements across crashes.
+    pub fn set_alert_policies(&mut self, config: Option<AlertPolicyConfig>) {
+        self.alerts = config.map(AlertEngine::new);
+    }
+
+    /// The installed alert-policy configuration, when any.
+    pub fn alert_policies(&self) -> Option<&AlertPolicyConfig> {
+        self.alerts.as_ref().map(AlertEngine::config)
+    }
+
+    /// The fingerprint the policy engine would assign this notification
+    /// (`None` while policies are off).
+    pub fn alert_fingerprint(&self, n: &Notification) -> Option<u64> {
+        self.alerts
+            .as_ref()
+            .map(|engine| fingerprint_of(engine.config(), n))
+    }
+
+    /// The lifecycle state of an alert instance (`None` for unknown
+    /// fingerprints or while policies are off).
+    pub fn alert_state(&self, fingerprint: u64) -> Option<AlertState> {
+        self.alerts.as_ref().and_then(|e| e.state(fingerprint))
+    }
+
+    /// Acknowledges a firing alert instance, journaling the transition.
+    /// Returns `true` when the state changed.
+    pub fn ack_alert(&mut self, fingerprint: u64, now: SimTime) -> bool {
+        let changed = self
+            .alerts
+            .as_mut()
+            .is_some_and(|e| e.ack(fingerprint, now));
+        if changed {
+            self.persist_alert_transitions();
+        }
+        changed
+    }
+
+    /// Resolves an active alert instance, journaling the transition.
+    /// Returns `true` when the state changed; the next match re-fires.
+    pub fn resolve_alert(&mut self, fingerprint: u64, now: SimTime) -> bool {
+        let changed = self
+            .alerts
+            .as_mut()
+            .is_some_and(|e| e.resolve(fingerprint, now));
+        if changed {
+            self.persist_alert_transitions();
+        }
+        changed
+    }
+
+    /// Journals every lifecycle transition the engine recorded since
+    /// the last drain (a no-op store ignores them).
+    fn persist_alert_transitions(&mut self) {
+        if let Some(engine) = self.alerts.as_mut() {
+            for t in engine.take_transitions() {
+                self.store
+                    .record_alert(t.fingerprint, t.state.tag(), t.at.as_micros());
+            }
+        }
+    }
+
+    /// Runs freshly matched notifications through the policy pipeline:
+    /// admitted ones are queued in their client mailboxes and pushed to
+    /// `effects`; suppressed and throttled ones are dropped everywhere;
+    /// digested ones wait in the engine for the next flush. Only called
+    /// when an engine is installed.
+    fn admit_notifications(
+        &mut self,
+        produced: Vec<Notification>,
+        now: SimTime,
+        effects: &mut CoreEffects,
+    ) {
+        for n in produced {
+            let Some(engine) = self.alerts.as_mut() else {
+                // Engine removed mid-loop is impossible; defensive only.
+                self.subs.queue_notification(&n);
+                effects.notifications.push(n);
+                continue;
+            };
+            let fp = fingerprint_of(engine.config(), &n);
+            let digest_key = n.event.origin.to_string();
+            match engine.observe(fp, &digest_key, n.clone(), now) {
+                AlertOutcome::Deliver => {
+                    self.subs.queue_notification(&n);
+                    effects.notifications.push(n);
+                }
+                AlertOutcome::Suppressed
+                | AlertOutcome::Throttled
+                | AlertOutcome::Digested => {}
+            }
+        }
+        self.persist_alert_transitions();
+    }
+
     /// Replaces the durable state backend (the default in-memory store
     /// persists nothing). Subscribe / unsubscribe / summary-version
     /// changes are recorded through it from now on, and the next
@@ -294,6 +432,12 @@ impl AlertingCore {
         self.subs.wipe_for_crash();
         self.gds.crash_reset();
         self.last_summary = None;
+        // Alert instances, throttle buckets and digest buffers are all
+        // volatile; recovery restores whatever lifecycle state the
+        // journal preserved (nothing, for the in-memory default).
+        if let Some(engine) = self.alerts.as_mut() {
+            engine.wipe();
+        }
         self.recovery_pending = true;
     }
 
@@ -313,6 +457,15 @@ impl AlertingCore {
         counters.snapshot_writes += state.snapshot_writes;
         counters.replay_records += state.replay_records;
         counters.journal_corrupt += state.journal_corrupt;
+        if let Some(engine) = self.alerts.as_mut() {
+            let alerts = engine.take_counters();
+            counters.alerts_firing += alerts.firing;
+            counters.alerts_acked += alerts.acked;
+            counters.alerts_resolved += alerts.resolved;
+            counters.alerts_stale += alerts.stale;
+            counters.alerts_suppressed += alerts.suppressed;
+            counters.alerts_digested += alerts.digested;
+        }
         counters
     }
 
@@ -402,6 +555,15 @@ impl AlertingCore {
             let _ = self.subs.restore(id, client, expr);
         }
         self.subs.set_next_profile_at_least(recovered.next_profile);
+        if let Some(engine) = self.alerts.as_mut() {
+            for (fp, tag, at_micros) in recovered.alerts {
+                // Fail closed on unknown state bytes: a corrupt tag
+                // must not forge a lifecycle state.
+                if let Some(state) = AlertState::from_tag(tag) {
+                    engine.restore(fp, state, SimTime::from_micros(at_micros));
+                }
+            }
+        }
         self.gds.resume_summary_version(recovered.summary_version);
         // Whatever we believe we announced pre-crash, the GDS node may
         // have reset it on Unregister or child timeout: always treat
@@ -743,10 +905,17 @@ impl AlertingCore {
         }
         let event = Arc::new(event);
 
-        // 1. Local filtering.
-        effects
-            .notifications
-            .extend(self.subs.filter_event(&event, now));
+        // 1. Local filtering (through the policy pipeline when one is
+        // installed; the engine-less path is byte-identical to the
+        // paper's fire-and-forget behaviour).
+        if self.alerts.is_some() {
+            let produced = self.subs.filter_event_unqueued(&event, now);
+            self.admit_notifications(produced, now, effects);
+        } else {
+            effects
+                .notifications
+                .extend(self.subs.filter_event(&event, now));
+        }
 
         // 2. GDS broadcast.
         if broadcast {
@@ -921,9 +1090,14 @@ impl AlertingCore {
                 }
             }
             if let Some(event) = &decoded {
-                effects
-                    .notifications
-                    .extend(self.subs.filter_event(event, now));
+                if self.alerts.is_some() {
+                    let produced = self.subs.filter_event_unqueued(event, now);
+                    self.admit_notifications(produced, now, &mut effects);
+                } else {
+                    effects
+                        .notifications
+                        .extend(self.subs.filter_event(event, now));
+                }
             }
             if self.mirror_ingest {
                 self.mirror_delivery(&payload, decoded.as_deref());
@@ -979,9 +1153,14 @@ impl AlertingCore {
             }
         }
         if !batch.is_empty() {
-            effects
-                .notifications
-                .extend(self.subs.filter_events(&batch, now));
+            if self.alerts.is_some() {
+                let produced = self.subs.filter_events_unqueued(&batch, now);
+                self.admit_notifications(produced, now, &mut effects);
+            } else {
+                effects
+                    .notifications
+                    .extend(self.subs.filter_events(&batch, now));
+            }
         }
         effects
     }
@@ -1181,6 +1360,20 @@ impl AlertingCore {
         }
         self.request_started
             .retain(|rid, _| self.server.is_pending(*rid));
+        // Alert-lifecycle maintenance: stale-expire quiescent instances
+        // and release digest buffers that came due. Rides this tick so
+        // no new timer plumbing is needed; the engine spaces flushes by
+        // its own interval regardless of the tick cadence.
+        if let Some(engine) = self.alerts.as_mut() {
+            let tick = engine.on_tick(now);
+            for (_key, batch) in tick.flushed {
+                for n in batch {
+                    self.subs.queue_notification(&n);
+                    effects.notifications.push(n);
+                }
+            }
+            self.persist_alert_transitions();
+        }
         effects
     }
 }
@@ -1754,6 +1947,133 @@ mod tests {
         let counters = core.take_counters();
         assert_eq!(counters.probe_skipped, 0);
         assert_eq!(counters.probe_passed, 0);
+    }
+
+    #[test]
+    fn alert_dedup_suppresses_duplicates_and_refires_after_resolve() {
+        let mut core = AlertingCore::new("A", "gds-1");
+        core.set_alert_policies(Some(AlertPolicyConfig::dedup_only()));
+        let client = ClientId::from_raw(1);
+        core.subscribe(client, parse_profile(r#"host = "London""#).unwrap())
+            .unwrap();
+        let eff = core.handle_message(
+            &HostName::new("gds-1"),
+            SysMessage::Gds(binary_deliver(1, vec![])),
+            SimTime::ZERO,
+        );
+        assert_eq!(eff.notifications.len(), 1);
+        let fp = core.alert_fingerprint(&eff.notifications[0]).unwrap();
+        assert_eq!(core.alert_state(fp), Some(AlertState::Firing));
+        // Same collection + kind: the duplicate is suppressed from both
+        // the effects and the client mailbox.
+        let eff = core.handle_message(
+            &HostName::new("gds-1"),
+            SysMessage::Gds(binary_deliver(2, vec![])),
+            SimTime::from_secs(1),
+        );
+        assert!(eff.notifications.is_empty());
+        assert_eq!(core.take_notifications(client).len(), 1);
+        let counters = core.take_counters();
+        assert_eq!(counters.alerts_firing, 1);
+        assert_eq!(counters.alerts_suppressed, 1);
+        // Resolving reopens the cycle: the next match notifies again.
+        assert!(core.resolve_alert(fp, SimTime::from_secs(2)));
+        let eff = core.handle_message(
+            &HostName::new("gds-1"),
+            SysMessage::Gds(binary_deliver(3, vec![])),
+            SimTime::from_secs(3),
+        );
+        assert_eq!(eff.notifications.len(), 1);
+        assert_eq!(core.alert_state(fp), Some(AlertState::Firing));
+    }
+
+    #[test]
+    fn digest_flush_rides_the_maintenance_tick() {
+        use gsa_alerts::DigestConfig;
+        let mut core = AlertingCore::new("A", "gds-1");
+        core.set_alert_policies(Some(AlertPolicyConfig {
+            digest: Some(DigestConfig {
+                interval: SimDuration::from_secs(60),
+            }),
+            ..AlertPolicyConfig::default()
+        }));
+        let client = ClientId::from_raw(1);
+        core.subscribe(client, parse_profile(r#"host = "London""#).unwrap())
+            .unwrap();
+        let eff = core.handle_message(
+            &HostName::new("gds-1"),
+            SysMessage::Gds(binary_deliver(1, vec![])),
+            SimTime::ZERO,
+        );
+        assert!(eff.notifications.is_empty(), "digested, not delivered");
+        assert!(core.take_notifications(client).is_empty());
+        assert!(core.on_tick(SimTime::from_secs(59)).notifications.is_empty());
+        let eff = core.on_tick(SimTime::from_secs(60));
+        assert_eq!(eff.notifications.len(), 1);
+        assert_eq!(core.take_notifications(client).len(), 1);
+        assert_eq!(core.take_counters().alerts_digested, 1);
+    }
+
+    #[test]
+    fn observe_only_policies_change_no_deliveries() {
+        let mk = |policies: Option<AlertPolicyConfig>| {
+            let mut core = AlertingCore::new("A", "gds-1");
+            core.set_alert_policies(policies);
+            let client = ClientId::from_raw(1);
+            core.subscribe(client, parse_profile(r#"host = "London""#).unwrap())
+                .unwrap();
+            let mut notifications = Vec::new();
+            for seq in 1..=3 {
+                let eff = core.handle_message(
+                    &HostName::new("gds-1"),
+                    SysMessage::Gds(binary_deliver(seq, vec![])),
+                    SimTime::from_secs(seq),
+                );
+                notifications.extend(eff.notifications);
+            }
+            notifications.extend(core.take_notifications(client));
+            notifications
+        };
+        let baseline = mk(None);
+        let observed = mk(Some(AlertPolicyConfig::observe_only()));
+        assert_eq!(baseline.len(), 6, "3 in effects + 3 in the mailbox");
+        assert_eq!(baseline, observed);
+    }
+
+    #[test]
+    fn acked_lifecycle_survives_crash_recovery() {
+        use gsa_state::{JournalConfig, JournalStateStore, MemMedium};
+        let medium = MemMedium::new();
+        let mut core = AlertingCore::new("A", "gds-1");
+        core.set_alert_policies(Some(AlertPolicyConfig::dedup_only()));
+        core.set_state_store(Box::new(JournalStateStore::new(
+            medium.clone(),
+            JournalConfig::default(),
+        )));
+        core.startup(SimTime::ZERO);
+        let client = ClientId::from_raw(1);
+        core.subscribe(client, parse_profile(r#"host = "London""#).unwrap())
+            .unwrap();
+        let eff = core.handle_message(
+            &HostName::new("gds-1"),
+            SysMessage::Gds(binary_deliver(1, vec![])),
+            SimTime::from_secs(1),
+        );
+        let fp = core.alert_fingerprint(&eff.notifications[0]).unwrap();
+        assert!(core.ack_alert(fp, SimTime::from_secs(2)));
+
+        core.crash_wipe();
+        assert_eq!(core.alert_state(fp), None, "volatile state is gone");
+        core.startup(SimTime::from_secs(3));
+        // The acknowledgement replayed from the journal...
+        assert_eq!(core.alert_state(fp), Some(AlertState::Acked));
+        // ...so the post-restart duplicate still does not re-notify.
+        let eff = core.handle_message(
+            &HostName::new("gds-1"),
+            SysMessage::Gds(binary_deliver(2, vec![])),
+            SimTime::from_secs(4),
+        );
+        assert!(eff.notifications.is_empty());
     }
 
     #[test]

@@ -61,6 +61,9 @@ pub mod subs;
 pub mod system;
 
 pub use crate::core::{AlertingCore, CoreConfig, CoreCounters, CoreEffects};
+pub use gsa_alerts::{
+    AlertPolicyConfig, AlertState, DigestConfig, LabelKey, ThrottleConfig,
+};
 pub use actor::{
     AlertingActor, BatchConfig, Directory, GdsActor, ReliabilityConfig, ReliableLink, WireConfig,
     WireVersion,

@@ -306,12 +306,62 @@ impl SubscriptionManager {
         out
     }
 
+    /// Like [`filter_event`](Self::filter_event) but without touching
+    /// client mailboxes: the caller decides which of the produced
+    /// notifications are actually queued (the delivery-policy layer —
+    /// a suppressed notification must not land in a mailbox either).
+    pub fn filter_event_unqueued(
+        &mut self,
+        event: &Arc<Event>,
+        now: SimTime,
+    ) -> Vec<Notification> {
+        let mut matched = std::mem::take(&mut self.matched);
+        self.engine.matches_into(event, &mut self.scratch, &mut matched);
+        let mut out = Vec::with_capacity(matched.len());
+        for &id in &matched {
+            out.push(self.build_notification(id, event, now));
+        }
+        self.matched = matched;
+        out
+    }
+
     /// Filters a batch of events in one pass, queueing notifications
     /// exactly as per-event [`filter_event`](Self::filter_event) calls
     /// would, in event order. With a sharded backend the whole batch
     /// crosses the shard fan-out once instead of once per event.
     pub fn filter_events(&mut self, events: &[Arc<Event>], now: SimTime) -> Vec<Notification> {
-        let per_event: Vec<Vec<ProfileId>> = match &self.engine {
+        let per_event = self.match_batch(events);
+        let mut out = Vec::new();
+        for (event, ids) in events.iter().zip(per_event) {
+            for id in ids {
+                self.notify(id, event, now, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Batch variant of [`filter_event_unqueued`](Self::filter_event_unqueued):
+    /// same match pass as [`filter_events`](Self::filter_events), no
+    /// mailbox writes.
+    pub fn filter_events_unqueued(
+        &mut self,
+        events: &[Arc<Event>],
+        now: SimTime,
+    ) -> Vec<Notification> {
+        let per_event = self.match_batch(events);
+        let mut out = Vec::new();
+        for (event, ids) in events.iter().zip(per_event) {
+            for id in ids {
+                let n = self.build_notification(id, event, now);
+                out.push(n);
+            }
+        }
+        out
+    }
+
+    /// One match pass over a batch, per event in arrival order.
+    fn match_batch(&mut self, events: &[Arc<Event>]) -> Vec<Vec<ProfileId>> {
+        match &self.engine {
             MatchEngine::Sharded(sharded) if events.len() > 1 => {
                 let refs: Vec<&Event> = events.iter().map(Arc::as_ref).collect();
                 sharded.matches_batch_refs(&refs)
@@ -326,14 +376,30 @@ impl SubscriptionManager {
                 self.matched = matched;
                 per
             }
-        };
-        let mut out = Vec::new();
-        for (event, ids) in events.iter().zip(per_event) {
-            for id in ids {
-                self.notify(id, event, now, &mut out);
-            }
         }
-        out
+    }
+
+    /// Builds the notification for one matched profile without queueing.
+    fn build_notification(
+        &self,
+        id: ProfileId,
+        event: &Arc<Event>,
+        now: SimTime,
+    ) -> Notification {
+        let profile = &self.profiles[&id];
+        let matched_docs: Vec<DocId> = profile
+            .expr()
+            .matching_docs(event)
+            .into_iter()
+            .cloned()
+            .collect();
+        Notification {
+            profile: id,
+            client: profile.owner(),
+            event: Arc::clone(event),
+            matched_docs,
+            at: now,
+        }
     }
 
     /// Builds and queues the notification for one matched profile.
@@ -344,25 +410,19 @@ impl SubscriptionManager {
         now: SimTime,
         out: &mut Vec<Notification>,
     ) {
-        let profile = &self.profiles[&id];
-        let matched_docs: Vec<DocId> = profile
-            .expr()
-            .matching_docs(event)
-            .into_iter()
-            .cloned()
-            .collect();
-        let notification = Notification {
-            profile: id,
-            client: profile.owner(),
-            event: Arc::clone(event),
-            matched_docs,
-            at: now,
-        };
+        let notification = self.build_notification(id, event, now);
         self.mailboxes
-            .entry(profile.owner())
+            .entry(notification.client)
             .or_default()
             .push(notification.clone());
         out.push(notification);
+    }
+
+    /// Queues an already-built notification into its client's mailbox —
+    /// the admission path for policy-gated deliveries (immediate or
+    /// digest-flushed).
+    pub fn queue_notification(&mut self, n: &Notification) {
+        self.mailboxes.entry(n.client).or_default().push(n.clone());
     }
 
     /// Drains a client's mailbox.
@@ -589,6 +649,25 @@ mod tests {
         )
         .unwrap();
         assert_eq!(subs.filter_event(&event("A", "d"), SimTime::ZERO).len(), 1);
+    }
+
+    #[test]
+    fn unqueued_variants_match_but_do_not_touch_mailboxes() {
+        let mut subs = SubscriptionManager::new();
+        subs.subscribe(client(1), parse_profile(r#"host = "X""#).unwrap()).unwrap();
+        let single = subs.filter_event_unqueued(&event("X", "d"), SimTime::ZERO);
+        assert_eq!(single.len(), 1);
+        assert_eq!(subs.queued_notifications(), 0);
+        let batch = subs.filter_events_unqueued(&[event("X", "d")], SimTime::ZERO);
+        assert_eq!(batch, single);
+        assert_eq!(subs.queued_notifications(), 0);
+        // The queueing variant produces the same notifications.
+        let queued = subs.filter_event(&event("X", "d"), SimTime::ZERO);
+        assert_eq!(queued, single);
+        assert_eq!(subs.queued_notifications(), 1);
+        // Explicit admission lands in the right mailbox.
+        subs.queue_notification(&single[0]);
+        assert_eq!(subs.peek_notifications(client(1)).len(), 2);
     }
 
     #[test]

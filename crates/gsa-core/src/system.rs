@@ -8,6 +8,7 @@ use crate::actor::{AlertingActor, Directory, GdsActor, ReliabilityConfig, WireCo
 use crate::core::{AlertingCore, CoreConfig};
 use crate::message::SysMessage;
 use crate::subs::Notification;
+use gsa_alerts::{AlertPolicyConfig, AlertState};
 use gsa_gds::{GdsNode, GdsTopology};
 use gsa_greenstone::server::{FetchResult, SearchResult};
 use gsa_greenstone::{BuildReport, CollectionConfig, GsError, SubCollectionRef};
@@ -39,6 +40,7 @@ pub struct System {
     probe: bool,
     filter_shards: usize,
     durability: Option<JournalConfig>,
+    alert_policies: Option<AlertPolicyConfig>,
     /// The simulated disk of every durable server, held by the harness
     /// so crash injection can reach storage after the core is wiped.
     media: HashMap<HostName, MemMedium>,
@@ -72,6 +74,7 @@ impl System {
             probe: true,
             filter_shards: 1,
             durability: None,
+            alert_policies: None,
             media: HashMap::new(),
         }
     }
@@ -226,6 +229,49 @@ impl System {
         self.durability.is_some()
     }
 
+    /// Installs stateful alert lifecycles + delivery policies on every
+    /// server added *after* this call: matched events are fingerprinted
+    /// into firing/acked/resolved/stale instances and run through the
+    /// configured dedup / throttle / digest pipeline. Off by default —
+    /// the paper's fire-and-forget behaviour, message for message (the
+    /// policy-equivalence oracle pins that an `observe_only` config
+    /// changes nothing either). Call before [`System::add_server`].
+    pub fn set_alert_policies(&mut self, config: Option<AlertPolicyConfig>) {
+        self.alert_policies = config;
+    }
+
+    /// The alert-policy configuration new servers receive, when any.
+    pub fn alert_policies(&self) -> Option<&AlertPolicyConfig> {
+        self.alert_policies.as_ref()
+    }
+
+    /// The policy fingerprint a server would assign this notification
+    /// (`None` while that server runs without policies).
+    pub fn alert_fingerprint(&mut self, host: &str, n: &Notification) -> Option<u64> {
+        self.inspect_core(host, |core| core.alert_fingerprint(n))
+    }
+
+    /// The lifecycle state of an alert instance at `host`.
+    pub fn alert_state(&mut self, host: &str, fingerprint: u64) -> Option<AlertState> {
+        self.inspect_core(host, |core| core.alert_state(fingerprint))
+    }
+
+    /// Acknowledges a firing alert instance at `host` (journaled when
+    /// the server is durable). Returns `true` when the state changed.
+    pub fn ack_alert(&mut self, host: &str, fingerprint: u64) -> bool {
+        self.with_core(host, |core, now| {
+            (core.ack_alert(fingerprint, now), Default::default())
+        })
+    }
+
+    /// Resolves an active alert instance at `host`. Returns `true` when
+    /// the state changed.
+    pub fn resolve_alert(&mut self, host: &str, fingerprint: u64) -> bool {
+        self.with_core(host, |core, now| {
+            (core.resolve_alert(fingerprint, now), Default::default())
+        })
+    }
+
     /// The simulated disk of a durable server (a shared handle — fault
     /// injection mutates the same storage the server's store reads).
     /// `None` for servers added while durability was off.
@@ -332,6 +378,9 @@ impl System {
         core.set_probe(self.probe);
         if self.filter_shards > 1 {
             core.set_filter_shards(self.filter_shards);
+        }
+        if let Some(policies) = &self.alert_policies {
+            core.set_alert_policies(Some(policies.clone()));
         }
         if let Some(journal) = self.durability {
             let medium = MemMedium::new();

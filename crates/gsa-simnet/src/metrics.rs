@@ -18,6 +18,18 @@ pub mod names {
     pub const ALERT_EVENTS_PUBLISHED: &str = "alert.events_published";
     /// Profile matches delivered to subscribers.
     pub const ALERT_NOTIFICATIONS: &str = "alert.notifications";
+    /// Alert instances that entered the firing state.
+    pub const ALERTS_FIRING: &str = "alerts.firing";
+    /// Alert instances acknowledged.
+    pub const ALERTS_ACKED: &str = "alerts.acked";
+    /// Alert instances resolved.
+    pub const ALERTS_RESOLVED: &str = "alerts.resolved";
+    /// Alert instances expired to stale by the quiescence timeout.
+    pub const ALERTS_STALE: &str = "alerts.stale";
+    /// Notifications withheld by dedup or throttle policies.
+    pub const ALERTS_SUPPRESSED: &str = "alerts.suppressed";
+    /// Notifications buffered into digest batches.
+    pub const ALERTS_DIGESTED: &str = "alerts.digested";
     /// GDS protocol frames processed by directory nodes.
     pub const GDS_MESSAGES: &str = "gds.messages";
     /// Messages handed to the network (sim transport).
@@ -90,10 +102,16 @@ pub mod names {
 /// [`CounterId`] values are indices into this table, which is what lets
 /// snapshot iteration merge the fixed slots with the string-keyed
 /// fallback map in one sorted pass.
-const WELL_KNOWN: [&str; 38] = [
+const WELL_KNOWN: [&str; 44] = [
     "alert.events_published",
     "alert.notifications",
     "alert.unknown_host",
+    "alerts.acked",
+    "alerts.digested",
+    "alerts.firing",
+    "alerts.resolved",
+    "alerts.stale",
+    "alerts.suppressed",
     "aux.dead_letter",
     "core.decode_error",
     "core.mirrored_docs",
@@ -146,24 +164,36 @@ impl CounterId {
     pub const ALERT_EVENTS_PUBLISHED: CounterId = CounterId(0);
     /// Slot for [`names::ALERT_NOTIFICATIONS`].
     pub const ALERT_NOTIFICATIONS: CounterId = CounterId(1);
+    /// Slot for [`names::ALERTS_ACKED`].
+    pub const ALERTS_ACKED: CounterId = CounterId(3);
+    /// Slot for [`names::ALERTS_DIGESTED`].
+    pub const ALERTS_DIGESTED: CounterId = CounterId(4);
+    /// Slot for [`names::ALERTS_FIRING`].
+    pub const ALERTS_FIRING: CounterId = CounterId(5);
+    /// Slot for [`names::ALERTS_RESOLVED`].
+    pub const ALERTS_RESOLVED: CounterId = CounterId(6);
+    /// Slot for [`names::ALERTS_STALE`].
+    pub const ALERTS_STALE: CounterId = CounterId(7);
+    /// Slot for [`names::ALERTS_SUPPRESSED`].
+    pub const ALERTS_SUPPRESSED: CounterId = CounterId(8);
     /// Slot for [`names::GDS_MESSAGES`].
-    pub const GDS_MESSAGES: CounterId = CounterId(9);
+    pub const GDS_MESSAGES: CounterId = CounterId(15);
     /// Slot for [`names::NET_SENT`].
-    pub const NET_SENT: CounterId = CounterId(25);
+    pub const NET_SENT: CounterId = CounterId(31);
     /// Slot for [`names::NET_BYTES`].
-    pub const NET_BYTES: CounterId = CounterId(19);
+    pub const NET_BYTES: CounterId = CounterId(25);
     /// Slot for [`names::NET_BYTES_SENT`].
-    pub const NET_BYTES_SENT: CounterId = CounterId(20);
+    pub const NET_BYTES_SENT: CounterId = CounterId(26);
     /// Slot for [`names::NET_DELIVERED`].
-    pub const NET_DELIVERED: CounterId = CounterId(21);
+    pub const NET_DELIVERED: CounterId = CounterId(27);
     /// Slot for [`names::NET_DROPPED`].
-    pub const NET_DROPPED: CounterId = CounterId(22);
+    pub const NET_DROPPED: CounterId = CounterId(28);
     /// Slot for [`names::NET_FRAMES`].
-    pub const NET_FRAMES: CounterId = CounterId(23);
+    pub const NET_FRAMES: CounterId = CounterId(29);
     /// Slot for [`names::NET_RETRANSMITS`].
-    pub const NET_RETRANSMITS: CounterId = CounterId(24);
+    pub const NET_RETRANSMITS: CounterId = CounterId(30);
     /// Slot for [`names::NET_ACKS`].
-    pub const NET_ACKS: CounterId = CounterId(18);
+    pub const NET_ACKS: CounterId = CounterId(24);
 
     /// The name this id resolves, as spelled in counter snapshots.
     pub fn name(self) -> &'static str {
@@ -688,6 +718,12 @@ mod tests {
             (CounterId::NET_ACKS, names::NET_ACKS),
             (CounterId::ALERT_EVENTS_PUBLISHED, names::ALERT_EVENTS_PUBLISHED),
             (CounterId::ALERT_NOTIFICATIONS, names::ALERT_NOTIFICATIONS),
+            (CounterId::ALERTS_ACKED, names::ALERTS_ACKED),
+            (CounterId::ALERTS_DIGESTED, names::ALERTS_DIGESTED),
+            (CounterId::ALERTS_FIRING, names::ALERTS_FIRING),
+            (CounterId::ALERTS_RESOLVED, names::ALERTS_RESOLVED),
+            (CounterId::ALERTS_STALE, names::ALERTS_STALE),
+            (CounterId::ALERTS_SUPPRESSED, names::ALERTS_SUPPRESSED),
             (CounterId::GDS_MESSAGES, names::GDS_MESSAGES),
         ];
         for (id, name) in pairs {

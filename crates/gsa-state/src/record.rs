@@ -41,11 +41,24 @@ pub enum StateRecord {
         /// The announced (monotonic, per-server) version.
         version: u64,
     },
+    /// An alert instance entered a lifecycle state. The state byte is
+    /// `gsa-alerts`' stable tag; this crate treats it as opaque (the
+    /// core fails closed on tags it does not recognise), so the journal
+    /// format does not chase the lifecycle enum.
+    AlertLifecycle {
+        /// The alert instance's stable fingerprint.
+        fingerprint: u64,
+        /// Lifecycle state tag (`AlertState::tag`).
+        state: u8,
+        /// Transition time, microseconds of simulated time.
+        at_micros: u64,
+    },
 }
 
 const TAG_SUBSCRIBE: u8 = 1;
 const TAG_UNSUBSCRIBE: u8 = 2;
 const TAG_SUMMARY_VERSION: u8 = 3;
+const TAG_ALERT_LIFECYCLE: u8 = 4;
 
 /// Snapshot magic byte (`Z` — "the state so far").
 const SNAP_MAGIC: u8 = 0x5A;
@@ -68,6 +81,16 @@ fn encode_body(rec: &StateRecord, buf: &mut Vec<u8>) {
             buf.push(TAG_SUMMARY_VERSION);
             write_varint(buf, *version);
         }
+        StateRecord::AlertLifecycle {
+            fingerprint,
+            state,
+            at_micros,
+        } => {
+            buf.push(TAG_ALERT_LIFECYCLE);
+            write_varint(buf, *fingerprint);
+            buf.push(*state);
+            write_varint(buf, *at_micros);
+        }
     }
 }
 
@@ -85,6 +108,11 @@ fn decode_body(body: &[u8]) -> Option<StateRecord> {
         },
         TAG_SUMMARY_VERSION => StateRecord::SummaryVersion {
             version: r.read_varint().ok()?,
+        },
+        TAG_ALERT_LIFECYCLE => StateRecord::AlertLifecycle {
+            fingerprint: r.read_varint().ok()?,
+            state: r.read_u8().ok()?,
+            at_micros: r.read_varint().ok()?,
         },
         _ => return None,
     };
@@ -197,6 +225,9 @@ pub struct SnapshotState {
     pub next_profile: u64,
     /// Every live profile: `(id, owner, expression)`.
     pub profiles: Vec<(ProfileId, ClientId, ProfileExpr)>,
+    /// Every alert instance's latest lifecycle record:
+    /// `(fingerprint, state tag, at_micros)`, fingerprint-ordered.
+    pub alerts: Vec<(u64, u8, u64)>,
 }
 
 /// Encode a snapshot: magic + format version + one CRC-framed body.
@@ -209,6 +240,12 @@ pub fn encode_snapshot(state: &SnapshotState) -> Vec<u8> {
         write_varint(&mut body, id.as_u64());
         write_varint(&mut body, client.as_u64());
         xml_to_binary(&expr_to_xml(expr), &mut body);
+    }
+    write_varint(&mut body, state.alerts.len() as u64);
+    for &(fingerprint, tag, at_micros) in &state.alerts {
+        write_varint(&mut body, fingerprint);
+        body.push(tag);
+        write_varint(&mut body, at_micros);
     }
     let mut out = Vec::with_capacity(body.len() + 8);
     out.push(SNAP_MAGIC);
@@ -251,10 +288,19 @@ pub fn decode_snapshot(bytes: &[u8]) -> Option<SnapshotState> {
         let expr = expr_from_xml(&xml_from_binary(&mut b).ok()?).ok()?;
         profiles.push((id, client, expr));
     }
+    let alert_count = b.read_varint().ok()? as usize;
+    let mut alerts = Vec::with_capacity(alert_count.min(1024));
+    for _ in 0..alert_count {
+        let fingerprint = b.read_varint().ok()?;
+        let tag = b.read_u8().ok()?;
+        let at_micros = b.read_varint().ok()?;
+        alerts.push((fingerprint, tag, at_micros));
+    }
     (b.remaining() == 0).then_some(SnapshotState {
         summary_version,
         next_profile,
         profiles,
+        alerts,
     })
 }
 
@@ -284,6 +330,11 @@ mod tests {
                 id: ProfileId::from_raw(0),
             },
             StateRecord::SummaryVersion { version: 2 },
+            StateRecord::AlertLifecycle {
+                fingerprint: 0x9f04_1567_6a54_083c,
+                state: 1,
+                at_micros: 12_000_000,
+            },
         ]
     }
 
@@ -398,6 +449,7 @@ mod tests {
                 (ProfileId::from_raw(1), ClientId::from_raw(7), expr("a.nz")),
                 (ProfileId::from_raw(2), ClientId::from_raw(8), expr("b.uk")),
             ],
+            alerts: vec![(0xdead_beef, 0, 5_000_000), (0xfeed_f00d, 1, 7_500_000)],
         };
         let bytes = encode_snapshot(&state);
         assert_eq!(decode_snapshot(&bytes), Some(state));
@@ -410,6 +462,7 @@ mod tests {
             summary_version: 1,
             next_profile: 1,
             profiles: vec![(ProfileId::from_raw(0), ClientId::from_raw(1), expr("x"))],
+            alerts: vec![(0x1234, 2, 3_000_000)],
         };
         let clean = encode_snapshot(&state);
         for i in 0..clean.len() {

@@ -41,6 +41,11 @@ pub struct RecoveredState {
     pub next_profile: u64,
     /// The interest-summary version to resume announcing from.
     pub summary_version: u64,
+    /// Latest lifecycle record per alert instance:
+    /// `(fingerprint, state tag, at_micros)`, fingerprint-ordered. The
+    /// core decodes the tag (failing closed on unknown bytes) and
+    /// restores its alert engine from these.
+    pub alerts: Vec<(u64, u8, u64)>,
 }
 
 /// The persistence seam an `AlertingCore` writes durable state through.
@@ -58,6 +63,9 @@ pub trait StateStore {
     fn record_unsubscribe(&mut self, id: ProfileId);
     /// The server announced its interest summary at `version`.
     fn record_summary_version(&mut self, version: u64);
+    /// An alert instance transitioned; only the latest record per
+    /// fingerprint matters for recovery (last-write-wins).
+    fn record_alert(&mut self, fingerprint: u64, state: u8, at_micros: u64);
     /// Rebuild state from the backing medium (snapshot + journal
     /// replay). The memory backend recovers nothing, by design.
     fn recover(&mut self) -> RecoveredState;
@@ -77,6 +85,7 @@ impl StateStore for MemoryStateStore {
     fn record_subscribe(&mut self, _id: ProfileId, _client: ClientId, _expr: &ProfileExpr) {}
     fn record_unsubscribe(&mut self, _id: ProfileId) {}
     fn record_summary_version(&mut self, _version: u64) {}
+    fn record_alert(&mut self, _fingerprint: u64, _state: u8, _at_micros: u64) {}
     fn recover(&mut self) -> RecoveredState {
         RecoveredState::default()
     }
@@ -126,6 +135,9 @@ pub struct JournalStateStore<M: Medium> {
     counters: StateCounters,
     /// id → (client, expr): the durable state as this store knows it.
     shadow: BTreeMap<u64, (u64, ProfileExpr)>,
+    /// fingerprint → (state tag, at_micros): latest alert lifecycle
+    /// record per instance.
+    alerts: BTreeMap<u64, (u8, u64)>,
     next_profile: u64,
     summary_version: u64,
     unsynced: usize,
@@ -143,6 +155,7 @@ impl<M: Medium> JournalStateStore<M> {
             config,
             counters: StateCounters::default(),
             shadow: BTreeMap::new(),
+            alerts: BTreeMap::new(),
             next_profile: 0,
             summary_version: 0,
             unsynced: 0,
@@ -159,6 +172,7 @@ impl<M: Medium> JournalStateStore<M> {
 
     fn apply_shadow(
         shadow: &mut BTreeMap<u64, (u64, ProfileExpr)>,
+        alerts: &mut BTreeMap<u64, (u8, u64)>,
         next_profile: &mut u64,
         summary_version: &mut u64,
         rec: StateRecord,
@@ -174,12 +188,20 @@ impl<M: Medium> JournalStateStore<M> {
             StateRecord::SummaryVersion { version } => {
                 *summary_version = (*summary_version).max(version);
             }
+            StateRecord::AlertLifecycle {
+                fingerprint,
+                state,
+                at_micros,
+            } => {
+                alerts.insert(fingerprint, (state, at_micros));
+            }
         }
     }
 
     fn append(&mut self, rec: StateRecord) {
         Self::apply_shadow(
             &mut self.shadow,
+            &mut self.alerts,
             &mut self.next_profile,
             &mut self.summary_version,
             rec.clone(),
@@ -217,6 +239,11 @@ impl<M: Medium> JournalStateStore<M> {
                     )
                 })
                 .collect(),
+            alerts: self
+                .alerts
+                .iter()
+                .map(|(&fp, &(tag, at))| (fp, tag, at))
+                .collect(),
         };
         self.medium.replace_snapshot(&encode_snapshot(&snap));
         self.medium.truncate_journal();
@@ -252,8 +279,17 @@ impl<M: Medium> StateStore for JournalStateStore<M> {
         self.append(StateRecord::SummaryVersion { version });
     }
 
+    fn record_alert(&mut self, fingerprint: u64, state: u8, at_micros: u64) {
+        self.append(StateRecord::AlertLifecycle {
+            fingerprint,
+            state,
+            at_micros,
+        });
+    }
+
     fn recover(&mut self) -> RecoveredState {
         self.shadow.clear();
+        self.alerts.clear();
         self.next_profile = 0;
         self.summary_version = 0;
         self.unsynced = 0;
@@ -267,6 +303,9 @@ impl<M: Medium> StateStore for JournalStateStore<M> {
                     self.shadow.insert(id.as_u64(), (client.as_u64(), expr));
                     self.next_profile = self.next_profile.max(id.as_u64() + 1);
                 }
+                for (fingerprint, tag, at) in snap.alerts {
+                    self.alerts.insert(fingerprint, (tag, at));
+                }
             }
             None => {
                 // Snapshot replacement is atomic, so this should never
@@ -279,10 +318,11 @@ impl<M: Medium> StateStore for JournalStateStore<M> {
 
         let journal = self.medium.read_journal();
         let shadow = &mut self.shadow;
+        let alerts = &mut self.alerts;
         let next_profile = &mut self.next_profile;
         let summary_version = &mut self.summary_version;
         let (applied, stop) = replay_journal(&journal, |rec| {
-            Self::apply_shadow(shadow, next_profile, summary_version, rec);
+            Self::apply_shadow(shadow, alerts, next_profile, summary_version, rec);
         });
         self.counters.replay_records += applied;
         if stop == ReplayStop::Corrupt {
@@ -306,6 +346,11 @@ impl<M: Medium> StateStore for JournalStateStore<M> {
                 .collect(),
             next_profile: self.next_profile,
             summary_version: self.summary_version,
+            alerts: self
+                .alerts
+                .iter()
+                .map(|(&fp, &(tag, at))| (fp, tag, at))
+                .collect(),
         }
     }
 
@@ -508,6 +553,7 @@ mod tests {
             summary_version: clean.summary_version,
             next_profile: clean.next_profile,
             profiles: clean.profiles.clone(),
+            alerts: clean.alerts.clone(),
         };
         let mut m = medium.clone();
         m.replace_snapshot(&encode_snapshot(&snap));
@@ -565,7 +611,44 @@ mod tests {
         assert!(!s.is_durable());
         s.record_subscribe(ProfileId::from_raw(0), ClientId::from_raw(1), &expr("a"));
         s.record_summary_version(5);
+        s.record_alert(0xabc, 0, 1_000_000);
         assert_eq!(s.recover(), RecoveredState::default());
         assert!(s.take_counters().is_zero());
+    }
+
+    #[test]
+    fn alert_lifecycle_records_survive_crash_with_last_write_winning() {
+        let (mut s, medium) = store(no_snapshots());
+        s.record_alert(0xaaa, 0, 1_000_000); // firing
+        s.record_alert(0xbbb, 0, 2_000_000); // firing
+        s.record_alert(0xaaa, 1, 3_000_000); // acked — supersedes
+        medium.crash();
+
+        let mut fresh = JournalStateStore::new(medium, no_snapshots());
+        let recovered = fresh.recover();
+        assert_eq!(
+            recovered.alerts,
+            vec![(0xaaa, 1, 3_000_000), (0xbbb, 0, 2_000_000)]
+        );
+        assert_eq!(fresh.take_counters().replay_records, 3);
+    }
+
+    #[test]
+    fn alert_lifecycle_records_fold_through_compaction() {
+        let (mut s, medium) = store(no_snapshots());
+        s.record_subscribe(ProfileId::from_raw(0), ClientId::from_raw(1), &expr("a"));
+        s.record_alert(0xccc, 0, 4_000_000);
+        s.compact();
+        // Post-compaction records land in the journal on top.
+        s.record_alert(0xccc, 2, 5_000_000); // resolved
+        s.record_alert(0xddd, 0, 6_000_000);
+
+        let mut fresh = JournalStateStore::new(medium, no_snapshots());
+        let recovered = fresh.recover();
+        assert_eq!(
+            recovered.alerts,
+            vec![(0xccc, 2, 5_000_000), (0xddd, 0, 6_000_000)]
+        );
+        assert_eq!(recovered.profiles.len(), 1);
     }
 }

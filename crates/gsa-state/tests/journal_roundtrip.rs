@@ -60,6 +60,7 @@ impl Model {
                 .collect(),
             next_profile: self.next_profile,
             summary_version: self.summary_version,
+            alerts: Vec::new(),
         }
     }
 }

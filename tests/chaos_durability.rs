@@ -17,10 +17,11 @@
 //!    the `state.journal_corrupt` counter.
 
 use gsa_bench::{run_scheme, Oracle, RunConfig, Scheme};
-use gsa_core::System;
+use gsa_core::{AlertPolicyConfig, AlertState, System};
 use gsa_gds::figure2_tree;
 use gsa_greenstone::CollectionConfig;
-use gsa_types::{SimDuration, SimTime};
+use gsa_store::SourceDocument;
+use gsa_types::{ClientId, SimDuration, SimTime};
 use gsa_workload::{
     FaultPlan, FaultPlanParams, GsWorld, ProfileMix, ProfilePopulation, RebuildSchedule,
     WorldParams,
@@ -191,6 +192,109 @@ fn mid_journal_flip_stops_at_the_last_good_record_and_is_counted() {
         system.metrics().counter("state.journal_corrupt"),
         1,
         "mid-journal corruption is surfaced, not swallowed"
+    );
+}
+
+/// One Hamilton server with dedup policies on, one local watcher, one
+/// matching rebuild already delivered and settled.
+fn lifecycle_world(seed: u64, durable: bool) -> (System, ClientId) {
+    let mut system = System::new(seed);
+    system.set_durability(durable);
+    system.set_alert_policies(Some(AlertPolicyConfig::dedup_only()));
+    system.add_gds_topology(&figure2_tree());
+    system.add_server("Hamilton", "gds-4");
+    system.add_collection("Hamilton", CollectionConfig::simple("D", "d"));
+    system.run_until_quiet(SimTime::from_secs(5));
+    let client = system.add_client("Hamilton");
+    system
+        .subscribe_text("Hamilton", client, r#"host = "Hamilton""#)
+        .unwrap();
+    system.run_until_quiet(system.now() + SimDuration::from_secs(2));
+    system
+        .rebuild("Hamilton", "D", vec![SourceDocument::new("d1", "v1")])
+        .unwrap();
+    system.run_until_quiet(system.now() + SimDuration::from_secs(5));
+    (system, client)
+}
+
+#[test]
+fn durable_lifecycle_survives_crash_without_losing_acks_or_double_notifying() {
+    for seed in SEEDS {
+        let (mut system, client) = lifecycle_world(seed, true);
+        let inbox = system.take_notifications("Hamilton", client);
+        assert_eq!(inbox.len(), 1, "seed {seed}: the first rebuild notifies");
+        let fp = system
+            .alert_fingerprint("Hamilton", &inbox[0])
+            .expect("seed {seed}: policies are on, so the engine fingerprints");
+        assert_eq!(
+            system.alert_state("Hamilton", fp),
+            Some(AlertState::Firing),
+            "seed {seed}"
+        );
+        assert!(system.ack_alert("Hamilton", fp), "seed {seed}: ack lands");
+
+        system.crash_server("Hamilton");
+        system.restart_server("Hamilton");
+        system.run_until_quiet(system.now() + SimDuration::from_secs(5));
+        assert_eq!(
+            system.alert_state("Hamilton", fp),
+            Some(AlertState::Acked),
+            "seed {seed}: the ack survives the crash"
+        );
+
+        // The same alert fires again after restart: the recovered
+        // instance is still active, so dedup suppresses the duplicate.
+        system
+            .rebuild("Hamilton", "D", vec![SourceDocument::new("d2", "v2")])
+            .unwrap();
+        system.run_until_quiet(system.now() + SimDuration::from_secs(5));
+        assert_eq!(
+            system.take_notifications("Hamilton", client).len(),
+            0,
+            "seed {seed}: an acked instance must not re-notify after restart"
+        );
+        assert!(
+            system.metrics().counter("alerts.suppressed") >= 1,
+            "seed {seed}: the suppression is counted, not silent"
+        );
+    }
+}
+
+#[test]
+fn volatile_lifecycle_forgets_acks_and_double_notifies_on_the_same_crash() {
+    // The comparison cell: without the journal the crash erases the
+    // instance table along with the registry, so the ack is gone and
+    // the re-fired alert notifies a second time.
+    let (mut system, client) = lifecycle_world(71, false);
+    let inbox = system.take_notifications("Hamilton", client);
+    assert_eq!(inbox.len(), 1);
+    let fp = system.alert_fingerprint("Hamilton", &inbox[0]).unwrap();
+    assert!(system.ack_alert("Hamilton", fp));
+
+    system.crash_server("Hamilton");
+    system.restart_server("Hamilton");
+    system.run_until_quiet(system.now() + SimDuration::from_secs(5));
+    assert_eq!(
+        system.alert_state("Hamilton", fp),
+        None,
+        "volatile state store: the ack is lost with the instance table"
+    );
+
+    // The subscription died with the crash too; the client re-registers
+    // and the re-fired alert is delivered afresh — a duplicate the
+    // durable cell above proves the journal prevents.
+    system
+        .subscribe_text("Hamilton", client, r#"host = "Hamilton""#)
+        .unwrap();
+    system.run_until_quiet(system.now() + SimDuration::from_secs(2));
+    system
+        .rebuild("Hamilton", "D", vec![SourceDocument::new("d2", "v2")])
+        .unwrap();
+    system.run_until_quiet(system.now() + SimDuration::from_secs(5));
+    assert_eq!(
+        system.take_notifications("Hamilton", client).len(),
+        1,
+        "without durability the acked alert notifies again"
     );
 }
 

@@ -84,6 +84,7 @@ fn run(cell: &ChaosCell, reliable: bool, pruned: bool) -> (gsa_bench::Quality, u
             base_drop: 0.2,
             faults: Some(cell.faults.clone()),
             durable: false,
+            ..RunConfig::default()
         },
     );
     let oracle = Oracle::build(
